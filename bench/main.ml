@@ -1,0 +1,690 @@
+(* Benchmark and experiment harness.
+
+   Regenerates every figure of the paper (F1-F4) and runs the
+   quantitative experiments the paper's claims imply (E1-E8), as indexed
+   in DESIGN.md; then runs the bechamel micro-benchmarks for operation
+   latency (E3).  Everything is deterministic except wall-clock
+   latencies.  Results are recorded in EXPERIMENTS.md. *)
+
+open Vstamp_core
+open Vstamp_vv
+open Vstamp_sim
+
+let section title =
+  Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
+
+let table = Stats.pp_table Format.std_formatter
+
+(* ITC as a tracker (lives here because vstamp.sim does not depend on
+   vstamp.itc). *)
+module Itc_tracker = struct
+  type t = Vstamp_itc.Itc.t
+
+  type state = unit
+
+  let name = "itc"
+
+  let initial = ((), Vstamp_itc.Itc.seed)
+
+  let update () x = ((), Vstamp_itc.Itc.update x)
+
+  let fork () x = ((), Vstamp_itc.Itc.fork x)
+
+  let join () a b = ((), Vstamp_itc.Itc.join a b)
+
+  let leq = Vstamp_itc.Itc.leq
+
+  let size_bits = Vstamp_itc.Itc.size_bits
+
+  let pp = Vstamp_itc.Itc.pp
+end
+
+let itc_tracker = Tracker.Packed (module Itc_tracker)
+
+(* ------------------------------------------------------------------ *)
+(* F1-F4: the paper's figures                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  section "F1: Figure 1 - version vectors among three fixed replicas";
+  let f = Scenario.Fig1.run () in
+  table ~header:[ "replica"; "final vector"; "paper" ]
+    (List.map2
+       (fun (name, v) (_, expected) ->
+         [
+           name;
+           Version_vector.to_string v;
+           "[" ^ String.concat "," (List.map string_of_int expected) ^ "]";
+         ])
+       f.Scenario.Fig1.final Scenario.Fig1.expected_final);
+  List.iter
+    (fun (x, y, r) ->
+      Format.printf "  %s vs %s: %s@." x y (Relation.to_paper_string r))
+    f.Scenario.Fig1.relations;
+  Format.printf "  reproduces the paper: %b@." (Scenario.Fig1.matches_paper f)
+
+let fig2_4 () =
+  section "F2+F4: Figures 2 and 4 - fork/join evolution and its stamps";
+  let f = Scenario.Fig4.run () in
+  table ~header:[ "element"; "stamp" ]
+    (List.map
+       (fun (n, s) -> [ n; Stamp.to_string s ])
+       f.Scenario.Fig4.named_steps);
+  Format.printf "  rewrite chain: %s@."
+    (String.concat " -> "
+       (List.map Stamp.to_string f.Scenario.Fig4.g_reduction_chain));
+  Format.printf "  frontier sizes along the run: %s@."
+    (String.concat "->"
+       (List.map string_of_int (Scenario.Frontiers.frontier_sizes ())));
+  Format.printf "  reproduces the paper: %b@." (Scenario.Fig4.matches_paper f)
+
+let fig3 () =
+  section "F3: Figure 3 - fixed replicas encoded under fork-and-join";
+  let f = Scenario.Fig3.run () in
+  table ~header:[ "pair"; "stamps say"; "vectors say" ]
+    (List.map2
+       (fun (x, y, rs) (_, _, rv) ->
+         [
+           x ^ " vs " ^ y;
+           Relation.to_paper_string rs;
+           Relation.to_paper_string rv;
+         ])
+       f.Scenario.Fig3.stamp_relations f.Scenario.Fig3.vv_relations);
+  Format.printf "  encodings agree: %b@." (Scenario.Fig3.encodings_agree f)
+
+(* ------------------------------------------------------------------ *)
+(* E1: size growth across workloads and scales                         *)
+(* ------------------------------------------------------------------ *)
+
+let e1_trackers =
+  [
+    Tracker.stamps;
+    Tracker.version_vectors;
+    Tracker.dynamic_vv;
+    itc_tracker;
+    Tracker.histories;
+  ]
+
+let e1 () =
+  section "E1: tracking-data size (mean bits/replica) by workload and scale";
+  let scales = [ 50; 100; 200; 400 ] in
+  let workload_families =
+    [
+      ("uniform", fun n -> Workload.uniform ~seed:7 ~n_ops:n ());
+      ("deep-fork", fun n -> Workload.deep_fork ~depth:(n / 2) ());
+      (* sustained star sync compounds id widths exponentially in the
+         number of rounds (see EXPERIMENTS.md), so its scale axis is
+         rounds over 4 peers, kept in the tractable range *)
+      ( "sync-star",
+        fun n -> Workload.sync_star ~peers:4 ~rounds:(max 1 (n / 64)) () );
+      ( "gossip",
+        fun n -> Workload.gossip ~seed:7 ~replicas:8 ~rounds:(max 1 (n / 10)) () );
+      ("churn", fun n -> Workload.churn ~seed:7 ~target:8 ~n_ops:n ());
+    ]
+  in
+  List.iter
+    (fun (wname, mk) ->
+      Format.printf "@.workload: %s@." wname;
+      let header =
+        "tracker" :: List.map (fun n -> Printf.sprintf "n=%d" n) scales
+      in
+      let rows =
+        List.map
+          (fun t ->
+            Tracker.name t
+            :: List.map
+                 (fun n ->
+                   let r = System.run ~with_oracle:false t (mk n) in
+                   Printf.sprintf "%.0f" r.System.final.System.mean_bits)
+                 scales)
+          e1_trackers
+      in
+      table ~header rows)
+    workload_families
+
+(* ------------------------------------------------------------------ *)
+(* E2: reduction efficacy                                              *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  section "E2: Section 6 reduction - reduced vs non-reducing stamp sizes";
+  let cases =
+    [
+      ( "fork-storm then full merge",
+        Workload.deep_fork ~depth:8 ()
+        @ List.init 8 (fun _ -> Execution.Join (0, 1)) );
+      ("churn (target 5, 120 ops)", Workload.churn ~seed:3 ~target:5 ~n_ops:120 ());
+      (* non-reducing widths double per pair sync: 12 rounds = 4096-wide
+         ids, already a 2^12 blowup the reduced model keeps at width 1 *)
+      ("repeated pair sync x12", Workload.gossip ~seed:3 ~replicas:2 ~rounds:12 ());
+      ("uniform small", Workload.uniform ~seed:3 ~n_ops:60 ~max_frontier:5 ());
+    ]
+  in
+  table
+    ~header:[ "trace"; "reduced bits"; "non-reducing bits"; "ratio" ]
+    (List.map
+       (fun (name, ops) ->
+         let red =
+           (System.run ~with_oracle:false Tracker.stamps ops).System.final
+             .System.total_bits
+         in
+         let raw =
+           (System.run ~with_oracle:false Tracker.stamps_nonreducing ops)
+             .System.final.System.total_bits
+         in
+         [
+           name;
+           string_of_int red;
+           string_of_int raw;
+           (if red = 0 then "inf"
+            else Printf.sprintf "%.1fx" (float_of_int raw /. float_of_int red));
+         ])
+       cases)
+
+(* ------------------------------------------------------------------ *)
+(* E4: ordering accuracy against the causal-history oracle             *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  section "E4: ordering accuracy vs the causal-history oracle";
+  let ops = Workload.uniform ~seed:11 ~n_ops:300 () in
+  let trackers =
+    [
+      Tracker.stamps;
+      Tracker.stamps_list;
+      Tracker.version_vectors;
+      Tracker.dynamic_vv;
+      itc_tracker;
+      Tracker.plausible 2;
+      Tracker.plausible 4;
+      Tracker.plausible 8;
+    ]
+  in
+  table
+    ~header:[ "tracker"; "comparisons"; "spurious"; "missed" ]
+    (List.map
+       (fun t ->
+         let r = System.run t ops in
+         match r.System.accuracy with
+         | Some a ->
+             [
+               r.System.tracker;
+               string_of_int a.System.comparisons;
+               string_of_int a.System.spurious_orderings;
+               string_of_int a.System.missed_orderings;
+             ]
+         | None -> [ r.System.tracker; "-"; "-"; "-" ])
+       trackers)
+
+(* ------------------------------------------------------------------ *)
+(* E5: plausible-clock accuracy sweep                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  section "E5: plausible clocks - misclassification rate by slot count";
+  let ops = Workload.gossip ~seed:5 ~replicas:10 ~rounds:12 () in
+  table
+    ~header:[ "slots"; "size bits"; "comparisons"; "spurious"; "error %" ]
+    (List.map
+       (fun slots ->
+         let r = System.run (Tracker.plausible slots) ops in
+         match r.System.accuracy with
+         | Some a ->
+             [
+               string_of_int slots;
+               Printf.sprintf "%.0f" r.System.final.System.mean_bits;
+               string_of_int a.System.comparisons;
+               string_of_int a.System.spurious_orderings;
+               Printf.sprintf "%.1f"
+                 (100.0
+                 *. float_of_int a.System.spurious_orderings
+                 /. float_of_int (max 1 a.System.comparisons));
+             ]
+         | None -> assert false)
+       [ 1; 2; 4; 8; 16; 32 ])
+
+(* ------------------------------------------------------------------ *)
+(* E6: replica creation under partition                                *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  section "E6: replica creation under partition (the motivating scenario)";
+  (* n devices in the cut-off group each try to spawn a replica *)
+  let attempts = 40 in
+  let server = Id_source.make (Id_source.Partitioned { server_group = 0 }) in
+  let blocked = ref 0 and src = ref server in
+  for _ = 1 to attempts do
+    match Id_source.alloc ~group:1 !src with
+    | Ok (_, s) -> src := s
+    | Error (`Unavailable, s) ->
+        incr blocked;
+        src := s
+  done;
+  (* random ids at various widths: collision counts for the same burst *)
+  let collisions bits =
+    let src = ref (Id_source.make (Id_source.Random { bits })) in
+    for _ = 1 to attempts do
+      match Id_source.alloc ~group:1 !src with
+      | Ok (_, s) -> src := s
+      | Error _ -> assert false
+    done;
+    Id_source.collisions !src
+  in
+  (* version stamps: the same burst is just forks *)
+  let rec forks k s acc =
+    if k = 0 then acc
+    else
+      let l, r = Stamp.fork s in
+      forks (k - 1) l (r :: acc)
+  in
+  let spawned = forks attempts Stamp.seed [] in
+  table
+    ~header:[ "mechanism"; "created"; "blocked"; "silent collisions" ]
+    [
+      [
+        "version vectors (served ids)";
+        string_of_int (attempts - !blocked);
+        string_of_int !blocked;
+        "0";
+      ];
+      [
+        "version vectors (random 8-bit ids)";
+        string_of_int attempts;
+        "0";
+        string_of_int (collisions 8);
+      ];
+      [
+        "version vectors (random 16-bit ids)";
+        string_of_int attempts;
+        "0";
+        string_of_int (collisions 16);
+      ];
+      [ "version stamps (fork)"; string_of_int (List.length spawned); "0"; "0" ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: wire sizes of the codec                                         *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  section "E7: wire encoding size (bits, whole final frontier)";
+  let cases =
+    [
+      ("uniform n=200", Workload.uniform ~seed:7 ~n_ops:200 ());
+      ("deep-fork n=100", Workload.deep_fork ~depth:50 ());
+      ("sync-star 4x6", Workload.sync_star ~peers:4 ~rounds:6 ());
+      ("churn n=150", Workload.churn ~seed:7 ~target:6 ~n_ops:150 ());
+    ]
+  in
+  table
+    ~header:[ "trace"; "stamps (wire)"; "stamps (struct)"; "vv (wire)" ]
+    (List.map
+       (fun (name, ops) ->
+         let stamps = Execution.Run_stamps.run ops in
+         let wire =
+           Stats.sum_int (List.map Vstamp_codec.Wire.stamp_bits stamps)
+         in
+         let structural = Stats.sum_int (List.map Stamp.size_bits stamps) in
+         (* replay over version vectors *)
+         let module R = Execution.Run (struct
+           type t = Version_vector.Replica.t
+
+           type state = int
+
+           let initial = (1, Version_vector.Replica.create ~id:0)
+
+           let update next r = (next, Version_vector.Replica.update r)
+
+           let fork next r =
+             let child = Version_vector.Replica.create ~id:next in
+             let r', child' = Version_vector.Replica.sync r child in
+             (next + 1, (r', child'))
+
+           let join next a b = (next, fst (Version_vector.Replica.sync a b))
+         end) in
+         let vvs = R.run ops in
+         let vv_wire =
+           Stats.sum_int
+             (List.map
+                (fun r ->
+                  Vstamp_codec.Wire.vv_bits (Version_vector.Replica.vector r))
+                vvs)
+         in
+         [ name; string_of_int wire; string_of_int structural; string_of_int vv_wire ])
+       cases)
+
+(* ------------------------------------------------------------------ *)
+(* E8: version stamps vs interval tree clocks                          *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  section "E8: version stamps vs interval tree clocks (mean bits/replica)";
+  let cases =
+    [
+      ("uniform n=300", Workload.uniform ~seed:7 ~n_ops:300 ());
+      ("deep-fork n=150", Workload.deep_fork ~depth:75 ());
+      ("sync-star 8x4", Workload.sync_star ~peers:8 ~rounds:4 ());
+      ("gossip 8x15", Workload.gossip ~seed:7 ~replicas:8 ~rounds:15 ());
+      ("churn n=250", Workload.churn ~seed:7 ~target:8 ~n_ops:250 ());
+    ]
+  in
+  table
+    ~header:[ "trace"; "stamps"; "itc"; "itc exact?" ]
+    (List.map
+       (fun (name, ops) ->
+         let s = System.run ~with_oracle:false Tracker.stamps ops in
+         let i = System.run itc_tracker ops in
+         [
+           name;
+           Printf.sprintf "%.0f" s.System.final.System.mean_bits;
+           Printf.sprintf "%.0f" i.System.final.System.mean_bits;
+           (match i.System.accuracy with
+           | Some a -> string_of_bool (System.perfect a)
+           | None -> "-");
+         ])
+       cases)
+
+(* ------------------------------------------------------------------ *)
+(* E9: stamp size as a function of frontier narrowing                  *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  section "E9: stamp size vs how often the frontier narrows back";
+  (* fixed op budget; sweep the fraction of joins relative to forks by
+     reweighting the uniform generator.  More narrowing (joins) means
+     more sibling reunification and smaller stamps. *)
+  let sweeps =
+    [
+      ("fork-heavy  (u3 f4 j1)", Workload.{ update = 3; fork = 4; join = 1 });
+      ("balanced    (u3 f2 j2)", Workload.{ update = 3; fork = 2; join = 2 });
+      ("join-heavy  (u3 f1 j4)", Workload.{ update = 3; fork = 1; join = 4 });
+    ]
+  in
+  table
+    ~header:[ "op mix"; "stamps mean bits"; "itc mean bits"; "vv mean bits" ]
+    (List.map
+       (fun (label, weights) ->
+         let ops =
+           Workload.uniform ~seed:13 ~weights ~max_frontier:10 ~n_ops:300 ()
+         in
+         let cell t =
+           Printf.sprintf "%.0f"
+             (System.run ~with_oracle:false t ops).System.final.System.mean_bits
+         in
+         [ label; cell Tracker.stamps; cell itc_tracker; cell Tracker.version_vectors ])
+       sweeps)
+
+(* ------------------------------------------------------------------ *)
+(* E10: server-side vs autonomous tracking for the same value          *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  section
+    "E10: metadata per replica - dotted vv (server ids) vs stamps (autonomous)";
+  (* the same logical workload on one value: [n] replicas, each round one
+     random replica writes, then one random pair reconciles *)
+  let replicas = 4 in
+  let rows =
+    List.map
+      (fun rounds ->
+        let rng = ref (Rng.make 23) in
+        let draw bound =
+          let x, r = Rng.int !rng bound in
+          rng := r;
+          x
+        in
+        (* dotted vv side: fixed server ids *)
+        let servers =
+          Array.init replicas (fun i ->
+              Vstamp_kvs.Kv_node.create ~id:i)
+        in
+        (* stamp side: registers forked from one seed *)
+        let regs = Array.make replicas (Vstamp_crdt.Mv_register.create "v0") in
+        let rec fan i reg =
+          if i < replicas - 1 then begin
+            let a, b = Vstamp_crdt.Mv_register.fork reg in
+            regs.(i) <- a;
+            fan (i + 1) b
+          end
+          else regs.(i) <- reg
+        in
+        fan 0 regs.(0);
+        for k = 1 to rounds do
+          let w = draw replicas in
+          let _, ctx = Vstamp_kvs.Kv_node.get servers.(w) "k" in
+          servers.(w) <-
+            Vstamp_kvs.Kv_node.put servers.(w) ~key:"k" ~context:ctx
+              (Printf.sprintf "v%d" k);
+          regs.(w) <- Vstamp_crdt.Mv_register.write regs.(w) (Printf.sprintf "v%d" k);
+          let i = draw replicas in
+          let j0 = draw (replicas - 1) in
+          let j = if j0 >= i then j0 + 1 else j0 in
+          let a, b = Vstamp_kvs.Kv_node.anti_entropy servers.(i) servers.(j) in
+          servers.(i) <- a;
+          servers.(j) <- b;
+          let ra, rb = Vstamp_crdt.Mv_register.sync regs.(i) regs.(j) in
+          regs.(i) <- ra;
+          regs.(j) <- rb
+        done;
+        let dvv_bits =
+          Stats.mean_int
+            (Array.to_list (Array.map Vstamp_kvs.Kv_node.size_bits servers))
+        in
+        let stamp_bits =
+          Stats.mean_int
+            (Array.to_list
+               (Array.map
+                  (fun r -> Stamp.size_bits (Vstamp_crdt.Mv_register.stamp r))
+                  regs))
+        in
+        [
+          string_of_int rounds;
+          Printf.sprintf "%.0f" dvv_bits;
+          Printf.sprintf "%.0f" stamp_bits;
+        ])
+      [ 5; 10; 20; 30 ]
+  in
+  table ~header:[ "rounds"; "dotted vv bits"; "stamp bits" ] rows;
+  Format.printf
+    "  (dotted vv needs deployment-time server ids and stays counter-flat;@.";
+  Format.printf
+    "   stamps need nothing and pay in id fragmentation under gossip)@."
+
+(* ------------------------------------------------------------------ *)
+(* E3: operation latency (bechamel)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let make_deep_stamp depth =
+  (* a stamp with a fragmented id, representative of a busy replica *)
+  let rec go s k =
+    if k = 0 then s
+    else
+      let a, b = Stamp.fork (Stamp.update s) in
+      go (Stamp.join ~reduce:false (Stamp.update a) b) (k - 1)
+  in
+  go Stamp.seed depth
+
+let make_deep_list_stamp depth =
+  let rec go s k =
+    if k = 0 then s
+    else
+      let a, b = Stamp.Over_list.fork (Stamp.Over_list.update s) in
+      go (Stamp.Over_list.join ~reduce:false (Stamp.Over_list.update a) b) (k - 1)
+  in
+  go Stamp.Over_list.seed depth
+
+let latency_tests () =
+  let open Bechamel in
+  let stamp8 = make_deep_stamp 8 and stamp16 = make_deep_stamp 16 in
+  let list8 = make_deep_list_stamp 8 in
+  let other8 = snd (Stamp.fork stamp8) in
+  let other_list8 = snd (Stamp.Over_list.fork list8) in
+  let vv =
+    List.fold_left
+      (fun v i -> Version_vector.increment v i)
+      Version_vector.zero
+      (List.init 16 (fun i -> i mod 8))
+  in
+  let itc8 =
+    let rec go s k =
+      if k = 0 then s
+      else
+        let a, b = Vstamp_itc.Itc.fork (Vstamp_itc.Itc.update s) in
+        go (Vstamp_itc.Itc.join (Vstamp_itc.Itc.update a) b) (k - 1)
+    in
+    go Vstamp_itc.Itc.seed 8
+  in
+  let wire8 = Vstamp_codec.Wire.stamp_to_string stamp8 in
+  Test.make_grouped ~name:"ops"
+    [
+      Test.make ~name:"stamp/update d8" (Staged.stage (fun () -> Stamp.update stamp8));
+      Test.make ~name:"stamp/fork d8" (Staged.stage (fun () -> Stamp.fork stamp8));
+      Test.make ~name:"stamp/join d8"
+        (Staged.stage (fun () -> Stamp.join stamp8 other8));
+      Test.make ~name:"stamp/reduce d8" (Staged.stage (fun () -> Stamp.reduce stamp8));
+      Test.make ~name:"stamp/leq d8" (Staged.stage (fun () -> Stamp.leq stamp8 other8));
+      Test.make ~name:"stamp/leq d16"
+        (Staged.stage
+           (let o = snd (Stamp.fork stamp16) in
+            fun () -> Stamp.leq stamp16 o));
+      Test.make ~name:"stamp-list/join d8"
+        (Staged.stage (fun () -> Stamp.Over_list.join list8 other_list8));
+      Test.make ~name:"stamp-list/leq d8"
+        (Staged.stage (fun () -> Stamp.Over_list.leq list8 other_list8));
+      Test.make ~name:"vv/increment w8"
+        (Staged.stage (fun () -> Version_vector.increment vv 3));
+      Test.make ~name:"vv/merge w8" (Staged.stage (fun () -> Version_vector.merge vv vv));
+      Test.make ~name:"vv/leq w8" (Staged.stage (fun () -> Version_vector.leq vv vv));
+      Test.make ~name:"itc/update d8"
+        (Staged.stage (fun () -> Vstamp_itc.Itc.update itc8));
+      Test.make ~name:"itc/leq d8"
+        (Staged.stage (fun () -> Vstamp_itc.Itc.leq itc8 itc8));
+      Test.make ~name:"wire/encode d8"
+        (Staged.stage (fun () -> Vstamp_codec.Wire.stamp_to_string stamp8));
+      Test.make ~name:"wire/decode d8"
+        (Staged.stage (fun () -> Vstamp_codec.Wire.stamp_of_string wire8));
+    ]
+
+(* ablation A: representation choice (trie vs sorted list) as id
+   fragmentation deepens; the indexed tests sweep the construction
+   depth so the scaling shape is visible, not just one point *)
+let ablation_tests () =
+  let open Bechamel in
+  let depths = [ 2; 4; 8; 12 ] in
+  let tree_stamp = List.map (fun d -> (d, make_deep_stamp d)) depths in
+  let list_stamp = List.map (fun d -> (d, make_deep_list_stamp d)) depths in
+  Test.make_grouped ~name:"ablation"
+    [
+      Test.make_indexed ~name:"tree/leq" ~args:depths (fun d ->
+          let s = List.assoc d tree_stamp in
+          let o = snd (Stamp.fork s) in
+          Staged.stage (fun () -> Stamp.leq s o));
+      Test.make_indexed ~name:"list/leq" ~args:depths (fun d ->
+          let s = List.assoc d list_stamp in
+          let o = snd (Stamp.Over_list.fork s) in
+          Staged.stage (fun () -> Stamp.Over_list.leq s o));
+      Test.make_indexed ~name:"tree/join" ~args:depths (fun d ->
+          let s = List.assoc d tree_stamp in
+          let o = snd (Stamp.fork s) in
+          Staged.stage (fun () -> Stamp.join s o));
+      Test.make_indexed ~name:"list/join" ~args:depths (fun d ->
+          let s = List.assoc d list_stamp in
+          let o = snd (Stamp.Over_list.fork s) in
+          Staged.stage (fun () -> Stamp.Over_list.join s o));
+      Test.make_indexed ~name:"tree/reduce" ~args:depths (fun d ->
+          let s = List.assoc d tree_stamp in
+          Staged.stage (fun () -> Stamp.reduce s));
+    ]
+
+(* ablation B: eager reduction at join vs deferring it to a single final
+   normalization — measures what keeping normal form continuously
+   costs/saves on a frontier-narrowing trace *)
+let e2b () =
+  section "E2b: ablation - eager vs deferred reduction (churn trace)";
+  let ops = Workload.churn ~seed:9 ~target:6 ~n_ops:150 () in
+  let eager = Execution.Run_stamps.run ops in
+  let deferred =
+    List.map Stamp.reduce (Execution.Run_stamps_nonreducing.run ops)
+  in
+  let bits f = Stats.sum_int (List.map Stamp.size_bits f) in
+  table
+    ~header:[ "strategy"; "final frontier bits"; "peak frontier bits" ]
+    [
+      [
+        "reduce at every join";
+        string_of_int (bits eager);
+        string_of_int
+          (Stats.max_int_list
+             (List.map bits (Execution.Run_stamps.run_steps ops)));
+      ];
+      [
+        "reduce once at the end";
+        string_of_int (bits deferred);
+        string_of_int
+          (Stats.max_int_list
+             (List.map bits (Execution.Run_stamps_nonreducing.run_steps ops)));
+      ];
+    ];
+  let orders_agree =
+    List.for_all
+      (fun (a, a') ->
+        List.for_all
+          (fun (b, b') ->
+            Vstamp_core.Relation.equal (Stamp.relation a b) (Stamp.relation a' b'))
+          (List.combine eager deferred))
+      (List.combine eager deferred)
+  in
+  Format.printf
+    "  (the stamps differ structurally — reduction changes what later@.";
+  Format.printf
+    "   forks append to — but the frontier order is identical: %b)@."
+    orders_agree
+
+let e3 () =
+  section "E3: operation latency (bechamel, ns/op)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (latency_tests ()) in
+  let raw_ablation = Benchmark.all cfg [ instance ] (ablation_tests ()) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace raw k v) raw_ablation;
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> Printf.sprintf "%.0f" e
+          | _ -> "-"
+        in
+        [ name; ns ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  table ~header:[ "operation"; "ns/op" ] rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Format.printf "Version Stamps - experiment harness@.";
+  Format.printf "(deterministic except E3 latencies; see EXPERIMENTS.md)@.";
+  fig1 ();
+  fig2_4 ();
+  fig3 ();
+  e1 ();
+  e2 ();
+  e2b ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  Format.printf "@.done.@."

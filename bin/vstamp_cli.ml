@@ -1,0 +1,359 @@
+(* vstamp — command-line front end for the version-stamp library.
+
+   Subcommands:
+     figures              regenerate the paper's figures
+     relate / frontier    classify stamps given in the paper's notation
+     update/fork/join/reduce   apply stamp operations
+     simulate / gen-trace      run or generate workload traces
+     draw                 ASCII lineage diagram of a trace
+     encode / decode      wire format round trips *)
+
+open Cmdliner
+open Vstamp_core
+open Vstamp_sim
+
+let stamp_conv =
+  let parse s =
+    match Vstamp_codec.Text.stamp_of_string s with
+    | Ok stamp -> Ok stamp
+    | Error e -> Error (`Msg (Format.asprintf "%a" Vstamp_codec.Text.pp_error e))
+  in
+  Arg.conv (parse, Stamp.pp)
+
+(* --- figures --- *)
+
+let figures () =
+  let f1 = Scenario.Fig1.run () in
+  Format.printf "Figure 1 (version vectors): %s@."
+    (if Scenario.Fig1.matches_paper f1 then "reproduced" else "MISMATCH");
+  List.iter
+    (fun (name, v) ->
+      Format.printf "  %s final: %a@." name Vstamp_vv.Version_vector.pp v)
+    f1.Scenario.Fig1.final;
+  let f4 = Scenario.Fig4.run () in
+  Format.printf "Figures 2+4 (version stamps): %s@."
+    (if Scenario.Fig4.matches_paper f4 then "reproduced" else "MISMATCH");
+  List.iter
+    (fun (name, s) -> Format.printf "  %-3s %a@." name Stamp.pp s)
+    f4.Scenario.Fig4.named_steps;
+  Format.printf "  rewrite chain: %s@."
+    (String.concat " -> "
+       (List.map Stamp.to_string f4.Scenario.Fig4.g_reduction_chain));
+  let f3 = Scenario.Fig3.run () in
+  Format.printf "Figure 3 (encoding fixed replicas): %s@."
+    (if Scenario.Fig3.encodings_agree f3 then "orders agree" else "MISMATCH")
+
+let figures_cmd =
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's figures and check them")
+    Term.(const figures $ const ())
+
+(* --- relate --- *)
+
+let relate a b =
+  Format.printf "%a vs %a: %s@." Stamp.pp a Stamp.pp b
+    (Relation.to_paper_string (Stamp.relation a b))
+
+let relate_cmd =
+  let a =
+    Arg.(required & pos 0 (some stamp_conv) None & info [] ~docv:"STAMP1")
+  in
+  let b =
+    Arg.(required & pos 1 (some stamp_conv) None & info [] ~docv:"STAMP2")
+  in
+  Cmd.v
+    (Cmd.info "relate"
+       ~doc:
+         "Classify two coexisting stamps (equivalent / obsolete / \
+          inconsistent), e.g. vstamp relate '[1|1]' '[e|0]'")
+    Term.(const relate $ a $ b)
+
+(* --- op --- *)
+
+let op_update s = Format.printf "%a@." Stamp.pp (Stamp.update s)
+
+let op_fork s =
+  let l, r = Stamp.fork s in
+  Format.printf "%a@.%a@." Stamp.pp l Stamp.pp r
+
+let op_join reduce a b =
+  Format.printf "%a@." Stamp.pp (Stamp.join ~reduce a b)
+
+let op_reduce s = Format.printf "%a@." Stamp.pp (Stamp.reduce s)
+
+let stamp_pos n docv =
+  Arg.(required & pos n (some stamp_conv) None & info [] ~docv)
+
+let update_cmd =
+  Cmd.v
+    (Cmd.info "update" ~doc:"Apply the update operation to STAMP")
+    Term.(const op_update $ stamp_pos 0 "STAMP")
+
+let fork_cmd =
+  Cmd.v
+    (Cmd.info "fork" ~doc:"Fork STAMP; prints the two resulting stamps")
+    Term.(const op_fork $ stamp_pos 0 "STAMP")
+
+let join_cmd =
+  let no_reduce =
+    Arg.(value & flag & info [ "no-reduce" ] ~doc:"Skip Section 6 reduction")
+  in
+  Cmd.v
+    (Cmd.info "join" ~doc:"Join two stamps")
+    Term.(const (fun nr a b -> op_join (not nr) a b) $ no_reduce
+          $ stamp_pos 0 "STAMP1" $ stamp_pos 1 "STAMP2")
+
+let reduce_cmd =
+  Cmd.v
+    (Cmd.info "reduce" ~doc:"Rewrite STAMP to its Section 6 normal form")
+    Term.(const op_reduce $ stamp_pos 0 "STAMP")
+
+(* --- simulate --- *)
+
+let tracker_of_name = function
+  | "stamps" -> Ok Tracker.stamps
+  | "stamps-list" -> Ok Tracker.stamps_list
+  | "stamps-noreduce" -> Ok Tracker.stamps_nonreducing
+  | "vv" -> Ok Tracker.version_vectors
+  | "dvv" -> Ok Tracker.dynamic_vv
+  | "oracle" -> Ok Tracker.histories
+  | s when String.length s > 10 && String.sub s 0 10 = "plausible-" -> (
+      match int_of_string_opt (String.sub s 10 (String.length s - 10)) with
+      | Some k when k > 0 -> Ok (Tracker.plausible k)
+      | _ -> Error (`Msg "plausible-<slots> needs a positive slot count"))
+  | s -> Error (`Msg (Printf.sprintf "unknown tracker %S" s))
+
+let tracker_conv =
+  Arg.conv
+    ( tracker_of_name,
+      fun ppf t -> Format.pp_print_string ppf (Tracker.name t) )
+
+let workload_of_name ~seed ~n_ops = function
+  | "uniform" -> Ok (Workload.uniform ~seed ~n_ops ())
+  | "deep-fork" -> Ok (Workload.deep_fork ~depth:(max 1 (n_ops / 2)) ())
+  | "sync-star" ->
+      Ok (Workload.sync_star ~peers:8 ~rounds:(max 1 (n_ops / 32)) ())
+  | "gossip" ->
+      Ok (Workload.gossip ~seed ~replicas:8 ~rounds:(max 1 (n_ops / 10)) ())
+  | "churn" -> Ok (Workload.churn ~seed ~target:8 ~n_ops ())
+  | "partitioned" ->
+      Ok
+        (Workload.partitioned ~seed ~replicas:8 ~groups:2 ~phases:4
+           ~syncs_per_phase:(max 1 (n_ops / 40)) ())
+  | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+
+let simulate tracker workload seed n_ops no_oracle trace_file =
+  let ops =
+    match trace_file with
+    | Some file -> (
+        match Trace.load ~file with
+        | Ok ops -> Ok ops
+        | Error e -> Error (`Msg (Format.asprintf "%s: %a" file Trace.pp_error e)))
+    | None -> workload_of_name ~seed ~n_ops workload
+  in
+  match ops with
+  | Error (`Msg m) ->
+      Format.eprintf "error: %s@." m;
+      exit 1
+  | Ok ops ->
+      let r = System.run ~with_oracle:(not no_oracle) tracker ops in
+      Format.printf "%a@." System.pp_result r
+
+let simulate_cmd =
+  let tracker =
+    Arg.(
+      value
+      & opt tracker_conv Tracker.stamps
+      & info [ "t"; "tracker" ] ~docv:"TRACKER"
+          ~doc:
+            "Mechanism: stamps, stamps-list, stamps-noreduce, vv, dvv, \
+             plausible-<slots>, oracle")
+  in
+  let workload =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:
+            "Workload: uniform, deep-fork, sync-star, gossip, churn, \
+             partitioned")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"RNG seed")
+  in
+  let n_ops =
+    Arg.(
+      value & opt int 400
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"Approximate operation count")
+  in
+  let no_oracle =
+    Arg.(
+      value & flag
+      & info [ "no-oracle" ] ~doc:"Skip the causal-history accuracy check")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Replay a trace file instead of generating a workload")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a workload over a tracking mechanism and report size/accuracy")
+    Term.(
+      const simulate $ tracker $ workload $ seed $ n_ops $ no_oracle
+      $ trace_file)
+
+(* --- gen-trace --- *)
+
+let gen_trace workload seed n_ops output =
+  match workload_of_name ~seed ~n_ops workload with
+  | Error (`Msg m) ->
+      Format.eprintf "error: %s@." m;
+      exit 1
+  | Ok ops -> (
+      match output with
+      | Some file ->
+          Trace.save ~file ops;
+          let u, f, j = Trace.stats ops in
+          Format.printf "wrote %d ops (u=%d f=%d j=%d) to %s@."
+            (List.length ops) u f j file
+      | None -> Format.printf "%s@." (Trace.to_string ops))
+
+let gen_trace_cmd =
+  let workload =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload family")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED") in
+  let n_ops = Arg.(value & opt int 400 & info [ "n"; "ops" ] ~docv:"N") in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout")
+  in
+  Cmd.v
+    (Cmd.info "gen-trace" ~doc:"Generate a workload trace for later replay")
+    Term.(const gen_trace $ workload $ seed $ n_ops $ output)
+
+(* --- frontier --- *)
+
+let frontier stamps =
+  let f = Frontier.of_list stamps in
+  if not (Vstamp_core.Invariants.i2 stamps) then
+    Format.printf
+      "warning: these stamps do not form a valid frontier (I2 fails);@ answers below describe name order only@.";
+  List.iteri
+    (fun i s ->
+      let status =
+        if List.memq s (Frontier.obsolete f) then "obsolete"
+        else if List.exists (fun (a, b) -> a == s || b == s) (Frontier.conflicts f)
+        then "in conflict"
+        else "dominant"
+      in
+      Format.printf "%d: %a  %s@." i Stamp.pp s status)
+    stamps;
+  Format.printf "conflict pairs: %d; all equivalent: %b@."
+    (List.length (Frontier.conflicts f))
+    (Frontier.all_equivalent f)
+
+let frontier_cmd =
+  let stamps =
+    Arg.(non_empty & pos_all stamp_conv [] & info [] ~docv:"STAMP...")
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:"Classify a whole frontier of stamps: dominant / obsolete / conflicts")
+    Term.(const frontier $ stamps)
+
+(* --- draw --- *)
+
+let draw trace_file with_stamps =
+  match Trace.load ~file:trace_file with
+  | Error e ->
+      Format.eprintf "error: %s: %a@." trace_file Trace.pp_error e;
+      exit 1
+  | Ok ops ->
+      Format.printf "%s@." (Viz.header ops);
+      Format.printf "%s" (Viz.draw ~with_stamps ops)
+
+let draw_cmd =
+  let trace_file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE_FILE")
+  in
+  let with_stamps =
+    Arg.(
+      value & flag
+      & info [ "stamps" ] ~doc:"Label surviving lineages with their stamps")
+  in
+  Cmd.v
+    (Cmd.info "draw" ~doc:"Render a trace file as an ASCII lineage diagram")
+    Term.(const draw $ trace_file $ with_stamps)
+
+(* --- encode / decode --- *)
+
+let to_hex s =
+  String.concat "" (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let of_hex s =
+  if String.length s mod 2 <> 0 then Error (`Msg "odd-length hex string")
+  else
+    try
+      Ok
+        (String.init (String.length s / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with _ -> Error (`Msg "invalid hex string")
+
+let encode s =
+  let bytes = Vstamp_codec.Wire.stamp_to_string s in
+  Format.printf "%s (%d bits)@." (to_hex bytes) (Vstamp_codec.Wire.stamp_bits s)
+
+let encode_cmd =
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Wire-encode STAMP as hex")
+    Term.(const encode $ stamp_pos 0 "STAMP")
+
+let decode hex =
+  match of_hex hex with
+  | Error (`Msg m) ->
+      Format.eprintf "error: %s@." m;
+      exit 1
+  | Ok bytes -> (
+      match Vstamp_codec.Wire.stamp_of_string bytes with
+      | Ok s -> Format.printf "%a@." Stamp.pp s
+      | Error e ->
+          Format.eprintf "error: %a@." Vstamp_codec.Wire.pp_error e;
+          exit 1)
+
+let decode_cmd =
+  let hex = Arg.(required & pos 0 (some string) None & info [] ~docv:"HEX") in
+  Cmd.v
+    (Cmd.info "decode" ~doc:"Decode a hex wire encoding into a stamp")
+    Term.(const decode $ hex)
+
+(* --- main --- *)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "vstamp" ~version:"1.0.0"
+       ~doc:
+         "Version stamps: decentralized version vectors (Almeida, Baquero, \
+          Fonte; ICDCS 2002)")
+    [
+      figures_cmd;
+      relate_cmd;
+      update_cmd;
+      fork_cmd;
+      join_cmd;
+      reduce_cmd;
+      simulate_cmd;
+      gen_trace_cmd;
+      draw_cmd;
+      frontier_cmd;
+      encode_cmd;
+      decode_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,76 @@
+(* Regenerate the paper's four figures as text.
+
+   Run with: dune exec examples/paper_figures.exe *)
+
+open Vstamp_core
+open Vstamp_vv
+open Vstamp_sim
+
+let rule title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '-')
+
+let () =
+  Format.printf "Version Stamps (Almeida, Baquero, Fonte; ICDCS 2002)@.";
+  Format.printf "The paper's figures, regenerated from the implementation.@.";
+
+  (* ---------------- Figure 1 ---------------- *)
+  rule "Figure 1: version vectors among three fixed replicas";
+  let f1 = Scenario.Fig1.run () in
+  List.iter
+    (fun (name, steps) ->
+      Format.printf "  %s: " name;
+      List.iteri
+        (fun k (s : Scenario.Fig1.step) ->
+          if k > 0 then Format.printf " -> ";
+          Format.printf "%a" Version_vector.pp s.Scenario.Fig1.vector)
+        steps;
+      Format.printf "@.")
+    f1.Scenario.Fig1.timeline;
+  List.iter
+    (fun (x, y, r) ->
+      Format.printf "  %s vs %s: %s@." x y (Relation.to_paper_string r))
+    f1.Scenario.Fig1.relations;
+  Format.printf "  matches the published values: %b@."
+    (Scenario.Fig1.matches_paper f1);
+
+  (* ---------------- Figure 2 ---------------- *)
+  rule "Figure 2: fork/join evolution (frontier sizes along the run)";
+  Format.printf "  trace: %s@."
+    (String.concat "; " (List.map Execution.op_to_string Scenario.Fig4.trace));
+  Format.printf "  frontier sizes: %s@."
+    (String.concat " -> "
+       (List.map string_of_int (Scenario.Frontiers.frontier_sizes ())));
+
+  (* ---------------- Figure 3 ---------------- *)
+  rule "Figure 3: the fixed-replica run encoded under fork-and-join";
+  let f3 = Scenario.Fig3.run () in
+  List.iter
+    (fun (name, s) -> Format.printf "  stamp  %s: %a@." name Stamp.pp s)
+    f3.Scenario.Fig3.stamps;
+  List.iter
+    (fun (name, v) -> Format.printf "  vector %s: %a@." name Version_vector.pp v)
+    f3.Scenario.Fig3.vectors;
+  List.iter2
+    (fun (x, y, rs) (_, _, rv) ->
+      Format.printf "  %s vs %s: stamps say %s, vectors say %s@." x y
+        (Relation.to_paper_string rs)
+        (Relation.to_paper_string rv))
+    f3.Scenario.Fig3.stamp_relations f3.Scenario.Fig3.vv_relations;
+  Format.printf "  encodings agree: %b@." (Scenario.Fig3.encodings_agree f3);
+
+  (* ---------------- Figure 4 ---------------- *)
+  rule "Figure 4: the version stamps of the Figure 2 run";
+  let f4 = Scenario.Fig4.run () in
+  List.iter
+    (fun (name, s) -> Format.printf "  %-3s %a@." name Stamp.pp s)
+    f4.Scenario.Fig4.named_steps;
+  Format.printf "  rewrite chain after the final join: %s@."
+    (String.concat " -> "
+       (List.map Stamp.to_string f4.Scenario.Fig4.g_reduction_chain));
+  List.iter
+    (fun (x, y, r) ->
+      Format.printf "  frontier query %s vs %s: %s@." x y
+        (Relation.to_paper_string r))
+    (Scenario.Fig4.frontier_queries f4);
+  Format.printf "  matches the published stamps: %b@."
+    (Scenario.Fig4.matches_paper f4)

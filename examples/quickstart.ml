@@ -1,0 +1,60 @@
+(* Quickstart: the version-stamp lifecycle in twenty lines of API.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Vstamp_core
+
+let show name s = Format.printf "  %-28s %a@." name Stamp.pp s
+
+let () =
+  Format.printf "== Version stamps quickstart ==@.@.";
+
+  (* One replica exists at the start of the world. *)
+  let origin = Stamp.seed in
+  show "origin (seed)" origin;
+
+  (* Replicate it with NO coordination: no id server, no network.  Each
+     side autonomously gets a distinguishable identity. *)
+  let laptop, phone = Stamp.fork origin in
+  Format.printf "@.fork: two replicas, created offline@.";
+  show "laptop" laptop;
+  show "phone" phone;
+  Format.printf "  relation: %s@." (Relation.to_string (Stamp.relation laptop phone));
+
+  (* The laptop modifies its copy. *)
+  let laptop = Stamp.update laptop in
+  Format.printf "@.update on the laptop@.";
+  show "laptop" laptop;
+  Format.printf "  phone vs laptop: %s (phone's copy is stale)@."
+    (Relation.to_string (Stamp.relation phone laptop));
+
+  (* Both modify: a genuine conflict. *)
+  let phone = Stamp.update phone in
+  Format.printf "@.update on the phone too@.";
+  show "phone" phone;
+  Format.printf "  phone vs laptop: %s (real conflict, reconcile!)@."
+    (Relation.to_string (Stamp.relation phone laptop));
+
+  (* Synchronize: join the knowledge, fork fresh identities. *)
+  let laptop, phone = Stamp.sync laptop phone in
+  Format.printf "@.sync (join + fork)@.";
+  show "laptop" laptop;
+  show "phone" phone;
+  Format.printf "  relation: %s@." (Relation.to_string (Stamp.relation laptop phone));
+
+  (* Retire the phone's replica into the laptop: the id space heals and
+     the stamp shrinks back to the seed shape (Section 6 reduction). *)
+  let merged = Stamp.join laptop phone in
+  Format.printf "@.join (phone replica retires)@.";
+  show "merged" merged;
+  Format.printf "  is the seed again: %b@." (Stamp.equal merged Stamp.seed);
+
+  (* Stamps go on the wire compactly. *)
+  let a, _ = Stamp.fork (Stamp.update merged) in
+  Format.printf "@.wire encoding of %a: %d bits@." Stamp.pp a
+    (Vstamp_codec.Wire.stamp_bits a);
+
+  (* And parse back from the paper's notation. *)
+  match Vstamp_codec.Text.stamp_of_string "[1|01+1]" with
+  | Ok s -> Format.printf "parsed \"[1|01+1]\" back to %a@." Stamp.pp s
+  | Error e -> Format.printf "parse error: %a@." Vstamp_codec.Text.pp_error e

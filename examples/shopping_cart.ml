@@ -1,0 +1,76 @@
+(* The classic shopping cart, Dynamo-style, over version stamps.
+
+   A cart is a multi-value register holding a list of items.  Replicas
+   of the cart live on different app servers; writes go to whichever
+   replica is reachable; merges keep every concurrent cart version so no
+   addition is ever silently dropped, and the application reconciles by
+   unioning the candidate carts.
+
+   Run with: dune exec examples/shopping_cart.exe *)
+
+open Vstamp_crdt
+
+let pp_cart ppf items =
+  Format.fprintf ppf "{%s}" (String.concat ", " items)
+
+let show label r =
+  Format.printf "  %-10s %a@." label
+    (Mv_register.pp pp_cart)
+    r
+
+let union_carts candidates =
+  List.sort_uniq compare (List.concat candidates)
+
+let () =
+  Format.printf "== Shopping cart on two app servers ==@.@.";
+
+  (* the cart is created on server A and replicated to server B *)
+  let a = Mv_register.create [ "book" ] in
+  let a, b = Mv_register.fork a in
+  show "server A" a;
+  show "server B" b;
+
+  (* the user's phone talks to A, the laptop to B (a network split, a
+     load balancer flap — any reason) *)
+  let add r item =
+    Mv_register.write r (union_carts [ List.concat (Mv_register.read r); [ item ] ])
+  in
+  let a = add a "coffee" in
+  let b = add b "keyboard" in
+  Format.printf "@.concurrent additions on both servers@.";
+  show "server A" a;
+  show "server B" b;
+
+  (* anti-entropy: the servers sync; both candidate carts survive *)
+  let a, b = Mv_register.sync a b in
+  Format.printf "@.after anti-entropy@.";
+  show "server A" a;
+  Format.printf "  conflicted: %b (both cart versions preserved)@."
+    (Mv_register.is_conflicted a);
+
+  (* next read repairs: the app unions the candidates and writes back *)
+  let repaired = union_carts (Mv_register.read a) in
+  let a = Mv_register.resolve a ~value:repaired in
+  let a, b = Mv_register.sync a b in
+  Format.printf "@.read repair (union of candidates)@.";
+  show "server A" a;
+  show "server B" b;
+  assert ((not (Mv_register.is_conflicted a)) && not (Mv_register.is_conflicted b));
+  assert (Mv_register.value_exn a = [ "book"; "coffee"; "keyboard" ]);
+
+  (* a removal is just a write that causally follows the repair: no
+     amnesia, because it dominates both old versions *)
+  let a =
+    Mv_register.write a
+      (List.filter (fun i -> i <> "book") (Mv_register.value_exn a))
+  in
+  let a, b = Mv_register.sync a b in
+  Format.printf "@.remove 'book' on A, then sync@.";
+  show "server A" a;
+  show "server B" b;
+  assert (Mv_register.value_exn b = [ "coffee"; "keyboard" ]);
+
+  Format.printf
+    "@.No identity service was involved: the replica on server B was@.";
+  Format.printf "created by forking, and could have been created during the@.";
+  Format.printf "network split just as well.@."

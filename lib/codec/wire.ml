@@ -1,0 +1,131 @@
+open Vstamp_core
+
+type error =
+  | Truncated
+  | Malformed of string
+
+let pp_error ppf = function
+  | Truncated -> Format.pp_print_string ppf "truncated input"
+  | Malformed what -> Format.fprintf ppf "malformed input: %s" what
+
+(* Name tries are prefix-free self-delimiting:
+     1        -> Node, followed by the left then right subtree
+     0 0      -> Empty
+     0 1      -> Mark
+   This is the canonical-form advantage of the trie representation: the
+   encoding is one-to-one with antichains and costs 2 bits per leaf and
+   1 per interior node. *)
+let rec write_name w (n : Name_tree.t) =
+  match n with
+  | Name_tree.Empty ->
+      Bitio.Writer.bit w false;
+      Bitio.Writer.bit w false
+  | Name_tree.Mark ->
+      Bitio.Writer.bit w false;
+      Bitio.Writer.bit w true
+  | Name_tree.Node (l, r) ->
+      Bitio.Writer.bit w true;
+      write_name w l;
+      write_name w r
+
+let rec read_name r =
+  if Bitio.Reader.bit r then begin
+    let l = read_name r in
+    let right = read_name r in
+    if l = Name_tree.Empty && right = Name_tree.Empty then
+      failwith "node with two empty children"
+    else Name_tree.Node (l, right)
+  end
+  else if Bitio.Reader.bit r then Name_tree.Mark
+  else Name_tree.Empty
+
+let name_to_string n =
+  let w = Bitio.Writer.create () in
+  write_name w n;
+  Bitio.Writer.contents w
+
+let name_bits n =
+  let w = Bitio.Writer.create () in
+  write_name w n;
+  Bitio.Writer.bit_length w
+
+let name_of_string s =
+  match
+    let r = Bitio.Reader.of_string s in
+    read_name r
+  with
+  | n when Name_tree.well_formed n -> Ok n
+  | _ -> Error (Malformed "ill-formed name")
+  | exception Bitio.Truncated -> Error Truncated
+  | exception Failure _ -> Error (Malformed "node with two empty children")
+
+let write_stamp w s =
+  write_name w (Stamp.update_name s);
+  write_name w (Stamp.id s)
+
+let read_stamp r =
+  let u = read_name r in
+  let i = read_name r in
+  (u, i)
+
+let stamp_to_string s =
+  let w = Bitio.Writer.create () in
+  write_stamp w s;
+  Bitio.Writer.contents w
+
+let stamp_bits s =
+  let w = Bitio.Writer.create () in
+  write_stamp w s;
+  Bitio.Writer.bit_length w
+
+let stamp_of_string ?(validate = true) data =
+  match
+    let r = Bitio.Reader.of_string data in
+    read_stamp r
+  with
+  | exception Bitio.Truncated -> Error Truncated
+  | exception Failure _ -> Error (Malformed "node with two empty children")
+  | u, i ->
+      let s = Stamp.make_unchecked ~update:u ~id:i in
+      if (not validate) || Stamp.well_formed s then Ok s
+      else Error (Malformed "update component not dominated by id (I1)")
+
+(* Version vectors on the wire: entry count, then (id, counter) varint
+   pairs.  Used by the E7 size comparison. *)
+let write_vv w vv =
+  let entries = Vstamp_vv.Version_vector.to_list vv in
+  Bitio.Writer.varint w (List.length entries);
+  List.iter
+    (fun (id, c) ->
+      Bitio.Writer.varint w id;
+      Bitio.Writer.varint w c)
+    entries
+
+let read_vv r =
+  let count = Bitio.Reader.varint r in
+  if count > 1 lsl 20 then raise Bitio.Truncated;
+  let entries =
+    List.init count (fun _ ->
+        let id = Bitio.Reader.varint r in
+        let c = Bitio.Reader.varint r in
+        (id, c))
+  in
+  Vstamp_vv.Version_vector.of_list entries
+
+let vv_to_string vv =
+  let w = Bitio.Writer.create () in
+  write_vv w vv;
+  Bitio.Writer.contents w
+
+let vv_bits vv =
+  let w = Bitio.Writer.create () in
+  write_vv w vv;
+  Bitio.Writer.bit_length w
+
+let vv_of_string data =
+  match
+    let r = Bitio.Reader.of_string data in
+    read_vv r
+  with
+  | vv -> Ok vv
+  | exception Bitio.Truncated -> Error Truncated

@@ -1,0 +1,123 @@
+type t = string
+(* Digits stored as characters '0' and '1'.  The module boundary keeps the
+   invariant that no other character ever appears. *)
+
+type digit = Zero | One
+
+let epsilon = ""
+
+let is_epsilon s = String.length s = 0
+
+let length = String.length
+
+let char_of_digit = function Zero -> '0' | One -> '1'
+
+let digit_of_char = function
+  | '0' -> Zero
+  | '1' -> One
+  | c -> invalid_arg (Printf.sprintf "Bits.digit_of_char: %C" c)
+
+let snoc s d = s ^ String.make 1 (char_of_digit d)
+
+let cons d s = String.make 1 (char_of_digit d) ^ s
+
+let append = ( ^ )
+
+let uncons s =
+  if is_epsilon s then None
+  else Some (digit_of_char s.[0], String.sub s 1 (String.length s - 1))
+
+let unsnoc s =
+  let n = String.length s in
+  if n = 0 then None
+  else Some (String.sub s 0 (n - 1), digit_of_char s.[n - 1])
+
+let get s i =
+  if i < 0 || i >= String.length s then invalid_arg "Bits.get: index out of bounds"
+  else digit_of_char s.[i]
+
+let is_prefix r s =
+  let nr = String.length r and ns = String.length s in
+  nr <= ns
+  &&
+  let rec go i = i >= nr || (r.[i] = s.[i] && go (i + 1)) in
+  go 0
+
+let is_strict_prefix r s = String.length r < String.length s && is_prefix r s
+
+let incomparable r s = not (is_prefix r s) && not (is_prefix s r)
+
+type ordering = Equal | Prefix | Extension | Incomparable
+
+let prefix_compare r s =
+  let nr = String.length r and ns = String.length s in
+  let n = min nr ns in
+  let rec agree i = i >= n || (r.[i] = s.[i] && agree (i + 1)) in
+  if agree 0 then
+    if nr = ns then Equal else if nr < ns then Prefix else Extension
+  else Incomparable
+
+let common_prefix r s =
+  let n = min (String.length r) (String.length s) in
+  let rec go i = if i < n && r.[i] = s.[i] then go (i + 1) else i in
+  String.sub r 0 (go 0)
+
+let parent s =
+  let n = String.length s in
+  if n = 0 then None else Some (String.sub s 0 (n - 1))
+
+let sibling s =
+  let n = String.length s in
+  if n = 0 then None
+  else
+    let b = Bytes.of_string s in
+    Bytes.set b (n - 1) (if s.[n - 1] = '0' then '1' else '0');
+    Some (Bytes.to_string b)
+
+let equal = String.equal
+
+(* Shortlex: shorter strings first, then lexicographic.  This places every
+   proper prefix before all of its extensions, so a left-to-right scan of a
+   shortlex-sorted list meets prefixes before the strings they dominate. *)
+let compare r s =
+  let c = Int.compare (String.length r) (String.length s) in
+  if c <> 0 then c else String.compare r s
+
+let compare_lex = String.compare
+
+let hash = Hashtbl.hash
+
+let of_string str =
+  String.iter
+    (function
+      | '0' | '1' -> ()
+      | c -> invalid_arg (Printf.sprintf "Bits.of_string: %C" c))
+    str;
+  str
+
+let to_string s = s
+
+let of_digits ds =
+  let b = Buffer.create (List.length ds) in
+  List.iter (fun d -> Buffer.add_char b (char_of_digit d)) ds;
+  Buffer.contents b
+
+let to_digits s = List.init (String.length s) (fun i -> digit_of_char s.[i])
+
+let pp ppf s =
+  if is_epsilon s then Format.pp_print_string ppf "\xce\xb5"
+  else Format.pp_print_string ppf s
+
+let digit_of_int = function
+  | 0 -> Zero
+  | 1 -> One
+  | n -> invalid_arg (Printf.sprintf "Bits.digit_of_int: %d" n)
+
+let int_of_digit = function Zero -> 0 | One -> 1
+
+let all_of_length n =
+  if n < 0 || n > 20 then invalid_arg "Bits.all_of_length";
+  let count = 1 lsl n in
+  List.init count (fun v ->
+      String.init n (fun i ->
+          if (v lsr (n - 1 - i)) land 1 = 1 then '1' else '0'))

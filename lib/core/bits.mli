@@ -1,0 +1,119 @@
+(** Finite binary strings with the prefix partial order.
+
+    Binary strings are the alphabet of version-stamp names (Section 4 of the
+    paper): the set [Sigma] of all finite sequences over [{0,1}] ordered by
+    [r <= s] iff [r] is a prefix of [s].  The empty string [epsilon] is the
+    bottom of this order.
+
+    The representation is abstract; values are immutable and structural
+    equality coincides with string equality. *)
+
+type t
+(** A finite binary string. *)
+
+type digit = Zero | One
+(** One binary digit. *)
+
+val epsilon : t
+(** The empty string, bottom of the prefix order. *)
+
+val is_epsilon : t -> bool
+(** [is_epsilon s] is [true] iff [s] is the empty string. *)
+
+val length : t -> int
+(** Number of digits. [length epsilon = 0]. *)
+
+val snoc : t -> digit -> t
+(** [snoc s d] appends digit [d] on the right of [s].  This is the
+    concatenation used by the fork operation. *)
+
+val cons : digit -> t -> t
+(** [cons d s] prepends digit [d] on the left of [s]. *)
+
+val append : t -> t -> t
+(** [append r s] is the concatenation [r.s]. *)
+
+val uncons : t -> (digit * t) option
+(** [uncons s] splits off the leftmost digit, or [None] on [epsilon]. *)
+
+val unsnoc : t -> (t * digit) option
+(** [unsnoc s] splits off the rightmost digit, or [None] on [epsilon]. *)
+
+val get : t -> int -> digit
+(** [get s i] is the [i]-th digit (0-based).
+    @raise Invalid_argument if [i] is out of bounds. *)
+
+val is_prefix : t -> t -> bool
+(** [is_prefix r s] is [true] iff [r] is a (non-strict) prefix of [s],
+    i.e. [r <= s] in the prefix order. *)
+
+val is_strict_prefix : t -> t -> bool
+(** [is_strict_prefix r s] is [true] iff [r] is a prefix of [s] and
+    [r <> s]. *)
+
+val incomparable : t -> t -> bool
+(** [incomparable r s] is [true] iff neither is a prefix of the other
+    (written [r || s] in the paper). *)
+
+type ordering = Equal | Prefix | Extension | Incomparable
+(** Result of comparing two strings in the prefix order:
+    [Prefix] means the first is a strict prefix of the second,
+    [Extension] means the second is a strict prefix of the first. *)
+
+val prefix_compare : t -> t -> ordering
+(** Classify the prefix-order relation between two strings. *)
+
+val common_prefix : t -> t -> t
+(** Longest common prefix of two strings. *)
+
+val sibling : t -> t option
+(** [sibling s] is the string differing from [s] only in its last digit,
+    or [None] for [epsilon].  Siblings are the pairs collapsed by the
+    stamp reduction rule. *)
+
+val parent : t -> t option
+(** [parent s] drops the last digit, or [None] for [epsilon]. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val compare : t -> t -> int
+(** A total order suitable for [Set]/[Map]: shortlex
+    (by length, then lexicographically).  Shortlex guarantees that proper
+    prefixes sort before their extensions, which the antichain algorithms
+    in {!Name} rely on. *)
+
+val compare_lex : t -> t -> int
+(** Plain lexicographic order with [Zero < One] and prefixes first. *)
+
+val hash : t -> int
+(** Hash consistent with [equal]. *)
+
+val of_string : string -> t
+(** Parse from a string of ['0']/['1'] characters.
+    @raise Invalid_argument on any other character. *)
+
+val to_string : t -> string
+(** Render as a string of ['0']/['1'] characters; [epsilon] renders as
+    [""]. *)
+
+val of_digits : digit list -> t
+(** Build from a digit list, left to right. *)
+
+val to_digits : t -> digit list
+(** Digits, left to right. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print; [epsilon] prints as ["\xce\xb5"] (the epsilon glyph). *)
+
+val digit_of_int : int -> digit
+(** [digit_of_int 0 = Zero], [digit_of_int 1 = One].
+    @raise Invalid_argument otherwise. *)
+
+val int_of_digit : digit -> int
+(** Inverse of {!digit_of_int}. *)
+
+val all_of_length : int -> t list
+(** All [2^n] strings of length [n], in {!compare} order.  Intended for
+    tests and small exhaustive checks.
+    @raise Invalid_argument if [n < 0] or [n > 20]. *)

@@ -1,0 +1,138 @@
+(* Reference implementation of names as sorted lists.
+
+   Representation invariant: the list is strictly sorted by shortlex
+   ({!Bits.compare}) and is an antichain (no member is a prefix of
+   another).  Shortlex sorting means any prefix of a member appears
+   before it, which keeps the normalization scans left-to-right. *)
+
+type t = Bits.t list
+
+let empty = []
+
+let bottom = [ Bits.epsilon ]
+
+let singleton s = [ s ]
+
+let is_empty n = n = []
+
+let is_bottom = function [ s ] -> Bits.is_epsilon s | _ -> false
+
+let to_list n = n
+
+let mem s n = List.exists (Bits.equal s) n
+
+let cardinal = List.length
+
+let total_bits n = List.fold_left (fun acc s -> acc + Bits.length s) 0 n
+
+let max_depth n = List.fold_left (fun acc s -> max acc (Bits.length s)) 0 n
+
+let exists = List.exists
+
+let for_all = List.for_all
+
+let fold f n acc = List.fold_left (fun acc s -> f s acc) acc n
+
+let equal n1 n2 = List.equal Bits.equal n1 n2
+
+let compare n1 n2 = List.compare Bits.compare n1 n2
+
+(* Keep the maximal elements of an arbitrary string list: drop duplicates
+   and any string that is a proper prefix of another.  O(n^2) in the worst
+   case; n is the antichain width, small in practice. *)
+let maximal_of_list ss =
+  let sorted = List.sort_uniq Bits.compare ss in
+  List.filter
+    (fun r -> not (List.exists (fun s -> Bits.is_strict_prefix r s) sorted))
+    sorted
+
+let of_list = maximal_of_list
+
+let of_strings ss = of_list (List.map Bits.of_string ss)
+
+let dominates_string n r = List.exists (fun s -> Bits.is_prefix r s) n
+
+let leq n1 n2 = List.for_all (dominates_string n2) n1
+
+let join n1 n2 = maximal_of_list (List.rev_append n1 n2)
+
+let meet n1 n2 =
+  let prefixes =
+    List.concat_map (fun r -> List.map (Bits.common_prefix r) n2) n1
+  in
+  let candidates =
+    List.filter
+      (fun p ->
+        List.exists (fun r -> Bits.is_prefix p r) n1
+        && List.exists (fun s -> Bits.is_prefix p s) n2)
+      prefixes
+  in
+  maximal_of_list candidates
+
+let incomparable_with n1 n2 =
+  List.for_all (fun r -> List.for_all (Bits.incomparable r) n2) n1
+
+let append_digit d n =
+  (* Appending the same digit on the right preserves both shortlex order
+     and pairwise incomparability, so the invariant holds without
+     re-normalizing. *)
+  List.map (fun s -> Bits.snoc s d) n
+
+(* One step of the Section 6 rewriting rule: find a sibling pair
+   {s0, s1} inside [id], collapse it to the parent [s], and patch [u]
+   when it mentions either sibling.  Returns [None] at normal form. *)
+let reduce_step ~u ~id =
+  let rec find = function
+    | [] -> None
+    | s0 :: rest -> (
+        match Bits.sibling s0 with
+        | None -> find rest
+        | Some s1 -> if mem s1 rest then Some (s0, s1) else find rest)
+  in
+  match find id with
+  | None -> None
+  | Some (s0, s1) ->
+      let s =
+        match Bits.parent s0 with
+        | Some p -> p
+        | None -> assert false (* siblings are non-empty strings *)
+      in
+      let id' =
+        of_list (s :: List.filter (fun r -> not (Bits.equal r s0 || Bits.equal r s1)) id)
+      in
+      let u' =
+        if mem s0 u || mem s1 u then
+          of_list
+            (s :: List.filter (fun r -> not (Bits.equal r s0 || Bits.equal r s1)) u)
+        else u
+      in
+      Some (u', id')
+
+let rec reduce_stamp ~u ~id =
+  match reduce_step ~u ~id with
+  | None -> (u, id)
+  | Some (u', id') -> reduce_stamp ~u:u' ~id:id'
+
+let well_formed n =
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> Bits.compare a b < 0 && sorted rest
+  in
+  sorted n
+  && List.for_all
+       (fun r ->
+         List.for_all (fun s -> Bits.equal r s || Bits.incomparable r s) n)
+       n
+
+(* Members print in plain lexicographic order ("00+01+1"), matching the
+   paper's figures; the shortlex order of the representation is an
+   internal detail. *)
+let pp ppf = function
+  | [] -> Format.pp_print_string ppf "\xc3\xb8"
+  | n ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '+')
+        Bits.pp ppf
+        (List.sort Bits.compare_lex n)
+
+let to_string n = Format.asprintf "%a" pp n

@@ -1,0 +1,8 @@
+(** Names as strictly-sorted antichain lists — the executable specification.
+
+    This implementation favours transparency over speed: every operation is
+    a direct transcription of the paper's set-theoretic definition.  Use
+    {!Name_tree} when stamp size or throughput matters; the two are
+    cross-validated property-by-property in the test suite. *)
+
+include Name_intf.S

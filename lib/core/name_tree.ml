@@ -1,0 +1,195 @@
+(* Names as binary tries.
+
+   A trie node stands for a prefix [p]: [Mark] says "the string [p] is a
+   member", [Empty] says "no member at or below [p]", and [Node (l, r)]
+   descends into [p.0] (left) and [p.1] (right).  Because [Mark] is a leaf,
+   no member can lie below another — antichains are the only representable
+   values, and the representation is canonical (one trie per antichain)
+   provided no [Node (Empty, Empty)] appears.
+
+   This is the compact, dynamically-adapting shape the paper alludes to
+   ("their complexity adjusts dynamically, reflecting the granularity of
+   the frontier"), and the representation Interval Tree Clocks later
+   refined. *)
+
+type t = Empty | Mark | Node of t * t
+
+(* Smart constructor maintaining the no-[Node (Empty, Empty)] invariant. *)
+let node l r = match (l, r) with Empty, Empty -> Empty | _ -> Node (l, r)
+
+let empty = Empty
+
+let bottom = Mark
+
+let is_empty n = n = Empty
+
+let is_bottom n = n = Mark
+
+let rec singleton s =
+  match Bits.uncons s with
+  | None -> Mark
+  | Some (Bits.Zero, rest) -> Node (singleton rest, Empty)
+  | Some (Bits.One, rest) -> Node (Empty, singleton rest)
+
+let rec mem s n =
+  match (n, Bits.uncons s) with
+  | Mark, None -> true
+  | Node (l, _), Some (Bits.Zero, rest) -> mem rest l
+  | Node (_, r), Some (Bits.One, rest) -> mem rest r
+  | (Empty | Mark | Node _), _ -> false
+
+let rec cardinal = function
+  | Empty -> 0
+  | Mark -> 1
+  | Node (l, r) -> cardinal l + cardinal r
+
+(* Members, collected with an accumulator of reversed digit paths. *)
+let to_list n =
+  let rec go path acc = function
+    | Empty -> acc
+    | Mark -> Bits.of_digits (List.rev path) :: acc
+    | Node (l, r) ->
+        let acc = go (Bits.Zero :: path) acc l in
+        go (Bits.One :: path) acc r
+  in
+  List.sort Bits.compare (go [] [] n)
+
+let total_bits n =
+  let rec go depth = function
+    | Empty -> 0
+    | Mark -> depth
+    | Node (l, r) -> go (depth + 1) l + go (depth + 1) r
+  in
+  go 0 n
+
+let max_depth n =
+  let rec go depth = function
+    | Empty | Mark -> depth
+    | Node (l, r) -> max (go (depth + 1) l) (go (depth + 1) r)
+  in
+  go 0 n
+
+let exists f n = List.exists f (to_list n)
+
+let for_all f n = List.for_all f (to_list n)
+
+let fold f n acc = List.fold_left (fun acc s -> f s acc) acc (to_list n)
+
+let equal (n1 : t) (n2 : t) = n1 = n2
+
+let compare (n1 : t) (n2 : t) = Stdlib.compare n1 n2
+
+let rec leq n1 n2 =
+  match (n1, n2) with
+  | Empty, _ -> true
+  | _, Empty -> false
+  (* A mark needs any member at or below its prefix on the right. *)
+  | Mark, (Mark | Node _) -> true
+  (* Members strictly below the prefix cannot extend the bare prefix. *)
+  | Node _, Mark -> false
+  | Node (l1, r1), Node (l2, r2) -> leq l1 l2 && leq r1 r2
+
+let rec join n1 n2 =
+  match (n1, n2) with
+  | Empty, n | n, Empty -> n
+  | Mark, Mark -> Mark
+  (* The deeper side's members extend the mark's prefix: they are the
+     maximal elements of the union. *)
+  | Mark, (Node _ as n) | (Node _ as n), Mark -> n
+  | Node (l1, r1), Node (l2, r2) -> Node (join l1 l2, join r1 r2)
+
+let rec meet n1 n2 =
+  match (n1, n2) with
+  | Empty, _ | _, Empty -> Empty
+  (* The mark's prefix is a common prefix of everything on the other,
+     non-empty side, and nothing longer is shared. *)
+  | Mark, (Mark | Node _) | Node _, Mark -> Mark
+  | Node (l1, r1), Node (l2, r2) -> (
+      match node (meet l1 l2) (meet r1 r2) with
+      (* No common member strictly below this prefix, but the prefix
+         itself is below members of both sides. *)
+      | Empty -> Mark
+      | n -> n)
+
+let rec dominates_string n r =
+  match (n, Bits.uncons r) with
+  | Empty, _ -> false
+  | (Mark | Node _), None -> true
+  | Mark, Some _ -> false
+  | Node (l, _), Some (Bits.Zero, rest) -> dominates_string l rest
+  | Node (_, r'), Some (Bits.One, rest) -> dominates_string r' rest
+
+let rec incomparable_with n1 n2 =
+  match (n1, n2) with
+  | Empty, _ | _, Empty -> true
+  (* A mark's prefix is comparable with every member at or below it. *)
+  | Mark, (Mark | Node _) | Node _, Mark -> false
+  | Node (l1, r1), Node (l2, r2) ->
+      incomparable_with l1 l2 && incomparable_with r1 r2
+
+let rec append_digit d n =
+  match n with
+  | Empty -> Empty
+  | Mark -> (
+      match d with
+      | Bits.Zero -> Node (Mark, Empty)
+      | Bits.One -> Node (Empty, Mark))
+  | Node (l, r) -> Node (append_digit d l, append_digit d r)
+
+(* Bottom-up application of the Section 6 rule.  Children are reduced
+   first so collapses cascade towards the root in a single pass; the
+   result is the (unique) normal form. *)
+let rec reduce_stamp ~u ~id =
+  match id with
+  | Empty | Mark -> (u, id)
+  | Node (il, ir) ->
+      let ul, ur, u_marked =
+        match u with
+        | Empty -> (Empty, Empty, false)
+        | Mark -> (Empty, Empty, true)
+        | Node (ul, ur) -> (ul, ur, false)
+      in
+      let ul', il' = reduce_stamp ~u:ul ~id:il in
+      let ur', ir' = reduce_stamp ~u:ur ~id:ir in
+      if il' = Mark && ir' = Mark then
+        (* id holds the sibling pair {p.0, p.1}: collapse to {p} and patch
+           the update component when it mentioned either sibling. *)
+        let u' =
+          if u_marked then Mark
+          else
+            match (ul', ur') with
+            | Empty, Empty -> Empty
+            | (Mark | Empty), (Mark | Empty) -> Mark
+            | _ ->
+                (* Update strings strictly below a bare id mark would
+                   contradict invariant I1. *)
+                invalid_arg "Name_tree.reduce_stamp: invariant I1 violated"
+        in
+        (u', Mark)
+      else
+        let u' = if u_marked then Mark else node ul' ur' in
+        (u', node il' ir')
+
+let of_list ss = List.fold_left (fun acc s -> join acc (singleton s)) Empty ss
+
+let of_name n = of_list (Name.to_list n)
+
+let to_name t = Name.of_list (to_list t)
+
+let of_strings ss = of_list (List.map Bits.of_string ss)
+
+let rec well_formed = function
+  | Empty | Mark -> true
+  | Node (Empty, Empty) -> false
+  | Node (l, r) -> well_formed l && well_formed r
+
+(* Lexicographic member order, matching the paper's figures. *)
+let pp ppf n =
+  match List.sort Bits.compare_lex (to_list n) with
+  | [] -> Format.pp_print_string ppf "\xc3\xb8"
+  | members ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '+')
+        Bits.pp ppf members
+
+let to_string n = Format.asprintf "%a" pp n

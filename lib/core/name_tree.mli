@@ -1,0 +1,29 @@
+(** Names as binary tries — the compact representation.
+
+    A trie node stands for a string prefix: [Mark] asserts membership of
+    the prefix itself, [Node (zero, one)] descends into the two one-digit
+    extensions.  Since [Mark] is a leaf, only antichains are representable,
+    and each antichain has exactly one trie (given the
+    no-[Node (Empty, Empty)] invariant) — the representation is canonical.
+
+    All lattice operations run in time proportional to the overlap of the
+    two tries rather than to the product of antichain widths, and
+    {!reduce_stamp} is a single bottom-up pass.  The trie shape is exposed
+    because it is canonical; build values through the smart constructors
+    ({!singleton}, {!of_list}, {!join}, ...) to maintain the invariant, and
+    use {!well_formed} to vet externally decoded trees. *)
+
+type t = Empty | Mark | Node of t * t
+
+include Name_intf.S with type t := t
+
+val node : t -> t -> t
+(** Invariant-preserving constructor: [node Empty Empty = Empty], otherwise
+    [Node (l, r)].  For codecs and tests. *)
+
+val of_name : Name.t -> t
+(** Convert from the sorted-list representation.  The two represent the
+    same antichain: [to_name (of_name n) = n]. *)
+
+val to_name : t -> Name.t
+(** Convert to the sorted-list representation. *)

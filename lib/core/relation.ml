@@ -1,0 +1,36 @@
+type t = Equal | Dominates | Dominated | Concurrent
+
+let inverse = function
+  | Equal -> Equal
+  | Dominates -> Dominated
+  | Dominated -> Dominates
+  | Concurrent -> Concurrent
+
+let of_leq_pair ~leq_ab ~leq_ba =
+  match (leq_ab, leq_ba) with
+  | true, true -> Equal
+  | true, false -> Dominated
+  | false, true -> Dominates
+  | false, false -> Concurrent
+
+let is_leq = function Equal | Dominated -> true | Dominates | Concurrent -> false
+
+let is_geq = function Equal | Dominates -> true | Dominated | Concurrent -> false
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Equal -> "equal"
+  | Dominates -> "dominates"
+  | Dominated -> "dominated"
+  | Concurrent -> "concurrent"
+
+let to_paper_string = function
+  | Equal -> "equivalent"
+  | Dominates -> "dominating"
+  | Dominated -> "obsolete"
+  | Concurrent -> "inconsistent"
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+let all = [ Equal; Dominates; Dominated; Concurrent ]

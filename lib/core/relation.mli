@@ -1,0 +1,40 @@
+(** The four possible relations between two coexisting replicas.
+
+    The paper (Section 2) distinguishes {e equivalence} (same causal
+    history), {e obsolescence} (one history strictly contains the other)
+    and {e mutual inconsistency} (each has seen an update the other has
+    not).  This type names all four directed cases. *)
+
+type t =
+  | Equal  (** Same causal history — typically right after a synchronization. *)
+  | Dominates  (** The first has seen strictly more updates: the second is obsolete. *)
+  | Dominated  (** The first is obsolete relative to the second. *)
+  | Concurrent  (** Mutually inconsistent: a real conflict. *)
+
+val inverse : t -> t
+(** Swap the roles of the two operands. *)
+
+val of_leq_pair : leq_ab:bool -> leq_ba:bool -> t
+(** Classify from the two directions of a pre-order:
+    [of_leq_pair ~leq_ab:(a <= b) ~leq_ba:(b <= a)]. *)
+
+val is_leq : t -> bool
+(** [true] on [Equal] and [Dominated] — the "first at or below second"
+    half-plane. *)
+
+val is_geq : t -> bool
+(** [true] on [Equal] and [Dominates]. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** ["equal"], ["dominates"], ["dominated"], ["concurrent"]. *)
+
+val to_paper_string : t -> string
+(** The paper's vocabulary: ["equivalent"], ["dominating"], ["obsolete"],
+    ["inconsistent"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** The four values, for exhaustive tests. *)

@@ -1,0 +1,89 @@
+open Vstamp_vv
+module Smap = Map.Make (String)
+
+type t = { id : Version_vector.id; entries : string Dotted_vv.t Smap.t }
+(* One server replica of the whole keyspace.  Each key is tracked
+   independently with a dotted version vector; entries whose sibling set
+   is empty are kept as tombstone contexts so deleted writes cannot be
+   resurrected by anti-entropy with a stale peer. *)
+
+let create ~id = { id; entries = Smap.empty }
+
+let id node = node.id
+
+let entry node key =
+  match Smap.find_opt key node.entries with
+  | Some e -> e
+  | None -> Dotted_vv.empty
+
+let keys node =
+  Smap.bindings node.entries
+  |> List.filter_map (fun (k, e) ->
+         if Dotted_vv.is_empty e then None else Some k)
+
+let tombstones node =
+  Smap.bindings node.entries
+  |> List.filter_map (fun (k, e) ->
+         if Dotted_vv.is_empty e then Some k else None)
+
+let get node key = Dotted_vv.get (entry node key)
+
+let put node ~key ~context value =
+  let e = Dotted_vv.put (entry node key) ~replica:node.id ~context value in
+  { node with entries = Smap.add key e node.entries }
+
+(* A delete is a causal overwrite with no replacement value: siblings the
+   client saw disappear; concurrent writes survive.  The context lives on
+   as a tombstone. *)
+let delete node ~key ~context =
+  match Smap.find_opt key node.entries with
+  | None -> node
+  | Some e ->
+      let e' = Dotted_vv.remove_covered e ~context in
+      { node with entries = Smap.add key e' node.entries }
+
+let conflict node key = Dotted_vv.conflict (entry node key)
+
+let anti_entropy a b =
+  let all_keys =
+    List.sort_uniq compare
+      (List.map fst (Smap.bindings a.entries)
+      @ List.map fst (Smap.bindings b.entries))
+  in
+  let merged =
+    List.map (fun k -> (k, Dotted_vv.sync (entry a k) (entry b k))) all_keys
+  in
+  let apply node =
+    {
+      node with
+      entries =
+        List.fold_left
+          (fun acc (k, e) -> Smap.add k e acc)
+          node.entries merged;
+    }
+  in
+  (apply a, apply b)
+
+let converged a b =
+  let all_keys =
+    List.sort_uniq compare
+      (List.map fst (Smap.bindings a.entries)
+      @ List.map fst (Smap.bindings b.entries))
+  in
+  List.for_all
+    (fun k ->
+      List.sort compare (Dotted_vv.values (entry a k))
+      = List.sort compare (Dotted_vv.values (entry b k)))
+    all_keys
+
+let size_bits node =
+  Smap.fold (fun _ e acc -> acc + Dotted_vv.size_bits e) node.entries 0
+
+let pp ppf node =
+  Format.fprintf ppf "node %d:@." node.id;
+  Smap.iter
+    (fun k e ->
+      Format.fprintf ppf "  %-12s %a@." k
+        (Dotted_vv.pp (fun ppf v -> Format.pp_print_string ppf v))
+        e)
+    node.entries

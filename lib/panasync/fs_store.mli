@@ -1,0 +1,25 @@
+(** Directory-backed stores: the PANASYNC tool experience.
+
+    A store persists as a directory of plain files plus a [.vstamp/]
+    subdirectory holding one hex-encoded wire stamp per file.  Files that
+    appear in the directory without a recorded stamp are adopted as newly
+    created lineages on {!load}.  Only flat, regular files are tracked;
+    subdirectories are ignored.
+
+    This is the substrate of the [panasync] command-line tool: two
+    directories can be synchronized offline exactly like two in-memory
+    {!Store.t} values, with dependency tracking surviving across runs. *)
+
+type error =
+  | Not_a_directory of string
+  | Io_error of string
+  | Bad_stamp of { path : string; detail : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val load : dir:string -> name:string -> (Store.t, error) result
+(** Read a directory into a store named [name]. *)
+
+val save : dir:string -> Store.t -> (unit, error) result
+(** Write a store back: contents, stamps, and removal of files the store
+    no longer holds.  Creates the directory (and [.vstamp/]) if needed. *)

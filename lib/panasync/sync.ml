@@ -1,0 +1,158 @@
+open Vstamp_core
+
+type policy =
+  | Manual
+  | Prefer_left
+  | Prefer_right
+  | Merge of (left:string -> right:string -> string)
+
+type outcome =
+  | Created  (* the file existed on only one side: a replica was made *)
+  | Unchanged  (* equivalent copies *)
+  | Propagated_left_to_right
+  | Propagated_right_to_left
+  | Resolved  (* conflict settled by the policy *)
+  | Conflict  (* Manual policy: both sides left untouched *)
+
+type report = { path : string; relation : Relation.t option; outcome : outcome }
+
+let outcome_to_string = function
+  | Created -> "created"
+  | Unchanged -> "unchanged"
+  | Propagated_left_to_right -> "propagated ->"
+  | Propagated_right_to_left -> "propagated <-"
+  | Resolved -> "resolved"
+  | Conflict -> "CONFLICT"
+
+let pp_report ppf r =
+  Format.fprintf ppf "%-20s %-12s %s" r.path
+    (match r.relation with None -> "-" | Some rel -> Relation.to_string rel)
+    (outcome_to_string r.outcome)
+
+let sync_file policy left right =
+  match File_copy.relation left right with
+  | Relation.Equal
+    when not (String.equal (File_copy.content left) (File_copy.content right))
+    -> (
+      (* Equivalent stamps with different content can only mean the two
+         copies were created independently (separate seed lineages share
+         no causal context), so this is a genuine conflict even though
+         the stamps cannot see it. *)
+      let resolve content =
+        let l, r = File_copy.resolve left right ~content in
+        ( l,
+          r,
+          { path = File_copy.path left; relation = Some Equal; outcome = Resolved }
+        )
+      in
+      match policy with
+      | Manual ->
+          ( left,
+            right,
+            {
+              path = File_copy.path left;
+              relation = Some Equal;
+              outcome = Conflict;
+            } )
+      | Prefer_left -> resolve (File_copy.content left)
+      | Prefer_right -> resolve (File_copy.content right)
+      | Merge f ->
+          resolve
+            (f ~left:(File_copy.content left) ~right:(File_copy.content right)))
+  | Relation.Equal ->
+      (left, right, { path = File_copy.path left; relation = Some Equal; outcome = Unchanged })
+  | Relation.Dominates ->
+      let l, r = File_copy.propagate ~from:left ~into:right in
+      ( l,
+        r,
+        {
+          path = File_copy.path left;
+          relation = Some Dominates;
+          outcome = Propagated_left_to_right;
+        } )
+  | Relation.Dominated ->
+      let r, l = File_copy.propagate ~from:right ~into:left in
+      ( l,
+        r,
+        {
+          path = File_copy.path left;
+          relation = Some Dominated;
+          outcome = Propagated_right_to_left;
+        } )
+  | Relation.Concurrent
+    when String.equal (File_copy.content left) (File_copy.content right) ->
+      (* concurrent histories (possibly unrelated lineages) but identical
+         contents: observationally nothing to reconcile *)
+      ( left,
+        right,
+        {
+          path = File_copy.path left;
+          relation = Some Concurrent;
+          outcome = Unchanged;
+        } )
+  | Relation.Concurrent -> (
+      let resolve content =
+        let l, r = File_copy.resolve left right ~content in
+        ( l,
+          r,
+          {
+            path = File_copy.path left;
+            relation = Some Concurrent;
+            outcome = Resolved;
+          } )
+      in
+      match policy with
+      | Manual ->
+          ( left,
+            right,
+            {
+              path = File_copy.path left;
+              relation = Some Concurrent;
+              outcome = Conflict;
+            } )
+      | Prefer_left -> resolve (File_copy.content left)
+      | Prefer_right -> resolve (File_copy.content right)
+      | Merge f ->
+          resolve
+            (f ~left:(File_copy.content left) ~right:(File_copy.content right)))
+
+let session ?(policy = Manual) left right =
+  let all_paths =
+    List.sort_uniq compare (Store.paths left @ Store.paths right)
+  in
+  List.fold_left
+    (fun (l, r, reports) path ->
+      match (Store.find l path, Store.find r path) with
+      | None, None -> (l, r, reports)
+      | Some c, None ->
+          let mine, theirs = File_copy.replicate c in
+          ( Store.set l mine,
+            Store.set r theirs,
+            { path; relation = None; outcome = Created } :: reports )
+      | None, Some c ->
+          let theirs, mine = File_copy.replicate c in
+          ( Store.set l mine,
+            Store.set r theirs,
+            { path; relation = None; outcome = Created } :: reports )
+      | Some cl, Some cr ->
+          let cl, cr, report = sync_file policy cl cr in
+          (Store.set l cl, Store.set r cr, report :: reports))
+    (left, right, []) all_paths
+  |> fun (l, r, reports) -> (l, r, List.rev reports)
+
+let conflicts reports =
+  List.filter (fun r -> r.outcome = Conflict) reports
+
+(* Observational convergence: both stores hold every path with equal
+   content.  (Stamp equivalence is deliberately not required: copies of
+   colliding-but-independent lineages stay formally concurrent while
+   being indistinguishable to any reader, and a session on them is a
+   no-op.) *)
+let converged left right =
+  List.for_all
+    (fun path ->
+      match (Store.find left path, Store.find right path) with
+      | Some a, Some b ->
+          String.equal (File_copy.content a) (File_copy.content b)
+      | _ -> false)
+    (List.sort_uniq compare (Store.paths left @ Store.paths right))

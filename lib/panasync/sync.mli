@@ -1,0 +1,57 @@
+(** Pairwise synchronization sessions between stores.
+
+    A session walks the union of both stores' paths: files present on one
+    side are replicated to the other (a fork — no global registry is
+    consulted or updated), and files present on both are reconciled by
+    their stamp relation.  Only truly concurrent copies surface as
+    conflicts; stale copies are fast-forwarded silently, which is the
+    paper's obsolete-vs-inconsistent distinction doing its job.
+
+    One situation stamps alone cannot handle: the same logical path
+    created {e independently} on both sides.  Such copies carry unrelated
+    lineages (see {!File_copy}), so they always compare concurrent and
+    surface as conflicts — unless their contents are identical, in which
+    case there is observationally nothing to reconcile and the session
+    reports them unchanged. *)
+
+type policy =
+  | Manual  (** Leave conflicting copies untouched and report them. *)
+  | Prefer_left
+  | Prefer_right
+  | Merge of (left:string -> right:string -> string)
+      (** Settle conflicts with a content-level merge function. *)
+
+type outcome =
+  | Created
+  | Unchanged
+  | Propagated_left_to_right
+  | Propagated_right_to_left
+  | Resolved
+  | Conflict
+
+type report = {
+  path : string;
+  relation : Vstamp_core.Relation.t option;
+      (** [None] when the file existed on one side only. *)
+  outcome : outcome;
+}
+
+val outcome_to_string : outcome -> string
+
+val pp_report : Format.formatter -> report -> unit
+
+val sync_file :
+  policy -> File_copy.t -> File_copy.t -> File_copy.t * File_copy.t * report
+(** Reconcile two copies of one logical file.
+    @raise Invalid_argument if their paths differ. *)
+
+val session :
+  ?policy:policy -> Store.t -> Store.t -> Store.t * Store.t * report list
+(** Synchronize two stores; returns both updated stores and one report
+    per logical path (sorted by path).  Default policy is [Manual]. *)
+
+val conflicts : report list -> report list
+
+val converged : Store.t -> Store.t -> bool
+(** Both stores hold content-identical copies of every logical path
+    (observational convergence; further sessions are no-ops). *)

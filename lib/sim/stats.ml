@@ -1,0 +1,57 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let mean_int xs = mean (List.map float_of_int xs)
+
+let max_int_list = function [] -> 0 | x :: xs -> List.fold_left max x xs
+
+let min_int_list = function [] -> 0 | x :: xs -> List.fold_left min x xs
+
+let sum_int = List.fold_left ( + ) 0
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0
+  | sorted ->
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p *. float_of_int n /. 100.)) - 1 in
+      let rank = max 0 (min (n - 1) rank) in
+      List.nth sorted rank
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+(* display width in codepoints, so UTF-8 glyphs align *)
+let display_width s =
+  let w = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr w) s;
+  !w
+
+let pp_table ppf ~header rows =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.map2 (fun w cell -> max w (display_width cell)) acc row)
+      (List.map display_width header)
+      rows
+  in
+  let print_row row =
+    Format.fprintf ppf "| %s |@."
+      (String.concat " | "
+         (List.map2
+            (fun w cell -> cell ^ String.make (w - display_width cell) ' ')
+            widths row))
+  in
+  print_row header;
+  Format.fprintf ppf "|%s|@."
+    (String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths));
+  List.iter print_row rows

@@ -1,0 +1,25 @@
+(** Small numeric helpers for experiment reporting. *)
+
+val mean : float list -> float
+(** [0.] on the empty list. *)
+
+val mean_int : int list -> float
+
+val max_int_list : int list -> int
+(** [0] on the empty list. *)
+
+val min_int_list : int list -> int
+(** [0] on the empty list. *)
+
+val sum_int : int list -> int
+
+val percentile : float -> int list -> int
+(** [percentile 95. xs] is the nearest-rank 95th percentile; [0] on the
+    empty list. *)
+
+val stddev : float list -> float
+(** Sample standard deviation; [0.] below two points. *)
+
+val pp_table : Format.formatter -> header:string list -> string list list -> unit
+(** Markdown-style aligned table; every row must have the header's
+    arity. *)

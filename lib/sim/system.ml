@@ -1,0 +1,127 @@
+open Vstamp_core
+
+type accuracy = {
+  comparisons : int;
+  spurious_orderings : int;
+      (* tracker claims leq, oracle says no: causality invented *)
+  missed_orderings : int;
+      (* oracle says leq, tracker disagrees: causality lost *)
+}
+
+let perfect a = a.spurious_orderings = 0 && a.missed_orderings = 0
+
+type size_summary = {
+  frontier : int;
+  mean_bits : float;
+  max_bits : int;
+  total_bits : int;
+}
+
+type result = {
+  tracker : string;
+  ops : int;
+  updates : int;
+  forks : int;
+  joins : int;
+  final : size_summary;
+  peak_bits : int;
+  mean_step_bits : float;
+  accuracy : accuracy option;
+}
+
+let summarize sizes =
+  {
+    frontier = List.length sizes;
+    mean_bits = Stats.mean_int sizes;
+    max_bits = Stats.max_int_list sizes;
+    total_bits = Stats.sum_int sizes;
+  }
+
+let count_ops ops =
+  List.fold_left
+    (fun (u, f, j) -> function
+      | Execution.Update _ -> (u + 1, f, j)
+      | Execution.Fork _ -> (u, f + 1, j)
+      | Execution.Join _ -> (u, f, j + 1))
+    (0, 0, 0) ops
+
+(* Compare a tracker frontier against the element-aligned oracle
+   frontier on all ordered pairs of distinct elements. *)
+let accuracy_of (type a) (module T : Tracker.S with type t = a)
+    (frontier : a list) (oracle : Causal_history.t list) =
+  let ts = Array.of_list frontier and hs = Array.of_list oracle in
+  let n = Array.length ts in
+  let comparisons = ref 0
+  and spurious = ref 0
+  and missed = ref 0 in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      if x <> y then begin
+        incr comparisons;
+        let claimed = T.leq ts.(x) ts.(y) in
+        let truth = Causal_history.subset hs.(x) hs.(y) in
+        if claimed && not truth then incr spurious;
+        if truth && not claimed then incr missed
+      end
+    done
+  done;
+  {
+    comparisons = !comparisons;
+    spurious_orderings = !spurious;
+    missed_orderings = !missed;
+  }
+
+let run ?(with_oracle = true) (Tracker.Packed (module T)) ops =
+  let module R = Execution.Run (T) in
+  let steps = R.run_steps ops in
+  let final_frontier = List.nth steps (List.length steps - 1) in
+  let step_sizes = List.map (List.map T.size_bits) steps in
+  let updates, forks, joins = count_ops ops in
+  let accuracy =
+    if with_oracle then
+      let oracle = Execution.Run_histories.run ops in
+      Some (accuracy_of (module T) final_frontier oracle)
+    else None
+  in
+  {
+    tracker = T.name;
+    ops = List.length ops;
+    updates;
+    forks;
+    joins;
+    final = summarize (List.map T.size_bits final_frontier);
+    peak_bits = Stats.max_int_list (List.map Stats.max_int_list step_sizes);
+    mean_step_bits = Stats.mean (List.map Stats.mean_int step_sizes);
+    accuracy;
+  }
+
+let run_all ?with_oracle trackers ops =
+  List.map (fun t -> run ?with_oracle t ops) trackers
+
+let pp_accuracy ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some a ->
+      if perfect a then Format.fprintf ppf "exact (%d cmp)" a.comparisons
+      else
+        Format.fprintf ppf "%d spurious, %d missed of %d"
+          a.spurious_orderings a.missed_orderings a.comparisons
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-18s ops=%d (u=%d f=%d j=%d) frontier=%d mean=%.1fb max=%db peak=%db acc=%a"
+    r.tracker r.ops r.updates r.forks r.joins r.final.frontier
+    r.final.mean_bits r.final.max_bits r.peak_bits pp_accuracy r.accuracy
+
+let to_row r =
+  [
+    r.tracker;
+    string_of_int r.ops;
+    string_of_int r.final.frontier;
+    Printf.sprintf "%.1f" r.final.mean_bits;
+    string_of_int r.final.max_bits;
+    string_of_int r.peak_bits;
+    Format.asprintf "%a" pp_accuracy r.accuracy;
+  ]
+
+let header =
+  [ "tracker"; "ops"; "frontier"; "mean bits"; "max bits"; "peak bits"; "accuracy" ]

@@ -1,0 +1,56 @@
+(** Run traces over trackers and measure size and accuracy.
+
+    Every run can be paired with the causal-history oracle on the same
+    trace (frontiers stay element-aligned by construction), giving an
+    exact count of ordering mistakes — zero for version stamps and
+    version vectors, non-zero for plausible clocks. *)
+
+type accuracy = {
+  comparisons : int;  (** Ordered pairs of distinct frontier elements. *)
+  spurious_orderings : int;
+      (** Tracker claims an order the oracle denies (invented causality —
+          the plausible-clock failure mode). *)
+  missed_orderings : int;
+      (** Oracle orders a pair the tracker calls concurrent (lost
+          causality — would indicate a broken mechanism). *)
+}
+
+val perfect : accuracy -> bool
+
+type size_summary = {
+  frontier : int;  (** Number of live replicas at the end. *)
+  mean_bits : float;  (** Mean tracking-data size per replica. *)
+  max_bits : int;
+  total_bits : int;
+}
+
+type result = {
+  tracker : string;
+  ops : int;
+  updates : int;
+  forks : int;
+  joins : int;
+  final : size_summary;  (** Sizes on the final frontier. *)
+  peak_bits : int;  (** Largest single replica size at any step. *)
+  mean_step_bits : float;  (** Mean of per-step mean sizes. *)
+  accuracy : accuracy option;  (** [None] when run without the oracle. *)
+}
+
+val run : ?with_oracle:bool -> Tracker.packed -> Vstamp_core.Execution.op list -> result
+(** Play a trace over one tracker; [with_oracle] (default [true]) also
+    plays it over causal histories and scores the final frontier. *)
+
+val run_all :
+  ?with_oracle:bool ->
+  Tracker.packed list ->
+  Vstamp_core.Execution.op list ->
+  result list
+
+val pp_accuracy : Format.formatter -> accuracy option -> unit
+
+val pp_result : Format.formatter -> result -> unit
+
+val to_row : result -> string list
+(** Row for {!Stats.pp_table} under {!header}. *)
+
+val header : string list

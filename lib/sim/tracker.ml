@@ -1,0 +1,232 @@
+open Vstamp_core
+open Vstamp_vv
+
+module type S = sig
+  type t
+
+  type state
+
+  val name : string
+
+  val initial : state * t
+
+  val update : state -> t -> state * t
+
+  val fork : state -> t -> state * (t * t)
+
+  val join : state -> t -> t -> state * t
+
+  val leq : t -> t -> bool
+
+  val size_bits : t -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type packed = Packed : (module S with type t = 'a and type state = 'b) -> packed
+
+let name (Packed (module T)) = T.name
+
+module Stamps : S with type t = Stamp.t and type state = unit = struct
+  type t = Stamp.t
+
+  type state = unit
+
+  let name = "stamps"
+
+  let initial = ((), Stamp.seed)
+
+  let update () x = ((), Stamp.update x)
+
+  let fork () x = ((), Stamp.fork x)
+
+  let join () a b = ((), Stamp.join a b)
+
+  let leq = Stamp.leq
+
+  let size_bits = Stamp.size_bits
+
+  let pp = Stamp.pp
+end
+
+module Stamps_nonreducing : S with type t = Stamp.t and type state = unit =
+struct
+  include Stamps
+
+  let name = "stamps-noreduce"
+
+  let join () a b = ((), Stamp.join ~reduce:false a b)
+end
+
+module Stamps_list : S with type t = Stamp.Over_list.t and type state = unit =
+struct
+  type t = Stamp.Over_list.t
+
+  type state = unit
+
+  let name = "stamps-list"
+
+  let initial = ((), Stamp.Over_list.seed)
+
+  let update () x = ((), Stamp.Over_list.update x)
+
+  let fork () x = ((), Stamp.Over_list.fork x)
+
+  let join () a b = ((), Stamp.Over_list.join a b)
+
+  let leq = Stamp.Over_list.leq
+
+  let size_bits = Stamp.Over_list.size_bits
+
+  let pp = Stamp.Over_list.pp
+end
+
+module Histories :
+  S with type t = Causal_history.t and type state = Causal_history.Gen.t =
+struct
+  type t = Causal_history.t
+
+  type state = Causal_history.Gen.t
+
+  let name = "causal-histories"
+
+  let initial = (Causal_history.Gen.initial, Causal_history.empty)
+
+  let update gen h =
+    let e, gen = Causal_history.Gen.fresh gen in
+    (gen, Causal_history.add_event e h)
+
+  let fork gen h = (gen, (h, h))
+
+  let join gen a b = (gen, Causal_history.union a b)
+
+  let leq = Causal_history.subset
+
+  (* one event identity costs the width of its number *)
+  let size_bits h =
+    List.fold_left
+      (fun acc e -> acc + Version_vector.bits_for (e + 1))
+      0
+      (Causal_history.events h)
+
+  let pp = Causal_history.pp
+end
+
+(* Version vectors need an id per replica; the simulator grants them a
+   perfectly available central allocator — the comparison is about size
+   and correctness, with the availability question treated separately by
+   {!Partition}. *)
+module Vv : S with type t = Version_vector.Replica.t and type state = int =
+struct
+  type t = Version_vector.Replica.t
+
+  type state = int
+
+  let name = "version-vectors"
+
+  let initial = (1, Version_vector.Replica.create ~id:0)
+
+  let update next r = (next, Version_vector.Replica.update r)
+
+  let fork next r =
+    let child = Version_vector.Replica.create ~id:next in
+    let r', child' = Version_vector.Replica.sync r child in
+    (next + 1, (r', child'))
+
+  let join next a b = (next, fst (Version_vector.Replica.sync a b))
+
+  let leq a b =
+    Version_vector.leq
+      (Version_vector.Replica.vector a)
+      (Version_vector.Replica.vector b)
+
+  let size_bits r = Version_vector.size_bits (Version_vector.Replica.vector r)
+
+  let pp = Version_vector.Replica.pp
+end
+
+module Dvv : S with type t = Dynamic_vv.t and type state = int = struct
+  type t = Dynamic_vv.t
+
+  type state = int
+
+  let name = "dynamic-vv"
+
+  let initial = (1, Dynamic_vv.create ~id:0)
+
+  let update next r = (next, Dynamic_vv.update r)
+
+  let fork next r = (next + 1, Dynamic_vv.fork r ~new_id:next)
+
+  let join next a b =
+    (next + 1, Dynamic_vv.join a b ~survivor_id:next)
+
+  let leq = Dynamic_vv.leq
+
+  let size_bits = Dynamic_vv.size_bits
+
+  let pp = Dynamic_vv.pp
+end
+
+module Plausible (R : sig
+  val size : int
+end) : S with type t = Plausible_clock.t * int and type state = int = struct
+  type t = Plausible_clock.t * int
+  (* clock plus the replica's own id, folded onto a slot at updates *)
+
+  type state = int
+
+  let name = Printf.sprintf "plausible-%d" R.size
+
+  let initial = (1, (Plausible_clock.create ~size:R.size, 0))
+
+  let update next (c, id) = (next, (Plausible_clock.increment c ~id, id))
+
+  let fork next (c, id) = (next + 1, ((c, id), (c, next)))
+
+  let join next (ca, ida) (cb, _) = (next, (Plausible_clock.merge ca cb, ida))
+
+  let leq (a, _) (b, _) = Plausible_clock.leq a b
+
+  let size_bits (c, _) = Plausible_clock.size_bits c
+
+  let pp ppf (c, id) = Format.fprintf ppf "r%d%a" id Plausible_clock.pp c
+end
+
+module Plausible4 = Plausible (struct
+  let size = 4
+end)
+
+module Plausible8 = Plausible (struct
+  let size = 8
+end)
+
+let stamps = Packed (module Stamps)
+
+let stamps_nonreducing = Packed (module Stamps_nonreducing)
+
+let stamps_list = Packed (module Stamps_list)
+
+let histories = Packed (module Histories)
+
+let version_vectors = Packed (module Vv)
+
+let dynamic_vv = Packed (module Dvv)
+
+let plausible size =
+  let module P = Plausible (struct
+    let size = size
+  end) in
+  Packed (module P)
+
+let all =
+  [
+    stamps;
+    stamps_nonreducing;
+    stamps_list;
+    histories;
+    version_vectors;
+    dynamic_vv;
+    plausible 4;
+    plausible 8;
+  ]

@@ -1,0 +1,20 @@
+(** ASCII diagrams of executions, in the spirit of the paper's Figure 2.
+
+    One row per replica lineage, one four-character column per operation:
+    [--*-] marks an update (the paper's dotted arrow), [--+<]/[  `-] a
+    fork opening a child lineage, [--+-]/[--'.] a join retiring the
+    higher lineage into the lower.  Optionally labels each surviving
+    lineage with its final stamp.  Used by [vstamp draw] and handy when
+    staring at a counterexample trace from the property tests. *)
+
+val to_string :
+  ?stamps:Vstamp_core.Stamp.t list -> Vstamp_core.Execution.op list -> string
+(** Render a valid trace; [stamps] (typically the final frontier) adds
+    end-of-row labels and must be frontier-aligned. *)
+
+val draw : ?with_stamps:bool -> Vstamp_core.Execution.op list -> string
+(** Convenience: runs the trace over default stamps when
+    [with_stamps = true] and labels rows with the outcome. *)
+
+val header : Vstamp_core.Execution.op list -> string
+(** The operation names, one per column, for captioning. *)

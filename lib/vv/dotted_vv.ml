@@ -1,0 +1,89 @@
+type dot = { replica : Version_vector.id; counter : int }
+
+let pp_dot ppf d = Format.fprintf ppf "(%d,%d)" d.replica d.counter
+
+let dot_compare a b =
+  match Int.compare a.replica b.replica with
+  | 0 -> Int.compare a.counter b.counter
+  | c -> c
+
+type 'a t = { ctx : Version_vector.t; siblings : ('a * dot) list }
+(* [ctx] summarizes every write event this replica has ever seen for the
+   key; [siblings] are the concurrent values still alive, each tagged
+   with the dot (server id, per-server sequence) of the write that
+   produced it.  Invariant: every sibling dot is covered by [ctx]. *)
+
+let empty = { ctx = Version_vector.zero; siblings = [] }
+
+let is_empty s = s.siblings = []
+
+let values s = List.map fst s.siblings
+
+let dots s = List.map snd s.siblings
+
+let context s = s.ctx
+
+let covered dot vv = Version_vector.get vv dot.replica >= dot.counter
+
+let well_formed s =
+  List.for_all (fun (_, d) -> covered d s.ctx) s.siblings
+  && List.length (List.sort_uniq dot_compare (dots s)) = List.length s.siblings
+
+(* Client read: the values plus the causal context to echo into the next
+   put.  Reading the context is what makes a later overwrite causal. *)
+let get s = (values s, s.ctx)
+
+(* Server-side write.  [context] is what the client last read (or zero
+   for a blind put).  Siblings the client had seen are superseded; the
+   others were written concurrently and survive next to the new value. *)
+let put s ~replica ~context value =
+  let counter = Version_vector.get s.ctx replica + 1 in
+  let dot = { replica; counter } in
+  let survivors = List.filter (fun (_, d) -> not (covered d context)) s.siblings in
+  {
+    ctx = Version_vector.set (Version_vector.merge s.ctx context) replica counter;
+    siblings = (value, dot) :: survivors;
+  }
+
+(* Causal delete: drop the siblings a client context covers, keep the
+   concurrent ones, and retain the merged context as a tombstone so
+   anti-entropy with stale peers cannot resurrect the deleted writes. *)
+let remove_covered s ~context =
+  {
+    ctx = Version_vector.merge s.ctx context;
+    siblings = List.filter (fun (_, d) -> not (covered d context)) s.siblings;
+  }
+
+(* Anti-entropy between two replicas of the key: a sibling survives if
+   the other side also has it, or has never seen it (its dot escapes the
+   other's context). *)
+let sync a b =
+  let in_both (_, d) other = List.exists (fun (_, d') -> dot_compare d d' = 0) other in
+  let keep mine other other_ctx =
+    List.filter
+      (fun ((_, d) as sib) -> in_both sib other || not (covered d other_ctx))
+      mine
+  in
+  let kept_a = keep a.siblings b.siblings b.ctx in
+  let kept_b =
+    List.filter
+      (fun ((_, d) as sib) -> not (in_both sib kept_a) && (in_both sib a.siblings || not (covered d a.ctx)))
+      b.siblings
+  in
+  { ctx = Version_vector.merge a.ctx b.ctx; siblings = kept_a @ kept_b }
+
+let size_bits s =
+  Version_vector.size_bits s.ctx
+  + List.fold_left
+      (fun acc (_, d) ->
+        acc + Version_vector.bits_for d.replica + Version_vector.bits_for d.counter)
+      0 s.siblings
+
+let conflict s = List.length s.siblings > 1
+
+let pp pp_value ppf s =
+  Format.fprintf ppf "%a[%a]" Version_vector.pp s.ctx
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+       (fun ppf (v, d) -> Format.fprintf ppf "%a%a" pp_value v pp_dot d))
+    s.siblings

@@ -1,0 +1,288 @@
+open Vstamp_core
+
+let bits = Alcotest.testable Bits.pp Bits.equal
+
+let b = Bits.of_string
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+(* --- construction and basic observers --- *)
+
+let test_epsilon () =
+  check_bool "epsilon is epsilon" true (Bits.is_epsilon Bits.epsilon);
+  check_int "epsilon length" 0 (Bits.length Bits.epsilon);
+  Alcotest.check bits "of_string \"\"" Bits.epsilon (b "");
+  check_bool "non-empty not epsilon" false (Bits.is_epsilon (b "0"))
+
+let test_of_to_string () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Bits.to_string (b s)))
+    [ ""; "0"; "1"; "01"; "10"; "0011"; "111111" ]
+
+let test_of_string_invalid () =
+  Alcotest.check_raises "bad char" (Invalid_argument "Bits.of_string: '2'")
+    (fun () -> ignore (b "02"))
+
+let test_snoc_cons () =
+  Alcotest.check bits "snoc 0" (b "010") (Bits.snoc (b "01") Bits.Zero);
+  Alcotest.check bits "snoc 1" (b "011") (Bits.snoc (b "01") Bits.One);
+  Alcotest.check bits "cons 1" (b "101") (Bits.cons Bits.One (b "01"));
+  Alcotest.check bits "snoc on epsilon" (b "1") (Bits.snoc Bits.epsilon Bits.One)
+
+let test_append () =
+  Alcotest.check bits "append" (b "0110") (Bits.append (b "01") (b "10"));
+  Alcotest.check bits "append eps left" (b "10") (Bits.append Bits.epsilon (b "10"));
+  Alcotest.check bits "append eps right" (b "01") (Bits.append (b "01") Bits.epsilon)
+
+let test_uncons_unsnoc () =
+  (match Bits.uncons (b "011") with
+  | Some (Bits.Zero, rest) -> Alcotest.check bits "uncons rest" (b "11") rest
+  | _ -> Alcotest.fail "uncons");
+  (match Bits.unsnoc (b "011") with
+  | Some (init, Bits.One) -> Alcotest.check bits "unsnoc init" (b "01") init
+  | _ -> Alcotest.fail "unsnoc");
+  check_bool "uncons eps" true (Bits.uncons Bits.epsilon = None);
+  check_bool "unsnoc eps" true (Bits.unsnoc Bits.epsilon = None)
+
+let test_get () =
+  check_bool "get 0" true (Bits.get (b "01") 0 = Bits.Zero);
+  check_bool "get 1" true (Bits.get (b "01") 1 = Bits.One);
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Bits.get: index out of bounds") (fun () ->
+      ignore (Bits.get (b "01") 2))
+
+(* --- prefix order --- *)
+
+let test_is_prefix () =
+  check_bool "eps prefix of all" true (Bits.is_prefix Bits.epsilon (b "0110"));
+  check_bool "eps prefix of eps" true (Bits.is_prefix Bits.epsilon Bits.epsilon);
+  check_bool "01 <= 011" true (Bits.is_prefix (b "01") (b "011"));
+  check_bool "01 <= 01" true (Bits.is_prefix (b "01") (b "01"));
+  check_bool "011 not <= 01" false (Bits.is_prefix (b "011") (b "01"));
+  check_bool "01 vs 00" false (Bits.is_prefix (b "01") (b "00"));
+  check_bool "10 vs 01" false (Bits.is_prefix (b "10") (b "01"))
+
+let test_strict_prefix () =
+  check_bool "01 < 011" true (Bits.is_strict_prefix (b "01") (b "011"));
+  check_bool "01 not < 01" false (Bits.is_strict_prefix (b "01") (b "01"));
+  check_bool "eps < 0" true (Bits.is_strict_prefix Bits.epsilon (b "0"))
+
+let test_incomparable () =
+  (* paper's examples: 01 <= 011 and 01 || 00 *)
+  check_bool "01 || 00" true (Bits.incomparable (b "01") (b "00"));
+  check_bool "01 vs 011 comparable" false (Bits.incomparable (b "01") (b "011"));
+  check_bool "0 || 1" true (Bits.incomparable (b "0") (b "1"));
+  check_bool "s vs s" false (Bits.incomparable (b "01") (b "01"));
+  check_bool "eps comparable with all" false (Bits.incomparable Bits.epsilon (b "1"))
+
+let test_prefix_compare () =
+  let check_ord msg expected r s =
+    check_bool msg true (Bits.prefix_compare (b r) (b s) = expected)
+  in
+  check_ord "equal" Bits.Equal "01" "01";
+  check_ord "prefix" Bits.Prefix "01" "011";
+  check_ord "extension" Bits.Extension "011" "01";
+  check_ord "incomparable" Bits.Incomparable "00" "01";
+  check_ord "eps prefix" Bits.Prefix "" "0";
+  check_ord "eps equal" Bits.Equal "" ""
+
+let test_common_prefix () =
+  Alcotest.check bits "common 0110/0101" (b "01")
+    (Bits.common_prefix (b "0110") (b "0101"));
+  Alcotest.check bits "common with eps" Bits.epsilon
+    (Bits.common_prefix Bits.epsilon (b "0101"));
+  Alcotest.check bits "common disjoint" Bits.epsilon
+    (Bits.common_prefix (b "10") (b "01"));
+  Alcotest.check bits "common of equal" (b "011")
+    (Bits.common_prefix (b "011") (b "011"))
+
+let test_sibling_parent () =
+  (match Bits.sibling (b "010") with
+  | Some s -> Alcotest.check bits "sibling of 010" (b "011") s
+  | None -> Alcotest.fail "sibling");
+  (match Bits.sibling (b "1") with
+  | Some s -> Alcotest.check bits "sibling of 1" (b "0") s
+  | None -> Alcotest.fail "sibling");
+  check_bool "sibling of eps" true (Bits.sibling Bits.epsilon = None);
+  (match Bits.parent (b "010") with
+  | Some p -> Alcotest.check bits "parent of 010" (b "01") p
+  | None -> Alcotest.fail "parent");
+  check_bool "parent of eps" true (Bits.parent Bits.epsilon = None)
+
+(* --- total orders --- *)
+
+let test_shortlex () =
+  let sorted =
+    List.sort Bits.compare [ b "1"; b "00"; b ""; b "0"; b "11"; b "01" ]
+  in
+  Alcotest.(check (list string))
+    "shortlex order"
+    [ ""; "0"; "1"; "00"; "01"; "11" ]
+    (List.map Bits.to_string sorted)
+
+let test_shortlex_prefix_first () =
+  (* shortlex puts every proper prefix before its extensions *)
+  List.iter
+    (fun (r, s) ->
+      check_bool
+        (Printf.sprintf "%s before %s" r s)
+        true
+        (Bits.compare (b r) (b s) < 0))
+    [ ("", "0"); ("", "1"); ("0", "00"); ("1", "10"); ("01", "011") ]
+
+let test_compare_lex () =
+  check_bool "lex 0 < 1" true (Bits.compare_lex (b "0") (b "1") < 0);
+  check_bool "lex prefix first" true (Bits.compare_lex (b "0") (b "00") < 0);
+  (* lex differs from shortlex here: 00 < 1 lexicographically *)
+  check_bool "lex 00 < 1" true (Bits.compare_lex (b "00") (b "1") < 0);
+  check_bool "shortlex 1 < 00" true (Bits.compare (b "1") (b "00") < 0)
+
+(* --- digits and enumeration --- *)
+
+let test_digits () =
+  check_int "digit round trip 0" 0 Bits.(int_of_digit (digit_of_int 0));
+  check_int "digit round trip 1" 1 Bits.(int_of_digit (digit_of_int 1));
+  Alcotest.check_raises "digit_of_int 2"
+    (Invalid_argument "Bits.digit_of_int: 2") (fun () ->
+      ignore (Bits.digit_of_int 2));
+  Alcotest.check bits "of_digits" (b "011")
+    (Bits.of_digits [ Bits.Zero; Bits.One; Bits.One ]);
+  check_bool "to_digits" true
+    (Bits.to_digits (b "10") = [ Bits.One; Bits.Zero ])
+
+let test_all_of_length () =
+  Alcotest.(check (list string))
+    "length 0" [ "" ]
+    (List.map Bits.to_string (Bits.all_of_length 0));
+  Alcotest.(check (list string))
+    "length 2"
+    [ "00"; "01"; "10"; "11" ]
+    (List.map Bits.to_string (Bits.all_of_length 2));
+  check_int "length 5 count" 32 (List.length (Bits.all_of_length 5));
+  Alcotest.check_raises "negative" (Invalid_argument "Bits.all_of_length")
+    (fun () -> ignore (Bits.all_of_length (-1)))
+
+let test_hash_equal () =
+  check_bool "equal strings equal hash" true
+    (Bits.hash (b "0101") = Bits.hash (Bits.snoc (b "010") Bits.One));
+  check_bool "equal reflexive" true (Bits.equal (b "01") (b "01"));
+  check_bool "not equal" false (Bits.equal (b "01") (b "011"))
+
+(* --- properties --- *)
+
+let prop_prefix_partial_order =
+  QCheck2.Test.make ~name:"prefix order: reflexive, antisymmetric, transitive"
+    ~count:500
+    QCheck2.Gen.(
+      triple
+        (Vstamp_test_support.Gen.bits ())
+        (Vstamp_test_support.Gen.bits ())
+        (Vstamp_test_support.Gen.bits ()))
+    (fun (r, s, t) ->
+      Bits.is_prefix r r
+      && ((not (Bits.is_prefix r s && Bits.is_prefix s r)) || Bits.equal r s)
+      && ((not (Bits.is_prefix r s && Bits.is_prefix s t)) || Bits.is_prefix r t))
+
+let prop_prefix_compare_consistent =
+  QCheck2.Test.make ~name:"prefix_compare agrees with is_prefix" ~count:500
+    QCheck2.Gen.(
+      pair (Vstamp_test_support.Gen.bits ()) (Vstamp_test_support.Gen.bits ()))
+    (fun (r, s) ->
+      match Bits.prefix_compare r s with
+      | Bits.Equal -> Bits.equal r s
+      | Bits.Prefix -> Bits.is_strict_prefix r s
+      | Bits.Extension -> Bits.is_strict_prefix s r
+      | Bits.Incomparable -> Bits.incomparable r s)
+
+let prop_common_prefix =
+  QCheck2.Test.make ~name:"common_prefix is the greatest lower bound"
+    ~count:500
+    QCheck2.Gen.(
+      pair (Vstamp_test_support.Gen.bits ()) (Vstamp_test_support.Gen.bits ()))
+    (fun (r, s) ->
+      let p = Bits.common_prefix r s in
+      Bits.is_prefix p r && Bits.is_prefix p s
+      &&
+      (* one digit longer is no longer common *)
+      match
+        ( Bits.prefix_compare (Bits.snoc p Bits.Zero) r,
+          Bits.prefix_compare (Bits.snoc p Bits.Zero) s,
+          Bits.prefix_compare (Bits.snoc p Bits.One) r,
+          Bits.prefix_compare (Bits.snoc p Bits.One) s )
+      with
+      | (Bits.Equal | Bits.Prefix), (Bits.Equal | Bits.Prefix), _, _ -> false
+      | _, _, (Bits.Equal | Bits.Prefix), (Bits.Equal | Bits.Prefix) -> false
+      | _ -> true)
+
+let prop_sibling_involutive =
+  QCheck2.Test.make ~name:"sibling is an involution with the same parent"
+    ~count:500
+    (Vstamp_test_support.Gen.bits ())
+    (fun s ->
+      match Bits.sibling s with
+      | None -> Bits.is_epsilon s
+      | Some sib ->
+          Bits.sibling sib = Some s
+          && Bits.parent sib = Bits.parent s
+          && Bits.incomparable s sib)
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"of_string . to_string = id" ~count:500
+    (Vstamp_test_support.Gen.bits ~max_len:16 ())
+    (fun s -> Bits.equal s (Bits.of_string (Bits.to_string s)))
+
+let prop_digits_roundtrip =
+  QCheck2.Test.make ~name:"of_digits . to_digits = id" ~count:500
+    (Vstamp_test_support.Gen.bits ~max_len:16 ())
+    (fun s -> Bits.equal s (Bits.of_digits (Bits.to_digits s)))
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "bits"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "epsilon" `Quick test_epsilon;
+          Alcotest.test_case "of/to string" `Quick test_of_to_string;
+          Alcotest.test_case "of_string invalid" `Quick test_of_string_invalid;
+          Alcotest.test_case "snoc/cons" `Quick test_snoc_cons;
+          Alcotest.test_case "append" `Quick test_append;
+          Alcotest.test_case "uncons/unsnoc" `Quick test_uncons_unsnoc;
+          Alcotest.test_case "get" `Quick test_get;
+        ] );
+      ( "prefix order",
+        [
+          Alcotest.test_case "is_prefix" `Quick test_is_prefix;
+          Alcotest.test_case "strict prefix" `Quick test_strict_prefix;
+          Alcotest.test_case "incomparable" `Quick test_incomparable;
+          Alcotest.test_case "prefix_compare" `Quick test_prefix_compare;
+          Alcotest.test_case "common_prefix" `Quick test_common_prefix;
+          Alcotest.test_case "sibling/parent" `Quick test_sibling_parent;
+        ] );
+      ( "total orders",
+        [
+          Alcotest.test_case "shortlex" `Quick test_shortlex;
+          Alcotest.test_case "shortlex prefix first" `Quick
+            test_shortlex_prefix_first;
+          Alcotest.test_case "lex vs shortlex" `Quick test_compare_lex;
+        ] );
+      ( "digits",
+        [
+          Alcotest.test_case "digit conversions" `Quick test_digits;
+          Alcotest.test_case "all_of_length" `Quick test_all_of_length;
+          Alcotest.test_case "hash/equal" `Quick test_hash_equal;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_prefix_partial_order;
+            prop_prefix_compare_consistent;
+            prop_common_prefix;
+            prop_sibling_involutive;
+            prop_string_roundtrip;
+            prop_digits_roundtrip;
+          ] );
+    ]

@@ -1,0 +1,197 @@
+open Vstamp_core
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let stamp = Alcotest.testable Stamp.pp Stamp.equal
+
+let rel = Alcotest.testable Relation.pp Relation.equal
+
+let test_initial () =
+  let c = Config.initial "a" in
+  check_int "one element" 1 (Config.size c);
+  Alcotest.check stamp "seed" Stamp.seed (Config.get c "a");
+  check_bool "mem" true (Config.mem c "a");
+  check_bool "not mem" false (Config.mem c "b")
+
+let test_unknown () =
+  let c = Config.initial "a" in
+  check_bool "raises" true
+    (try
+       ignore (Config.get c "zz");
+       false
+     with Config.Unknown_element "zz" -> true)
+
+(* the full Definition 4.3 derivation of Figure 4, by element name *)
+let fig4_config () =
+  Config.initial "a1"
+  |> Config.update ~elem:"a1" ~result:"a2"
+  |> Config.fork ~elem:"a2" ~left:"b1" ~right:"c1"
+  |> Config.fork ~elem:"b1" ~left:"d1" ~right:"e1"
+  |> Config.update ~elem:"c1" ~result:"c2"
+  |> Config.update ~elem:"c2" ~result:"c3"
+  |> Config.join ~left:"e1" ~right:"c3" ~result:"f1"
+  |> Config.join ~left:"d1" ~right:"f1" ~result:"g1"
+
+let test_fig4_derivation () =
+  let c = fig4_config () in
+  check_int "single survivor" 1 (Config.size c);
+  Alcotest.check stamp "g1 is the seed shape" Stamp.seed (Config.get c "g1")
+
+let test_fig4_intermediate () =
+  let c =
+    Config.initial "a1"
+    |> Config.update ~elem:"a1" ~result:"a2"
+    |> Config.fork ~elem:"a2" ~left:"b1" ~right:"c1"
+    |> Config.fork ~elem:"b1" ~left:"d1" ~right:"e1"
+    |> Config.update ~elem:"c1" ~result:"c2"
+  in
+  Alcotest.check rel "d1 obsolete vs c2" Relation.Dominated
+    (Config.relation c "d1" "c2");
+  Alcotest.check rel "d1 equivalent e1" Relation.Equal
+    (Config.relation c "d1" "e1");
+  Alcotest.(check string)
+    "c2 renders" "[1|1]"
+    (Stamp.to_string (Config.get c "c2"))
+
+let test_name_reuse () =
+  let c =
+    Config.initial "a"
+    |> Config.update ~elem:"a" ~result:"a"
+    |> Config.fork ~elem:"a" ~left:"a" ~right:"b"
+    |> Config.join ~left:"a" ~right:"b" ~result:"a"
+  in
+  check_int "one element" 1 (Config.size c);
+  check_bool "named a" true (Config.mem c "a")
+
+let test_clashes () =
+  let c = Config.initial "a" |> Config.fork ~elem:"a" ~left:"b" ~right:"c" in
+  let raises_clash f =
+    try
+      ignore (f ());
+      false
+    with Config.Clash _ -> true
+  in
+  check_bool "update clash" true
+    (raises_clash (fun () -> Config.update c ~elem:"b" ~result:"c"));
+  check_bool "fork clash" true
+    (raises_clash (fun () -> Config.fork c ~elem:"b" ~left:"c" ~right:"d"));
+  check_bool "fork same names" true
+    (raises_clash (fun () -> Config.fork c ~elem:"b" ~left:"d" ~right:"d"));
+  check_bool "join self" true
+    (raises_clash (fun () -> Config.join c ~left:"b" ~right:"b" ~result:"x"));
+  check_bool "of_list duplicate" true
+    (raises_clash (fun () ->
+         Config.of_list [ ("x", Stamp.seed); ("x", Stamp.seed) ]))
+
+let test_sync () =
+  let c =
+    Config.initial "a"
+    |> Config.fork ~elem:"a" ~left:"a" ~right:"b"
+    |> Config.update ~elem:"a" ~result:"a"
+    |> Config.sync ~left:"a" ~right:"b"
+  in
+  check_int "both alive" 2 (Config.size c);
+  Alcotest.check rel "equivalent after sync" Relation.Equal
+    (Config.relation c "a" "b")
+
+let test_frontier_and_invariants () =
+  let c =
+    Config.initial "a"
+    |> Config.fork ~elem:"a" ~left:"a" ~right:"b"
+    |> Config.fork ~elem:"b" ~left:"b" ~right:"c"
+    |> Config.update ~elem:"b" ~result:"b"
+  in
+  check_int "three stamps" 3 (List.length (Config.frontier c));
+  check_bool "invariants hold" true (Invariants.all (Config.frontier c))
+
+let test_fold_total_bits () =
+  let c =
+    Config.initial "a" |> Config.fork ~elem:"a" ~left:"a" ~right:"b"
+  in
+  check_int "fold counts" 2 (Config.fold (fun _ _ n -> n + 1) c 0);
+  check_int "total bits" 2 (Config.total_bits c)
+
+let test_names_sorted () =
+  let c =
+    Config.initial "z" |> Config.fork ~elem:"z" ~left:"m" ~right:"a"
+  in
+  Alcotest.(check (list string)) "sorted" [ "a"; "m" ] (Config.names c)
+
+let test_pp () =
+  let c = Config.initial "a" in
+  check_bool "renders" true (String.length (Format.asprintf "%a" Config.pp c) > 0)
+
+(* property: a named replay of a positional trace matches Execution *)
+let prop_matches_execution =
+  QCheck2.Test.make ~name:"named replay equals positional replay" ~count:200
+    ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops ->
+      (* maintain a name list mirroring the positional semantics *)
+      let fresh = ref 0 in
+      let next () =
+        incr fresh;
+        Printf.sprintf "e%d" !fresh
+      in
+      let config = ref (Config.initial "e0") in
+      let names = ref [ "e0" ] in
+      List.iter
+        (fun op ->
+          match op with
+          | Execution.Update i ->
+              let n = List.nth !names i in
+              let n' = next () in
+              config := Config.update !config ~elem:n ~result:n';
+              names := List.mapi (fun k x -> if k = i then n' else x) !names
+          | Execution.Fork i ->
+              let n = List.nth !names i in
+              let l = next () and r = next () in
+              config := Config.fork !config ~elem:n ~left:l ~right:r;
+              names :=
+                List.concat
+                  (List.mapi (fun k x -> if k = i then [ l; r ] else [ x ]) !names)
+          | Execution.Join (i, j) ->
+              let a = List.nth !names i and b = List.nth !names j in
+              let res = next () in
+              config := Config.join !config ~left:a ~right:b ~result:res;
+              let lo = min i j in
+              let kept = List.filteri (fun k _ -> k <> i && k <> j) !names in
+              let rec insert pos acc = function
+                | rest when pos = lo -> List.rev_append acc (res :: rest)
+                | [] -> List.rev (res :: acc)
+                | x :: rest -> insert (pos + 1) (x :: acc) rest
+              in
+              names := insert 0 [] kept)
+        ops;
+      let positional = Execution.Run_stamps.run ops in
+      List.for_all2
+        (fun name expected -> Stamp.equal (Config.get !config name) expected)
+        !names positional)
+
+let () =
+  Alcotest.run "config"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "initial" `Quick test_initial;
+          Alcotest.test_case "unknown element" `Quick test_unknown;
+          Alcotest.test_case "name reuse" `Quick test_name_reuse;
+          Alcotest.test_case "clashes" `Quick test_clashes;
+          Alcotest.test_case "names sorted" `Quick test_names_sorted;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ( "derivations",
+        [
+          Alcotest.test_case "figure 4 full" `Quick test_fig4_derivation;
+          Alcotest.test_case "figure 4 intermediate" `Quick
+            test_fig4_intermediate;
+          Alcotest.test_case "sync" `Quick test_sync;
+          Alcotest.test_case "frontier + invariants" `Quick
+            test_frontier_and_invariants;
+          Alcotest.test_case "fold/total_bits" `Quick test_fold_total_bits;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_matches_execution ] );
+    ]

@@ -1,0 +1,159 @@
+open Vstamp_core
+open Vstamp_crdt
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_str = Alcotest.(check string)
+
+let test_create_read () =
+  let r = Mv_register.create "v1" in
+  Alcotest.(check (list string)) "single value" [ "v1" ] (Mv_register.read r);
+  check_bool "not conflicted" false (Mv_register.is_conflicted r);
+  check_str "value_exn" "v1" (Mv_register.value_exn r)
+
+let test_write () =
+  let r = Mv_register.write (Mv_register.create "v1") "v2" in
+  check_str "overwritten" "v2" (Mv_register.value_exn r)
+
+let test_fork_and_stale_merge () =
+  let a, b = Mv_register.fork (Mv_register.create "v1") in
+  let a = Mv_register.write a "v2" in
+  let merged = Mv_register.merge a b in
+  check_str "dominant value wins" "v2" (Mv_register.value_exn merged);
+  let merged' = Mv_register.merge b a in
+  check_str "direction irrelevant" "v2" (Mv_register.value_exn merged')
+
+let test_concurrent_merge () =
+  let a, b = Mv_register.fork (Mv_register.create "v1") in
+  let a = Mv_register.write a "from-a" in
+  let b = Mv_register.write b "from-b" in
+  let merged = Mv_register.merge a b in
+  check_bool "conflicted" true (Mv_register.is_conflicted merged);
+  check_int "two candidates" 2 (List.length (Mv_register.read merged));
+  check_bool "both present" true
+    (List.mem "from-a" (Mv_register.read merged)
+    && List.mem "from-b" (Mv_register.read merged));
+  Alcotest.check_raises "value_exn raises"
+    (Invalid_argument "Mv_register.value_exn: 2 concurrent values") (fun () ->
+      ignore (Mv_register.value_exn merged))
+
+let test_concurrent_same_value_dedup () =
+  let a, b = Mv_register.fork (Mv_register.create "v1") in
+  let a = Mv_register.write a "same" in
+  let b = Mv_register.write b "same" in
+  let merged = Mv_register.merge a b in
+  check_int "deduplicated" 1 (List.length (Mv_register.read merged))
+
+let test_resolve () =
+  let a, b = Mv_register.fork (Mv_register.create "v1") in
+  let a = Mv_register.write a "A" in
+  let b = Mv_register.write b "B" in
+  let merged = Mv_register.merge a b in
+  let resolved = Mv_register.resolve merged ~value:"AB" in
+  check_bool "resolved" false (Mv_register.is_conflicted resolved);
+  check_str "chosen value" "AB" (Mv_register.value_exn resolved)
+
+let test_sync () =
+  let a, b = Mv_register.fork (Mv_register.create "v1") in
+  let a = Mv_register.write a "v2" in
+  let a, b = Mv_register.sync a b in
+  check_bool "both equal after sync" true
+    (Relation.equal Relation.Equal (Mv_register.relation a b));
+  check_str "b caught up" "v2" (Mv_register.value_exn b)
+
+let test_resolution_survives_later_merge () =
+  let a, b = Mv_register.fork (Mv_register.create "v1") in
+  let a = Mv_register.write a "A" in
+  let b = Mv_register.write b "B" in
+  let a, b = Mv_register.sync a b in
+  (* both are now conflicted; a resolves, then meets b again *)
+  let a = Mv_register.resolve a ~value:"AB" in
+  let merged = Mv_register.merge a b in
+  check_str "resolution dominates the stale conflict" "AB"
+    (Mv_register.value_exn merged)
+
+let test_partition_story () =
+  (* registers replicate inside a partition with no id service *)
+  let hub = Mv_register.create "draft-0" in
+  let hub, field1 = Mv_register.fork hub in
+  let field1, field2 = Mv_register.fork field1 in
+  let field2, field3 = Mv_register.fork field2 in
+  (* two field devices write concurrently *)
+  let field1 = Mv_register.write field1 "field1-draft" in
+  let field3 = Mv_register.write field3 "field3-draft" in
+  (* partition heals: cascade of merges *)
+  let m = Mv_register.merge (Mv_register.merge field1 field2) field3 in
+  let m = Mv_register.merge m hub in
+  check_int "both concurrent drafts survive" 2
+    (List.length (Mv_register.read m));
+  let final = Mv_register.resolve m ~value:"consolidated" in
+  check_str "consolidated" "consolidated" (Mv_register.value_exn final)
+
+(* --- properties --- *)
+
+(* random interleavings of write/fork/merge on a pool of replicas *)
+let prop_merge_never_loses_dominant_writes =
+  QCheck2.Test.make ~name:"a merge never drops a value it must keep"
+    ~count:300
+    QCheck2.Gen.(list_size (int_bound 20) (int_bound 2))
+    (fun script ->
+      (* pool starts with one register; 0 = write, 1 = fork, 2 = merge *)
+      let counter = ref 0 in
+      let fresh () =
+        incr counter;
+        Printf.sprintf "w%d" !counter
+      in
+      let pool = ref [ Mv_register.create (fresh ()) ] in
+      List.iter
+        (fun op ->
+          match (op, !pool) with
+          | 0, r :: rest -> pool := Mv_register.write r (fresh ()) :: rest
+          | 1, r :: rest ->
+              let a, b = Mv_register.fork r in
+              pool := a :: b :: rest
+          | 2, a :: b :: rest -> pool := Mv_register.merge a b :: rest
+          | _ -> ())
+        script;
+      (* invariant: every replica holds at least one candidate, and no
+         candidate list has duplicates *)
+      List.for_all
+        (fun r ->
+          let vs = Mv_register.read r in
+          vs <> [] && List.length vs = List.length (List.sort_uniq compare vs))
+        !pool)
+
+let prop_merge_commutative_values =
+  QCheck2.Test.make ~name:"merge candidate sets are order-insensitive"
+    ~count:300
+    QCheck2.Gen.(pair bool bool)
+    (fun (wa, wb) ->
+      let a, b = Mv_register.fork (Mv_register.create "v0") in
+      let a = if wa then Mv_register.write a "va" else a in
+      let b = if wb then Mv_register.write b "vb" else b in
+      let m1 = List.sort compare (Mv_register.read (Mv_register.merge a b)) in
+      let m2 = List.sort compare (Mv_register.read (Mv_register.merge b a)) in
+      m1 = m2)
+
+let () =
+  Alcotest.run "crdt"
+    [
+      ( "mv_register",
+        [
+          Alcotest.test_case "create/read" `Quick test_create_read;
+          Alcotest.test_case "write" `Quick test_write;
+          Alcotest.test_case "stale merge" `Quick test_fork_and_stale_merge;
+          Alcotest.test_case "concurrent merge" `Quick test_concurrent_merge;
+          Alcotest.test_case "dedup same value" `Quick
+            test_concurrent_same_value_dedup;
+          Alcotest.test_case "resolve" `Quick test_resolve;
+          Alcotest.test_case "sync" `Quick test_sync;
+          Alcotest.test_case "resolution survives merge" `Quick
+            test_resolution_survives_later_merge;
+          Alcotest.test_case "partition story" `Quick test_partition_story;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_merge_never_loses_dominant_writes; prop_merge_commutative_values ] );
+    ]

@@ -1,0 +1,256 @@
+open Vstamp_vv
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let sorted s = List.sort compare (Dotted_vv.values s)
+
+(* --- basic protocol --- *)
+
+let test_empty () =
+  check_bool "empty" true (Dotted_vv.is_empty Dotted_vv.empty);
+  check_bool "no conflict" false (Dotted_vv.conflict Dotted_vv.empty);
+  check_bool "well-formed" true (Dotted_vv.well_formed Dotted_vv.empty)
+
+let test_first_put () =
+  let s = Dotted_vv.put Dotted_vv.empty ~replica:0 ~context:Version_vector.zero "v1" in
+  Alcotest.(check (list string)) "one value" [ "v1" ] (Dotted_vv.values s);
+  check_bool "well-formed" true (Dotted_vv.well_formed s);
+  check_int "context has the dot" 1 (Version_vector.get (Dotted_vv.context s) 0)
+
+let test_causal_overwrite () =
+  let s = Dotted_vv.put Dotted_vv.empty ~replica:0 ~context:Version_vector.zero "v1" in
+  let _, ctx = Dotted_vv.get s in
+  let s = Dotted_vv.put s ~replica:0 ~context:ctx "v2" in
+  Alcotest.(check (list string)) "overwritten" [ "v2" ] (Dotted_vv.values s);
+  check_bool "no conflict" false (Dotted_vv.conflict s)
+
+let test_blind_put_keeps_siblings () =
+  let s = Dotted_vv.put Dotted_vv.empty ~replica:0 ~context:Version_vector.zero "v1" in
+  (* a client that read nothing cannot overwrite anything *)
+  let s = Dotted_vv.put s ~replica:0 ~context:Version_vector.zero "v2" in
+  Alcotest.(check (list string)) "both survive" [ "v1"; "v2" ] (sorted s);
+  check_bool "conflict" true (Dotted_vv.conflict s)
+
+let test_concurrent_clients () =
+  let s0 = Dotted_vv.put Dotted_vv.empty ~replica:0 ~context:Version_vector.zero "base" in
+  let _, ctx = Dotted_vv.get s0 in
+  (* two clients read the same state, both put *)
+  let s1 = Dotted_vv.put s0 ~replica:0 ~context:ctx "from-A" in
+  let s2 = Dotted_vv.put s1 ~replica:0 ~context:ctx "from-B" in
+  (* each overwrote base, neither overwrote the other *)
+  Alcotest.(check (list string)) "two siblings" [ "from-A"; "from-B" ] (sorted s2);
+  (* a third client reads both and reconciles *)
+  let _, ctx = Dotted_vv.get s2 in
+  let s3 = Dotted_vv.put s2 ~replica:0 ~context:ctx "merged" in
+  Alcotest.(check (list string)) "reconciled" [ "merged" ] (Dotted_vv.values s3)
+
+let test_per_server_counters () =
+  let s = Dotted_vv.put Dotted_vv.empty ~replica:3 ~context:Version_vector.zero "x" in
+  let s = Dotted_vv.put s ~replica:7 ~context:Version_vector.zero "y" in
+  match Dotted_vv.dots s with
+  | [ d1; d2 ] ->
+      check_bool "distinct replicas" true
+        (d1.Dotted_vv.replica <> d2.Dotted_vv.replica);
+      check_int "counters start at 1" 1 d1.Dotted_vv.counter;
+      check_int "counters start at 1 (2)" 1 d2.Dotted_vv.counter
+  | _ -> Alcotest.fail "two dots expected"
+
+(* --- replication --- *)
+
+let test_sync_propagates () =
+  let a = Dotted_vv.put Dotted_vv.empty ~replica:0 ~context:Version_vector.zero "v1" in
+  let b = Dotted_vv.empty in
+  let m = Dotted_vv.sync a b in
+  Alcotest.(check (list string)) "value arrives" [ "v1" ] (Dotted_vv.values m);
+  check_bool "well-formed" true (Dotted_vv.well_formed m)
+
+let test_sync_removes_superseded () =
+  let a = Dotted_vv.put Dotted_vv.empty ~replica:0 ~context:Version_vector.zero "v1" in
+  let b = Dotted_vv.sync Dotted_vv.empty a in
+  (* replica 1 overwrites causally *)
+  let _, ctx = Dotted_vv.get b in
+  let b = Dotted_vv.put b ~replica:1 ~context:ctx "v2" in
+  (* now syncing back must delete v1 at a: its dot is covered by b's
+     context and b no longer stores it *)
+  let m = Dotted_vv.sync a b in
+  Alcotest.(check (list string)) "superseded removed" [ "v2" ] (Dotted_vv.values m)
+
+let test_sync_keeps_concurrent () =
+  let a = Dotted_vv.put Dotted_vv.empty ~replica:0 ~context:Version_vector.zero "at-a" in
+  let b = Dotted_vv.put Dotted_vv.empty ~replica:1 ~context:Version_vector.zero "at-b" in
+  let m = Dotted_vv.sync a b in
+  Alcotest.(check (list string)) "both kept" [ "at-a"; "at-b" ] (sorted m)
+
+let test_sync_commutative_idempotent () =
+  let a = Dotted_vv.put Dotted_vv.empty ~replica:0 ~context:Version_vector.zero "x" in
+  let b = Dotted_vv.put Dotted_vv.empty ~replica:1 ~context:Version_vector.zero "y" in
+  let ab = Dotted_vv.sync a b and ba = Dotted_vv.sync b a in
+  Alcotest.(check (list string)) "commutes" (sorted ab) (sorted ba);
+  let abab = Dotted_vv.sync ab ab in
+  Alcotest.(check (list string)) "idempotent" (sorted ab) (sorted abab)
+
+(* --- differential model: siblings are exactly the maximal writes --- *)
+
+(* Model: every put is an event with a causal history (the context's
+   events plus itself); live values of an entry are the writes not
+   strictly dominated by any other write seen by that entry.  We mirror
+   puts/syncs on (value, history) sets and compare value sets. *)
+module Model = struct
+  module Iset = Set.Make (Int)
+
+  type entry = { writes : (string * Iset.t) list; seen : Iset.t }
+
+  let empty = { writes = []; seen = Iset.empty }
+
+  let put e ~event ~context_events value =
+    let history = Iset.add event context_events in
+    let writes =
+      (value, history)
+      :: List.filter
+           (fun (_, h) -> not (Iset.subset h history))
+           e.writes
+    in
+    { writes; seen = Iset.union e.seen history }
+
+  let sync a b =
+    let survives (v, h) other =
+      List.exists (fun (v', h') -> v = v' && Iset.equal h h') other.writes
+      || not (Iset.subset h other.seen)
+    in
+    let keep mine other = List.filter (fun w -> survives w other) mine.writes in
+    let wa = keep a b in
+    let wb =
+      List.filter
+        (fun (v, h) ->
+          (not (List.exists (fun (v', h') -> v = v' && Iset.equal h h') wa))
+          && (List.exists (fun (v', h') -> v = v' && Iset.equal h h') a.writes
+             || not (Iset.subset h a.seen)))
+        b.writes
+    in
+    { writes = wa @ wb; seen = Iset.union a.seen b.seen }
+
+  let values e = List.map fst e.writes
+end
+
+(* random programs over 2 server replicas of one key *)
+type cmd = Put of int * bool (* replica, echo latest context? *) | Sync
+
+let gen_cmd =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun r echo -> Put (r, echo)) (int_bound 1) bool;
+        return Sync;
+      ])
+
+let print_cmd = function
+  | Put (r, echo) -> Printf.sprintf "put(%d,%s)" r (if echo then "ctx" else "blind")
+  | Sync -> "sync"
+
+(* shared runner so the random property and the exhaustive enumeration
+   use the same machinery *)
+let runs_like_model cmds =
+  let module Iset = Model.Iset in
+  let servers = [| Dotted_vv.empty; Dotted_vv.empty |] in
+  let models = [| Model.empty; Model.empty |] in
+  let next_event = ref 0 in
+  let counter = ref 0 in
+  let seen_events = [| Iset.empty; Iset.empty |] in
+  let value () =
+    incr counter;
+    Printf.sprintf "w%d" !counter
+  in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | Put (r, echo) ->
+          let context, context_events =
+            if echo then (Dotted_vv.context servers.(r), seen_events.(r))
+            else (Vstamp_vv.Version_vector.zero, Iset.empty)
+          in
+          let v = value () in
+          let e = !next_event in
+          incr next_event;
+          servers.(r) <- Dotted_vv.put servers.(r) ~replica:r ~context v;
+          models.(r) <- Model.put models.(r) ~event:e ~context_events v;
+          seen_events.(r) <- Iset.add e (Iset.union seen_events.(r) context_events)
+      | Sync ->
+          let merged = Dotted_vv.sync servers.(0) servers.(1) in
+          servers.(0) <- merged;
+          servers.(1) <- merged;
+          let m = Model.sync models.(0) models.(1) in
+          models.(0) <- m;
+          models.(1) <- m;
+          let u = Iset.union seen_events.(0) seen_events.(1) in
+          seen_events.(0) <- u;
+          seen_events.(1) <- u)
+    cmds;
+  Array.for_all
+    (fun i ->
+      List.sort compare (Dotted_vv.values servers.(i))
+      = List.sort compare (Model.values models.(i))
+      && Dotted_vv.well_formed servers.(i))
+    [| 0; 1 |]
+
+let test_exhaustive_small_programs () =
+  (* every program of length <= 5 over both replicas: 5 possible steps
+     (blind/contextual put at each replica, sync) -> 3 906 programs *)
+  let steps =
+    [ Put (0, false); Put (0, true); Put (1, false); Put (1, true); Sync ]
+  in
+  let rec programs k =
+    if k = 0 then [ [] ]
+    else
+      let shorter = programs (k - 1) in
+      shorter
+      @ List.concat_map (fun p -> List.map (fun s -> s :: p) steps)
+          (List.filter (fun p -> List.length p = k - 1) shorter)
+  in
+  let all = programs 5 in
+  List.iter
+    (fun cmds ->
+      if not (runs_like_model cmds) then
+        Alcotest.failf "model disagreement on %s"
+          (String.concat ";" (List.map print_cmd cmds)))
+    all;
+  Alcotest.(check bool)
+    (Printf.sprintf "all %d programs agree" (List.length all))
+    true
+    (List.length all > 3000)
+
+let prop_matches_model =
+  QCheck2.Test.make ~name:"DVV siblings match the maximal-writes model"
+    ~count:400
+    ~print:(fun cmds -> String.concat ";" (List.map print_cmd cmds))
+    QCheck2.Gen.(list_size (int_bound 20) gen_cmd)
+    runs_like_model
+
+let () =
+  Alcotest.run "dotted_vv"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "first put" `Quick test_first_put;
+          Alcotest.test_case "causal overwrite" `Quick test_causal_overwrite;
+          Alcotest.test_case "blind put keeps siblings" `Quick
+            test_blind_put_keeps_siblings;
+          Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+          Alcotest.test_case "per-server counters" `Quick test_per_server_counters;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "sync propagates" `Quick test_sync_propagates;
+          Alcotest.test_case "sync removes superseded" `Quick
+            test_sync_removes_superseded;
+          Alcotest.test_case "sync keeps concurrent" `Quick
+            test_sync_keeps_concurrent;
+          Alcotest.test_case "sync commutative/idempotent" `Quick
+            test_sync_commutative_idempotent;
+          Alcotest.test_case "exhaustive small programs" `Slow
+            test_exhaustive_small_programs;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_matches_model ]);
+    ]

@@ -1,0 +1,216 @@
+open Vstamp_core
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+(* --- op helpers --- *)
+
+let test_size_delta () =
+  check_int "update" 0 (Execution.size_delta (Update 0));
+  check_int "fork" 1 (Execution.size_delta (Fork 0));
+  check_int "join" (-1) (Execution.size_delta (Join (0, 1)))
+
+let test_op_valid () =
+  check_bool "update in range" true
+    (Execution.op_valid ~frontier_size:2 (Update 1));
+  check_bool "update out of range" false
+    (Execution.op_valid ~frontier_size:2 (Update 2));
+  check_bool "negative" false (Execution.op_valid ~frontier_size:2 (Update (-1)));
+  check_bool "join distinct" true
+    (Execution.op_valid ~frontier_size:2 (Join (1, 0)));
+  check_bool "self join invalid" false
+    (Execution.op_valid ~frontier_size:2 (Join (1, 1)));
+  check_bool "join out of range" false
+    (Execution.op_valid ~frontier_size:2 (Join (0, 2)))
+
+let test_trace_valid () =
+  check_bool "empty trace" true (Execution.trace_valid []);
+  check_bool "fork then join" true
+    (Execution.trace_valid [ Fork 0; Join (0, 1) ]);
+  check_bool "join on singleton invalid" false
+    (Execution.trace_valid [ Join (0, 1) ]);
+  check_bool "update wrong index" false (Execution.trace_valid [ Update 1 ]);
+  check_bool "fork twice update deep" true
+    (Execution.trace_valid [ Fork 0; Fork 1; Update 2 ])
+
+let test_final_size () =
+  check_int "fork fork join" 2
+    (Execution.final_frontier_size [ Fork 0; Fork 1; Join (0, 2) ]);
+  check_int "empty" 1 (Execution.final_frontier_size [])
+
+let test_op_to_string () =
+  Alcotest.(check string) "update" "update(3)" (Execution.op_to_string (Update 3));
+  Alcotest.(check string) "fork" "fork(0)" (Execution.op_to_string (Fork 0));
+  Alcotest.(check string) "join" "join(1,2)" (Execution.op_to_string (Join (1, 2)))
+
+(* --- positional semantics over the history oracle --- *)
+
+let history = Alcotest.testable Causal_history.pp Causal_history.equal
+
+let run = Execution.Run_histories.run
+
+let test_initial () =
+  Alcotest.(check int) "initial frontier" 1 (List.length (run []));
+  Alcotest.check history "initial history empty" Causal_history.empty
+    (List.hd (run []))
+
+let test_update_replaces_in_place () =
+  match run [ Fork 0; Update 1 ] with
+  | [ left; right ] ->
+      Alcotest.check history "left untouched" Causal_history.empty left;
+      check_int "right got an event" 1 (Causal_history.cardinal right)
+  | f -> Alcotest.failf "expected 2 elements, got %d" (List.length f)
+
+let test_fork_positions () =
+  (* fork the middle of three: positions preserved around it *)
+  match run [ Fork 0; Update 0; Fork 0 ] with
+  | [ a; b; c ] ->
+      check_int "a has the event" 1 (Causal_history.cardinal a);
+      check_int "b has the event" 1 (Causal_history.cardinal b);
+      Alcotest.check history "c untouched" Causal_history.empty c
+  | f -> Alcotest.failf "expected 3 elements, got %d" (List.length f)
+
+let test_join_position () =
+  (* join(0,2) inserts merged at position 0 *)
+  match run [ Fork 0; Fork 1; Update 0; Update 1; Update 2; Join (0, 2) ] with
+  | [ merged; middle ] ->
+      check_int "merged saw two events" 2 (Causal_history.cardinal merged);
+      check_int "middle saw one" 1 (Causal_history.cardinal middle)
+  | f -> Alcotest.failf "expected 2 elements, got %d" (List.length f)
+
+let test_join_order_irrelevant () =
+  let a = run [ Fork 0; Update 0; Join (0, 1) ] in
+  let b = run [ Fork 0; Update 0; Join (1, 0) ] in
+  Alcotest.(check (list history)) "swapped join operands" a b
+
+let test_invalid_raises () =
+  Alcotest.check_raises "invalid op raises"
+    (Execution.Invalid_op { op = Update 1; frontier_size = 1 })
+    (fun () -> ignore (run [ Update 1 ]))
+
+let test_run_steps () =
+  let steps = Execution.Run_histories.run_steps [ Fork 0; Update 0 ] in
+  check_int "steps include initial" 3 (List.length steps);
+  check_int "sizes evolve" 2 (List.length (List.nth steps 1))
+
+let test_fold_visits_transitions () =
+  let count =
+    Execution.Run_histories.fold
+      (fun acc _before _op _after -> acc + 1)
+      0
+      [ Fork 0; Update 1; Join (0, 1) ]
+  in
+  check_int "three transitions" 3 count
+
+let test_fresh_events_unique () =
+  (* every update event distinct even across branches *)
+  let frontier = run [ Fork 0; Update 0; Update 1; Update 0; Join (0, 1) ] in
+  match frontier with
+  | [ h ] -> check_int "three distinct events" 3 (Causal_history.cardinal h)
+  | _ -> Alcotest.fail "single element expected"
+
+(* --- lockstep --- *)
+
+let test_lockstep_alignment () =
+  let ops = [ Execution.Fork 0; Update 0; Fork 1; Update 2; Join (0, 2) ] in
+  let pairs = Execution.run_lockstep ops in
+  check_int "aligned lengths" 2 (List.length pairs);
+  List.iter
+    (fun (s, _) -> check_bool "stamps well-formed" true (Stamp.well_formed s))
+    pairs
+
+(* --- history oracle relations --- *)
+
+let test_history_relations () =
+  let e0 = Causal_history.of_events [ 0 ] in
+  let e01 = Causal_history.of_events [ 0; 1 ] in
+  let e2 = Causal_history.of_events [ 2 ] in
+  let rel = Alcotest.testable Relation.pp Relation.equal in
+  Alcotest.check rel "equal" Relation.Equal (Causal_history.relation e0 e0);
+  Alcotest.check rel "obsolete" Relation.Dominated
+    (Causal_history.relation e0 e01);
+  Alcotest.check rel "dominates" Relation.Dominates
+    (Causal_history.relation e01 e0);
+  Alcotest.check rel "concurrent" Relation.Concurrent
+    (Causal_history.relation e0 e2);
+  check_bool "subset_of_union" true
+    (Causal_history.subset_of_union e01 [ e0; Causal_history.of_events [ 1 ] ]);
+  check_bool "subset_of_union fails" false
+    (Causal_history.subset_of_union e01 [ e0; e2 ])
+
+let test_gen () =
+  let g = Causal_history.Gen.initial in
+  let e1, g = Causal_history.Gen.fresh g in
+  let e2, g = Causal_history.Gen.fresh g in
+  check_bool "fresh events distinct" true (e1 <> e2);
+  check_int "issued" 2 (Causal_history.Gen.issued g)
+
+(* --- properties: generated traces are valid and interpreters total --- *)
+
+let prop_generated_traces_valid =
+  QCheck2.Test.make ~name:"generated traces are valid" ~count:500
+    ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    Execution.trace_valid
+
+let prop_frontier_sizes_agree =
+  QCheck2.Test.make ~name:"frontier size matches final_frontier_size"
+    ~count:300 ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops ->
+      List.length (Execution.Run_stamps.run ops)
+      = Execution.final_frontier_size ops)
+
+let prop_event_count =
+  QCheck2.Test.make ~name:"oracle issues exactly one event per update"
+    ~count:300 ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops ->
+      let updates =
+        List.length
+          (List.filter (function Execution.Update _ -> true | _ -> false) ops)
+      in
+      let gen, _ = Execution.Run_histories.run_state ops in
+      Causal_history.Gen.issued gen = updates)
+
+let () =
+  Alcotest.run "execution"
+    [
+      ( "ops",
+        [
+          Alcotest.test_case "size_delta" `Quick test_size_delta;
+          Alcotest.test_case "op_valid" `Quick test_op_valid;
+          Alcotest.test_case "trace_valid" `Quick test_trace_valid;
+          Alcotest.test_case "final size" `Quick test_final_size;
+          Alcotest.test_case "op_to_string" `Quick test_op_to_string;
+        ] );
+      ( "positional semantics",
+        [
+          Alcotest.test_case "initial" `Quick test_initial;
+          Alcotest.test_case "update in place" `Quick
+            test_update_replaces_in_place;
+          Alcotest.test_case "fork positions" `Quick test_fork_positions;
+          Alcotest.test_case "join position" `Quick test_join_position;
+          Alcotest.test_case "join operand order" `Quick
+            test_join_order_irrelevant;
+          Alcotest.test_case "invalid raises" `Quick test_invalid_raises;
+          Alcotest.test_case "run_steps" `Quick test_run_steps;
+          Alcotest.test_case "fold" `Quick test_fold_visits_transitions;
+          Alcotest.test_case "fresh events unique" `Quick
+            test_fresh_events_unique;
+          Alcotest.test_case "lockstep alignment" `Quick test_lockstep_alignment;
+        ] );
+      ( "history oracle",
+        [
+          Alcotest.test_case "relations" `Quick test_history_relations;
+          Alcotest.test_case "event generator" `Quick test_gen;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_generated_traces_valid;
+            prop_frontier_sizes_agree;
+            prop_event_count;
+          ] );
+    ]

@@ -1,0 +1,152 @@
+open Vstamp_core
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+(* a frontier with known structure: a dominates; b equivalent to a;
+   c stale; d concurrent with everyone who updated *)
+let rigged () =
+  let base = Stamp.update Stamp.seed in
+  let l, r = Stamp.fork base in
+  let c, l2 = Stamp.fork l in
+  let d, r2 = Stamp.fork r in
+  let a = Stamp.update l2 in
+  let d = Stamp.update d in
+  (* b syncs with a: they end equivalent and dominant *)
+  let a, b = Stamp.sync a r2 in
+  (a, b, c, d)
+
+let test_structure () =
+  let a, b, c, d = rigged () in
+  let f = Frontier.of_list [ a; b; c; d ] in
+  check_int "size" 4 (Frontier.size f);
+  check_bool "a and b equivalent" true (Stamp.equivalent a b);
+  check_bool "c obsolete vs a" true (Stamp.obsolete c a);
+  check_bool "d concurrent with a" true (Stamp.inconsistent d a)
+
+let test_dominant_obsolete () =
+  let a, b, c, d = rigged () in
+  let f = Frontier.of_list [ a; b; c; d ] in
+  let dominant = Frontier.dominant f in
+  check_bool "a dominant" true (List.memq a dominant);
+  check_bool "b dominant" true (List.memq b dominant);
+  check_bool "d dominant (concurrent, not dominated)" true (List.memq d dominant);
+  check_bool "c not dominant" false (List.memq c dominant);
+  let stale = Frontier.obsolete f in
+  check_bool "c is the only obsolete" true
+    (List.memq c stale && List.length stale = 1)
+
+let test_conflicts () =
+  let a, b, c, d = rigged () in
+  let f = Frontier.of_list [ a; b; c; d ] in
+  let conflicts = Frontier.conflicts f in
+  (* d conflicts with a and with b (both saw a's update, d saw its own) *)
+  check_int "two conflicting pairs" 2 (List.length conflicts);
+  check_bool "consistency flag" false (Frontier.consistent f);
+  check_bool "initial consistent" true (Frontier.consistent Frontier.initial)
+
+let test_all_equivalent () =
+  let a, b, _, _ = rigged () in
+  check_bool "a,b equivalent" true (Frontier.all_equivalent (Frontier.of_list [ a; b ]));
+  check_bool "empty trivially" true (Frontier.all_equivalent (Frontier.of_list []));
+  let x = Stamp.update a in
+  check_bool "not after update" false
+    (Frontier.all_equivalent (Frontier.of_list [ x; b ]))
+
+let test_classify () =
+  let a, b, c, _ = rigged () in
+  let f = Frontier.of_list [ a; b; c ] in
+  let rels = Frontier.classify f c in
+  check_int "two relations" 2 (List.length rels);
+  check_bool "c dominated by both" true
+    (List.for_all (Relation.equal Relation.Dominated) rels)
+
+let test_prune () =
+  let a, b, c, d = rigged () in
+  let f = Frontier.of_list [ a; b; c; d ] in
+  let pruned = Frontier.prune f in
+  check_int "one fewer element" 3 (Frontier.size pruned);
+  (* knowledge preserved: the collector still dominates where a did *)
+  check_bool "no obsolete members remain" true
+    (Frontier.obsolete pruned = [])
+
+let test_prune_noop () =
+  let a, b, _, d = rigged () in
+  let f = Frontier.of_list [ a; b; d ] in
+  check_int "nothing to prune" 3 (Frontier.size (Frontier.prune f))
+
+let test_merge_all () =
+  let a, b, c, d = rigged () in
+  let merged = Frontier.merge_all (Frontier.of_list [ a; b; c; d ]) in
+  check_bool "merge heals the id space" true
+    (Name_tree.is_bottom (Stamp.id merged));
+  Alcotest.check_raises "empty" (Invalid_argument "Frontier.merge_all: empty frontier")
+    (fun () -> ignore (Frontier.merge_all (Frontier.of_list [])))
+
+let test_total_bits () =
+  let f = Frontier.of_list [ Stamp.seed ] in
+  check_int "seed frontier" 0 (Frontier.total_bits f)
+
+(* --- properties over random traces --- *)
+
+let prop name f =
+  QCheck2.Test.make ~name ~count:200 ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    f
+
+let props =
+  [
+    prop "dominant + obsolete partition the frontier" (fun ops ->
+        let f = Frontier.of_list (Execution.Run_stamps.run ops) in
+        let d = Frontier.dominant f and o = Frontier.obsolete f in
+        List.length d + List.length o = Frontier.size f
+        && List.for_all (fun x -> not (List.memq x o)) d);
+    prop "prune removes exactly the obsolete members" (fun ops ->
+        let f = Frontier.of_list (Execution.Run_stamps.run ops) in
+        let pruned = Frontier.prune f in
+        Frontier.size pruned
+        = Frontier.size f - List.length (Frontier.obsolete f)
+        && Frontier.obsolete pruned = []);
+    prop "prune preserves the dominant knowledge" (fun ops ->
+        let f = Frontier.of_list (Execution.Run_stamps.run ops) in
+        let before = Frontier.merge_all f in
+        let after = Frontier.merge_all (Frontier.prune f) in
+        (* both merges carry the same causal knowledge *)
+        Name_tree.equal (Stamp.update_name before) (Stamp.update_name after));
+    prop "a non-reducing total join dominates every member" (fun ops ->
+        (* merge_all reduces, which rewrites the update component of the
+           retired configuration (stamps only order coexisting elements),
+           so the domination check uses the raw join *)
+        match Execution.Run_stamps.run ops with
+        | [] -> true
+        | x :: rest ->
+            let m = List.fold_left (Stamp.join ~reduce:false) x rest in
+            Stamp.dominates_all m (x :: rest));
+    prop "conflicts are symmetric-free distinct pairs" (fun ops ->
+        let f = Frontier.of_list (Execution.Run_stamps.run ops) in
+        List.for_all
+          (fun (x, y) -> Stamp.inconsistent x y && not (x == y))
+          (Frontier.conflicts f));
+  ]
+
+let () =
+  Alcotest.run "frontier"
+    [
+      ( "queries",
+        [
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "dominant/obsolete" `Quick test_dominant_obsolete;
+          Alcotest.test_case "conflicts" `Quick test_conflicts;
+          Alcotest.test_case "all_equivalent" `Quick test_all_equivalent;
+          Alcotest.test_case "classify" `Quick test_classify;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "prune" `Quick test_prune;
+          Alcotest.test_case "prune no-op" `Quick test_prune_noop;
+          Alcotest.test_case "merge_all" `Quick test_merge_all;
+          Alcotest.test_case "total_bits" `Quick test_total_bits;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+    ]

@@ -1,0 +1,205 @@
+open Vstamp_panasync
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_str = Alcotest.(check string)
+
+let temp_dir () =
+  let path = Filename.temp_file "vstamp_test" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let or_fail = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "fs_store error: %a" Fs_store.pp_error e
+
+let test_save_load_roundtrip () =
+  with_dir (fun dir ->
+      let store =
+        Store.create ~name:"s"
+        |> fun s ->
+        Store.add_new s ~path:"a.txt" ~content:"alpha"
+        |> fun s -> Store.add_new s ~path:"b.txt" ~content:"beta"
+      in
+      let store = Store.edit store ~path:"a.txt" ~content:"alpha2" in
+      or_fail (Fs_store.save ~dir store);
+      let loaded = or_fail (Fs_store.load ~dir ~name:"s") in
+      check_int "two files" 2 (Store.file_count loaded);
+      (match Store.find loaded "a.txt" with
+      | Some c ->
+          check_str "content" "alpha2" (File_copy.content c);
+          check_bool "stamp preserved exactly" true
+            (Vstamp_core.Stamp.equal (File_copy.stamp c)
+               (File_copy.stamp (Option.get (Store.find store "a.txt"))))
+      | None -> Alcotest.fail "a.txt missing"))
+
+let test_load_missing_dir () =
+  match Fs_store.load ~dir:"/nonexistent/dir" ~name:"x" with
+  | Error (Fs_store.Not_a_directory _) -> ()
+  | _ -> Alcotest.fail "expected Not_a_directory"
+
+let test_adopts_untracked_files () =
+  with_dir (fun dir ->
+      let oc = open_out (Filename.concat dir "stray.txt") in
+      output_string oc "dropped in by hand";
+      close_out oc;
+      let loaded = or_fail (Fs_store.load ~dir ~name:"s") in
+      check_int "adopted" 1 (Store.file_count loaded);
+      match Store.find loaded "stray.txt" with
+      | Some c ->
+          check_bool "fresh lineage" true
+            (Vstamp_core.Stamp.has_updates (File_copy.stamp c))
+      | None -> Alcotest.fail "stray.txt missing")
+
+let test_corrupt_stamp_reported () =
+  with_dir (fun dir ->
+      let store =
+        Store.add_new (Store.create ~name:"s") ~path:"f" ~content:"x"
+      in
+      or_fail (Fs_store.save ~dir store);
+      let sf = Filename.concat (Filename.concat dir ".vstamp") "f.stamp" in
+      let oc = open_out sf in
+      output_string oc "zz-not-hex";
+      close_out oc;
+      match Fs_store.load ~dir ~name:"s" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "corrupt stamp must be reported")
+
+let test_save_removes_deleted () =
+  with_dir (fun dir ->
+      let store =
+        Store.create ~name:"s"
+        |> fun s ->
+        Store.add_new s ~path:"keep" ~content:"1"
+        |> fun s -> Store.add_new s ~path:"drop" ~content:"2"
+      in
+      or_fail (Fs_store.save ~dir store);
+      let store = Store.remove store ~path:"drop" in
+      or_fail (Fs_store.save ~dir store);
+      let loaded = or_fail (Fs_store.load ~dir ~name:"s") in
+      check_int "one file" 1 (Store.file_count loaded);
+      check_bool "data gone" false (Sys.file_exists (Filename.concat dir "drop")))
+
+let test_directory_sync_end_to_end () =
+  with_dir (fun dir_a ->
+      with_dir (fun dir_b ->
+          let a =
+            Store.add_new (Store.create ~name:"a") ~path:"doc" ~content:"v1"
+          in
+          or_fail (Fs_store.save ~dir:dir_a a);
+          or_fail (Fs_store.save ~dir:dir_b (Store.create ~name:"b"));
+          (* session one: replicate through disk *)
+          let a = or_fail (Fs_store.load ~dir:dir_a ~name:"a") in
+          let b = or_fail (Fs_store.load ~dir:dir_b ~name:"b") in
+          let a, b, _ = Sync.session a b in
+          or_fail (Fs_store.save ~dir:dir_a a);
+          or_fail (Fs_store.save ~dir:dir_b b);
+          (* concurrent edits via fresh loads *)
+          let a = or_fail (Fs_store.load ~dir:dir_a ~name:"a") in
+          let b = or_fail (Fs_store.load ~dir:dir_b ~name:"b") in
+          let a = Store.edit a ~path:"doc" ~content:"A" in
+          let b = Store.edit b ~path:"doc" ~content:"B" in
+          or_fail (Fs_store.save ~dir:dir_a a);
+          or_fail (Fs_store.save ~dir:dir_b b);
+          (* the conflict survives the round trip through disk *)
+          let a = or_fail (Fs_store.load ~dir:dir_a ~name:"a") in
+          let b = or_fail (Fs_store.load ~dir:dir_b ~name:"b") in
+          let _, _, reports = Sync.session a b in
+          check_int "conflict detected across processes" 1
+            (List.length (Sync.conflicts reports))))
+
+let test_subdirectories_ignored () =
+  with_dir (fun dir ->
+      Sys.mkdir (Filename.concat dir "subdir") 0o755;
+      let loaded = or_fail (Fs_store.load ~dir ~name:"s") in
+      check_int "empty" 0 (Store.file_count loaded))
+
+(* property: random stores round trip, including exotic contents *)
+let prop_roundtrip =
+  let gen_store =
+    let open QCheck2.Gen in
+    let fname = map (Printf.sprintf "file%d") (int_bound 4) in
+    let content =
+      oneof
+        [
+          string_size ~gen:printable (int_bound 40);
+          map Bytes.unsafe_to_string (bytes_size (int_bound 40));
+          return "";
+          return "line1\nline2\n";
+        ]
+    in
+    list_size (int_bound 6) (pair fname content)
+  in
+  QCheck2.Test.make ~name:"random stores survive save/load" ~count:100
+    ~print:(fun files ->
+      String.concat ";" (List.map (fun (f, c) -> f ^ "=" ^ String.escaped c) files))
+    gen_store
+    (fun files ->
+      let dir = temp_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let store =
+            List.fold_left
+              (fun s (path, content) ->
+                if Store.mem s path then Store.edit s ~path ~content
+                else Store.add_new s ~path ~content)
+              (Store.create ~name:"p") files
+          in
+          match Fs_store.save ~dir store with
+          | Error _ -> false
+          | Ok () -> (
+              match Fs_store.load ~dir ~name:"p" with
+              | Error _ -> false
+              | Ok loaded ->
+                  Store.file_count loaded = Store.file_count store
+                  && List.for_all
+                       (fun path ->
+                         match (Store.find store path, Store.find loaded path) with
+                         | Some a, Some b ->
+                             String.equal (File_copy.content a) (File_copy.content b)
+                             && Vstamp_core.Stamp.equal (File_copy.stamp a)
+                                  (File_copy.stamp b)
+                             && String.equal (File_copy.lineage a)
+                                  (File_copy.lineage b)
+                         | _ -> false)
+                       (Store.paths store))))
+
+let () =
+  Alcotest.run "fs_store"
+    [
+      ( "persistence",
+        [
+          Alcotest.test_case "save/load round trip" `Quick
+            test_save_load_roundtrip;
+          Alcotest.test_case "missing dir" `Quick test_load_missing_dir;
+          Alcotest.test_case "adopts untracked" `Quick
+            test_adopts_untracked_files;
+          Alcotest.test_case "corrupt stamp" `Quick test_corrupt_stamp_reported;
+          Alcotest.test_case "save removes deleted" `Quick
+            test_save_removes_deleted;
+          Alcotest.test_case "subdirectories ignored" `Quick
+            test_subdirectories_ignored;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "conflict across processes" `Quick
+            test_directory_sync_end_to_end;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_roundtrip ]);
+    ]

@@ -1,0 +1,140 @@
+(* Fuzzing the boundaries: decoders and parsers must be total —
+   arbitrary input yields [Ok] or a typed [Error], never an exception —
+   and accepted input must always produce well-formed values. *)
+
+open Vstamp_core
+open Vstamp_codec
+
+let gen_bytes =
+  QCheck2.Gen.(map Bytes.unsafe_to_string (bytes_size (int_bound 24)))
+
+let gen_ascii = QCheck2.Gen.(string_size ~gen:printable (int_bound 24))
+
+let print_hex s =
+  String.concat ""
+    (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let prop_wire_stamp_total =
+  QCheck2.Test.make ~name:"wire stamp decoder is total and validating"
+    ~count:2000 ~print:print_hex gen_bytes (fun input ->
+      match Wire.stamp_of_string input with
+      | Ok s -> Stamp.well_formed s
+      | Error (Wire.Truncated | Wire.Malformed _) -> true
+      | exception _ -> false)
+
+let prop_wire_name_total =
+  QCheck2.Test.make ~name:"wire name decoder is total and validating"
+    ~count:2000 ~print:print_hex gen_bytes (fun input ->
+      match Wire.name_of_string input with
+      | Ok n -> Name_tree.well_formed n
+      | Error _ -> true
+      | exception _ -> false)
+
+let prop_wire_vv_total =
+  QCheck2.Test.make ~name:"wire vv decoder is total" ~count:2000
+    ~print:print_hex gen_bytes (fun input ->
+      match Wire.vv_of_string input with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let prop_text_stamp_total =
+  QCheck2.Test.make ~name:"text stamp parser is total and validating"
+    ~count:2000 ~print:Fun.id gen_ascii (fun input ->
+      match Text.stamp_of_string input with
+      | Ok s -> Stamp.well_formed s
+      | Error _ -> true
+      | exception _ -> false)
+
+let prop_text_name_total =
+  QCheck2.Test.make ~name:"text name parser is total and validating"
+    ~count:2000 ~print:Fun.id gen_ascii (fun input ->
+      match Text.name_of_string input with
+      | Ok n -> Name_tree.well_formed n
+      | Error _ -> true
+      | exception _ -> false)
+
+(* Near-miss fuzzing: take a valid encoding and flip one bit; the decoder
+   must still be total, and whatever decodes must still be well-formed. *)
+let prop_wire_bitflip =
+  let gen =
+    QCheck2.Gen.(
+      pair (Vstamp_test_support.Gen.trace ~max_len:12 ()) (int_bound 200))
+  in
+  QCheck2.Test.make ~name:"bit-flipped wire stamps decode safely" ~count:500
+    ~print:(fun (ops, k) ->
+      Printf.sprintf "%s / flip %d" (Vstamp_test_support.Gen.trace_print ops) k)
+    gen
+    (fun (ops, k) ->
+      match Execution.Run_stamps.run ops with
+      | [] -> true
+      | s :: _ -> (
+          let enc = Bytes.of_string (Wire.stamp_to_string s) in
+          if Bytes.length enc = 0 then true
+          else begin
+            let bit = k mod (Bytes.length enc * 8) in
+            let byte = bit / 8 in
+            Bytes.set enc byte
+              (Char.chr (Char.code (Bytes.get enc byte) lxor (1 lsl (bit mod 8))));
+            match Wire.stamp_of_string (Bytes.to_string enc) with
+            | Ok s' -> Stamp.well_formed s'
+            | Error _ -> true
+            | exception _ -> false
+          end))
+
+(* Truncation fuzzing: every strict prefix of a valid encoding must
+   decode to an error or a (different but) well-formed stamp. *)
+let prop_wire_truncation =
+  QCheck2.Test.make ~name:"truncated wire stamps decode safely" ~count:300
+    ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ~max_len:12 ())
+    (fun ops ->
+      match Execution.Run_stamps.run ops with
+      | [] -> true
+      | s :: _ ->
+          let enc = Wire.stamp_to_string s in
+          List.for_all
+            (fun len ->
+              match Wire.stamp_of_string (String.sub enc 0 len) with
+              | Ok s' -> Stamp.well_formed s'
+              | Error _ -> true
+              | exception _ -> false)
+            (List.init (String.length enc) Fun.id))
+
+(* The text parser and printer agree on the grammar corner cases. *)
+let unit_cases () =
+  List.iter
+    (fun input ->
+      match Text.stamp_of_string input with
+      | Ok _ | Error _ -> ())
+    [
+      "";
+      "[";
+      "]";
+      "[|]";
+      "[e|";
+      "[\xce";
+      "[\xce\xb5|\xce\xb5]";
+      "[++|++]";
+      "[0+|1]";
+      "[ | ]";
+      String.make 1000 '[';
+      "[0101010101010101010101010101010101010101|1]";
+    ]
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "decoders",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_wire_stamp_total;
+            prop_wire_name_total;
+            prop_wire_vv_total;
+            prop_text_stamp_total;
+            prop_text_name_total;
+            prop_wire_bitflip;
+            prop_wire_truncation;
+          ] );
+      ( "corner cases",
+        [ Alcotest.test_case "text grammar corners" `Quick unit_cases ] );
+    ]

@@ -1,0 +1,372 @@
+open Vstamp_core
+open Vstamp_itc
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let rel = Alcotest.testable Relation.pp Relation.equal
+
+(* --- Id trees --- *)
+
+let test_id_norm () =
+  check_bool "(0,0) -> 0" true (Itc.Id.norm (Branch (Zero, Zero)) = Itc.Id.Zero);
+  check_bool "(1,1) -> 1" true (Itc.Id.norm (Branch (One, One)) = Itc.Id.One);
+  check_bool "mixed stays" true
+    (Itc.Id.norm (Branch (One, Zero)) = Itc.Id.Branch (One, Zero))
+
+let test_id_split_seed () =
+  let l, r = Itc.Id.split Itc.Id.One in
+  check_bool "left half" true (l = Itc.Id.Branch (One, Zero));
+  check_bool "right half" true (r = Itc.Id.Branch (Zero, One));
+  check_bool "disjoint" true (Itc.Id.disjoint l r);
+  check_bool "sum restores" true (Itc.Id.sum l r = Itc.Id.One)
+
+let test_id_split_zero () =
+  let l, r = Itc.Id.split Itc.Id.Zero in
+  check_bool "both zero" true (l = Itc.Id.Zero && r = Itc.Id.Zero)
+
+let test_id_split_nested () =
+  let l, r = Itc.Id.split (Itc.Id.Branch (One, Zero)) in
+  check_bool "pieces disjoint" true (Itc.Id.disjoint l r);
+  check_bool "pieces well-formed" true
+    (Itc.Id.well_formed l && Itc.Id.well_formed r);
+  check_bool "sum restores" true (Itc.Id.sum l r = Itc.Id.Branch (One, Zero))
+
+let test_id_sum_overlap () =
+  check_bool "overlap raises" true
+    (try
+       ignore (Itc.Id.sum Itc.Id.One Itc.Id.One);
+       false
+     with Itc.Id.Overlap -> true)
+
+let test_id_well_formed () =
+  check_bool "unnormalized rejected" false
+    (Itc.Id.well_formed (Branch (One, One)));
+  check_bool "normalized ok" true
+    (Itc.Id.well_formed (Branch (One, Branch (Zero, One))))
+
+(* --- Event trees --- *)
+
+let test_event_norm () =
+  let open Itc.Event in
+  check_bool "equal leaves collapse" true
+    (norm (Node (1, Leaf 2, Leaf 2)) = Leaf 3);
+  check_bool "minima sink" true
+    (norm (Node (1, Leaf 2, Leaf 3)) = Node (3, Leaf 0, Leaf 1));
+  check_bool "already normal" true (norm (Node (0, Leaf 0, Leaf 1)) = Node (0, Leaf 0, Leaf 1))
+
+let test_event_minmax () =
+  let open Itc.Event in
+  let e = Node (1, Leaf 0, Node (2, Leaf 0, Leaf 3)) in
+  check_int "min" 1 (min_value e);
+  check_int "max" 6 (max_value e)
+
+let test_event_leq () =
+  let open Itc.Event in
+  check_bool "leaf order" true (leq (Leaf 1) (Leaf 2));
+  check_bool "leaf order strict" false (leq (Leaf 2) (Leaf 1));
+  check_bool "leaf vs node" true (leq (Leaf 1) (Node (1, Leaf 0, Leaf 2)));
+  check_bool "leaf vs node fails" false (leq (Leaf 2) (Node (1, Leaf 0, Leaf 2)));
+  check_bool "node vs leaf" true (leq (Node (1, Leaf 0, Leaf 2)) (Leaf 3));
+  check_bool "node vs leaf fails" false (leq (Node (1, Leaf 0, Leaf 2)) (Leaf 2));
+  check_bool "concurrent nodes" false
+    (leq (Node (0, Leaf 1, Leaf 0)) (Node (0, Leaf 0, Leaf 1)))
+
+let test_event_join () =
+  let open Itc.Event in
+  check_bool "leaf max" true (join (Leaf 1) (Leaf 3) = Leaf 3);
+  let a = Node (0, Leaf 1, Leaf 0) and b = Node (0, Leaf 0, Leaf 1) in
+  check_bool "pointwise max" true (join a b = Leaf 1);
+  check_bool "join upper bound" true (leq a (join a b) && leq b (join a b))
+
+(* --- stamps: the fork/event/join protocol --- *)
+
+let test_seed () =
+  check_bool "well-formed" true (Itc.well_formed Itc.seed);
+  check_bool "size small" true (Itc.size_bits Itc.seed <= 16);
+  check_bool "leq reflexive" true (Itc.leq Itc.seed Itc.seed)
+
+let test_update_fork_join_cycle () =
+  let a, b = Itc.fork Itc.seed in
+  Alcotest.check rel "forks equal" Relation.Equal (Itc.relation a b);
+  let a = Itc.update a in
+  Alcotest.check rel "updated dominates" Relation.Dominates (Itc.relation a b);
+  let b = Itc.update b in
+  Alcotest.check rel "both updated concurrent" Relation.Concurrent
+    (Itc.relation a b);
+  let j = Itc.join a b in
+  Alcotest.check rel "join dominates a" Relation.Dominates (Itc.relation j a);
+  Alcotest.check rel "join dominates b" Relation.Dominates (Itc.relation j b);
+  check_bool "join id restored" true (Itc.id j = Itc.Id.One)
+
+let test_update_idempotent_knowledge () =
+  (* after sole-owner updates, event tree is a plain counter *)
+  let s = Itc.update (Itc.update Itc.seed) in
+  check_bool "flat counter" true (Itc.event_tree s = Itc.Event.Leaf 2)
+
+let test_peek () =
+  let a = Itc.update Itc.seed in
+  let p = Itc.peek a in
+  check_bool "anonymous" true (Itc.id p = Itc.Id.Zero);
+  Alcotest.check rel "carries knowledge" Relation.Equal (Itc.relation p a);
+  check_bool "cannot update" true
+    (try
+       ignore (Itc.update p);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sync () =
+  let a, b = Itc.fork Itc.seed in
+  let a = Itc.update a in
+  let a, b = Itc.sync a b in
+  Alcotest.check rel "synced equal" Relation.Equal (Itc.relation a b)
+
+let test_figure4_analogue () =
+  (* the Fig. 2/4 run of the version-stamp paper, executed over ITC *)
+  let a2 = Itc.update Itc.seed in
+  let b1, c1 = Itc.fork a2 in
+  let d1, e1 = Itc.fork b1 in
+  let c2 = Itc.update (Itc.update c1) in
+  Alcotest.check rel "d obsolete vs c" Relation.Dominated (Itc.relation d1 c2);
+  Alcotest.check rel "d equivalent e" Relation.Equal (Itc.relation d1 e1);
+  let f1 = Itc.join e1 c2 in
+  Alcotest.check rel "d obsolete vs f" Relation.Dominated (Itc.relation d1 f1);
+  let g1 = Itc.join d1 f1 in
+  check_bool "id space healed" true (Itc.id g1 = Itc.Id.One);
+  check_bool "well-formed through run" true (Itc.well_formed g1)
+
+(* --- differential against causal histories over random traces --- *)
+
+module Itc_subject = struct
+  type t = Itc.t
+
+  type state = unit
+
+  let initial = ((), Itc.seed)
+
+  let update () x = ((), Itc.update x)
+
+  let fork () x = ((), Itc.fork x)
+
+  let join () a b = ((), Itc.join a b)
+end
+
+module Run_itc = Execution.Run (Itc_subject)
+
+let prop_itc_matches_oracle =
+  QCheck2.Test.make ~name:"ITC order agrees with causal histories" ~count:200
+    ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops ->
+      let stamps = Array.of_list (Run_itc.run ops) in
+      let hists = Array.of_list (Execution.Run_histories.run ops) in
+      let n = Array.length stamps in
+      let ok = ref true in
+      for x = 0 to n - 1 do
+        for y = 0 to n - 1 do
+          if
+            Itc.leq stamps.(x) stamps.(y)
+            <> Causal_history.subset hists.(x) hists.(y)
+          then ok := false
+        done
+      done;
+      !ok)
+
+let prop_itc_well_formed =
+  QCheck2.Test.make ~name:"ITC stamps stay well-formed along traces"
+    ~count:200 ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops ->
+      Run_itc.run_steps ops
+      |> List.for_all (List.for_all Itc.well_formed))
+
+let prop_itc_ids_disjoint =
+  QCheck2.Test.make ~name:"frontier ITC ids stay pairwise disjoint"
+    ~count:200 ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops ->
+      let frontier = Run_itc.run ops in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b -> a == b || Itc.Id.disjoint (Itc.id a) (Itc.id b))
+            frontier)
+        frontier)
+
+let prop_event_join_lattice =
+  let gen_event =
+    let open QCheck2.Gen in
+    let rec tree depth =
+      if depth = 0 then map (fun n -> Itc.Event.Leaf n) (int_bound 4)
+      else
+        oneof
+          [
+            map (fun n -> Itc.Event.Leaf n) (int_bound 4);
+            map3
+              (fun n l r -> Itc.Event.norm (Itc.Event.Node (n, l, r)))
+              (int_bound 4) (tree (depth - 1)) (tree (depth - 1));
+          ]
+    in
+    tree 3
+  in
+  QCheck2.Test.make ~name:"event join is a semilattice" ~count:300
+    QCheck2.Gen.(triple gen_event gen_event gen_event)
+    (fun (a, b, c) ->
+      let open Itc.Event in
+      equal (join a b) (join b a)
+      && equal (join (join a b) c) (join a (join b c))
+      && equal (join a a) a
+      && leq a (join a b)
+      && (leq a b = equal (join a b) b))
+
+(* --- fill/grow internals --- *)
+
+let test_update_fill_path () =
+  (* a replica owning the left half absorbs knowledge from the right by
+     inflation (fill), without growing the tree *)
+  let a, b = Itc.fork Itc.seed in
+  let b = Itc.update b in
+  let a = Itc.join a (Itc.peek b) in
+  (* a's event tree has a bump in the right region it does not own *)
+  let a' = Itc.update a in
+  check_bool "well-formed" true (Itc.well_formed a');
+  Alcotest.check rel "update dominates" Relation.Dominates (Itc.relation a' a)
+
+let test_update_grow_path () =
+  (* a half-owner updating repeatedly must grow its region of the event
+     tree rather than inflate *)
+  let a, b = Itc.fork Itc.seed in
+  let a = Itc.update (Itc.update a) in
+  check_bool "still well-formed" true (Itc.well_formed a);
+  Alcotest.check rel "strictly ahead of the idle sibling" Relation.Dominates
+    (Itc.relation a b)
+
+let test_deep_fork_updates () =
+  (* many nested forks, each updating: trees stay normalized *)
+  let rec go s k acc =
+    if k = 0 then acc
+    else
+      let l, r = Itc.fork s in
+      go (Itc.update l) (k - 1) (Itc.update r :: acc)
+  in
+  let replicas = go Itc.seed 6 [] in
+  check_bool "all well-formed" true (List.for_all Itc.well_formed replicas);
+  (* merging everything restores a flat counter *)
+  match replicas with
+  | [] -> Alcotest.fail "unreachable"
+  | x :: rest ->
+      let m = List.fold_left Itc.join x rest in
+      check_bool "ids partial" true (Itc.well_formed m)
+
+let test_event_norm_idempotent () =
+  let open Itc.Event in
+  let e = Node (2, Node (1, Leaf 0, Leaf 3), Leaf 0) in
+  check_bool "norm idempotent" true (norm (norm e) = norm e);
+  check_bool "norm well-formed" true (well_formed (norm e))
+
+(* --- wire codec --- *)
+
+let test_wire_roundtrip () =
+  let stamps =
+    let a, b = Itc.fork Itc.seed in
+    let a = Itc.update a in
+    let b1, b2 = Itc.fork b in
+    let b1 = Itc.update (Itc.update b1) in
+    [ Itc.seed; a; b1; b2; Itc.join a b1; Itc.peek b1 ]
+  in
+  List.iter
+    (fun s ->
+      match Itc.Wire.of_string (Itc.Wire.to_string s) with
+      | Ok s' -> check_bool (Itc.to_string s) true (Itc.equal s s')
+      | Error e -> Alcotest.failf "decode failed: %a" Itc.Wire.pp_error e)
+    stamps
+
+let test_wire_bits_matches_size () =
+  let a, b = Itc.fork Itc.seed in
+  let a = Itc.update a in
+  let j = Itc.join a b in
+  List.iter
+    (fun s -> check_int "bits = size_bits" (Itc.size_bits s) (Itc.Wire.bits s))
+    [ Itc.seed; a; j ]
+
+let test_wire_truncated () =
+  match Itc.Wire.of_string "" with
+  | Error Itc.Wire.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated"
+
+let prop_wire_roundtrip_traces =
+  QCheck2.Test.make ~name:"ITC wire round trip along traces" ~count:200
+    ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops ->
+      List.for_all
+        (fun s ->
+          match Itc.Wire.of_string (Itc.Wire.to_string s) with
+          | Ok s' -> Itc.equal s s'
+          | Error _ -> false)
+        (Run_itc.run ops))
+
+let prop_wire_total =
+  QCheck2.Test.make ~name:"ITC wire decoder is total" ~count:1000
+    QCheck2.Gen.(map Bytes.unsafe_to_string (bytes_size (int_bound 16)))
+    (fun input ->
+      match Itc.Wire.of_string input with
+      | Ok s -> Itc.well_formed s
+      | Error _ -> true
+      | exception _ -> false)
+
+let () =
+  Alcotest.run "itc"
+    [
+      ( "id trees",
+        [
+          Alcotest.test_case "norm" `Quick test_id_norm;
+          Alcotest.test_case "split seed" `Quick test_id_split_seed;
+          Alcotest.test_case "split zero" `Quick test_id_split_zero;
+          Alcotest.test_case "split nested" `Quick test_id_split_nested;
+          Alcotest.test_case "sum overlap" `Quick test_id_sum_overlap;
+          Alcotest.test_case "well_formed" `Quick test_id_well_formed;
+        ] );
+      ( "event trees",
+        [
+          Alcotest.test_case "norm" `Quick test_event_norm;
+          Alcotest.test_case "min/max" `Quick test_event_minmax;
+          Alcotest.test_case "leq" `Quick test_event_leq;
+          Alcotest.test_case "join" `Quick test_event_join;
+        ] );
+      ( "stamps",
+        [
+          Alcotest.test_case "seed" `Quick test_seed;
+          Alcotest.test_case "fork/event/join cycle" `Quick
+            test_update_fork_join_cycle;
+          Alcotest.test_case "flat counter" `Quick test_update_idempotent_knowledge;
+          Alcotest.test_case "peek" `Quick test_peek;
+          Alcotest.test_case "sync" `Quick test_sync;
+          Alcotest.test_case "figure 4 analogue" `Quick test_figure4_analogue;
+        ] );
+      ( "fill/grow",
+        [
+          Alcotest.test_case "fill path" `Quick test_update_fill_path;
+          Alcotest.test_case "grow path" `Quick test_update_grow_path;
+          Alcotest.test_case "deep forks" `Quick test_deep_fork_updates;
+          Alcotest.test_case "norm idempotent" `Quick test_event_norm_idempotent;
+        ] );
+      ( "wire codec",
+        [
+          Alcotest.test_case "round trip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "bits = size_bits" `Quick
+            test_wire_bits_matches_size;
+          Alcotest.test_case "truncated" `Quick test_wire_truncated;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_itc_matches_oracle;
+            prop_itc_well_formed;
+            prop_itc_ids_disjoint;
+            prop_event_join_lattice;
+            prop_wire_roundtrip_traces;
+            prop_wire_total;
+          ] );
+    ]

@@ -1,0 +1,235 @@
+open Vstamp_vv
+open Vstamp_kvs
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let no_ctx = Version_vector.zero
+
+let values n k = List.sort compare (fst (Kv_node.get n k))
+
+(* --- single node --- *)
+
+let test_empty_get () =
+  let n = Kv_node.create ~id:0 in
+  Alcotest.(check (list string)) "empty" [] (fst (Kv_node.get n "k"));
+  Alcotest.(check (list string)) "no keys" [] (Kv_node.keys n)
+
+let test_put_get () =
+  let n = Kv_node.put (Kv_node.create ~id:0) ~key:"k" ~context:no_ctx "v1" in
+  Alcotest.(check (list string)) "read back" [ "v1" ] (values n "k");
+  Alcotest.(check (list string)) "keys" [ "k" ] (Kv_node.keys n)
+
+let test_read_modify_write () =
+  let n = Kv_node.put (Kv_node.create ~id:0) ~key:"k" ~context:no_ctx "v1" in
+  let _, ctx = Kv_node.get n "k" in
+  let n = Kv_node.put n ~key:"k" ~context:ctx "v2" in
+  Alcotest.(check (list string)) "overwritten" [ "v2" ] (values n "k");
+  check_bool "no conflict" false (Kv_node.conflict n "k")
+
+let test_keys_independent () =
+  let n = Kv_node.create ~id:0 in
+  let n = Kv_node.put n ~key:"a" ~context:no_ctx "1" in
+  let n = Kv_node.put n ~key:"b" ~context:no_ctx "2" in
+  let _, ctx_a = Kv_node.get n "a" in
+  let n = Kv_node.put n ~key:"a" ~context:ctx_a "1b" in
+  Alcotest.(check (list string)) "a overwritten" [ "1b" ] (values n "a");
+  Alcotest.(check (list string)) "b untouched" [ "2" ] (values n "b")
+
+let test_lost_update_becomes_siblings () =
+  let n = Kv_node.put (Kv_node.create ~id:0) ~key:"k" ~context:no_ctx "base" in
+  let _, ctx = Kv_node.get n "k" in
+  (* two clients read the same version and write back *)
+  let n = Kv_node.put n ~key:"k" ~context:ctx "from-c1" in
+  let n = Kv_node.put n ~key:"k" ~context:ctx "from-c2" in
+  Alcotest.(check (list string))
+    "no lost update"
+    [ "from-c1"; "from-c2" ]
+    (values n "k");
+  check_bool "conflict visible" true (Kv_node.conflict n "k")
+
+(* --- deletes --- *)
+
+let test_delete () =
+  let n = Kv_node.put (Kv_node.create ~id:0) ~key:"k" ~context:no_ctx "v1" in
+  let _, ctx = Kv_node.get n "k" in
+  let n = Kv_node.delete n ~key:"k" ~context:ctx in
+  Alcotest.(check (list string)) "gone" [] (values n "k");
+  Alcotest.(check (list string)) "tombstone remains" [ "k" ] (Kv_node.tombstones n)
+
+let test_delete_keeps_concurrent () =
+  let n = Kv_node.put (Kv_node.create ~id:0) ~key:"k" ~context:no_ctx "v1" in
+  let _, ctx = Kv_node.get n "k" in
+  (* a concurrent write the deleting client never saw *)
+  let n = Kv_node.put n ~key:"k" ~context:no_ctx "concurrent" in
+  let n = Kv_node.delete n ~key:"k" ~context:ctx in
+  Alcotest.(check (list string)) "survivor" [ "concurrent" ] (values n "k")
+
+let test_no_resurrection () =
+  (* the classic tombstone test: delete on one node, then anti-entropy
+     with a stale peer must not bring the value back *)
+  let a = Kv_node.put (Kv_node.create ~id:0) ~key:"k" ~context:no_ctx "v1" in
+  let b = Kv_node.create ~id:1 in
+  let a, b = Kv_node.anti_entropy a b in
+  Alcotest.(check (list string)) "replicated" [ "v1" ] (values b "k");
+  let _, ctx = Kv_node.get a "k" in
+  let a = Kv_node.delete a ~key:"k" ~context:ctx in
+  (* b still holds v1; the sync must kill it, not resurrect it at a *)
+  let a, b = Kv_node.anti_entropy a b in
+  Alcotest.(check (list string)) "stays deleted at a" [] (values a "k");
+  Alcotest.(check (list string)) "deleted at b too" [] (values b "k")
+
+(* --- anti-entropy --- *)
+
+let test_anti_entropy_converges () =
+  let a = Kv_node.put (Kv_node.create ~id:0) ~key:"x" ~context:no_ctx "ax" in
+  let b = Kv_node.put (Kv_node.create ~id:1) ~key:"y" ~context:no_ctx "by" in
+  let a, b = Kv_node.anti_entropy a b in
+  check_bool "converged" true (Kv_node.converged a b);
+  Alcotest.(check (list string)) "a has both" [ "x"; "y" ] (Kv_node.keys a)
+
+let test_concurrent_servers_siblings () =
+  let a = Kv_node.put (Kv_node.create ~id:0) ~key:"k" ~context:no_ctx "at-a" in
+  let b = Kv_node.put (Kv_node.create ~id:1) ~key:"k" ~context:no_ctx "at-b" in
+  let a, _ = Kv_node.anti_entropy a b in
+  Alcotest.(check (list string)) "siblings" [ "at-a"; "at-b" ] (values a "k");
+  (* a client reads through a and reconciles *)
+  let _, ctx = Kv_node.get a "k" in
+  let a = Kv_node.put a ~key:"k" ~context:ctx "merged" in
+  Alcotest.(check (list string)) "reconciled" [ "merged" ] (values a "k")
+
+let test_three_node_ring () =
+  let nodes =
+    Array.init 3 (fun i -> Kv_node.put (Kv_node.create ~id:i) ~key:"k" ~context:no_ctx (Printf.sprintf "w%d" i))
+  in
+  (* ring gossip twice *)
+  for _ = 1 to 2 do
+    for i = 0 to 2 do
+      let j = (i + 1) mod 3 in
+      let a, b = Kv_node.anti_entropy nodes.(i) nodes.(j) in
+      nodes.(i) <- a;
+      nodes.(j) <- b
+    done
+  done;
+  check_bool "all converged" true
+    (Kv_node.converged nodes.(0) nodes.(1)
+    && Kv_node.converged nodes.(1) nodes.(2));
+  check_int "three siblings everywhere" 3 (List.length (values nodes.(0) "k"))
+
+let test_size_bits () =
+  let n = Kv_node.put (Kv_node.create ~id:0) ~key:"k" ~context:no_ctx "v" in
+  check_bool "positive" true (Kv_node.size_bits n > 0);
+  check_int "empty node" 0 (Kv_node.size_bits (Kv_node.create ~id:9))
+
+(* --- property: random client/server programs never lose live writes --- *)
+
+type cmd =
+  | CPut of int * string  (* via node, key; value generated *)
+  | CRmw of int * string  (* read-modify-write through a node *)
+  | CDel of int * string
+  | CSync of int * int
+
+let gen_cmd n_nodes =
+  let open QCheck2.Gen in
+  let node = int_bound (n_nodes - 1) in
+  let key = oneofl [ "a"; "b" ] in
+  oneof
+    [
+      map2 (fun n k -> CPut (n, k)) node key;
+      map2 (fun n k -> CRmw (n, k)) node key;
+      map2 (fun n k -> CDel (n, k)) node key;
+      map2
+        (fun i j ->
+          let j = if j >= i then j + 1 else j in
+          CSync (i, j))
+        node
+        (int_bound (n_nodes - 2));
+    ]
+
+let print_cmd = function
+  | CPut (n, k) -> Printf.sprintf "put(%d,%s)" n k
+  | CRmw (n, k) -> Printf.sprintf "rmw(%d,%s)" n k
+  | CDel (n, k) -> Printf.sprintf "del(%d,%s)" n k
+  | CSync (i, j) -> Printf.sprintf "sync(%d,%d)" i j
+
+let prop_sound =
+  QCheck2.Test.make
+    ~name:"random kv programs: entries stay well-formed; full gossip converges"
+    ~count:300
+    ~print:(fun cmds -> String.concat ";" (List.map print_cmd cmds))
+    QCheck2.Gen.(list_size (int_bound 30) (gen_cmd 3))
+    (fun cmds ->
+      let nodes = Array.init 3 (fun i -> Kv_node.create ~id:i) in
+      let counter = ref 0 in
+      let value () =
+        incr counter;
+        Printf.sprintf "w%d" !counter
+      in
+      List.iter
+        (fun cmd ->
+          match cmd with
+          | CPut (n, k) ->
+              nodes.(n) <- Kv_node.put nodes.(n) ~key:k ~context:no_ctx (value ())
+          | CRmw (n, k) ->
+              let _, ctx = Kv_node.get nodes.(n) k in
+              nodes.(n) <- Kv_node.put nodes.(n) ~key:k ~context:ctx (value ())
+          | CDel (n, k) ->
+              let _, ctx = Kv_node.get nodes.(n) k in
+              nodes.(n) <- Kv_node.delete nodes.(n) ~key:k ~context:ctx
+          | CSync (i, j) ->
+              let a, b = Kv_node.anti_entropy nodes.(i) nodes.(j) in
+              nodes.(i) <- a;
+              nodes.(j) <- b)
+        cmds;
+      (* entries all well-formed *)
+      let wf =
+        Array.for_all
+          (fun n ->
+            List.for_all
+              (fun k -> Dotted_vv.well_formed (Kv_node.entry n k))
+              (Kv_node.keys n @ Kv_node.tombstones n))
+          nodes
+      in
+      (* a full gossip round converges everyone *)
+      for _ = 1 to 2 do
+        for i = 0 to 2 do
+          let j = (i + 1) mod 3 in
+          let a, b = Kv_node.anti_entropy nodes.(i) nodes.(j) in
+          nodes.(i) <- a;
+          nodes.(j) <- b
+        done
+      done;
+      wf
+      && Kv_node.converged nodes.(0) nodes.(1)
+      && Kv_node.converged nodes.(1) nodes.(2))
+
+let () =
+  Alcotest.run "kvs"
+    [
+      ( "single node",
+        [
+          Alcotest.test_case "empty get" `Quick test_empty_get;
+          Alcotest.test_case "put/get" `Quick test_put_get;
+          Alcotest.test_case "read-modify-write" `Quick test_read_modify_write;
+          Alcotest.test_case "keys independent" `Quick test_keys_independent;
+          Alcotest.test_case "no lost updates" `Quick
+            test_lost_update_becomes_siblings;
+        ] );
+      ( "deletes",
+        [
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "delete keeps concurrent" `Quick
+            test_delete_keeps_concurrent;
+          Alcotest.test_case "no resurrection" `Quick test_no_resurrection;
+        ] );
+      ( "anti-entropy",
+        [
+          Alcotest.test_case "converges" `Quick test_anti_entropy_converges;
+          Alcotest.test_case "server siblings" `Quick
+            test_concurrent_servers_siblings;
+          Alcotest.test_case "three-node ring" `Quick test_three_node_ring;
+          Alcotest.test_case "size" `Quick test_size_bits;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_sound ]);
+    ]

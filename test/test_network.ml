@@ -1,0 +1,181 @@
+open Vstamp_core
+open Vstamp_sim
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let test_create () =
+  let n = Network.create ~nodes:4 in
+  check_int "four nodes" 4 (Network.node_count n);
+  check_bool "quiescent" true (Network.quiescent n);
+  check_bool "all idle" true
+    (List.for_all (Network.is_idle n) [ 0; 1; 2; 3 ]);
+  (* initial split partitions the id space: the frontier is a valid
+     configuration *)
+  check_bool "invariants hold" true (Invariants.all (Network.frontier n));
+  check_bool "bad size" true
+    (try
+       ignore (Network.create ~nodes:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_update () =
+  let n = Network.create ~nodes:2 in
+  match Network.update n 0 with
+  | None -> Alcotest.fail "idle node must accept updates"
+  | Some n' -> (
+      match (Network.stamp_of n' 0, Network.stamp_of n' 1) with
+      | Some a, Some b ->
+          check_bool "updated dominates peer" true (Stamp.obsolete b a)
+      | _ -> Alcotest.fail "stamps missing")
+
+let test_sync_roundtrip () =
+  let n = Network.create ~nodes:2 in
+  let n = Option.get (Network.update n 0) in
+  let n = Option.get (Network.start_sync n ~from:0 ~target:1) in
+  check_bool "initiator waiting" false (Network.is_idle n 0);
+  check_int "one message" 1 (Network.inflight_count n);
+  let n = Option.get (Network.deliver n 0) in
+  check_int "reply in flight" 1 (Network.inflight_count n);
+  let n = Option.get (Network.deliver n 0) in
+  check_bool "quiescent" true (Network.quiescent n);
+  match (Network.stamp_of n 0, Network.stamp_of n 1) with
+  | Some a, Some b ->
+      check_bool "equivalent after sync" true (Stamp.equivalent a b)
+  | _ -> Alcotest.fail "stamps missing"
+
+let test_waiting_node_rejects_ops () =
+  let n = Network.create ~nodes:2 in
+  let n = Option.get (Network.start_sync n ~from:0 ~target:1) in
+  check_bool "no update while waiting" true (Network.update n 0 = None);
+  check_bool "no second sync while waiting" true
+    (Network.start_sync n ~from:0 ~target:1 = None)
+
+let test_mutual_request_bounce () =
+  (* both nodes request each other: the bounce rule must resolve it *)
+  let n = Network.create ~nodes:2 in
+  let n = Option.get (Network.start_sync n ~from:0 ~target:1) in
+  let n = Option.get (Network.start_sync n ~from:1 ~target:0) in
+  let n = Network.drain n in
+  check_bool "quiescent after drain" true (Network.quiescent n)
+
+let test_self_sync_rejected () =
+  let n = Network.create ~nodes:2 in
+  check_bool "self sync" true
+    (try
+       ignore (Network.start_sync n ~from:0 ~target:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_deliver_out_of_range () =
+  let n = Network.create ~nodes:2 in
+  check_bool "nothing to deliver" true (Network.deliver n 0 = None)
+
+let test_run_convergence_structure () =
+  let n = Network.run ~seed:42 ~steps:400 ~nodes:5 () in
+  check_bool "quiescent" true (Network.quiescent n);
+  check_int "frontier complete" 5 (List.length (Network.frontier n));
+  check_bool "oracle agreement" true (Network.consistent_with_oracle n);
+  check_bool "invariants hold" true (Invariants.all (Network.frontier n));
+  let updates, syncs, delivered = Network.stats n in
+  check_bool "things happened" true (updates > 0 && syncs > 0 && delivered > 0)
+
+let test_full_gossip_converges () =
+  (* ring of syncs: everyone ends equivalent *)
+  let n = Network.create ~nodes:4 in
+  let n = Option.get (Network.update n 2) in
+  let n =
+    List.fold_left
+      (fun n (a, b) ->
+        let n = Option.get (Network.start_sync n ~from:a ~target:b) in
+        Network.drain n)
+      n
+      [ (0, 1); (1, 2); (2, 3); (3, 0); (0, 1); (1, 2) ]
+  in
+  let stamps = Network.frontier n in
+  check_bool "all equivalent" true
+    (match stamps with
+    | x :: rest -> List.for_all (Stamp.equivalent x) rest
+    | [] -> false)
+
+(* Why the transport must not duplicate replicas: if a sync request is
+   both delivered AND "recovered" by a false timeout at the sender, the
+   identity exists twice and the frontier invariants break immediately —
+   exactly the corruption the reliable-hand-off requirement prevents. *)
+let test_identity_duplication_corrupts () =
+  let a, b = Stamp.fork Stamp.seed in
+  let b = Stamp.update b in
+  (* the request carrying [a] reaches b, which joins it in (the join
+     reduces to the seed since together they cover the id space) ... *)
+  let b' = Stamp.join b a in
+  (* ... while a false timeout makes the sender keep using [a] *)
+  check_bool "I2 violated by the duplicated identity" false
+    (Invariants.i2 [ a; b' ]);
+  (* and causality answers become wrong: the truth is concurrent (a and
+     b each saw an update the other did not), but the duplicated join
+     collapsed b's knowledge to {eps}, so b' now looks merely stale *)
+  let a' = Stamp.update a in
+  Alcotest.check
+    (Alcotest.testable Relation.pp Relation.equal)
+    "spurious ordering instead of concurrency" Relation.Dominates
+    (Stamp.relation a' b')
+
+(* --- properties --- *)
+
+let prop_random_schedules_sound =
+  QCheck2.Test.make ~name:"any random schedule stays oracle-consistent"
+    ~count:60
+    ~print:(fun (seed, steps, nodes) ->
+      Printf.sprintf "seed=%d steps=%d nodes=%d" seed steps nodes)
+    QCheck2.Gen.(triple (int_bound 10000) (int_bound 300) (int_range 1 6))
+    (fun (seed, steps, nodes) ->
+      let n = Network.run ~seed ~steps ~nodes () in
+      Network.quiescent n
+      && Network.consistent_with_oracle n
+      && Invariants.all (Network.frontier n)
+      && List.length (Network.frontier n) = nodes)
+
+let prop_interleaved_invariants =
+  QCheck2.Test.make ~name:"invariants hold at every intermediate state"
+    ~count:40
+    ~print:(fun (seed, steps) -> Printf.sprintf "seed=%d steps=%d" seed steps)
+    QCheck2.Gen.(pair (int_bound 10000) (int_bound 120))
+    (fun (seed, steps) ->
+      let rec go rng t k ok =
+        if (not ok) || k = 0 then ok
+        else
+          let t', rng = Network.step rng t in
+          (* live replicas plus in-flight ones always form a frontier;
+             checking the live subset suffices for I2 pairwise claims *)
+          go rng t' (k - 1) (Invariants.i2 (Network.frontier t'))
+      in
+      go (Rng.make seed) (Network.create ~nodes:4) steps true)
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "create" `Quick test_create;
+          Alcotest.test_case "update" `Quick test_update;
+          Alcotest.test_case "sync round trip" `Quick test_sync_roundtrip;
+          Alcotest.test_case "waiting rejects ops" `Quick
+            test_waiting_node_rejects_ops;
+          Alcotest.test_case "mutual request bounce" `Quick
+            test_mutual_request_bounce;
+          Alcotest.test_case "self sync rejected" `Quick test_self_sync_rejected;
+          Alcotest.test_case "deliver out of range" `Quick
+            test_deliver_out_of_range;
+          Alcotest.test_case "identity duplication corrupts" `Quick
+            test_identity_duplication_corrupts;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "random run" `Quick test_run_convergence_structure;
+          Alcotest.test_case "gossip ring" `Quick test_full_gossip_converges;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_schedules_sound; prop_interleaved_invariants ] );
+    ]

@@ -1,0 +1,255 @@
+open Vstamp_kvs
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let els s = Or_set.elements s
+
+(* --- local semantics --- *)
+
+let test_empty () =
+  let s = Or_set.create ~id:0 in
+  check_bool "empty" true (Or_set.is_empty s);
+  check_int "cardinal" 0 (Or_set.cardinal s);
+  check_bool "well-formed" true (Or_set.well_formed s)
+
+let test_add_remove () =
+  let s = Or_set.add (Or_set.create ~id:0) "x" in
+  check_bool "mem" true (Or_set.mem s "x");
+  let s = Or_set.add s "y" in
+  Alcotest.(check (list string)) "elements" [ "x"; "y" ] (els s);
+  let s = Or_set.remove s "x" in
+  Alcotest.(check (list string)) "removed" [ "y" ] (els s);
+  check_bool "remove absent is noop" true
+    (els (Or_set.remove s "zz") = els s)
+
+let test_re_add () =
+  let s = Or_set.add (Or_set.create ~id:0) "x" in
+  let s = Or_set.remove s "x" in
+  let s = Or_set.add s "x" in
+  check_bool "re-added" true (Or_set.mem s "x")
+
+let test_clear () =
+  let s = Or_set.add (Or_set.add (Or_set.create ~id:0) "x") "y" in
+  check_bool "cleared" true (Or_set.is_empty (Or_set.clear s))
+
+(* --- replication semantics --- *)
+
+let test_merge_union () =
+  let a = Or_set.add (Or_set.create ~id:0) "from-a" in
+  let b = Or_set.add (Or_set.create ~id:1) "from-b" in
+  let m = Or_set.merge a b in
+  Alcotest.(check (list string)) "union" [ "from-a"; "from-b" ] (els m);
+  check_bool "well-formed" true (Or_set.well_formed m)
+
+let test_remove_propagates () =
+  let a = Or_set.add (Or_set.create ~id:0) "x" in
+  let b = Or_set.merge (Or_set.create ~id:1) a in
+  (* b observed x and removes it; merging back must not resurrect *)
+  let b = Or_set.remove b "x" in
+  let m = Or_set.merge a b in
+  check_bool "removal wins over stale copy" false (Or_set.mem m "x")
+
+let test_add_wins () =
+  let a = Or_set.add (Or_set.create ~id:0) "x" in
+  let b = Or_set.merge (Or_set.create ~id:1) a in
+  (* concurrently: b removes x, a re-adds it (fresh dot) *)
+  let b = Or_set.remove b "x" in
+  let a = Or_set.add a "x" in
+  let m = Or_set.merge a b in
+  check_bool "concurrent add wins" true (Or_set.mem m "x")
+
+let test_merge_idempotent_commutative () =
+  let a = Or_set.add (Or_set.create ~id:0) "x" in
+  let b = Or_set.remove (Or_set.merge (Or_set.create ~id:1) a) "x" in
+  let ab = Or_set.merge a b and ba = Or_set.merge b a in
+  Alcotest.(check (list string)) "commutes" (els ab) (els ba);
+  Alcotest.(check (list string)) "idempotent" (els ab) (els (Or_set.merge ab ab))
+
+(* --- deltas --- *)
+
+let test_add_delta_equals_add () =
+  let s = Or_set.add (Or_set.create ~id:0) "x" in
+  let d = Or_set.add_delta s "y" in
+  let via_delta = Or_set.apply_delta s d in
+  let direct = Or_set.add s "y" in
+  Alcotest.(check (list string)) "same elements" (els direct) (els via_delta)
+
+let test_remove_delta_kills_remotely () =
+  let a = Or_set.add (Or_set.create ~id:0) "x" in
+  let b = Or_set.merge (Or_set.create ~id:1) a in
+  let d = Or_set.remove_delta b "x" in
+  (* apply the removal delta at a without shipping b's whole state *)
+  let a = Or_set.apply_delta a d in
+  check_bool "killed at a" false (Or_set.mem a "x")
+
+let test_delta_idempotent_redelivery () =
+  let s = Or_set.create ~id:0 in
+  let d = Or_set.add_delta s "x" in
+  let s1 = Or_set.apply_delta s d in
+  let s2 = Or_set.apply_delta s1 d in
+  Alcotest.(check (list string)) "re-delivery harmless" (els s1) (els s2)
+
+let test_delta_batching () =
+  (* deltas compose by merge before shipping *)
+  let s = Or_set.create ~id:0 in
+  let d1 = Or_set.add_delta s "x" in
+  let s' = Or_set.apply_delta s d1 in
+  let d2 = Or_set.add_delta s' "y" in
+  let batch = Or_set.merge d1 d2 in
+  let remote = Or_set.apply_delta (Or_set.create ~id:1) batch in
+  Alcotest.(check (list string)) "batched" [ "x"; "y" ] (els remote)
+
+let prop_delta_stream_equals_state_sync =
+  (* shipping every mutation of replica 0 to replica 1 as deltas gives
+     replica 1 the same elements as a full state merge would *)
+  QCheck2.Test.make ~name:"delta stream equals full-state sync" ~count:300
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map (function true, v -> "add" ^ string_of_int v | false, v -> "rem" ^ string_of_int v) ops))
+    QCheck2.Gen.(list_size (int_bound 20) (pair bool (int_bound 3)))
+    (fun ops ->
+      let a = ref (Or_set.create ~id:0) in
+      let b = ref (Or_set.create ~id:1) in
+      List.iter
+        (fun (is_add, v) ->
+          let delta =
+            if is_add then Or_set.add_delta !a v else Or_set.remove_delta !a v
+          in
+          a := Or_set.apply_delta !a delta;
+          b := Or_set.apply_delta !b delta)
+        ops;
+      Or_set.elements !b = Or_set.elements !a
+      && Or_set.well_formed !b)
+
+(* --- property: agrees with an event-set model --- *)
+
+type cmd = Add of int | Rem of int | Merge of int * int
+
+let gen_cmd n =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun r -> Add r) (int_bound (n - 1));
+        map (fun r -> Rem r) (int_bound (n - 1));
+        map2
+          (fun i j ->
+            let j = if j >= i then j + 1 else j in
+            Merge (i, j))
+          (int_bound (n - 1))
+          (int_bound (n - 2));
+      ])
+
+let print_cmd = function
+  | Add r -> Printf.sprintf "add@%d" r
+  | Rem r -> Printf.sprintf "rem@%d" r
+  | Merge (i, j) -> Printf.sprintf "merge(%d,%d)" i j
+
+(* shared runner: one element, three replicas, implementation vs model *)
+let runs_like_model cmds =
+  let module Iset = Set.Make (Int) in
+  let n = 3 in
+  let sets = Array.init n (fun i -> Or_set.create ~id:i) in
+  let live = Array.make n Iset.empty in
+  let seen = Array.make n Iset.empty in
+  let fresh = ref 0 in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | Add r ->
+          sets.(r) <- Or_set.add sets.(r) "e";
+          let i = !fresh in
+          incr fresh;
+          live.(r) <- Iset.add i live.(r);
+          seen.(r) <- Iset.add i seen.(r)
+      | Rem r ->
+          sets.(r) <- Or_set.remove sets.(r) "e";
+          live.(r) <- Iset.empty
+      | Merge (i, j) ->
+          sets.(i) <- Or_set.merge sets.(i) sets.(j);
+          let keep mine other_live other_seen =
+            Iset.filter
+              (fun d -> Iset.mem d other_live || not (Iset.mem d other_seen))
+              mine
+          in
+          let merged =
+            Iset.union
+              (keep live.(i) live.(j) seen.(j))
+              (keep live.(j) live.(i) seen.(i))
+          in
+          live.(i) <- merged;
+          seen.(i) <- Iset.union seen.(i) seen.(j))
+    cmds;
+  Array.to_list sets
+  |> List.mapi (fun i s ->
+         Or_set.well_formed s
+         && Or_set.mem s "e" = not (Iset.is_empty live.(i)))
+  |> List.for_all Fun.id
+
+let test_exhaustive_small_programs () =
+  (* all programs of length <= 4 over two replicas: add/rem at each,
+     merge both ways -> 1 + 6 + 36 + 216 + 1296 = 1 555 programs *)
+  let steps = [ Add 0; Add 1; Rem 0; Rem 1; Merge (0, 1); Merge (1, 0) ] in
+  let rec programs k =
+    if k = 0 then [ [] ]
+    else
+      let shorter = programs (k - 1) in
+      shorter
+      @ List.concat_map
+          (fun p -> List.map (fun s -> s :: p) steps)
+          (List.filter (fun p -> List.length p = k - 1) shorter)
+  in
+  let all = programs 4 in
+  List.iter
+    (fun cmds ->
+      if not (runs_like_model cmds) then
+        Alcotest.failf "model disagreement on %s"
+          (String.concat ";" (List.map print_cmd cmds)))
+    all;
+  Alcotest.(check bool)
+    (Printf.sprintf "all %d programs agree" (List.length all))
+    true
+    (List.length all > 1500)
+
+(* model: per replica, the set of live instance ids for the single
+   element, plus the set of instance ids ever observed *)
+let prop_matches_model =
+  QCheck2.Test.make ~name:"OR-set agrees with the instance-set model"
+    ~count:400
+    ~print:(fun cmds -> String.concat ";" (List.map print_cmd cmds))
+    QCheck2.Gen.(list_size (int_bound 25) (gen_cmd 3))
+    runs_like_model
+
+let () =
+  Alcotest.run "or_set"
+    [
+      ( "local",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "re-add" `Quick test_re_add;
+          Alcotest.test_case "clear" `Quick test_clear;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "merge union" `Quick test_merge_union;
+          Alcotest.test_case "remove propagates" `Quick test_remove_propagates;
+          Alcotest.test_case "add wins" `Quick test_add_wins;
+          Alcotest.test_case "merge laws" `Quick
+            test_merge_idempotent_commutative;
+          Alcotest.test_case "exhaustive small programs" `Slow
+            test_exhaustive_small_programs;
+        ] );
+      ( "deltas",
+        [
+          Alcotest.test_case "add delta = add" `Quick test_add_delta_equals_add;
+          Alcotest.test_case "remove delta remote" `Quick
+            test_remove_delta_kills_remotely;
+          Alcotest.test_case "re-delivery" `Quick test_delta_idempotent_redelivery;
+          Alcotest.test_case "batching" `Quick test_delta_batching;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_matches_model; prop_delta_stream_equals_state_sync ] );
+    ]

@@ -1,0 +1,102 @@
+open Vstamp_core
+
+let check_bool = Alcotest.(check bool)
+
+let rel = Alcotest.testable Relation.pp Relation.equal
+
+let test_of_leq_pair () =
+  Alcotest.check rel "both" Relation.Equal
+    (Relation.of_leq_pair ~leq_ab:true ~leq_ba:true);
+  Alcotest.check rel "only ab" Relation.Dominated
+    (Relation.of_leq_pair ~leq_ab:true ~leq_ba:false);
+  Alcotest.check rel "only ba" Relation.Dominates
+    (Relation.of_leq_pair ~leq_ab:false ~leq_ba:true);
+  Alcotest.check rel "neither" Relation.Concurrent
+    (Relation.of_leq_pair ~leq_ab:false ~leq_ba:false)
+
+let test_inverse () =
+  List.iter
+    (fun r ->
+      Alcotest.check rel "involution" r (Relation.inverse (Relation.inverse r)))
+    Relation.all;
+  Alcotest.check rel "dominates flips" Relation.Dominated
+    (Relation.inverse Relation.Dominates);
+  Alcotest.check rel "equal fixed" Relation.Equal (Relation.inverse Relation.Equal);
+  Alcotest.check rel "concurrent fixed" Relation.Concurrent
+    (Relation.inverse Relation.Concurrent)
+
+let test_is_leq_geq () =
+  check_bool "equal is leq" true (Relation.is_leq Relation.Equal);
+  check_bool "dominated is leq" true (Relation.is_leq Relation.Dominated);
+  check_bool "dominates not leq" false (Relation.is_leq Relation.Dominates);
+  check_bool "concurrent not leq" false (Relation.is_leq Relation.Concurrent);
+  check_bool "equal is geq" true (Relation.is_geq Relation.Equal);
+  check_bool "dominates is geq" true (Relation.is_geq Relation.Dominates);
+  (* leq and geq together characterize equality *)
+  List.iter
+    (fun r ->
+      check_bool "leq&geq = equal" true
+        (Relation.is_leq r && Relation.is_geq r = Relation.equal r Relation.Equal
+        || not (Relation.is_leq r)))
+    Relation.all
+
+let test_strings () =
+  Alcotest.(check (list string))
+    "to_string"
+    [ "equal"; "dominates"; "dominated"; "concurrent" ]
+    (List.map Relation.to_string Relation.all);
+  Alcotest.(check (list string))
+    "paper vocabulary"
+    [ "equivalent"; "dominating"; "obsolete"; "inconsistent" ]
+    (List.map Relation.to_paper_string Relation.all)
+
+let test_all_complete () =
+  Alcotest.(check int) "four values" 4 (List.length Relation.all);
+  check_bool "distinct" true
+    (List.length (List.sort_uniq compare Relation.all) = 4)
+
+let test_consistency_with_of_leq_pair () =
+  (* of_leq_pair covers all four and is consistent with is_leq/is_geq *)
+  List.iter
+    (fun (ab, ba) ->
+      let r = Relation.of_leq_pair ~leq_ab:ab ~leq_ba:ba in
+      check_bool "is_leq mirrors leq_ab" true (Relation.is_leq r = ab);
+      check_bool "is_geq mirrors leq_ba" true (Relation.is_geq r = ba))
+    [ (true, true); (true, false); (false, true); (false, false) ]
+
+(* conversions added alongside: representation isomorphism sanity *)
+let test_name_conversions () =
+  let n = Name.of_strings [ "00"; "01"; "1" ] in
+  let t = Name_tree.of_name n in
+  check_bool "round trip via tree" true (Name.equal n (Name_tree.to_name t));
+  check_bool "tree well-formed" true (Name_tree.well_formed t);
+  let t2 = Name_tree.of_strings [ "0"; "11" ] in
+  check_bool "round trip via list" true
+    (Name_tree.equal t2 (Name_tree.of_name (Name_tree.to_name t2)))
+
+let prop_conversion_iso =
+  QCheck2.Test.make ~name:"of_name/to_name are mutually inverse" ~count:500
+    (Vstamp_test_support.Gen.name ())
+    (fun n ->
+      let t = Name_tree.of_name n in
+      Name.equal n (Name_tree.to_name t)
+      && Name_tree.leq t t
+      && Name_tree.equal t (Name_tree.of_name (Name_tree.to_name t)))
+
+let () =
+  Alcotest.run "relation"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "of_leq_pair" `Quick test_of_leq_pair;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "is_leq/is_geq" `Quick test_is_leq_geq;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "all" `Quick test_all_complete;
+          Alcotest.test_case "of_leq_pair consistency" `Quick
+            test_consistency_with_of_leq_pair;
+        ] );
+      ( "conversions",
+        [ Alcotest.test_case "name <-> tree" `Quick test_name_conversions ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_conversion_iso ]);
+    ]

@@ -1,0 +1,98 @@
+open Vstamp_core
+open Vstamp_sim
+
+let check_bool = Alcotest.(check bool)
+
+let check_str = Alcotest.(check string)
+
+let test_to_string () =
+  check_str "render" "update(0);fork(1);join(2,0)"
+    (Trace.to_string [ Update 0; Fork 1; Join (2, 0) ]);
+  check_str "empty" "" (Trace.to_string [])
+
+let ok_parse input expected =
+  match Trace.of_string input with
+  | Ok ops -> Alcotest.(check bool) input true (ops = expected)
+  | Error e -> Alcotest.failf "parse of %S failed: %a" input Trace.pp_error e
+
+let fails_parse input =
+  match Trace.of_string input with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%S should not parse" input
+
+let test_of_string_valid () =
+  ok_parse "" [];
+  ok_parse "update(0)" [ Update 0 ];
+  ok_parse "fork(0);update(1)" [ Fork 0; Update 1 ];
+  ok_parse " fork(0) ; join(0, 1) " [ Fork 0; Join (0, 1) ];
+  ok_parse "fork(0);fork(1);join(2,0);update(0)"
+    [ Fork 0; Fork 1; Join (2, 0); Update 0 ]
+
+let test_of_string_invalid_syntax () =
+  fails_parse "update";
+  fails_parse "update(x)";
+  fails_parse "update(-1)";
+  fails_parse "join(0)";
+  fails_parse "join(0,1,2)";
+  fails_parse "frobnicate(0)";
+  fails_parse "update(0) fork(0)"
+
+let test_of_string_invalid_semantics () =
+  (* syntactically fine but not applicable *)
+  fails_parse "update(1)";
+  fails_parse "join(0,1)";
+  fails_parse "fork(0);join(0,0)";
+  match Trace.of_string "fork(0);update(5)" with
+  | Error e -> Alcotest.(check int) "error position" 1 e.Trace.position
+  | Ok _ -> Alcotest.fail "should be invalid"
+
+let test_roundtrip_file () =
+  let ops = Workload.uniform ~seed:9 ~n_ops:80 () in
+  let file = Filename.temp_file "vstamp_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Trace.save ~file ops;
+      match Trace.load ~file with
+      | Ok ops' -> check_bool "round trip" true (ops = ops')
+      | Error e -> Alcotest.failf "load failed: %a" Trace.pp_error e)
+
+let test_stats () =
+  let u, f, j = Trace.stats [ Update 0; Fork 0; Fork 1; Join (0, 1) ] in
+  Alcotest.(check (triple int int int)) "counts" (1, 2, 1) (u, f, j)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"to_string/of_string round trip" ~count:300
+    ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops ->
+      match Trace.of_string (Trace.to_string ops) with
+      | Ok ops' -> ops = ops'
+      | Error _ -> false)
+
+let prop_parser_total =
+  QCheck2.Test.make ~name:"trace parser is total" ~count:1000
+    QCheck2.Gen.(string_size ~gen:printable (int_bound 30))
+    (fun input ->
+      match Trace.of_string input with
+      | Ok ops -> Execution.trace_valid ops
+      | Error _ -> true
+      | exception _ -> false)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "valid inputs" `Quick test_of_string_valid;
+          Alcotest.test_case "invalid syntax" `Quick
+            test_of_string_invalid_syntax;
+          Alcotest.test_case "invalid semantics" `Quick
+            test_of_string_invalid_semantics;
+          Alcotest.test_case "file round trip" `Quick test_roundtrip_file;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_parser_total ] );
+    ]

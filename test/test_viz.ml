@@ -1,0 +1,89 @@
+open Vstamp_core
+open Vstamp_sim
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let lines s = String.split_on_char '\n' (String.trim s)
+
+let test_single_lineage () =
+  let out = Viz.to_string [ Execution.Update 0; Update 0 ] in
+  check_int "one row" 1 (List.length (lines out));
+  check_bool "two stars" true
+    (String.length (List.hd (lines out)) > 0
+    && List.length (String.split_on_char '*' (List.hd (lines out))) = 3)
+
+let test_fork_opens_row () =
+  let out = Viz.to_string [ Execution.Fork 0 ] in
+  check_int "two rows" 2 (List.length (lines out))
+
+let test_join_retires_row () =
+  let out = Viz.to_string [ Execution.Fork 0; Join (0, 1) ] in
+  let ls = lines out in
+  check_int "two rows still printed" 2 (List.length ls);
+  check_bool "retirement mark present" true
+    (String.length (List.nth ls 1) > 0
+    && String.contains (List.nth ls 1) '\'')
+
+let test_figure2_shape () =
+  let out = Viz.to_string Scenario.Fig4.trace in
+  (* three lineages: the a/b/d line, the c line, the e line *)
+  check_int "three rows" 3 (List.length (lines out));
+  (* three updates in the run *)
+  let stars =
+    String.fold_left (fun n c -> if c = '*' then n + 1 else n) 0 out
+  in
+  check_int "three updates drawn" 3 stars
+
+let test_stamp_labels () =
+  let ops = Scenario.Fig4.trace in
+  let out = Viz.draw ~with_stamps:true ops in
+  check_bool "final stamp label present" true
+    (let seed = Stamp.to_string Stamp.seed in
+     let rec contains i =
+       i + String.length seed <= String.length out
+       && (String.sub out i (String.length seed) = seed || contains (i + 1))
+     in
+     contains 0)
+
+let test_header () =
+  Alcotest.(check string)
+    "header" "start fork(0) update(1)"
+    (Viz.header [ Execution.Fork 0; Update 1 ])
+
+let test_column_count () =
+  let ops = [ Execution.Fork 0; Update 1; Join (0, 1) ] in
+  let out = Viz.to_string ops in
+  let first = List.hd (lines out) in
+  (* 4 chars per column, columns = ops + 1 *)
+  check_int "width" (4 * (List.length ops + 1)) (String.length first)
+
+let prop_renders_any_trace =
+  QCheck2.Test.make ~name:"viz renders any valid trace" ~count:300
+    ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops ->
+      let out = Viz.draw ~with_stamps:true ops in
+      String.length out > 0
+      (* rows = 1 + number of forks *)
+      && List.length (lines out)
+         = 1
+           + List.length
+               (List.filter (function Execution.Fork _ -> true | _ -> false) ops))
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "rendering",
+        [
+          Alcotest.test_case "single lineage" `Quick test_single_lineage;
+          Alcotest.test_case "fork opens row" `Quick test_fork_opens_row;
+          Alcotest.test_case "join retires row" `Quick test_join_retires_row;
+          Alcotest.test_case "figure 2 shape" `Quick test_figure2_shape;
+          Alcotest.test_case "stamp labels" `Quick test_stamp_labels;
+          Alcotest.test_case "header" `Quick test_header;
+          Alcotest.test_case "column count" `Quick test_column_count;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_renders_any_trace ]);
+    ]

@@ -1,0 +1,364 @@
+open Vstamp_core
+open Vstamp_vv
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let vv = Alcotest.testable Version_vector.pp Version_vector.equal
+
+let rel = Alcotest.testable Relation.pp Relation.equal
+
+(* --- Version_vector --- *)
+
+let test_vv_zero () =
+  check_int "missing entry is zero" 0 (Version_vector.get Version_vector.zero 3);
+  check_int "entry_count" 0 (Version_vector.entry_count Version_vector.zero);
+  check_int "size_bits" 0 (Version_vector.size_bits Version_vector.zero)
+
+let test_vv_set_get () =
+  let v = Version_vector.of_list [ (0, 2); (3, 1) ] in
+  check_int "get 0" 2 (Version_vector.get v 0);
+  check_int "get 3" 1 (Version_vector.get v 3);
+  check_int "get missing" 0 (Version_vector.get v 1);
+  Alcotest.check vv "set to zero removes" (Version_vector.of_list [ (3, 1) ])
+    (Version_vector.set v 0 0);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Version_vector.set: negative counter") (fun () ->
+      ignore (Version_vector.set v 0 (-1)))
+
+let test_vv_increment () =
+  let v = Version_vector.increment Version_vector.zero 5 in
+  check_int "incremented" 1 (Version_vector.get v 5);
+  let v = Version_vector.increment v 5 in
+  check_int "twice" 2 (Version_vector.get v 5);
+  check_int "total_events" 2 (Version_vector.total_events v)
+
+let test_vv_leq_relation () =
+  let a = Version_vector.of_list [ (0, 1) ] in
+  let b = Version_vector.of_list [ (0, 2) ] in
+  let c = Version_vector.of_list [ (1, 1) ] in
+  check_bool "a <= b" true (Version_vector.leq a b);
+  check_bool "b not <= a" false (Version_vector.leq b a);
+  check_bool "zero <= all" true (Version_vector.leq Version_vector.zero a);
+  Alcotest.check rel "dominated" Relation.Dominated (Version_vector.relation a b);
+  Alcotest.check rel "concurrent" Relation.Concurrent (Version_vector.relation a c);
+  Alcotest.check rel "equal" Relation.Equal (Version_vector.relation a a)
+
+let test_vv_merge () =
+  let a = Version_vector.of_list [ (0, 2); (1, 1) ] in
+  let b = Version_vector.of_list [ (0, 1); (2, 3) ] in
+  Alcotest.check vv "pointwise max"
+    (Version_vector.of_list [ (0, 2); (1, 1); (2, 3) ])
+    (Version_vector.merge a b);
+  Alcotest.check vv "commutes" (Version_vector.merge a b) (Version_vector.merge b a);
+  Alcotest.check vv "idempotent" a (Version_vector.merge a a)
+
+let test_vv_dominated_by_merge () =
+  let a = Version_vector.of_list [ (0, 1) ] in
+  let b = Version_vector.of_list [ (1, 1) ] in
+  let ab = Version_vector.merge a b in
+  check_bool "merge covers" true (Version_vector.dominated_by_merge ab [ a; b ]);
+  check_bool "half does not" false (Version_vector.dominated_by_merge ab [ a ])
+
+let test_vv_size_bits () =
+  (* id 3 -> 2 bits, counter 5 -> 3 bits *)
+  check_int "bits" 5 (Version_vector.size_bits (Version_vector.of_list [ (3, 5) ]));
+  check_int "bits_for 0" 1 (Version_vector.bits_for 0);
+  check_int "bits_for 1" 1 (Version_vector.bits_for 1);
+  check_int "bits_for 7" 3 (Version_vector.bits_for 7);
+  check_int "bits_for 8" 4 (Version_vector.bits_for 8)
+
+let test_vv_figure1 () =
+  (* the exact run of the paper's Figure 1 *)
+  let a = Version_vector.Replica.create ~id:0 in
+  let b = Version_vector.Replica.create ~id:1 in
+  let c = Version_vector.Replica.create ~id:2 in
+  let a = Version_vector.Replica.update a in
+  let a, b = Version_vector.Replica.sync a b in
+  let a = Version_vector.Replica.update a in
+  let c = Version_vector.Replica.update c in
+  let b, c = Version_vector.Replica.sync b c in
+  Alcotest.check vv "A = [2,0,0]" (Version_vector.of_list [ (0, 2) ])
+    (Version_vector.Replica.vector a);
+  Alcotest.check vv "B = [1,0,1]"
+    (Version_vector.of_list [ (0, 1); (2, 1) ])
+    (Version_vector.Replica.vector b);
+  Alcotest.check rel "B equivalent C" Relation.Equal
+    (Version_vector.Replica.relation b c);
+  Alcotest.check rel "A inconsistent with B" Relation.Concurrent
+    (Version_vector.Replica.relation a b)
+
+let test_vv_pp () =
+  Alcotest.(check string) "render" "<0:2,2:1>"
+    (Version_vector.to_string (Version_vector.of_list [ (0, 2); (2, 1) ]))
+
+(* --- Dynamic_vv --- *)
+
+let test_dvv_lifecycle () =
+  let a = Dynamic_vv.create ~id:0 in
+  let a = Dynamic_vv.update a in
+  let a, b = Dynamic_vv.fork a ~new_id:1 in
+  check_int "parent keeps id" 0 (Dynamic_vv.id a);
+  check_int "child gets id" 1 (Dynamic_vv.id b);
+  Alcotest.check rel "fork leaves equals" Relation.Equal (Dynamic_vv.relation a b);
+  let b = Dynamic_vv.update b in
+  Alcotest.check rel "child dominates" Relation.Dominated (Dynamic_vv.relation a b);
+  let c = Dynamic_vv.join a b ~survivor_id:2 in
+  check_int "joined id" 2 (Dynamic_vv.id c);
+  check_bool "join dominates both" true
+    (Dynamic_vv.leq a c && Dynamic_vv.leq b c)
+
+let test_dvv_lazy_width () =
+  (* entries appear only at first update *)
+  let a = Dynamic_vv.create ~id:0 in
+  let a, b = Dynamic_vv.fork a ~new_id:1 in
+  let _, c = Dynamic_vv.fork b ~new_id:2 in
+  check_int "no updates, no entries" 0 (Dynamic_vv.entry_count a);
+  let c = Dynamic_vv.update c in
+  check_int "one update, one entry" 1 (Dynamic_vv.entry_count c)
+
+let test_dvv_retire_absorb () =
+  let a = Dynamic_vv.create ~id:0 in
+  let a = Dynamic_vv.update a in
+  let a, b = Dynamic_vv.fork a ~new_id:1 in
+  let b = Dynamic_vv.update b in
+  let departed = Dynamic_vv.retire b in
+  let a = Dynamic_vv.absorb a departed in
+  check_bool "survivor saw the departed's update" true
+    (Version_vector.get (Dynamic_vv.effective a) 1 >= 1)
+
+let test_dvv_compact () =
+  let a = Dynamic_vv.create ~id:0 in
+  let a = Dynamic_vv.update a in
+  let a, b = Dynamic_vv.fork a ~new_id:1 in
+  let b = Dynamic_vv.update b in
+  let a = Dynamic_vv.absorb a (Dynamic_vv.retire b) in
+  let before = Dynamic_vv.entry_count a in
+  (* a future replica that has seen everything lets retirement baggage go *)
+  let fresh = Dynamic_vv.create ~id:9 in
+  let fresh, _ = Dynamic_vv.sync fresh a in
+  let a' = Dynamic_vv.compact ~live:[ a; fresh ] a in
+  check_bool "baggage dropped or kept consistently" true
+    (Dynamic_vv.entry_count a' <= before)
+
+let test_dvv_sync () =
+  let a = Dynamic_vv.update (Dynamic_vv.create ~id:0) in
+  let b = Dynamic_vv.update (Dynamic_vv.create ~id:1) in
+  let a, b = Dynamic_vv.sync a b in
+  Alcotest.check rel "synced equal" Relation.Equal (Dynamic_vv.relation a b)
+
+(* --- Vector_clock --- *)
+
+let test_vc_basics () =
+  let p = Vector_clock.create ~id:0 in
+  let q = Vector_clock.create ~id:1 in
+  let p = Vector_clock.tick p in
+  let p, msg = Vector_clock.send p in
+  let q = Vector_clock.receive q msg in
+  check_bool "send happened-before receive" true
+    (Vector_clock.happened_before msg (Vector_clock.clock q));
+  let r = Vector_clock.tick (Vector_clock.create ~id:2) in
+  check_bool "independent events concurrent" true
+    (Vector_clock.concurrent (Vector_clock.clock p) (Vector_clock.clock r))
+
+let test_vc_transitive_causality () =
+  let p = Vector_clock.tick (Vector_clock.create ~id:0) in
+  let e1 = Vector_clock.clock p in
+  let p, m1 = Vector_clock.send p in
+  let q = Vector_clock.receive (Vector_clock.create ~id:1) m1 in
+  let q, m2 = Vector_clock.send q in
+  let r = Vector_clock.receive (Vector_clock.create ~id:2) m2 in
+  check_bool "e1 -> r's state" true
+    (Vector_clock.happened_before e1 (Vector_clock.clock r));
+  ignore p;
+  ignore q
+
+let test_vc_relation () =
+  let p = Vector_clock.tick (Vector_clock.create ~id:0) in
+  Alcotest.check rel "self equal" Relation.Equal
+    (Vector_clock.relation (Vector_clock.clock p) (Vector_clock.clock p))
+
+(* --- Plausible_clock --- *)
+
+let test_pc_create () =
+  let c = Plausible_clock.create ~size:4 in
+  check_int "size" 4 (Plausible_clock.size c);
+  check_int "zero" 0 (Plausible_clock.get c 0);
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Plausible_clock.create: size must be positive")
+    (fun () -> ignore (Plausible_clock.create ~size:0))
+
+let test_pc_fold () =
+  let c = Plausible_clock.create ~size:4 in
+  check_int "slot of 5" 1 (Plausible_clock.slot c ~id:5);
+  check_int "slot of 4" 0 (Plausible_clock.slot c ~id:4);
+  let c = Plausible_clock.increment c ~id:5 in
+  let c = Plausible_clock.increment c ~id:1 in
+  check_int "ids 5 and 1 share slot 1" 2 (Plausible_clock.get c 1)
+
+let test_pc_order () =
+  let c0 = Plausible_clock.create ~size:2 in
+  let a = Plausible_clock.increment c0 ~id:0 in
+  let b = Plausible_clock.increment c0 ~id:1 in
+  Alcotest.check rel "distinct slots concurrent" Relation.Concurrent
+    (Plausible_clock.relation a b);
+  let a2 = Plausible_clock.increment c0 ~id:0 in
+  Alcotest.check rel "same slot falsely ordered" Relation.Equal
+    (Plausible_clock.relation a a2);
+  Alcotest.check rel "merge dominates" Relation.Dominates
+    (Plausible_clock.relation (Plausible_clock.merge a b) a)
+
+let test_pc_merge_mismatch () =
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Plausible_clock.merge: size mismatch") (fun () ->
+      ignore
+        (Plausible_clock.merge
+           (Plausible_clock.create ~size:2)
+           (Plausible_clock.create ~size:3)))
+
+let test_pc_size_bits () =
+  let c = Plausible_clock.create ~size:3 in
+  check_int "three one-bit slots" 3 (Plausible_clock.size_bits c)
+
+(* --- Id_source --- *)
+
+let test_ids_central () =
+  let s = Id_source.make Id_source.Central in
+  let id1, s = Result.get_ok (Id_source.alloc s) in
+  let id2, s = Result.get_ok (Id_source.alloc s) in
+  check_bool "distinct" true (id1 <> id2);
+  check_int "issued" 2 (Id_source.issued_count s);
+  check_int "no failures" 0 (Id_source.failures s)
+
+let test_ids_partitioned () =
+  let s = Id_source.make (Id_source.Partitioned { server_group = 0 }) in
+  let _, s = Result.get_ok (Id_source.alloc ~group:0 s) in
+  (match Id_source.alloc ~group:1 s with
+  | Error (`Unavailable, s') ->
+      check_int "failure counted" 1 (Id_source.failures s')
+  | Ok _ -> Alcotest.fail "allocation should fail across the partition");
+  check_int "one issued" 1 (Id_source.issued_count s)
+
+let test_ids_random_collides () =
+  (* 2-bit ids: by the pigeonhole principle 5 allocations must collide *)
+  let s = ref (Id_source.make (Id_source.Random { bits = 2 })) in
+  for _ = 1 to 5 do
+    match Id_source.alloc !s with
+    | Ok (_, s') -> s := s'
+    | Error _ -> Alcotest.fail "random alloc cannot fail"
+  done;
+  check_bool "collision detected" true (Id_source.collisions !s > 0)
+
+let test_ids_random_wide_unique () =
+  let s = ref (Id_source.make (Id_source.Random { bits = 60 })) in
+  for _ = 1 to 100 do
+    match Id_source.alloc !s with
+    | Ok (_, s') -> s := s'
+    | Error _ -> Alcotest.fail "random alloc cannot fail"
+  done;
+  check_int "no collisions at 60 bits" 0 (Id_source.collisions !s)
+
+let test_ids_policy_pp () =
+  List.iter
+    (fun p ->
+      check_bool "renders" true
+        (String.length (Format.asprintf "%a" Id_source.pp_policy p) > 0))
+    [
+      Id_source.Central;
+      Id_source.Partitioned { server_group = 2 };
+      Id_source.Random { bits = 16 };
+    ]
+
+(* --- properties: vv agrees with stamps on shared runs --- *)
+
+let prop_merge_lattice =
+  QCheck2.Test.make ~name:"vv merge is a join semilattice" ~count:300
+    QCheck2.Gen.(
+      triple
+        (list_size (int_bound 5) (pair (int_bound 6) (int_bound 9)))
+        (list_size (int_bound 5) (pair (int_bound 6) (int_bound 9)))
+        (list_size (int_bound 5) (pair (int_bound 6) (int_bound 9))))
+    (fun (a, b, c) ->
+      let v = Version_vector.of_list in
+      let a = v a and b = v b and c = v c in
+      let ( <+> ) = Version_vector.merge in
+      Version_vector.equal (a <+> b) (b <+> a)
+      && Version_vector.equal ((a <+> b) <+> c) (a <+> (b <+> c))
+      && Version_vector.equal (a <+> a) a
+      && Version_vector.leq a (a <+> b)
+      && (Version_vector.leq a b = Version_vector.equal (a <+> b) b))
+
+let prop_plausible_preserves_order =
+  QCheck2.Test.make ~name:"folding a vv into a plausible clock preserves leq"
+    ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_bound 6) (pair (int_bound 9) (int_bound 5)))
+        (list_size (int_bound 6) (pair (int_bound 9) (int_bound 5))))
+    (fun (a, b) ->
+      let fold vv =
+        List.fold_left
+          (fun c (id, n) ->
+            let rec go c k = if k = 0 then c else go (Plausible_clock.increment c ~id) (k - 1) in
+            go c n)
+          (Plausible_clock.create ~size:3)
+          (Version_vector.to_list vv)
+      in
+      let va = Version_vector.of_list a and vb = Version_vector.of_list b in
+      (* build clocks whose counts mirror the normalized vectors *)
+      let ca = fold va and cb = fold vb in
+      (* folding may only coarsen: vv-leq must imply plausible-leq when
+         the clocks are built from the same per-id event counts *)
+      (not (Version_vector.leq va vb)) || Plausible_clock.leq ca cb)
+
+let () =
+  Alcotest.run "vv"
+    [
+      ( "version_vector",
+        [
+          Alcotest.test_case "zero" `Quick test_vv_zero;
+          Alcotest.test_case "set/get" `Quick test_vv_set_get;
+          Alcotest.test_case "increment" `Quick test_vv_increment;
+          Alcotest.test_case "leq/relation" `Quick test_vv_leq_relation;
+          Alcotest.test_case "merge" `Quick test_vv_merge;
+          Alcotest.test_case "dominated_by_merge" `Quick test_vv_dominated_by_merge;
+          Alcotest.test_case "size_bits" `Quick test_vv_size_bits;
+          Alcotest.test_case "figure 1 run" `Quick test_vv_figure1;
+          Alcotest.test_case "printing" `Quick test_vv_pp;
+        ] );
+      ( "dynamic_vv",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_dvv_lifecycle;
+          Alcotest.test_case "lazy width" `Quick test_dvv_lazy_width;
+          Alcotest.test_case "retire/absorb" `Quick test_dvv_retire_absorb;
+          Alcotest.test_case "compact" `Quick test_dvv_compact;
+          Alcotest.test_case "sync" `Quick test_dvv_sync;
+        ] );
+      ( "vector_clock",
+        [
+          Alcotest.test_case "basics" `Quick test_vc_basics;
+          Alcotest.test_case "transitive causality" `Quick
+            test_vc_transitive_causality;
+          Alcotest.test_case "relation" `Quick test_vc_relation;
+        ] );
+      ( "plausible_clock",
+        [
+          Alcotest.test_case "create" `Quick test_pc_create;
+          Alcotest.test_case "folding" `Quick test_pc_fold;
+          Alcotest.test_case "order" `Quick test_pc_order;
+          Alcotest.test_case "merge mismatch" `Quick test_pc_merge_mismatch;
+          Alcotest.test_case "size_bits" `Quick test_pc_size_bits;
+        ] );
+      ( "id_source",
+        [
+          Alcotest.test_case "central" `Quick test_ids_central;
+          Alcotest.test_case "partitioned" `Quick test_ids_partitioned;
+          Alcotest.test_case "random collides" `Quick test_ids_random_collides;
+          Alcotest.test_case "random wide unique" `Quick test_ids_random_wide_unique;
+          Alcotest.test_case "policy pp" `Quick test_ids_policy_pp;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_merge_lattice; prop_plausible_preserves_order ] );
+    ]
