@@ -106,7 +106,7 @@ let e1_trackers =
   ]
 
 let e1 () =
-  section "E1: tracking-data size (mean bits/replica) by workload and scale";
+  section "E1: tracking-data size (bits/replica, mean/p95) by workload and scale";
   let scales = [ 50; 100; 200; 400 ] in
   let workload_families =
     [
@@ -122,6 +122,7 @@ let e1 () =
       ("churn", fun n -> Workload.churn ~seed:7 ~target:8 ~n_ops:n ());
     ]
   in
+  let json_rows = ref [] in
   List.iter
     (fun (wname, mk) ->
       Format.printf "@.workload: %s@." wname;
@@ -135,12 +136,30 @@ let e1 () =
             :: List.map
                  (fun n ->
                    let r = System.run ~with_oracle:false t (mk n) in
-                   Printf.sprintf "%.0f" r.System.final.System.mean_bits)
+                   let f = r.System.final in
+                   json_rows :=
+                     Vstamp_obs.Jsonx.Obj
+                       [
+                         ("workload", Vstamp_obs.Jsonx.String wname);
+                         ("n", Vstamp_obs.Jsonx.Int n);
+                         ("tracker", Vstamp_obs.Jsonx.String r.System.tracker);
+                         ("mean_bits", Vstamp_obs.Jsonx.Float f.System.mean_bits);
+                         ("p50_bits", Vstamp_obs.Jsonx.Float f.System.p50_bits);
+                         ("p95_bits", Vstamp_obs.Jsonx.Float f.System.p95_bits);
+                         ("p99_bits", Vstamp_obs.Jsonx.Float f.System.p99_bits);
+                         ("max_bits", Vstamp_obs.Jsonx.Int f.System.max_bits);
+                         ("peak_bits", Vstamp_obs.Jsonx.Int r.System.peak_bits);
+                       ]
+                     :: !json_rows;
+                   Printf.sprintf "%.0f/%.0f" f.System.mean_bits
+                     f.System.p95_bits)
                  scales)
           e1_trackers
       in
       table ~header rows)
-    workload_families
+    workload_families;
+  Format.printf "  (cells: mean/p95 bits per replica on the final frontier)@.";
+  Vstamp_obs.Jsonx.List (List.rev !json_rows)
 
 (* ------------------------------------------------------------------ *)
 (* E2: reduction efficacy                                              *)
@@ -160,26 +179,45 @@ let e2 () =
       ("uniform small", Workload.uniform ~seed:3 ~n_ops:60 ~max_frontier:5 ());
     ]
   in
+  let json_rows = ref [] in
   table
-    ~header:[ "trace"; "reduced bits"; "non-reducing bits"; "ratio" ]
+    ~header:
+      [ "trace"; "reduced bits"; "p95"; "non-reducing bits"; "p95"; "ratio" ]
     (List.map
        (fun (name, ops) ->
-         let red =
+         let reduced =
            (System.run ~with_oracle:false Tracker.stamps ops).System.final
-             .System.total_bits
          in
          let raw =
            (System.run ~with_oracle:false Tracker.stamps_nonreducing ops)
-             .System.final.System.total_bits
+             .System.final
          in
+         let red = reduced.System.total_bits
+         and rawb = raw.System.total_bits in
+         let ratio =
+           if red = 0 then 0.0 else float_of_int rawb /. float_of_int red
+         in
+         json_rows :=
+           Vstamp_obs.Jsonx.Obj
+             [
+               ("trace", Vstamp_obs.Jsonx.String name);
+               ("reduced_bits", Vstamp_obs.Jsonx.Int red);
+               ("reduced_p95_bits", Vstamp_obs.Jsonx.Float reduced.System.p95_bits);
+               ("raw_bits", Vstamp_obs.Jsonx.Int rawb);
+               ("raw_p95_bits", Vstamp_obs.Jsonx.Float raw.System.p95_bits);
+               ("ratio", Vstamp_obs.Jsonx.Float ratio);
+             ]
+           :: !json_rows;
          [
            name;
            string_of_int red;
-           string_of_int raw;
-           (if red = 0 then "inf"
-            else Printf.sprintf "%.1fx" (float_of_int raw /. float_of_int red));
+           Printf.sprintf "%.0f" reduced.System.p95_bits;
+           string_of_int rawb;
+           Printf.sprintf "%.0f" raw.System.p95_bits;
+           (if red = 0 then "inf" else Printf.sprintf "%.1fx" ratio);
          ])
-       cases)
+       cases);
+  Vstamp_obs.Jsonx.List (List.rev !json_rows)
 
 (* ------------------------------------------------------------------ *)
 (* E4: ordering accuracy against the causal-history oracle             *)
@@ -654,32 +692,123 @@ let e3 () =
   let raw_ablation = Benchmark.all cfg [ instance ] (ablation_tests ()) in
   Hashtbl.iter (fun k v -> Hashtbl.replace raw k v) raw_ablation;
   let results = Analyze.all ols instance raw in
-  let rows =
+  let estimates =
     Hashtbl.fold
       (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with
-          | Some (e :: _) -> Printf.sprintf "%.0f" e
-          | _ -> "-"
-        in
-        [ name; ns ] :: acc)
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> (name, e) :: acc
+        | _ -> acc)
       results []
     |> List.sort compare
   in
-  table ~header:[ "operation"; "ns/op" ] rows
+  table
+    ~header:[ "operation"; "ns/op" ]
+    (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.0f" ns ]) estimates);
+  Vstamp_obs.Jsonx.Obj
+    (List.map (fun (name, ns) -> (name, Vstamp_obs.Jsonx.Float ns)) estimates)
 
 (* ------------------------------------------------------------------ *)
 
+let read_first_line path =
+  try
+    let ic = open_in path in
+    let line = try Some (input_line ic) with End_of_file -> None in
+    close_in ic;
+    line
+  with Sys_error _ -> None
+
+(* Resolve HEAD to a commit hash with plain file IO so the bench binary
+   stays usable without a git executable on PATH. *)
+let git_rev () =
+  let root = ".git" in
+  match read_first_line (Filename.concat root "HEAD") with
+  | None -> "unknown"
+  | Some head -> (
+      let prefix = "ref: " in
+      if String.length head > String.length prefix
+         && String.sub head 0 (String.length prefix) = prefix
+      then
+        let refname =
+          String.sub head (String.length prefix)
+            (String.length head - String.length prefix)
+        in
+        match read_first_line (Filename.concat root refname) with
+        | Some hash -> hash
+        | None -> (
+            (* the ref may only exist in packed-refs *)
+            match
+              read_first_line (Filename.concat root "packed-refs")
+            with
+            | None -> "unknown"
+            | Some _ -> (
+                let ic = open_in (Filename.concat root "packed-refs") in
+                let found = ref "unknown" in
+                (try
+                   while true do
+                     let line = input_line ic in
+                     match String.index_opt line ' ' with
+                     | Some i
+                       when String.sub line (i + 1)
+                              (String.length line - i - 1)
+                            = refname ->
+                         found := String.sub line 0 i;
+                         raise Exit
+                     | _ -> ()
+                   done
+                 with End_of_file | Exit -> ());
+                close_in ic;
+                !found))
+      else head)
+
+let core_counters () =
+  let open Vstamp_core in
+  Instr.reset ();
+  let was_enabled = !Instr.enabled in
+  Instr.enabled := true;
+  let ops = Workload.uniform ~seed:7 ~n_ops:400 () in
+  let frontier = Execution.Run_stamps.run ops in
+  List.iter
+    (fun s -> ignore (Vstamp_codec.Wire.stamp_to_string s))
+    frontier;
+  Instr.enabled := was_enabled;
+  let fields = Vstamp_sim.Telemetry.counter_fields () in
+  Instr.reset ();
+  Vstamp_obs.Jsonx.Obj
+    (List.map (fun (k, v) -> (k, Vstamp_obs.Jsonx.Int v)) fields)
+
+let bench_json_schema = "vstamp-bench-core/1"
+
+let write_bench_json ~sizes ~reduction ~latencies =
+  let open Vstamp_obs in
+  let json =
+    Jsonx.Obj
+      [
+        ("schema", Jsonx.String bench_json_schema);
+        ("seed", Jsonx.Int 7);
+        ("git_rev", Jsonx.String (git_rev ()));
+        ("op_latency_ns", latencies);
+        ("sizes", sizes);
+        ("reduction", reduction);
+        ("core_counters", core_counters ());
+      ]
+  in
+  let oc = open_out "BENCH_core.json" in
+  output_string oc (Jsonx.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote BENCH_core.json (schema %s)@." bench_json_schema
+
 let () =
+  Vstamp_obs.Clock.set_source Unix.gettimeofday;
   Format.printf "Version Stamps - experiment harness@.";
   Format.printf "(deterministic except E3 latencies; see EXPERIMENTS.md)@.";
   fig1 ();
   fig2_4 ();
   fig3 ();
-  e1 ();
-  e2 ();
+  let sizes = e1 () in
+  let reduction = e2 () in
   e2b ();
-  e3 ();
+  let latencies = e3 () in
   e4 ();
   e5 ();
   e6 ();
@@ -687,4 +816,5 @@ let () =
   e8 ();
   e9 ();
   e10 ();
+  write_bench_json ~sizes ~reduction ~latencies;
   Format.printf "@.done.@."

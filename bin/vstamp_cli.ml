@@ -5,6 +5,8 @@
      relate / frontier    classify stamps given in the paper's notation
      update/fork/join/reduce   apply stamp operations
      simulate / gen-trace      run or generate workload traces
+     compare              run one trace over several mechanisms
+     metrics              run instrumented and expose the metric registry
      draw                 ASCII lineage diagram of a trace
      encode / decode      wire format round trips *)
 
@@ -142,22 +144,34 @@ let workload_of_name ~seed ~n_ops = function
            ~syncs_per_phase:(max 1 (n_ops / 40)) ())
   | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
 
-let simulate tracker workload seed n_ops no_oracle trace_file =
-  let ops =
-    match trace_file with
-    | Some file -> (
-        match Trace.load ~file with
-        | Ok ops -> Ok ops
-        | Error e -> Error (`Msg (Format.asprintf "%s: %a" file Trace.pp_error e)))
-    | None -> workload_of_name ~seed ~n_ops workload
-  in
-  match ops with
+let load_ops ~workload ~seed ~n_ops = function
+  | Some file -> (
+      match Trace.load ~file with
+      | Ok ops -> Ok ops
+      | Error e -> Error (`Msg (Format.asprintf "%s: %a" file Trace.pp_error e)))
+  | None -> workload_of_name ~seed ~n_ops workload
+
+let with_metrics_sink metrics_out f =
+  match metrics_out with
+  | None -> f None
+  | Some file ->
+      let sink = Vstamp_obs.Sink.to_file file in
+      Fun.protect
+        ~finally:(fun () ->
+          Vstamp_obs.Sink.close sink;
+          Format.printf "wrote %d events to %s@."
+            (Vstamp_obs.Sink.emitted sink) file)
+        (fun () -> f (Some sink))
+
+let simulate tracker workload seed n_ops no_oracle trace_file metrics_out =
+  match load_ops ~workload ~seed ~n_ops trace_file with
   | Error (`Msg m) ->
       Format.eprintf "error: %s@." m;
       exit 1
   | Ok ops ->
-      let r = System.run ~with_oracle:(not no_oracle) tracker ops in
-      Format.printf "%a@." System.pp_result r
+      with_metrics_sink metrics_out (fun sink ->
+          let r = System.run ~with_oracle:(not no_oracle) ?sink tracker ops in
+          Format.printf "%a@." System.pp_result r)
 
 let simulate_cmd =
   let tracker =
@@ -197,12 +211,143 @@ let simulate_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Replay a trace file instead of generating a workload")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSONL telemetry stream (sim.start / sim.step / \
+             sim.result events, logical-step timestamps) to FILE")
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run a workload over a tracking mechanism and report size/accuracy")
     Term.(
       const simulate $ tracker $ workload $ seed $ n_ops $ no_oracle
-      $ trace_file)
+      $ trace_file $ metrics_out)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let default_trackers =
+    [ Tracker.stamps; Tracker.stamps_list; Tracker.version_vectors; Tracker.dynamic_vv ]
+  in
+  let trackers =
+    Arg.(
+      value
+      & opt (list tracker_conv) default_trackers
+      & info [ "t"; "trackers" ] ~docv:"TRACKERS"
+          ~doc:"Comma-separated mechanisms to compare")
+  in
+  let workload =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload family")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED") in
+  let n_ops = Arg.(value & opt int 400 & info [ "n"; "ops" ] ~docv:"N") in
+  let no_oracle =
+    Arg.(
+      value & flag
+      & info [ "no-oracle" ] ~doc:"Skip the causal-history accuracy check")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"Replay a trace file")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the JSONL telemetry of every run to FILE")
+  in
+  let compare trackers workload seed n_ops no_oracle trace_file metrics_out =
+    match load_ops ~workload ~seed ~n_ops trace_file with
+    | Error (`Msg m) ->
+        Format.eprintf "error: %s@." m;
+        exit 1
+    | Ok ops ->
+        with_metrics_sink metrics_out (fun sink ->
+            let rs =
+              System.run_all ~with_oracle:(not no_oracle) ?sink trackers ops
+            in
+            Stats.pp_table Format.std_formatter ~header:System.header
+              (List.map System.to_row rs))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run one trace over several mechanisms and tabulate the results")
+    Term.(
+      const compare $ trackers $ workload $ seed $ n_ops $ no_oracle
+      $ trace_file $ metrics_out)
+
+(* --- metrics --- *)
+
+let metrics tracker workload seed n_ops format =
+  match workload_of_name ~seed ~n_ops workload with
+  | Error (`Msg m) ->
+      Format.eprintf "error: %s@." m;
+      exit 1
+  | Ok ops ->
+      let registry = Vstamp_obs.Registry.create () in
+      (* final stamp frontier computed before instrumentation starts, so
+         the replay does not double the core op counters *)
+      let final_stamps = Execution.Run_stamps.run ops in
+      Vstamp_core.Instr.reset ();
+      Telemetry.attach ~registry ();
+      Fun.protect ~finally:Telemetry.detach (fun () ->
+          let (_ : System.result) =
+            System.run ~with_oracle:false ~registry
+              (Tracker.with_metrics ~registry tracker)
+              ops
+          in
+          (* exercise the wire codec on the final stamp frontier so the
+             encoded/decoded byte counters mean something *)
+          List.iter
+            (fun s ->
+              let bytes = Vstamp_codec.Wire.stamp_to_string s in
+              ignore (Vstamp_codec.Wire.stamp_of_string bytes))
+            final_stamps);
+      Telemetry.sync_counters registry;
+      (match format with
+      | `Prom -> print_string (Vstamp_obs.Registry.to_prometheus registry)
+      | `Json ->
+          print_endline
+            (Vstamp_obs.Jsonx.to_string (Vstamp_obs.Registry.to_json registry))
+      | `Table -> Vstamp_obs.Registry.pp_table Format.std_formatter registry)
+
+let metrics_cmd =
+  let tracker =
+    Arg.(
+      value
+      & opt tracker_conv Tracker.stamps
+      & info [ "t"; "tracker" ] ~docv:"TRACKER" ~doc:"Mechanism to instrument")
+  in
+  let workload =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload family")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED") in
+  let n_ops = Arg.(value & opt int 400 & info [ "n"; "ops" ] ~docv:"N") in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("prom", `Prom); ("json", `Json) ]) `Table
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: table, prom (Prometheus text), or json")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a workload with full instrumentation (core op counters, \
+          reduction stats, wire bytes, op latencies) and print the metric \
+          registry")
+    Term.(const metrics $ tracker $ workload $ seed $ n_ops $ format)
 
 (* --- gen-trace --- *)
 
@@ -349,6 +494,8 @@ let main_cmd =
       join_cmd;
       reduce_cmd;
       simulate_cmd;
+      compare_cmd;
+      metrics_cmd;
       gen_trace_cmd;
       draw_cmd;
       frontier_cmd;
@@ -356,4 +503,8 @@ let main_cmd =
       decode_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (* the CLI links unix, so spans get a real wall clock instead of the
+     dependency-free Sys.time default *)
+  Vstamp_obs.Clock.set_source Unix.gettimeofday;
+  exit (Cmd.eval main_cmd)

@@ -71,7 +71,9 @@ let read_stamp r =
 let stamp_to_string s =
   let w = Bitio.Writer.create () in
   write_stamp w s;
-  Bitio.Writer.contents w
+  let bytes = Bitio.Writer.contents w in
+  if !Instr.enabled then Instr.note_wire_encode ~bytes:(String.length bytes);
+  bytes
 
 let stamp_bits s =
   let w = Bitio.Writer.create () in
@@ -87,7 +89,11 @@ let stamp_of_string ?(validate = true) data =
   | exception Failure _ -> Error (Malformed "node with two empty children")
   | u, i ->
       let s = Stamp.make_unchecked ~update:u ~id:i in
-      if (not validate) || Stamp.well_formed s then Ok s
+      if (not validate) || Stamp.well_formed s then begin
+        if !Instr.enabled then
+          Instr.note_wire_decode ~bytes:(String.length data);
+        Ok s
+      end
       else Error (Malformed "update component not dominated by id (I1)")
 
 (* Version vectors on the wire: entry count, then (id, counter) varint

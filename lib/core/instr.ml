@@ -1,0 +1,100 @@
+let enabled = ref false
+
+type op_kind = Update | Fork | Join | Reduce
+
+let op_kind_to_string = function
+  | Update -> "update"
+  | Fork -> "fork"
+  | Join -> "join"
+  | Reduce -> "reduce"
+
+type op_event = {
+  op : op_kind;
+  bits_before : int;
+  bits_after : int;
+  depth : int;
+  width : int;
+}
+
+let observer : (op_event -> unit) option ref = ref None
+
+let set_observer f = observer := f
+
+let updates = ref 0
+
+let forks = ref 0
+
+let joins = ref 0
+
+let reduces = ref 0
+
+let reduce_rewrites = ref 0
+
+let reduce_bits_saved = ref 0
+
+let wire_stamps_encoded = ref 0
+
+let wire_bytes_encoded = ref 0
+
+let wire_stamps_decoded = ref 0
+
+let wire_bytes_decoded = ref 0
+
+type counters = {
+  updates : int;
+  forks : int;
+  joins : int;
+  reduces : int;
+  reduce_rewrites : int;
+  reduce_bits_saved : int;
+  wire_stamps_encoded : int;
+  wire_bytes_encoded : int;
+  wire_stamps_decoded : int;
+  wire_bytes_decoded : int;
+}
+
+let read () =
+  {
+    updates = !updates;
+    forks = !forks;
+    joins = !joins;
+    reduces = !reduces;
+    reduce_rewrites = !reduce_rewrites;
+    reduce_bits_saved = !reduce_bits_saved;
+    wire_stamps_encoded = !wire_stamps_encoded;
+    wire_bytes_encoded = !wire_bytes_encoded;
+    wire_stamps_decoded = !wire_stamps_decoded;
+    wire_bytes_decoded = !wire_bytes_decoded;
+  }
+
+let reset () =
+  updates := 0;
+  forks := 0;
+  joins := 0;
+  reduces := 0;
+  reduce_rewrites := 0;
+  reduce_bits_saved := 0;
+  wire_stamps_encoded := 0;
+  wire_bytes_encoded := 0;
+  wire_stamps_decoded := 0;
+  wire_bytes_decoded := 0
+
+let note_op ev =
+  (match ev.op with
+  | Update -> incr updates
+  | Fork -> incr forks
+  | Join -> incr joins
+  | Reduce -> incr reduces);
+  match !observer with None -> () | Some f -> f ev
+
+let note_reduce_rewrite () = incr reduce_rewrites
+
+let note_bits_saved n = reduce_bits_saved := !reduce_bits_saved + n
+
+let note_wire_encode ~bytes =
+  incr wire_stamps_encoded;
+  wire_bytes_encoded := !wire_bytes_encoded + bytes
+
+let note_wire_decode ~bytes =
+  incr wire_stamps_decoded;
+  wire_bytes_decoded := !wire_bytes_decoded + bytes

@@ -1,0 +1,69 @@
+(** Zero-cost-when-disabled instrumentation hook for the core.
+
+    The hot paths ({!Stamp.Make} operations, the Section 6 reducers,
+    the wire codec) consult a single boolean ref; when it is [false]
+    (the default) instrumentation costs one load-and-branch per
+    operation.  When enabled, operations bump plain counters and, if an
+    observer is installed, publish a per-operation record with size,
+    depth and width measurements.
+
+    The counters are global process state — deliberately, so any stamp
+    activity (whichever [Name] representation backs it) is visible from
+    one place.  They are deterministic for a deterministic run: nothing
+    here touches a clock. *)
+
+val enabled : bool ref
+(** Master switch, default [false]. *)
+
+type op_kind = Update | Fork | Join | Reduce
+
+val op_kind_to_string : op_kind -> string
+(** ["update"] / ["fork"] / ["join"] / ["reduce"]. *)
+
+type op_event = {
+  op : op_kind;
+  bits_before : int;  (** Structural bits of the operand(s). *)
+  bits_after : int;  (** Structural bits of the result(s). *)
+  depth : int;  (** Max name depth of the result. *)
+  width : int;  (** Id-component cardinal of the result. *)
+}
+
+val set_observer : (op_event -> unit) option -> unit
+(** Install (or remove) the per-operation observer, called on every
+    instrumented stamp operation while {!enabled}. *)
+
+(** {1 Counter snapshot} *)
+
+type counters = {
+  updates : int;
+  forks : int;
+  joins : int;
+  reduces : int;  (** Explicit [Stamp.reduce] calls. *)
+  reduce_rewrites : int;
+      (** Individual sibling-collapse rewrite steps inside the Section 6
+          fixpoint (both name representations). *)
+  reduce_bits_saved : int;
+      (** Structural bits removed by reduction, summed over joins and
+          explicit reduces. *)
+  wire_stamps_encoded : int;
+  wire_bytes_encoded : int;
+  wire_stamps_decoded : int;
+  wire_bytes_decoded : int;
+}
+
+val read : unit -> counters
+
+val reset : unit -> unit
+(** Zero every counter (leaves {!enabled} and the observer alone). *)
+
+(** {1 Recording — for instrumented modules, not end users} *)
+
+val note_op : op_event -> unit
+
+val note_reduce_rewrite : unit -> unit
+
+val note_bits_saved : int -> unit
+
+val note_wire_encode : bytes:int -> unit
+
+val note_wire_decode : bytes:int -> unit

@@ -111,7 +111,9 @@ let reduce_step ~u ~id =
 let rec reduce_stamp ~u ~id =
   match reduce_step ~u ~id with
   | None -> (u, id)
-  | Some (u', id') -> reduce_stamp ~u:u' ~id:id'
+  | Some (u', id') ->
+      if !Instr.enabled then Instr.note_reduce_rewrite ();
+      reduce_stamp ~u:u' ~id:id'
 
 let well_formed n =
   let rec sorted = function

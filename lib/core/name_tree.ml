@@ -151,9 +151,10 @@ let rec reduce_stamp ~u ~id =
       in
       let ul', il' = reduce_stamp ~u:ul ~id:il in
       let ur', ir' = reduce_stamp ~u:ur ~id:ir in
-      if il' = Mark && ir' = Mark then
+      if il' = Mark && ir' = Mark then begin
         (* id holds the sibling pair {p.0, p.1}: collapse to {p} and patch
            the update component when it mentioned either sibling. *)
+        if !Instr.enabled then Instr.note_reduce_rewrite ();
         let u' =
           if u_marked then Mark
           else
@@ -166,6 +167,7 @@ let rec reduce_stamp ~u ~id =
                 invalid_arg "Name_tree.reduce_stamp: invariant I1 violated"
         in
         (u', Mark)
+      end
       else
         let u' = if u_marked then Mark else node ul' ur' in
         (u', node il' ir')

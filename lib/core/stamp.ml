@@ -80,22 +80,69 @@ module Make (N : Name_intf.S) = struct
 
   let id t = t.i
 
-  let update t = { u = t.i; i = t.i }
+  let size_bits t = N.total_bits t.u + N.total_bits t.i
+
+  let id_width t = N.cardinal t.i
+
+  let max_depth t = max (N.max_depth t.u) (N.max_depth t.i)
+
+  (* Instrumentation: one load-and-branch on [Instr.enabled] per
+     operation when telemetry is off; measurements happen only when it
+     is on. *)
+  let observe op ~bits_before t =
+    Instr.note_op
+      {
+        Instr.op;
+        bits_before;
+        bits_after = size_bits t;
+        depth = max_depth t;
+        width = id_width t;
+      }
+
+  let update t =
+    let t' = { u = t.i; i = t.i } in
+    if !Instr.enabled then observe Instr.Update ~bits_before:(size_bits t) t';
+    t'
 
   let fork t =
-    ( { t with i = N.append_digit Bits.Zero t.i },
-      { t with i = N.append_digit Bits.One t.i } )
+    let l = { t with i = N.append_digit Bits.Zero t.i }
+    and r = { t with i = N.append_digit Bits.One t.i } in
+    if !Instr.enabled then begin
+      (* the fork's whole footprint: both resulting stamps *)
+      Instr.note_op
+        {
+          Instr.op = Instr.Fork;
+          bits_before = size_bits t;
+          bits_after = size_bits l + size_bits r;
+          depth = max (max_depth l) (max_depth r);
+          width = id_width l + id_width r;
+        }
+    end;
+    (l, r)
 
   let reduce t =
     let u, i = N.reduce_stamp ~u:t.u ~id:t.i in
-    { u; i }
+    let t' = { u; i } in
+    if !Instr.enabled then begin
+      let before = size_bits t in
+      Instr.note_bits_saved (before - size_bits t');
+      observe Instr.Reduce ~bits_before:before t'
+    end;
+    t'
 
   let join ?(reduce = true) a b =
     let joined = { u = N.join a.u b.u; i = N.join a.i b.i } in
-    if reduce then
-      let u, i = N.reduce_stamp ~u:joined.u ~id:joined.i in
-      { u; i }
-    else joined
+    let result =
+      if reduce then
+        let u, i = N.reduce_stamp ~u:joined.u ~id:joined.i in
+        { u; i }
+      else joined
+    in
+    if !Instr.enabled then begin
+      if reduce then Instr.note_bits_saved (size_bits joined - size_bits result);
+      observe Instr.Join ~bits_before:(size_bits a + size_bits b) result
+    end;
+    result
 
   let sync ?reduce a b = fork (join ?reduce a b)
 
@@ -136,12 +183,6 @@ module Make (N : Name_intf.S) = struct
   let compare a b =
     let c = N.compare a.u b.u in
     if c <> 0 then c else N.compare a.i b.i
-
-  let size_bits t = N.total_bits t.u + N.total_bits t.i
-
-  let id_width t = N.cardinal t.i
-
-  let max_depth t = max (N.max_depth t.u) (N.max_depth t.i)
 
   let well_formed t = N.well_formed t.u && N.well_formed t.i && N.leq t.u t.i
 

@@ -1,0 +1,7 @@
+let source = ref Sys.time
+
+let set_source f = source := f
+
+let now_s () = !source ()
+
+let now_ns () = Int64.of_float (!source () *. 1e9)

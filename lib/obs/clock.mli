@@ -1,0 +1,17 @@
+(** The time source behind every span and timer.
+
+    The library itself has no dependencies, so the default source is
+    [Sys.time] (processor seconds) — adequate for single-threaded
+    latency spans.  Executables that link [unix] can inject a better
+    source with {!set_source} (e.g. [Unix.gettimeofday]).  Tests can
+    inject a fake clock. *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the time source; the function must return seconds as a
+    monotonically non-decreasing float. *)
+
+val now_s : unit -> float
+(** Current time of the active source, in seconds. *)
+
+val now_ns : unit -> int64
+(** Current time of the active source, in integer nanoseconds. *)

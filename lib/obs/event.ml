@@ -1,0 +1,54 @@
+type timestamp = Step of int | Wall_ns of int64 | Untimed
+
+type t = { ts : timestamp; name : string; fields : (string * Jsonx.t) list }
+
+let v ?(ts = Untimed) name fields = { ts; name; fields }
+
+let equal a b =
+  a.ts = b.ts && String.equal a.name b.name
+  && List.length a.fields = List.length b.fields
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && Jsonx.equal v1 v2)
+       a.fields b.fields
+
+let reserved = [ "event"; "step"; "wall_ns" ]
+
+let to_json e =
+  List.iter
+    (fun (k, _) ->
+      if List.mem k reserved then
+        invalid_arg (Printf.sprintf "Event.to_json: reserved field %S" k))
+    e.fields;
+  let ts_fields =
+    match e.ts with
+    | Step k -> [ ("step", Jsonx.Int k) ]
+    | Wall_ns ns -> [ ("wall_ns", Jsonx.Int (Int64.to_int ns)) ]
+    | Untimed -> []
+  in
+  Jsonx.Obj ((("event", Jsonx.String e.name) :: ts_fields) @ e.fields)
+
+let of_json json =
+  match json with
+  | Jsonx.Obj bindings -> (
+      match Jsonx.member "event" json with
+      | Some (Jsonx.String name) ->
+          let ts =
+            match (Jsonx.member "step" json, Jsonx.member "wall_ns" json) with
+            | Some (Jsonx.Int k), _ -> Step k
+            | _, Some (Jsonx.Int ns) -> Wall_ns (Int64.of_int ns)
+            | _ -> Untimed
+          in
+          let fields =
+            List.filter (fun (k, _) -> not (List.mem k reserved)) bindings
+          in
+          Ok { ts; name; fields }
+      | Some _ -> Error "field \"event\" is not a string"
+      | None -> Error "missing field \"event\"")
+  | _ -> Error "event is not a JSON object"
+
+let to_string e = Jsonx.to_string (to_json e)
+
+let of_string s =
+  match Jsonx.of_string s with
+  | Error e -> Error e
+  | Ok json -> of_json json

@@ -1,0 +1,32 @@
+(** Structured telemetry events with a one-line JSON encoding (JSONL).
+
+    An event is a name, a timestamp, and ordered fields.  Timestamps are
+    either a {e logical step} (deterministic — the form used by the
+    simulator so traces are byte-identical across runs with the same
+    seed) or wall-clock nanoseconds.  The encoding is canonical: field
+    order is preserved, so [to_string] is deterministic for a given
+    event. *)
+
+type timestamp =
+  | Step of int  (** Logical step counter — deterministic. *)
+  | Wall_ns of int64  (** Wall-clock nanoseconds — not deterministic. *)
+  | Untimed
+
+type t = { ts : timestamp; name : string; fields : (string * Jsonx.t) list }
+
+val v : ?ts:timestamp -> string -> (string * Jsonx.t) list -> t
+(** [v name fields] with [ts] defaulting to [Untimed]. *)
+
+val equal : t -> t -> bool
+
+val to_json : t -> Jsonx.t
+(** [{"event": name, ("step" | "wall_ns")?, ...fields}].  The reserved
+    keys ["event"], ["step"], ["wall_ns"] must not appear in
+    [fields]. *)
+
+val of_json : Jsonx.t -> (t, string) result
+
+val to_string : t -> string
+(** One JSONL line, without the trailing newline. *)
+
+val of_string : string -> (t, string) result

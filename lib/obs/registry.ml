@@ -1,0 +1,166 @@
+type metric =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Metric.histogram
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let default = create ()
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg (Printf.sprintf "Registry: %S is not a counter" name)
+  | None ->
+      let c = Metric.counter () in
+      Hashtbl.add t.tbl name (Counter c);
+      c
+
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg (Printf.sprintf "Registry: %S is not a gauge" name)
+  | None ->
+      let g = Metric.gauge () in
+      Hashtbl.add t.tbl name (Gauge g);
+      g
+
+let histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg (Printf.sprintf "Registry: %S is not a histogram" name)
+  | None ->
+      let h = Metric.histogram () in
+      Hashtbl.add t.tbl name (Histogram h);
+      h
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+let cardinal t = Hashtbl.length t.tbl
+
+let snapshot t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c -> Metric.reset_counter c
+      | Gauge g -> Metric.reset_gauge g
+      | Histogram h -> Metric.reset_histogram h)
+    t.tbl
+
+let clear t = Hashtbl.reset t.tbl
+
+(* --- exposition --- *)
+
+(* split "name{labels}" into the base name and the label text *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | Some i when String.length name > 0 && name.[String.length name - 1] = '}' ->
+      ( String.sub name 0 i,
+        Some (String.sub name (i + 1) (String.length name - i - 2)) )
+  | _ -> (name, None)
+
+let with_label name extra =
+  match split_labels name with
+  | base, None -> Printf.sprintf "%s{%s}" base extra
+  | base, Some labels -> Printf.sprintf "%s{%s,%s}" base labels extra
+
+let num f =
+  if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let typed = Hashtbl.create 16 in
+  let type_line base kind =
+    if not (Hashtbl.mem typed base) then begin
+      Hashtbl.add typed base ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind)
+    end
+  in
+  List.iter
+    (fun (name, m) ->
+      let base, _ = split_labels name in
+      match m with
+      | Counter c ->
+          type_line base "counter";
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Metric.count c))
+      | Gauge g ->
+          type_line base "gauge";
+          Buffer.add_string buf (Printf.sprintf "%s %s\n" name (num (Metric.value g)))
+      | Histogram h ->
+          type_line base "summary";
+          let p = Metric.percentiles h in
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" (with_label name "quantile=\"0.5\"") (num p.Metric.p50));
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" (with_label name "quantile=\"0.95\"") (num p.Metric.p95));
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" (with_label name "quantile=\"0.99\"") (num p.Metric.p99));
+          let suffix sfx v =
+            match split_labels name with
+            | base, None -> Printf.sprintf "%s%s %s\n" base sfx v
+            | base, Some labels -> Printf.sprintf "%s%s{%s} %s\n" base sfx labels v
+          in
+          Buffer.add_string buf (suffix "_sum" (num (Metric.sum h)));
+          Buffer.add_string buf (suffix "_count" (string_of_int (Metric.observations h)));
+          Buffer.add_string buf (suffix "_max" (num (Metric.max_value h))))
+    (snapshot t);
+  Buffer.contents buf
+
+let histogram_json h =
+  let p = Metric.percentiles h in
+  Jsonx.Obj
+    [
+      ("count", Jsonx.Int (Metric.observations h));
+      ("sum", Jsonx.Float (Metric.sum h));
+      ("mean", Jsonx.Float (Metric.mean h));
+      ("min", Jsonx.Float (Metric.min_value h));
+      ("max", Jsonx.Float (Metric.max_value h));
+      ("p50", Jsonx.Float p.Metric.p50);
+      ("p95", Jsonx.Float p.Metric.p95);
+      ("p99", Jsonx.Float p.Metric.p99);
+    ]
+
+let to_json t =
+  Jsonx.Obj
+    (List.map
+       (fun (name, m) ->
+         ( name,
+           match m with
+           | Counter c -> Jsonx.Int (Metric.count c)
+           | Gauge g -> Jsonx.Float (Metric.value g)
+           | Histogram h -> histogram_json h ))
+       (snapshot t))
+
+let pp_table ppf t =
+  let rows =
+    List.map
+      (fun (name, m) ->
+        match m with
+        | Counter c -> (name, string_of_int (Metric.count c), "counter")
+        | Gauge g -> (name, num (Metric.value g), "gauge")
+        | Histogram h ->
+            let p = Metric.percentiles h in
+            ( name,
+              Printf.sprintf "n=%d" (Metric.observations h),
+              Printf.sprintf "mean=%s p50=%s p95=%s p99=%s max=%s"
+                (num (Metric.mean h)) (num p.Metric.p50) (num p.Metric.p95)
+                (num p.Metric.p99) (num (Metric.max_value h)) ))
+      (snapshot t)
+  in
+  let w1 =
+    List.fold_left (fun acc (a, _, _) -> max acc (String.length a)) 6 rows
+  in
+  let w2 =
+    List.fold_left (fun acc (_, b, _) -> max acc (String.length b)) 5 rows
+  in
+  Format.fprintf ppf "%-*s  %-*s  %s@." w1 "metric" w2 "value" "detail";
+  List.iter
+    (fun (a, b, c) -> Format.fprintf ppf "%-*s  %-*s  %s@." w1 a w2 b c)
+    rows

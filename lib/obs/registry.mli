@@ -1,0 +1,54 @@
+(** A named metric registry with three exposition formats.
+
+    Metrics are addressed by name; the name may carry Prometheus-style
+    labels inline, e.g. [{sim_op_ns{tracker="stamps",op="join"}}] — the
+    registry treats the whole string as the key and the expositions
+    understand the label syntax.  [counter]/[gauge]/[histogram] are
+    get-or-create and raise [Invalid_argument] if the name is already
+    registered with a different kind. *)
+
+type t
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry, used when no explicit registry is
+    passed. *)
+
+type metric =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Metric.histogram
+
+val counter : t -> string -> Metric.counter
+
+val gauge : t -> string -> Metric.gauge
+
+val histogram : t -> string -> Metric.histogram
+
+val find : t -> string -> metric option
+
+val cardinal : t -> int
+
+val snapshot : t -> (string * metric) list
+(** All metrics, sorted by name. *)
+
+val reset : t -> unit
+(** Zero every metric, keeping registrations. *)
+
+val clear : t -> unit
+(** Drop every registration. *)
+
+(** {1 Exposition} *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition: counters and gauges as single samples,
+    histograms as summaries (quantile-labelled samples plus [_sum],
+    [_count], [_max]). *)
+
+val to_json : t -> Jsonx.t
+(** One object keyed by metric name; histograms expose
+    count/sum/mean/min/max/p50/p95/p99. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** Human-readable aligned table of the same data. *)

@@ -1,0 +1,51 @@
+type t = {
+  write : Event.t -> unit;
+  finish : unit -> unit;
+  buffer : Event.t list ref option;
+  mutable n : int;
+}
+
+let null = { write = ignore; finish = ignore; buffer = None; n = 0 }
+
+let memory () =
+  let buf = ref [] in
+  {
+    write = (fun e -> buf := e :: !buf);
+    finish = ignore;
+    buffer = Some buf;
+    n = 0;
+  }
+
+let contents t = match t.buffer with Some buf -> List.rev !buf | None -> []
+
+let of_channel ?(flush_each = false) oc =
+  {
+    write =
+      (fun e ->
+        output_string oc (Event.to_string e);
+        output_char oc '\n';
+        if flush_each then flush oc);
+    finish = (fun () -> flush oc);
+    buffer = None;
+    n = 0;
+  }
+
+let to_file path =
+  let oc = open_out path in
+  {
+    write =
+      (fun e ->
+        output_string oc (Event.to_string e);
+        output_char oc '\n');
+    finish = (fun () -> close_out oc);
+    buffer = None;
+    n = 0;
+  }
+
+let emit t e =
+  t.n <- t.n + 1;
+  t.write e
+
+let emitted t = t.n
+
+let close t = t.finish ()

@@ -1,0 +1,26 @@
+(** Where events go: nowhere, memory, or a channel as JSONL. *)
+
+type t
+
+val null : t
+(** Drops everything. *)
+
+val memory : unit -> t
+(** Buffers events in order; read them back with {!contents}. *)
+
+val contents : t -> Event.t list
+(** Events of a {!memory} sink, oldest first; [[]] for other sinks. *)
+
+val of_channel : ?flush_each:bool -> out_channel -> t
+(** One JSONL line per event.  The channel is not closed by {!close};
+    it belongs to the caller. *)
+
+val to_file : string -> t
+(** Open (truncate) a file for JSONL output; {!close} closes it. *)
+
+val emit : t -> Event.t -> unit
+
+val emitted : t -> int
+(** Events accepted so far (including by [null]). *)
+
+val close : t -> unit

@@ -1,0 +1,18 @@
+type t = { name : string; registry : Registry.t; t0 : int64 }
+
+let record ?(registry = Registry.default) name ns =
+  Metric.observe (Registry.histogram registry name) (Int64.to_float ns)
+
+let start ?(registry = Registry.default) name =
+  { name; registry; t0 = Clock.now_ns () }
+
+let stop s =
+  let d = Int64.sub (Clock.now_ns ()) s.t0 in
+  record ~registry:s.registry s.name d;
+  d
+
+let time ?registry name f =
+  let t0 = Clock.now_ns () in
+  Fun.protect
+    ~finally:(fun () -> record ?registry name (Int64.sub (Clock.now_ns ()) t0))
+    f

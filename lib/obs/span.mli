@@ -1,0 +1,17 @@
+(** Latency spans over the {!Clock} source, recorded into a registry
+    histogram of nanoseconds under the span's name. *)
+
+type t
+
+val start : ?registry:Registry.t -> string -> t
+
+val stop : t -> int64
+(** Record the elapsed time into the span's histogram and return it in
+    nanoseconds. *)
+
+val time : ?registry:Registry.t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span; the duration is recorded even if the
+    thunk raises. *)
+
+val record : ?registry:Registry.t -> string -> int64 -> unit
+(** Record an externally measured duration (nanoseconds). *)

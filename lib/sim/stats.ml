@@ -19,6 +19,28 @@ let percentile p xs =
       let rank = max 0 (min (n - 1) rank) in
       List.nth sorted rank
 
+type summary = {
+  n : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : int;
+}
+
+let summary xs =
+  let h = Vstamp_obs.Metric.histogram () in
+  List.iter (Vstamp_obs.Metric.observe_int h) xs;
+  let p = Vstamp_obs.Metric.percentiles h in
+  {
+    n = List.length xs;
+    mean = Vstamp_obs.Metric.mean h;
+    p50 = p.Vstamp_obs.Metric.p50;
+    p95 = p.Vstamp_obs.Metric.p95;
+    p99 = p.Vstamp_obs.Metric.p99;
+    max = max_int_list xs;
+  }
+
 let stddev xs =
   match xs with
   | [] | [ _ ] -> 0.0

@@ -17,6 +17,20 @@ val percentile : float -> int list -> int
 (** [percentile 95. xs] is the nearest-rank 95th percentile; [0] on the
     empty list. *)
 
+type summary = {
+  n : int;
+  mean : float;  (** Exact. *)
+  p50 : float;  (** Histogram-resolution estimate (about 9%). *)
+  p95 : float;
+  p99 : float;
+  max : int;  (** Exact. *)
+}
+
+val summary : int list -> summary
+(** Percentile aggregation backed by the {!Vstamp_obs.Metric.histogram}
+    log-scaled histogram: mean and max are exact, quantiles are
+    bucket-resolution estimates.  All zeros on the empty list. *)
+
 val stddev : float list -> float
 (** Sample standard deviation; [0.] below two points. *)
 

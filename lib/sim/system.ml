@@ -13,6 +13,9 @@ let perfect a = a.spurious_orderings = 0 && a.missed_orderings = 0
 type size_summary = {
   frontier : int;
   mean_bits : float;
+  p50_bits : float;
+  p95_bits : float;
+  p99_bits : float;
   max_bits : int;
   total_bits : int;
 }
@@ -30,10 +33,14 @@ type result = {
 }
 
 let summarize sizes =
+  let s = Stats.summary sizes in
   {
     frontier = List.length sizes;
-    mean_bits = Stats.mean_int sizes;
-    max_bits = Stats.max_int_list sizes;
+    mean_bits = s.Stats.mean;
+    p50_bits = s.Stats.p50;
+    p95_bits = s.Stats.p95;
+    p99_bits = s.Stats.p99;
+    max_bits = s.Stats.max;
     total_bits = Stats.sum_int sizes;
   }
 
@@ -71,11 +78,78 @@ let accuracy_of (type a) (module T : Tracker.S with type t = a)
     missed_orderings = !missed;
   }
 
-let run ?(with_oracle = true) (Tracker.Packed (module T)) ops =
+let op_label = function
+  | Execution.Update _ -> "update"
+  | Execution.Fork _ -> "fork"
+  | Execution.Join _ -> "join"
+
+(* Telemetry around one run.  Timestamps in emitted events are the
+   logical step counter — never a wall clock — so two runs of the same
+   seeded trace produce byte-identical JSONL.  Wall-clock latencies,
+   which are inherently nondeterministic, go only into the registry's
+   histograms. *)
+let run ?(with_oracle = true) ?registry ?sink (Tracker.Packed (module T)) ops =
   let module R = Execution.Run (T) in
-  let steps = R.run_steps ops in
-  let final_frontier = List.nth steps (List.length steps - 1) in
-  let step_sizes = List.map (List.map T.size_bits) steps in
+  let open Vstamp_obs in
+  let st0, f0 = R.init in
+  let sizes0 = List.map T.size_bits f0 in
+  let emit_step step op sizes =
+    match sink with
+    | None -> ()
+    | Some sk ->
+        Sink.emit sk
+          (Event.v ~ts:(Event.Step step) "sim.step"
+             [
+               ("tracker", Jsonx.String T.name);
+               ("op", Jsonx.String (Execution.op_to_string op));
+               ("frontier", Jsonx.Int (List.length sizes));
+               ("total_bits", Jsonx.Int (Stats.sum_int sizes));
+               ("max_bits", Jsonx.Int (Stats.max_int_list sizes));
+             ])
+  in
+  let observe_sizes sizes =
+    match registry with
+    | None -> ()
+    | Some reg ->
+        let h =
+          Registry.histogram reg
+            (Printf.sprintf "sim_size_bits{tracker=%S}" T.name)
+        in
+        List.iter (Metric.observe_int h) sizes
+  in
+  let apply st f op =
+    match registry with
+    | None -> R.apply st f op
+    | Some reg ->
+        let t0 = Clock.now_ns () in
+        let r = R.apply st f op in
+        Span.record ~registry:reg
+          (Printf.sprintf "sim_op_ns{tracker=%S,op=%S}" T.name (op_label op))
+          (Int64.sub (Clock.now_ns ()) t0);
+        r
+  in
+  (match sink with
+  | Some sk ->
+      Sink.emit sk
+        (Event.v ~ts:(Event.Step 0) "sim.start"
+           [
+             ("tracker", Jsonx.String T.name);
+             ("ops", Jsonx.Int (List.length ops));
+           ])
+  | None -> ());
+  observe_sizes sizes0;
+  let (_, final_frontier), rev_step_sizes, _ =
+    List.fold_left
+      (fun ((st, f), acc, step) op ->
+        let st', f' = apply st f op in
+        let sizes = List.map T.size_bits f' in
+        emit_step step op sizes;
+        observe_sizes sizes;
+        ((st', f'), sizes :: acc, step + 1))
+      ((st0, f0), [ sizes0 ], 1)
+      ops
+  in
+  let step_sizes = List.rev rev_step_sizes in
   let updates, forks, joins = count_ops ops in
   let accuracy =
     if with_oracle then
@@ -83,20 +157,52 @@ let run ?(with_oracle = true) (Tracker.Packed (module T)) ops =
       Some (accuracy_of (module T) final_frontier oracle)
     else None
   in
-  {
-    tracker = T.name;
-    ops = List.length ops;
-    updates;
-    forks;
-    joins;
-    final = summarize (List.map T.size_bits final_frontier);
-    peak_bits = Stats.max_int_list (List.map Stats.max_int_list step_sizes);
-    mean_step_bits = Stats.mean (List.map Stats.mean_int step_sizes);
-    accuracy;
-  }
+  let result =
+    {
+      tracker = T.name;
+      ops = List.length ops;
+      updates;
+      forks;
+      joins;
+      final = summarize (List.map T.size_bits final_frontier);
+      peak_bits = Stats.max_int_list (List.map Stats.max_int_list step_sizes);
+      mean_step_bits = Stats.mean (List.map Stats.mean_int step_sizes);
+      accuracy;
+    }
+  in
+  (match sink with
+  | Some sk ->
+      let acc_fields =
+        match accuracy with
+        | None -> []
+        | Some a ->
+            [
+              ("comparisons", Jsonx.Int a.comparisons);
+              ("spurious", Jsonx.Int a.spurious_orderings);
+              ("missed", Jsonx.Int a.missed_orderings);
+            ]
+      in
+      Sink.emit sk
+        (Event.v ~ts:(Event.Step result.ops) "sim.result"
+           ([
+              ("tracker", Jsonx.String T.name);
+              ("ops", Jsonx.Int result.ops);
+              ("updates", Jsonx.Int updates);
+              ("forks", Jsonx.Int forks);
+              ("joins", Jsonx.Int joins);
+              ("frontier", Jsonx.Int result.final.frontier);
+              ("mean_bits", Jsonx.Float result.final.mean_bits);
+              ("p95_bits", Jsonx.Float result.final.p95_bits);
+              ("max_bits", Jsonx.Int result.final.max_bits);
+              ("total_bits", Jsonx.Int result.final.total_bits);
+              ("peak_bits", Jsonx.Int result.peak_bits);
+            ]
+           @ acc_fields))
+  | None -> ());
+  result
 
-let run_all ?with_oracle trackers ops =
-  List.map (fun t -> run ?with_oracle t ops) trackers
+let run_all ?with_oracle ?registry ?sink trackers ops =
+  List.map (fun t -> run ?with_oracle ?registry ?sink t ops) trackers
 
 let pp_accuracy ppf = function
   | None -> Format.pp_print_string ppf "-"
@@ -118,10 +224,20 @@ let to_row r =
     string_of_int r.ops;
     string_of_int r.final.frontier;
     Printf.sprintf "%.1f" r.final.mean_bits;
+    Printf.sprintf "%.0f" r.final.p95_bits;
     string_of_int r.final.max_bits;
     string_of_int r.peak_bits;
     Format.asprintf "%a" pp_accuracy r.accuracy;
   ]
 
 let header =
-  [ "tracker"; "ops"; "frontier"; "mean bits"; "max bits"; "peak bits"; "accuracy" ]
+  [
+    "tracker";
+    "ops";
+    "frontier";
+    "mean bits";
+    "p95 bits";
+    "max bits";
+    "peak bits";
+    "accuracy";
+  ]

@@ -20,6 +20,9 @@ val perfect : accuracy -> bool
 type size_summary = {
   frontier : int;  (** Number of live replicas at the end. *)
   mean_bits : float;  (** Mean tracking-data size per replica. *)
+  p50_bits : float;  (** {!Stats.summary} histogram estimates. *)
+  p95_bits : float;
+  p99_bits : float;
   max_bits : int;
   total_bits : int;
 }
@@ -36,12 +39,29 @@ type result = {
   accuracy : accuracy option;  (** [None] when run without the oracle. *)
 }
 
-val run : ?with_oracle:bool -> Tracker.packed -> Vstamp_core.Execution.op list -> result
+val run :
+  ?with_oracle:bool ->
+  ?registry:Vstamp_obs.Registry.t ->
+  ?sink:Vstamp_obs.Sink.t ->
+  Tracker.packed ->
+  Vstamp_core.Execution.op list ->
+  result
 (** Play a trace over one tracker; [with_oracle] (default [true]) also
-    plays it over causal histories and scores the final frontier. *)
+    plays it over causal histories and scores the final frontier.
+
+    With [registry], per-operation wall-clock latencies are recorded
+    into [sim_op_ns{tracker=...,op=...}] histograms and per-replica
+    sizes into [sim_size_bits{tracker=...}].  With [sink], a
+    machine-readable event stream is emitted: one [sim.start] event,
+    one [sim.step] event per operation (frontier width, total and max
+    bits) and a final [sim.result] summary.  Event timestamps are the
+    {e logical step counter}, never a wall clock, so the stream is
+    byte-identical across runs of the same trace. *)
 
 val run_all :
   ?with_oracle:bool ->
+  ?registry:Vstamp_obs.Registry.t ->
+  ?sink:Vstamp_obs.Sink.t ->
   Tracker.packed list ->
   Vstamp_core.Execution.op list ->
   result list

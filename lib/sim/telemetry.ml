@@ -1,0 +1,54 @@
+open Vstamp_core
+open Vstamp_obs
+
+let observer registry ev =
+  let opname = Instr.op_kind_to_string ev.Instr.op in
+  Metric.inc
+    (Registry.counter registry
+       (Printf.sprintf "core_stamp_ops_total{op=%S}" opname));
+  Metric.observe_int
+    (Registry.histogram registry
+       (Printf.sprintf "core_stamp_bits{op=%S}" opname))
+    ev.Instr.bits_after;
+  Metric.observe_int (Registry.histogram registry "core_stamp_depth")
+    ev.Instr.depth;
+  Metric.observe_int (Registry.histogram registry "core_stamp_id_width")
+    ev.Instr.width
+
+let attach ?(registry = Registry.default) () =
+  Instr.set_observer (Some (observer registry));
+  Instr.enabled := true
+
+let detach () =
+  Instr.enabled := false;
+  Instr.set_observer None
+
+let counter_fields () =
+  let c = Instr.read () in
+  [
+    ("updates", c.Instr.updates);
+    ("forks", c.Instr.forks);
+    ("joins", c.Instr.joins);
+    ("reduces", c.Instr.reduces);
+    ("reduce_rewrites", c.Instr.reduce_rewrites);
+    ("reduce_bits_saved", c.Instr.reduce_bits_saved);
+    ("wire_stamps_encoded", c.Instr.wire_stamps_encoded);
+    ("wire_bytes_encoded", c.Instr.wire_bytes_encoded);
+    ("wire_stamps_decoded", c.Instr.wire_stamps_decoded);
+    ("wire_bytes_decoded", c.Instr.wire_bytes_decoded);
+  ]
+
+let sync_counters registry =
+  List.iter
+    (fun (name, v) ->
+      Metric.set
+        (Registry.gauge registry (Printf.sprintf "core_%s" name))
+        (float_of_int v))
+    (counter_fields ())
+
+let counters_event ?step () =
+  let ts =
+    match step with Some k -> Event.Step k | None -> Event.Untimed
+  in
+  Event.v ~ts "core.counters"
+    (List.map (fun (k, v) -> (k, Jsonx.Int v)) (counter_fields ()))

@@ -230,3 +230,35 @@ let all =
     plausible 4;
     plausible 8;
   ]
+
+(* Wrap a tracker so every operation (and comparison) is timed into a
+   registry histogram — per-mechanism op latency without touching the
+   mechanism itself. *)
+let with_metrics ?(registry = Vstamp_obs.Registry.default) (Packed (module T)) =
+  Packed
+    (module struct
+      type t = T.t
+
+      type state = T.state
+
+      let name = T.name
+
+      let initial = T.initial
+
+      let span op f =
+        Vstamp_obs.Span.time ~registry
+          (Printf.sprintf "tracker_op_ns{tracker=%S,op=%S}" T.name op)
+          f
+
+      let update st x = span "update" (fun () -> T.update st x)
+
+      let fork st x = span "fork" (fun () -> T.fork st x)
+
+      let join st a b = span "join" (fun () -> T.join st a b)
+
+      let leq a b = span "leq" (fun () -> T.leq a b)
+
+      let size_bits = T.size_bits
+
+      let pp = T.pp
+    end)

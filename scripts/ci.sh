@@ -1,0 +1,35 @@
+#!/bin/sh
+# Local CI: build, tests, docs (when odoc is available), CLI smoke.
+# Run from the repository root: scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v odoc >/dev/null 2>&1; then
+  echo "== dune build @doc =="
+  dune build @doc
+else
+  echo "== skipping dune build @doc (odoc not installed) =="
+fi
+
+echo "== CLI smoke: vstamp metrics =="
+dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 >/dev/null
+dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 --format prom >/dev/null
+dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 --format json >/dev/null
+
+echo "== CLI smoke: deterministic telemetry =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+dune exec bin/vstamp_cli.exe -- simulate -t stamps -w churn -n 100 \
+  --metrics-out "$tmpdir/a.jsonl" >/dev/null
+dune exec bin/vstamp_cli.exe -- simulate -t stamps -w churn -n 100 \
+  --metrics-out "$tmpdir/b.jsonl" >/dev/null
+cmp "$tmpdir/a.jsonl" "$tmpdir/b.jsonl"
+
+echo "ok"
