@@ -36,6 +36,8 @@ module Itc_tracker = struct
 
   let size_bits = Vstamp_itc.Itc.size_bits
 
+  let invariants _ = []
+
   let pp = Vstamp_itc.Itc.pp
 end
 
@@ -678,6 +680,82 @@ let e2b () =
     "   forks append to — but the frontier order is identical: %b)@."
     orders_agree
 
+(* ------------------------------------------------------------------ *)
+(* E11: what observability costs at runtime                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock throughput of the same run plain, with the I1-I3 runtime
+   monitors evaluating the whole frontier after every step, and with the
+   causal-trace recorder labelling every state.  Best of three runs so a
+   stray scheduler hiccup cannot dominate. *)
+let e11 () =
+  section "E11: observability overhead (ops/s: plain, +monitors, +recording)";
+  let best_of_3 f =
+    let rec go k best =
+      if k = 0 then best
+      else begin
+        let t0 = Unix.gettimeofday () in
+        f ();
+        go (k - 1) (min best (Unix.gettimeofday () -. t0))
+      end
+    in
+    go 3 infinity
+  in
+  (* op counts are deliberately modest: I2/I3 are quadratic in frontier
+     width and linear in name size, so a wide frontier (deep-fork) or
+     fragmented ids (churn, see E1) make the monitored column measure
+     blow-up rather than the monitor *)
+  let workloads =
+    [
+      ("uniform", Workload.uniform ~seed:7 ~n_ops:400 ());
+      ("deep-fork", Workload.deep_fork ~depth:100 ());
+      ("churn", Workload.churn ~seed:7 ~target:8 ~n_ops:200 ());
+    ]
+  in
+  let rows, payload =
+    List.split
+      (List.map
+         (fun (wname, ops) ->
+           let n = List.length ops in
+           let run ?check_invariants ?trace () =
+             ignore
+               (System.run ~with_oracle:false ?check_invariants ?trace
+                  Tracker.stamps ops
+                 : System.result)
+           in
+           let throughput f = float_of_int n /. best_of_3 f in
+           let plain = throughput (fun () -> run ()) in
+           let monitored = throughput (fun () -> run ~check_invariants:true ()) in
+           let recording =
+             throughput (fun () ->
+                 run ~trace:(Vstamp_obs.Causal_trace.create ()) ())
+           in
+           ( [
+               wname;
+               string_of_int n;
+               Printf.sprintf "%.2e" plain;
+               Printf.sprintf "%.2e" monitored;
+               Printf.sprintf "%.2e" recording;
+               Printf.sprintf "%.1fx" (plain /. monitored);
+             ],
+             ( wname,
+               Vstamp_obs.Jsonx.Obj
+                 [
+                   ("ops", Vstamp_obs.Jsonx.Int n);
+                   ("plain_ops_per_s", Vstamp_obs.Jsonx.Float plain);
+                   ("monitored_ops_per_s", Vstamp_obs.Jsonx.Float monitored);
+                   ("recording_ops_per_s", Vstamp_obs.Jsonx.Float recording);
+                   ( "monitor_slowdown",
+                     Vstamp_obs.Jsonx.Float (plain /. monitored) );
+                 ] ) ))
+         workloads)
+  in
+  table
+    ~header:
+      [ "workload"; "ops"; "plain ops/s"; "+monitors"; "+recording"; "monitor cost" ]
+    rows;
+  Vstamp_obs.Jsonx.Obj payload
+
 let e3 () =
   section "E3: operation latency (bechamel, ns/op)";
   let open Bechamel in
@@ -776,9 +854,11 @@ let core_counters () =
   Vstamp_obs.Jsonx.Obj
     (List.map (fun (k, v) -> (k, Vstamp_obs.Jsonx.Int v)) fields)
 
-let bench_json_schema = "vstamp-bench-core/1"
+(* /2 adds the monitor_overhead block (E11); every /1 field is kept
+   unchanged so existing consumers keep parsing. *)
+let bench_json_schema = "vstamp-bench-core/2"
 
-let write_bench_json ~sizes ~reduction ~latencies =
+let write_bench_json ~sizes ~reduction ~latencies ~monitor_overhead =
   let open Vstamp_obs in
   let json =
     Jsonx.Obj
@@ -790,6 +870,7 @@ let write_bench_json ~sizes ~reduction ~latencies =
         ("sizes", sizes);
         ("reduction", reduction);
         ("core_counters", core_counters ());
+        ("monitor_overhead", monitor_overhead);
       ]
   in
   let oc = open_out "BENCH_core.json" in
@@ -816,5 +897,6 @@ let () =
   e8 ();
   e9 ();
   e10 ();
-  write_bench_json ~sizes ~reduction ~latencies;
+  let monitor_overhead = e11 () in
+  write_bench_json ~sizes ~reduction ~latencies ~monitor_overhead;
   Format.printf "@.done.@."

@@ -163,15 +163,23 @@ let with_metrics_sink metrics_out f =
             (Vstamp_obs.Sink.emitted sink) file)
         (fun () -> f (Some sink))
 
-let simulate tracker workload seed n_ops no_oracle trace_file metrics_out =
+let simulate tracker workload seed n_ops no_oracle trace_file metrics_out
+    check_invariants violation_out =
   match load_ops ~workload ~seed ~n_ops trace_file with
   | Error (`Msg m) ->
       Format.eprintf "error: %s@." m;
       exit 1
   | Ok ops ->
       with_metrics_sink metrics_out (fun sink ->
-          let r = System.run ~with_oracle:(not no_oracle) ?sink tracker ops in
-          Format.printf "%a@." System.pp_result r)
+          try
+            let r =
+              System.run ~with_oracle:(not no_oracle) ?sink ~check_invariants
+                ?violation_out tracker ops
+            in
+            Format.printf "%a@." System.pp_result r
+          with System.Invariant_violation _ as e ->
+            Format.eprintf "error: %s@." (Printexc.to_string e);
+            exit 2)
 
 let simulate_cmd =
   let tracker =
@@ -220,12 +228,29 @@ let simulate_cmd =
             "Write a JSONL telemetry stream (sim.start / sim.step / \
              sim.result events, logical-step timestamps) to FILE")
   in
+  let check_invariants =
+    Arg.(
+      value & flag
+      & info [ "check-invariants" ]
+          ~doc:
+            "Evaluate the mechanism's invariants (I1-I3 for stamps) after \
+             every step; fail loudly with a minimal witness on violation")
+  in
+  let violation_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "violation-out" ] ~docv:"FILE"
+          ~doc:
+            "With --check-invariants: save the minimal failing op prefix to \
+             FILE as a replayable trace")
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run a workload over a tracking mechanism and report size/accuracy")
     Term.(
       const simulate $ tracker $ workload $ seed $ n_ops $ no_oracle
-      $ trace_file $ metrics_out)
+      $ trace_file $ metrics_out $ check_invariants $ violation_out)
 
 (* --- compare --- *)
 
@@ -478,6 +503,270 @@ let decode_cmd =
     (Cmd.info "decode" ~doc:"Decode a hex wire encoding into a stamp")
     Term.(const decode $ hex)
 
+(* --- trace: causal-trace forensics --- *)
+
+module CT = Vstamp_obs.Causal_trace
+
+let die fmt = Format.kasprintf (fun m -> Format.eprintf "error: %s@." m; exit 1) fmt
+
+let read_file file =
+  try
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error m -> Error (`Msg m)
+
+(* Data goes to [output] verbatim (byte-identity matters for replay), or
+   to stdout when no file is given; progress chatter only ever goes to
+   stdout when the data went to a file. *)
+let write_data output data =
+  match output with
+  | None -> print_string data
+  | Some file ->
+      let oc = open_out_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc data)
+
+let load_causal file =
+  match read_file file with
+  | Error (`Msg m) -> Error (`Msg (Printf.sprintf "%s: %s" file m))
+  | Ok s -> (
+      match CT.of_jsonl s with
+      | Ok tr -> Ok tr
+      | Error m -> Error (`Msg (Printf.sprintf "%s: %s" file m)))
+
+let trace_record tracker workload seed n_ops trace_file check_invariants
+    violation_out ops_out output =
+  match load_ops ~workload ~seed ~n_ops trace_file with
+  | Error (`Msg m) -> die "%s" m
+  | Ok ops -> (
+      try
+        let tr, (_ : System.result) =
+          Forensics.record ~check_invariants ?violation_out tracker ops
+        in
+        (match ops_out with
+        | Some file -> Trace.save ~file ops
+        | None -> ());
+        write_data output (CT.to_jsonl tr);
+        match output with
+        | Some file ->
+            Format.printf "recorded %d ops as %d nodes to %s@."
+              (List.length ops) (CT.length tr) file
+        | None -> ()
+      with System.Invariant_violation _ as e ->
+        Format.eprintf "error: %s@." (Printexc.to_string e);
+        exit 2)
+
+let trace_record_cmd =
+  let tracker =
+    Arg.(
+      value
+      & opt tracker_conv Tracker.stamps
+      & info [ "t"; "tracker" ] ~docv:"TRACKER" ~doc:"Mechanism to record")
+  in
+  let workload =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload family")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"RNG seed")
+  in
+  let n_ops =
+    Arg.(
+      value & opt int 400
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"Approximate operation count")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record a trace file instead of generating a workload")
+  in
+  let check_invariants =
+    Arg.(
+      value & flag
+      & info [ "check-invariants" ]
+          ~doc:"Monitor the mechanism's invariants while recording")
+  in
+  let violation_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "violation-out" ] ~docv:"FILE"
+          ~doc:"Save the minimal failing op prefix to FILE on violation")
+  in
+  let ops_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ops-out" ] ~docv:"FILE"
+          ~doc:"Also save the op sequence as a replayable trace file")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the causal-trace JSONL to FILE instead of stdout")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run a workload and record its causal event DAG (one JSONL node \
+          event per replica state, deterministic logical-step timestamps)")
+    Term.(
+      const trace_record $ tracker $ workload $ seed $ n_ops $ trace_file
+      $ check_invariants $ violation_out $ ops_out $ output)
+
+let trace_replay tracker file output =
+  match load_causal file with
+  | Error (`Msg m) -> die "%s" m
+  | Ok tr -> (
+      match Forensics.replay ~check_invariants:true tracker tr with
+      | Error m -> die "%s: %s" file m
+      | Ok r ->
+          (match output with
+          | Some _ ->
+              write_data output (CT.to_jsonl r.Forensics.replayed)
+          | None -> ());
+          let u, f, j = Trace.stats r.Forensics.ops in
+          if r.Forensics.identical then
+            Format.printf
+              "replay OK: %d ops (u=%d f=%d j=%d) over %s, %d nodes, \
+               byte-identical event stream@."
+              (List.length r.Forensics.ops)
+              u f j (Tracker.name tracker)
+              (CT.length r.Forensics.replayed)
+          else begin
+            Format.printf
+              "replay MISMATCH: reconstructed %d ops (u=%d f=%d j=%d) over \
+               %s but the re-recorded stream differs@."
+              (List.length r.Forensics.ops)
+              u f j (Tracker.name tracker);
+            exit 1
+          end)
+
+let trace_replay_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE_JSONL")
+  in
+  let tracker =
+    Arg.(
+      value
+      & opt tracker_conv Tracker.stamps
+      & info [ "t"; "tracker" ] ~docv:"TRACKER"
+          ~doc:"Mechanism to replay over (must match the recording)")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the re-recorded JSONL to FILE")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Reconstruct the op sequence from a recorded causal trace, re-run \
+          it with invariant monitors on, and verify the event stream is \
+          byte-identical (exit 1 if not)")
+    Term.(const trace_replay $ tracker $ file $ output)
+
+let trace_explain file sel_a sel_b =
+  match load_causal file with
+  | Error (`Msg m) -> die "%s" m
+  | Ok tr -> (
+      match Forensics.explain tr sel_a sel_b with
+      | Error m -> die "%s" m
+      | Ok e -> (
+          Format.printf "%a@." Forensics.pp_explanation e;
+          (* When both labels parse as stamps, confirm Proposition 5.1:
+             the stamp order must coincide with the causal-history
+             relation the DAG walk just derived. *)
+          match
+            ( Vstamp_codec.Text.stamp_of_string e.Forensics.a.CT.label,
+              Vstamp_codec.Text.stamp_of_string e.Forensics.b.CT.label )
+          with
+          | Ok sa, Ok sb ->
+              let stamp_rel = Stamp.relation sa sb in
+              Format.printf "stamp order: A is %s relative to B (%s)@."
+                (Relation.to_paper_string stamp_rel)
+                (if Relation.equal stamp_rel e.Forensics.relation then
+                   "agrees with the causal history, as Prop. 5.1 promises"
+                 else "DISAGREES with the causal history")
+          | _ -> ()))
+
+let trace_explain_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE_JSONL")
+  in
+  let sel_a =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"A")
+  in
+  let sel_b =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"B")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain how two recorded states relate: the update events one has \
+          and the other lacks, where their lineages diverged, and the joins \
+          that folded knowledge.  Select states by node id (#7) or by stamp \
+          label ('[1|01+1]')")
+    Term.(const trace_explain $ file $ sel_a $ sel_b)
+
+let trace_export file format output =
+  match load_causal file with
+  | Error (`Msg m) -> die "%s" m
+  | Ok tr ->
+      let data =
+        match format with
+        | `Dot -> CT.to_dot tr
+        | `Chrome -> Vstamp_obs.Jsonx.to_string (CT.to_chrome tr) ^ "\n"
+        | `Jsonl -> CT.to_jsonl tr
+      in
+      write_data output data;
+      (match output with
+      | Some f -> Format.printf "wrote %d nodes to %s@." (CT.length tr) f
+      | None -> ())
+
+let trace_export_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE_JSONL")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("dot", `Dot); ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Dot
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: dot (Graphviz), chrome (trace-event JSON, loads \
+             in Perfetto / chrome://tracing), or jsonl (canonical form)")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Convert a recorded causal trace to DOT, Chrome trace JSON or JSONL")
+    Term.(const trace_export $ file $ format $ output)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Causal-trace forensics: record a run's event DAG, replay it \
+          byte-identically, explain the relation between two states, export \
+          for Graphviz or Perfetto")
+    [ trace_record_cmd; trace_replay_cmd; trace_explain_cmd; trace_export_cmd ]
+
 (* --- main --- *)
 
 let main_cmd =
@@ -497,6 +786,7 @@ let main_cmd =
       compare_cmd;
       metrics_cmd;
       gen_trace_cmd;
+      trace_cmd;
       draw_cmd;
       frontier_cmd;
       encode_cmd;

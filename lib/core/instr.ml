@@ -14,6 +14,7 @@ type op_event = {
   bits_after : int;
   depth : int;
   width : int;
+  parents : string list;
 }
 
 let observer : (op_event -> unit) option ref = ref None

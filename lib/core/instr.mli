@@ -26,6 +26,11 @@ type op_event = {
   bits_after : int;  (** Structural bits of the result(s). *)
   depth : int;  (** Max name depth of the result. *)
   width : int;  (** Id-component cardinal of the result. *)
+  parents : string list;
+      (** Causal parent info: the operand stamp(s) in paper notation —
+          one entry for update/fork/reduce, two for join.  Lets an
+          observer reconstruct the causal DAG (which stamps each result
+          descends from) without positional frontier bookkeeping. *)
 }
 
 val set_observer : (op_event -> unit) option -> unit

@@ -1,3 +1,20 @@
+(* The witness type lives outside [Make] so every instantiation shares
+   it: a violation only names frontier positions, never stamps, and the
+   runtime monitors report it uniformly for both name representations. *)
+type violation = I1 of int | I2 of int * int | I3 of int * int
+
+let pp_violation ppf = function
+  | I1 i -> Format.fprintf ppf "I1 violated at frontier position %d" i
+  | I2 (i, j) ->
+      Format.fprintf ppf "I2 violated between positions %d and %d" i j
+  | I3 (i, j) ->
+      Format.fprintf ppf "I3 violated from position %d towards %d" i j
+
+let violation_to_string = function
+  | I1 i -> Printf.sprintf "I1(%d)" i
+  | I2 (i, j) -> Printf.sprintf "I2(%d,%d)" i j
+  | I3 (i, j) -> Printf.sprintf "I3(%d,%d)" i j
+
 module Make (N : Name_intf.S) (S : Stamp.S with type name = N.t) = struct
   let i1 stamp = N.leq (S.update_name stamp) (S.id stamp)
 
@@ -32,15 +49,6 @@ module Make (N : Name_intf.S) (S : Stamp.S with type name = N.t) = struct
 
   let all frontier =
     List.for_all i1 frontier && i2 frontier && i3 frontier
-
-  type violation = I1 of int | I2 of int * int | I3 of int * int
-
-  let pp_violation ppf = function
-    | I1 i -> Format.fprintf ppf "I1 violated at frontier position %d" i
-    | I2 (i, j) ->
-        Format.fprintf ppf "I2 violated between positions %d and %d" i j
-    | I3 (i, j) ->
-        Format.fprintf ppf "I3 violated from position %d towards %d" i j
 
   let check frontier =
     let indexed = List.mapi (fun i s -> (i, s)) frontier in

@@ -14,7 +14,22 @@
 
     Section 6 proves the reduction rule preserves all three.  These
     checkers are the executable form of those statements, used by the
-    property tests and the simulator's self-checks. *)
+    property tests, the simulator's runtime monitors and the
+    [vstamp trace] forensics. *)
+
+type violation =
+  | I1 of int  (** Frontier position of the offending stamp. *)
+  | I2 of int * int  (** Unordered pair of positions with comparable ids. *)
+  | I3 of int * int  (** Ordered pair [(x, y)] witnessing the failure. *)
+
+(** The witness type is shared by every instantiation of {!Make} (it
+    only mentions frontier positions), so monitors can report violations
+    uniformly whichever name representation backs the stamps. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val violation_to_string : violation -> string
+(** Compact machine-friendly form: ["I1(3)"], ["I2(0,2)"], ["I3(1,0)"]. *)
 
 module Make (N : Name_intf.S) (S : Stamp.S with type name = N.t) : sig
   val i1 : S.t -> bool
@@ -28,13 +43,6 @@ module Make (N : Name_intf.S) (S : Stamp.S with type name = N.t) : sig
 
   val all : S.t list -> bool
   (** Conjunction of I1 on every member, I2 and I3. *)
-
-  type violation =
-    | I1 of int  (** Frontier position of the offending stamp. *)
-    | I2 of int * int  (** Unordered pair of positions with comparable ids. *)
-    | I3 of int * int  (** Ordered pair [(x, y)] witnessing the failure. *)
-
-  val pp_violation : Format.formatter -> violation -> unit
 
   val check : S.t list -> violation list
   (** All violations, for diagnostics; empty iff {!all} holds. *)

@@ -86,10 +86,14 @@ module Make (N : Name_intf.S) = struct
 
   let max_depth t = max (N.max_depth t.u) (N.max_depth t.i)
 
+  let pp ppf t = Format.fprintf ppf "[%a|%a]" N.pp t.u N.pp t.i
+
+  let to_string t = Format.asprintf "%a" pp t
+
   (* Instrumentation: one load-and-branch on [Instr.enabled] per
-     operation when telemetry is off; measurements happen only when it
-     is on. *)
-  let observe op ~bits_before t =
+     operation when telemetry is off; measurements (including rendering
+     the causal parents) happen only when it is on. *)
+  let observe op ~parents ~bits_before t =
     Instr.note_op
       {
         Instr.op;
@@ -97,11 +101,13 @@ module Make (N : Name_intf.S) = struct
         bits_after = size_bits t;
         depth = max_depth t;
         width = id_width t;
+        parents = List.map to_string parents;
       }
 
   let update t =
     let t' = { u = t.i; i = t.i } in
-    if !Instr.enabled then observe Instr.Update ~bits_before:(size_bits t) t';
+    if !Instr.enabled then
+      observe Instr.Update ~parents:[ t ] ~bits_before:(size_bits t) t';
     t'
 
   let fork t =
@@ -116,6 +122,7 @@ module Make (N : Name_intf.S) = struct
           bits_after = size_bits l + size_bits r;
           depth = max (max_depth l) (max_depth r);
           width = id_width l + id_width r;
+          parents = [ to_string t ];
         }
     end;
     (l, r)
@@ -126,7 +133,7 @@ module Make (N : Name_intf.S) = struct
     if !Instr.enabled then begin
       let before = size_bits t in
       Instr.note_bits_saved (before - size_bits t');
-      observe Instr.Reduce ~bits_before:before t'
+      observe Instr.Reduce ~parents:[ t ] ~bits_before:before t'
     end;
     t'
 
@@ -140,7 +147,9 @@ module Make (N : Name_intf.S) = struct
     in
     if !Instr.enabled then begin
       if reduce then Instr.note_bits_saved (size_bits joined - size_bits result);
-      observe Instr.Join ~bits_before:(size_bits a + size_bits b) result
+      observe Instr.Join ~parents:[ a; b ]
+        ~bits_before:(size_bits a + size_bits b)
+        result
     end;
     result
 
@@ -187,10 +196,6 @@ module Make (N : Name_intf.S) = struct
   let well_formed t = N.well_formed t.u && N.well_formed t.i && N.leq t.u t.i
 
   let has_updates t = not (N.is_empty t.u)
-
-  let pp ppf t = Format.fprintf ppf "[%a|%a]" N.pp t.u N.pp t.i
-
-  let to_string t = Format.asprintf "%a" pp t
 end
 
 module Over_list = Make (Name)

@@ -1,0 +1,43 @@
+type t = {
+  name : string;
+  checks : Metric.counter;
+  violations : Metric.counter;
+  sink : Sink.t option;
+  mutable first : (int * (string * Jsonx.t) list) option;
+}
+
+let create ?(registry = Registry.default) ?sink name =
+  {
+    name;
+    checks =
+      Registry.counter registry
+        (Printf.sprintf "vstamp_invariant_checks_total{monitor=%S}" name);
+    violations =
+      Registry.counter registry
+        (Printf.sprintf "vstamp_invariant_violations_total{monitor=%S}" name);
+    sink;
+    first = None;
+  }
+
+let name t = t.name
+
+let check t ~step witness =
+  Metric.inc t.checks;
+  match witness () with
+  | [] -> true
+  | fields ->
+      Metric.inc t.violations;
+      if t.first = None then t.first <- Some (step, fields);
+      (match t.sink with
+      | None -> ()
+      | Some sink ->
+          Sink.emit sink
+            (Event.v ~ts:(Event.Step step) "invariant.violation"
+               (("monitor", Jsonx.String t.name) :: fields)));
+      false
+
+let checks t = Metric.count t.checks
+
+let violations t = Metric.count t.violations
+
+let first_violation t = t.first

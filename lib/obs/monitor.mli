@@ -1,0 +1,37 @@
+(** Incremental runtime invariant monitors.
+
+    A monitor is a named check evaluated repeatedly along a run (e.g.
+    the frontier invariants I1–I3 after every simulator step).  Each
+    evaluation bumps [vstamp_invariant_checks_total{monitor=...}] in the
+    registry; a failing one additionally bumps
+    [vstamp_invariant_violations_total{monitor=...}], remembers the
+    first witness, and emits a structured [invariant.violation] event
+    (step-stamped, deterministic) into the sink.
+
+    The monitor is policy-free: it neither raises nor stops the run —
+    callers decide whether a violation is fatal (the simulator's
+    [?check_invariants] wiring fails loudly with a minimal prefix
+    trace). *)
+
+type t
+
+val create : ?registry:Registry.t -> ?sink:Sink.t -> string -> t
+(** [create name] registers the check/violation counter pair (labelled
+    [{monitor=name}]) in [registry] (default {!Registry.default}). *)
+
+val name : t -> string
+
+val check : t -> step:int -> (unit -> (string * Jsonx.t) list) -> bool
+(** Evaluate the check at the given logical step.  The thunk returns a
+    {e witness}: an empty field list means the invariant holds; a
+    non-empty one describes the violation and becomes the fields of the
+    emitted [invariant.violation] event (after the [monitor] name
+    field).  Returns [true] iff the check passed. *)
+
+val checks : t -> int
+(** Evaluations so far. *)
+
+val violations : t -> int
+
+val first_violation : t -> (int * (string * Jsonx.t) list) option
+(** Step and witness of the earliest failure, if any. *)

@@ -83,12 +83,43 @@ let op_label = function
   | Execution.Fork _ -> "fork"
   | Execution.Join _ -> "join"
 
+exception
+  Invariant_violation of {
+    tracker : string;
+    step : int;
+    op : Execution.op;
+    violations : Vstamp_core.Invariants.violation list;
+    prefix : Execution.op list;
+    saved : string option;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Invariant_violation { tracker; step; op; violations; prefix; saved } ->
+        Some
+          (Format.asprintf
+             "Invariant_violation(tracker %s, step %d, op %s): %s; minimal \
+              prefix of %d op(s)%s"
+             tracker step
+             (Execution.op_to_string op)
+             (match violations with
+             | [] -> "frontier order sanity failed"
+             | vs ->
+                 String.concat ", "
+                   (List.map Vstamp_core.Invariants.violation_to_string vs))
+             (List.length prefix)
+             (match saved with
+             | Some file -> Printf.sprintf " saved to %s" file
+             | None -> ""))
+    | _ -> None)
+
 (* Telemetry around one run.  Timestamps in emitted events are the
    logical step counter — never a wall clock — so two runs of the same
    seeded trace produce byte-identical JSONL.  Wall-clock latencies,
    which are inherently nondeterministic, go only into the registry's
    histograms. *)
-let run ?(with_oracle = true) ?registry ?sink (Tracker.Packed (module T)) ops =
+let run ?(with_oracle = true) ?registry ?sink ?(check_invariants = false)
+    ?violation_out ?trace (Tracker.Packed (module T)) ops =
   let module R = Execution.Run (T) in
   let open Vstamp_obs in
   let st0, f0 = R.init in
@@ -128,6 +159,96 @@ let run ?(with_oracle = true) ?registry ?sink (Tracker.Packed (module T)) ops =
           (Int64.sub (Clock.now_ns ()) t0);
         r
   in
+  (* Causal-trace recording: one DAG node per replica state, parents
+     derived from the positional op structure.  [heads] mirrors the
+     frontier with the node id currently carrying each position. *)
+  let heads = ref [] in
+  let record_label x = Format.asprintf "%a" T.pp x in
+  (match trace with
+  | None -> ()
+  | Some tr ->
+      heads :=
+        List.map
+          (fun x ->
+            Causal_trace.add tr ~step:0 ~kind:Causal_trace.Seed ~parents:[]
+              ~replica:0 ~label:(record_label x))
+          f0);
+  let record_step step op frontier' =
+    match trace with
+    | None -> ()
+    | Some tr -> (
+        let head i = List.nth !heads i in
+        let state i = record_label (List.nth frontier' i) in
+        match op with
+        | Execution.Update i ->
+            let n =
+              Causal_trace.add tr ~step ~kind:Causal_trace.Update
+                ~parents:[ head i ] ~replica:i ~label:(state i)
+            in
+            heads := List.mapi (fun k h -> if k = i then n else h) !heads
+        | Execution.Fork i ->
+            let p = head i in
+            let l =
+              Causal_trace.add tr ~step ~kind:Causal_trace.Fork_left
+                ~parents:[ p ] ~replica:i ~label:(state i)
+            in
+            let r =
+              Causal_trace.add tr ~step ~kind:Causal_trace.Fork_right
+                ~parents:[ p ] ~replica:(i + 1)
+                ~label:(state (i + 1))
+            in
+            heads := Execution.fork_positions !heads i ~left:l ~right:r
+        | Execution.Join (i, j) ->
+            let lo = min i j in
+            let n =
+              Causal_trace.add tr ~step ~kind:Causal_trace.Join
+                ~parents:[ head i; head j ] ~replica:lo ~label:(state lo)
+            in
+            heads := Execution.join_positions !heads i j ~merged:n)
+  in
+  (* Runtime invariant monitoring: I1–I3 via the tracker's own checker
+     plus an order-sanity pass (frontier order must at least be
+     reflexive), after every step.  A failing check fails loudly with
+     the minimal witness: the shortest failing prefix is saved as a
+     replayable trace and carried in the exception. *)
+  let monitor =
+    if check_invariants then Some (Monitor.create ?registry ?sink T.name)
+    else None
+  in
+  let monitor_step step op frontier rev_prefix =
+    match monitor with
+    | None -> ()
+    | Some m ->
+        let violations = ref [] and order_failures = ref [] in
+        let witness () =
+          violations := T.invariants frontier;
+          order_failures :=
+            List.concat
+              (List.mapi (fun i x -> if T.leq x x then [] else [ i ]) frontier);
+          Telemetry.violation_witness ~violations:!violations
+            ~order_failures:!order_failures
+        in
+        if not (Monitor.check m ~step witness) then begin
+          let prefix = List.rev rev_prefix in
+          let saved =
+            match violation_out with
+            | None -> None
+            | Some file ->
+                Trace.save ~file prefix;
+                Some file
+          in
+          raise
+            (Invariant_violation
+               {
+                 tracker = T.name;
+                 step;
+                 op;
+                 violations = !violations;
+                 prefix;
+                 saved;
+               })
+        end
+  in
   (match sink with
   | Some sk ->
       Sink.emit sk
@@ -138,15 +259,18 @@ let run ?(with_oracle = true) ?registry ?sink (Tracker.Packed (module T)) ops =
            ])
   | None -> ());
   observe_sizes sizes0;
-  let (_, final_frontier), rev_step_sizes, _ =
+  monitor_step 0 (Execution.Update 0) f0 [];
+  let (_, final_frontier), rev_step_sizes, _, _ =
     List.fold_left
-      (fun ((st, f), acc, step) op ->
+      (fun ((st, f), acc, step, rev_prefix) op ->
         let st', f' = apply st f op in
         let sizes = List.map T.size_bits f' in
         emit_step step op sizes;
         observe_sizes sizes;
-        ((st', f'), sizes :: acc, step + 1))
-      ((st0, f0), [ sizes0 ], 1)
+        record_step step op f';
+        monitor_step step op f' (op :: rev_prefix);
+        ((st', f'), sizes :: acc, step + 1, op :: rev_prefix))
+      ((st0, f0), [ sizes0 ], 1, [])
       ops
   in
   let step_sizes = List.rev rev_step_sizes in
@@ -201,8 +325,10 @@ let run ?(with_oracle = true) ?registry ?sink (Tracker.Packed (module T)) ops =
   | None -> ());
   result
 
-let run_all ?with_oracle ?registry ?sink trackers ops =
-  List.map (fun t -> run ?with_oracle ?registry ?sink t ops) trackers
+let run_all ?with_oracle ?registry ?sink ?check_invariants trackers ops =
+  List.map
+    (fun t -> run ?with_oracle ?registry ?sink ?check_invariants t ops)
+    trackers
 
 let pp_accuracy ppf = function
   | None -> Format.pp_print_string ppf "-"

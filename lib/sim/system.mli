@@ -39,10 +39,30 @@ type result = {
   accuracy : accuracy option;  (** [None] when run without the oracle. *)
 }
 
+exception
+  Invariant_violation of {
+    tracker : string;
+    step : int;  (** 1-based step of the offending op (0: seed frontier). *)
+    op : Vstamp_core.Execution.op;
+    violations : Vstamp_core.Invariants.violation list;
+        (** The I1–I3 witnesses; empty when only the order sanity check
+            (reflexivity of the tracker's [leq]) failed. *)
+    prefix : Vstamp_core.Execution.op list;
+        (** The minimal failing prefix — the shortest prefix of the run
+            that already violates (checks run after every step, so it
+            ends at the offending op). *)
+    saved : string option;  (** File the prefix was saved to, if any. *)
+  }
+(** Raised by {!run} with [~check_invariants:true] when a step leaves
+    the frontier in violation of the mechanism's invariants. *)
+
 val run :
   ?with_oracle:bool ->
   ?registry:Vstamp_obs.Registry.t ->
   ?sink:Vstamp_obs.Sink.t ->
+  ?check_invariants:bool ->
+  ?violation_out:string ->
+  ?trace:Vstamp_obs.Causal_trace.t ->
   Tracker.packed ->
   Vstamp_core.Execution.op list ->
   result
@@ -56,12 +76,28 @@ val run :
     one [sim.step] event per operation (frontier width, total and max
     bits) and a final [sim.result] summary.  Event timestamps are the
     {e logical step counter}, never a wall clock, so the stream is
-    byte-identical across runs of the same trace. *)
+    byte-identical across runs of the same trace.
+
+    With [check_invariants] (default [false]), a {!Vstamp_obs.Monitor}
+    evaluates the tracker's frontier invariants (I1–I3 for stamps, via
+    [Tracker.S.invariants]) and an order-sanity pass after every step,
+    counting into [vstamp_invariant_checks_total] /
+    [vstamp_invariant_violations_total] of [registry] (or the default
+    registry) and emitting an [invariant.violation] event into [sink] on
+    failure; the run then fails loudly with {!Invariant_violation}
+    carrying the minimal failing prefix, saved via {!Trace} to
+    [violation_out] when given.
+
+    With [trace], the run's causal event DAG (one node per replica
+    state, parent edges from the fork/update/join structure, logical
+    step stamps, stamps as labels) is appended to the given recorder —
+    the input to the [vstamp trace] forensics. *)
 
 val run_all :
   ?with_oracle:bool ->
   ?registry:Vstamp_obs.Registry.t ->
   ?sink:Vstamp_obs.Sink.t ->
+  ?check_invariants:bool ->
   Tracker.packed list ->
   Vstamp_core.Execution.op list ->
   result list

@@ -46,6 +46,36 @@ let sync_counters registry =
         (float_of_int v))
     (counter_fields ())
 
+let violation_to_json v =
+  let tag, at =
+    match v with
+    | Invariants.I1 i -> ("I1", [ i ])
+    | Invariants.I2 (i, j) -> ("I2", [ i; j ])
+    | Invariants.I3 (i, j) -> ("I3", [ i; j ])
+  in
+  Jsonx.Obj
+    [
+      ("invariant", Jsonx.String tag);
+      ("at", Jsonx.List (List.map (fun i -> Jsonx.Int i) at));
+    ]
+
+let violation_witness ~violations ~order_failures =
+  let vs =
+    match violations with
+    | [] -> []
+    | vs -> [ ("violations", Jsonx.List (List.map violation_to_json vs)) ]
+  in
+  let os =
+    match order_failures with
+    | [] -> []
+    | ps ->
+        [
+          ( "order_failures",
+            Jsonx.List (List.map (fun i -> Jsonx.Int i) ps) );
+        ]
+  in
+  vs @ os
+
 let counters_event ?step () =
   let ts =
     match step with Some k -> Event.Step k | None -> Event.Untimed

@@ -32,3 +32,17 @@ val sync_counters : Vstamp_obs.Registry.t -> unit
 val counters_event : ?step:int -> unit -> Vstamp_obs.Event.t
 (** The current {!Vstamp_core.Instr} counters as a [core.counters]
     event (deterministic; suitable for a JSONL stream). *)
+
+(** {1 Invariant witnesses} *)
+
+val violation_to_json : Vstamp_core.Invariants.violation -> Vstamp_obs.Jsonx.t
+(** [{"invariant": "I2", "at": [i, j]}] — the structured form of the
+    core witness type, used by the [invariant.violation] events. *)
+
+val violation_witness :
+  violations:Vstamp_core.Invariants.violation list ->
+  order_failures:int list ->
+  (string * Vstamp_obs.Jsonx.t) list
+(** Witness fields for {!Vstamp_obs.Monitor.check}: the serialized
+    I1–I3 violations plus frontier positions whose tracker order failed
+    the reflexivity sanity check.  Empty iff both lists are empty. *)

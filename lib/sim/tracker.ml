@@ -20,6 +20,8 @@ module type S = sig
 
   val size_bits : t -> int
 
+  val invariants : t list -> Invariants.violation list
+
   val pp : Format.formatter -> t -> unit
 end
 
@@ -45,6 +47,8 @@ module Stamps : S with type t = Stamp.t and type state = unit = struct
   let leq = Stamp.leq
 
   let size_bits = Stamp.size_bits
+
+  let invariants = Invariants.check
 
   let pp = Stamp.pp
 end
@@ -78,6 +82,8 @@ struct
 
   let size_bits = Stamp.Over_list.size_bits
 
+  let invariants = Invariants.Over_list.check
+
   let pp = Stamp.Over_list.pp
 end
 
@@ -108,6 +114,8 @@ struct
       (fun acc e -> acc + Version_vector.bits_for (e + 1))
       0
       (Causal_history.events h)
+
+  let invariants _ = []
 
   let pp = Causal_history.pp
 end
@@ -142,6 +150,8 @@ struct
 
   let size_bits r = Version_vector.size_bits (Version_vector.Replica.vector r)
 
+  let invariants _ = []
+
   let pp = Version_vector.Replica.pp
 end
 
@@ -164,6 +174,8 @@ module Dvv : S with type t = Dynamic_vv.t and type state = int = struct
   let leq = Dynamic_vv.leq
 
   let size_bits = Dynamic_vv.size_bits
+
+  let invariants _ = []
 
   let pp = Dynamic_vv.pp
 end
@@ -189,6 +201,8 @@ end) : S with type t = Plausible_clock.t * int and type state = int = struct
   let leq (a, _) (b, _) = Plausible_clock.leq a b
 
   let size_bits (c, _) = Plausible_clock.size_bits c
+
+  let invariants _ = []
 
   let pp ppf (c, id) = Format.fprintf ppf "r%d%a" id Plausible_clock.pp c
 end
@@ -259,6 +273,8 @@ let with_metrics ?(registry = Vstamp_obs.Registry.default) (Packed (module T)) =
       let leq a b = span "leq" (fun () -> T.leq a b)
 
       let size_bits = T.size_bits
+
+      let invariants = T.invariants
 
       let pp = T.pp
     end)

@@ -30,6 +30,12 @@ module type S = sig
   val size_bits : t -> int
   (** Wire-size estimate of one replica's tracking data. *)
 
+  val invariants : t list -> Vstamp_core.Invariants.violation list
+  (** Structural self-check of a whole frontier — the mechanism's
+      executable invariants (I1–I3 for version stamps), with positional
+      witnesses.  [[]] when they hold or when the mechanism has none;
+      consumed by the {!Vstamp_obs.Monitor} wiring in [System.run]. *)
+
   val pp : Format.formatter -> t -> unit
 end
 

@@ -115,3 +115,10 @@ let draw ?with_stamps ops =
     | _ -> None
   in
   to_string ?stamps ops
+
+(* Graphviz rendering goes through the causal-trace recorder so the DOT
+   view and the [vstamp trace] forensics agree on structure and labels;
+   escaping lives in [Causal_trace.to_dot]. *)
+let to_dot ops =
+  let tr, _ = Forensics.record Tracker.stamps ops in
+  Vstamp_obs.Causal_trace.to_dot tr

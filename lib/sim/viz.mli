@@ -18,3 +18,11 @@ val draw : ?with_stamps:bool -> Vstamp_core.Execution.op list -> string
 
 val header : Vstamp_core.Execution.op list -> string
 (** The operation names, one per column, for captioning. *)
+
+val to_dot : Vstamp_core.Execution.op list -> string
+(** Graphviz digraph of the trace's causal event DAG, one node per
+    replica state labelled with its stamp in paper notation.  Labels are
+    escaped — quotes, backslashes and newlines in label text cannot
+    break the DOT syntax (stamp notation's [+] and [|] need no escaping
+    inside DOT quoted strings, but the escaper must not mangle them
+    either). *)

@@ -18,6 +18,9 @@ else
   echo "== skipping dune build @doc (odoc not installed) =="
 fi
 
+echo "== trace smoke (record -> replay byte-identity, exports) =="
+dune build @trace-smoke --force
+
 echo "== CLI smoke: vstamp metrics =="
 dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 >/dev/null
 dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 --format prom >/dev/null

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Trace forensics smoke: record -> replay must round-trip byte-identically
+# and both exports must be well-formed.  Wired to the @trace-smoke dune
+# alias (see the root dune file); not part of @runtest so the tier-1
+# suite stays fast.
+set -eu
+
+VSTAMP="$1"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+"$VSTAMP" trace record -w gossip -s 11 -n 120 --check-invariants \
+  -o "$tmpdir/run.jsonl" >/dev/null
+"$VSTAMP" trace replay "$tmpdir/run.jsonl" -o "$tmpdir/replay.jsonl" >/dev/null
+cmp "$tmpdir/run.jsonl" "$tmpdir/replay.jsonl"
+
+"$VSTAMP" trace export "$tmpdir/run.jsonl" --format dot \
+  -o "$tmpdir/run.dot" >/dev/null
+grep -q '^digraph' "$tmpdir/run.dot"
+
+"$VSTAMP" trace export "$tmpdir/run.jsonl" --format chrome \
+  -o "$tmpdir/run.json" >/dev/null
+grep -q '"traceEvents"' "$tmpdir/run.json"
+
+echo "trace smoke ok"

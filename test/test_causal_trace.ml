@@ -1,0 +1,263 @@
+open Vstamp_core
+open Vstamp_sim
+module CT = Vstamp_obs.Causal_trace
+module Jsonx = Vstamp_obs.Jsonx
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_str = Alcotest.(check string)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let record ops = fst (Forensics.record Tracker.stamps ops)
+
+let invalid what f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+
+(* --- construction --- *)
+
+let test_add_validation () =
+  let t = CT.create () in
+  let s = CT.add t ~step:0 ~kind:CT.Seed ~parents:[] ~replica:0 ~label:"s" in
+  check_int "seed id" 0 s;
+  invalid "update with no parent" (fun () ->
+      CT.add t ~step:1 ~kind:CT.Update ~parents:[] ~replica:0 ~label:"");
+  invalid "parent out of range" (fun () ->
+      CT.add t ~step:1 ~kind:CT.Update ~parents:[ 5 ] ~replica:0 ~label:"");
+  invalid "negative step" (fun () ->
+      CT.add t ~step:(-1) ~kind:CT.Update ~parents:[ 0 ] ~replica:0 ~label:"");
+  invalid "negative replica" (fun () ->
+      CT.add t ~step:1 ~kind:CT.Update ~parents:[ 0 ] ~replica:(-1) ~label:"");
+  invalid "join with one parent" (fun () ->
+      CT.add t ~step:1 ~kind:CT.Join ~parents:[ 0 ] ~replica:0 ~label:"");
+  invalid "seed with a parent" (fun () ->
+      CT.add t ~step:1 ~kind:CT.Seed ~parents:[ 0 ] ~replica:0 ~label:"");
+  let u = CT.add t ~step:1 ~kind:CT.Update ~parents:[ 0 ] ~replica:0 ~label:"u" in
+  check_int "ids allocate in order" 1 u;
+  check_int "length" 2 (CT.length t)
+
+(* --- recording the paper's Figure 2/4 run --- *)
+
+let test_fig4_structure () =
+  let t = record Scenario.Fig4.trace in
+  check_int "one node per replica state" 10 (CT.length t);
+  (match CT.node t 8 with
+  | Some n ->
+      check_bool "f1 is a join" true (n.CT.kind = CT.Join);
+      check_str "f1 label is the paper's" "[1|01+1]" n.CT.label;
+      check_bool "f1 parents" true (n.CT.parents = [ 5; 7 ])
+  | None -> Alcotest.fail "node 8 missing");
+  check_bool "ancestors of f1" true
+    (CT.ancestors t 8 = [ 0; 1; 2; 3; 5; 6; 7; 8 ]);
+  Alcotest.(check (option int))
+    "d1 and f1 last shared the first fork" (Some 2)
+    (CT.latest_common_ancestor t 4 8)
+
+(* --- round trips --- *)
+
+let prop_jsonl_roundtrip =
+  QCheck2.Test.make ~name:"JSONL round trip on recorded runs" ~count:100
+    ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops ->
+      let t = record ops in
+      match CT.of_jsonl (CT.to_jsonl t) with
+      | Ok t' -> CT.equal t t'
+      | Error _ -> false)
+
+let prop_ops_reconstruction =
+  QCheck2.Test.make ~name:"ops_of_trace inverts recording" ~count:100
+    ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops -> Forensics.ops_of_trace (record ops) = Ok ops)
+
+let prop_replay_identical =
+  QCheck2.Test.make ~name:"replay re-records byte-identically" ~count:50
+    ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops ->
+      match Forensics.replay Tracker.stamps (record ops) with
+      | Ok r -> r.Forensics.identical
+      | Error _ -> false)
+
+let test_of_jsonl_rejects_garbage () =
+  (match CT.of_jsonl "not json\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  (* an orphan parent must be re-validated on load *)
+  let t = record [ Execution.Update 0 ] in
+  let forged =
+    CT.to_jsonl t
+    ^ {|{"event":"trace.node","step":9,"id":2,"kind":"join","replica":0,"parents":[0,7],"label":"x"}|}
+    ^ "\n"
+  in
+  match CT.of_jsonl forged with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "forged parent accepted"
+
+let test_ops_of_trace_rejects_malformed () =
+  let reject what t =
+    match Forensics.ops_of_trace t with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: reconstruction should fail" what
+  in
+  (* fork.l with no matching fork.r *)
+  let t = CT.create () in
+  let s = CT.add t ~step:0 ~kind:CT.Seed ~parents:[] ~replica:0 ~label:"s" in
+  let _ = CT.add t ~step:1 ~kind:CT.Fork_left ~parents:[ s ] ~replica:0 ~label:"l" in
+  reject "orphan fork half" t;
+  (* update whose parent is a stale (non-frontier) state *)
+  let t = CT.create () in
+  let s = CT.add t ~step:0 ~kind:CT.Seed ~parents:[] ~replica:0 ~label:"s" in
+  let _ = CT.add t ~step:1 ~kind:CT.Update ~parents:[ s ] ~replica:0 ~label:"u" in
+  let _ = CT.add t ~step:2 ~kind:CT.Update ~parents:[ s ] ~replica:0 ~label:"v" in
+  reject "stale parent" t;
+  (* replica position disagreeing with the structure *)
+  let t = CT.create () in
+  let s = CT.add t ~step:0 ~kind:CT.Seed ~parents:[] ~replica:0 ~label:"s" in
+  let _ = CT.add t ~step:1 ~kind:CT.Update ~parents:[ s ] ~replica:3 ~label:"u" in
+  reject "wrong replica" t
+
+(* --- DOT export --- *)
+
+let unescaped_quotes line =
+  let n = ref 0 and esc = ref false in
+  String.iter
+    (fun c ->
+      if !esc then esc := false
+      else if c = '\\' then esc := true
+      else if c = '"' then incr n)
+    line;
+  !n
+
+let test_dot_escaping () =
+  let t = CT.create () in
+  let _ =
+    CT.add t ~step:0 ~kind:CT.Seed ~parents:[] ~replica:0
+      ~label:"a\"b\\c\nd|e+f"
+  in
+  let dot = CT.to_dot t in
+  check_bool "quote escaped" true (contains dot {|\"|});
+  check_bool "backslash escaped" true (contains dot {|\\|});
+  check_bool "stamp notation survives" true (contains dot "d|e+f");
+  (* a label can never smuggle an unterminated quoted string onto a
+     line: every DOT line closes the quotes it opens *)
+  List.iter
+    (fun line ->
+      check_int
+        (Printf.sprintf "balanced quotes on %S" line)
+        0
+        (unescaped_quotes line mod 2))
+    (String.split_on_char '\n' dot)
+
+(* --- Chrome trace-event export --- *)
+
+let test_chrome_export () =
+  let t = record Scenario.Fig4.trace in
+  let j = CT.to_chrome t in
+  let s = Jsonx.to_string j in
+  match Jsonx.of_string s with
+  | Error e -> Alcotest.failf "chrome export is not valid JSON: %s" e
+  | Ok j' -> (
+      check_bool "serialization round trips" true (Jsonx.equal j j');
+      match Jsonx.member "traceEvents" j' with
+      | Some (Jsonx.List evs) ->
+          (* one X slice per node + an s/f flow pair per parent edge;
+             Fig4 has 10 nodes and 11 edges *)
+          check_int "slices + flow pairs" 32 (List.length evs)
+      | _ -> Alcotest.fail "no traceEvents array")
+
+(* --- explain --- *)
+
+let explain_exn t a b =
+  match Forensics.explain t a b with
+  | Ok e -> e
+  | Error m -> Alcotest.failf "explain %s %s: %s" a b m
+
+let test_explain_fig4 () =
+  let t = record Scenario.Fig4.trace in
+  (* d1 against c3: the paper's obsolescence query *)
+  let e = explain_exn t "#4" "#7" in
+  check_bool "d1 obsolete wrt c3" true
+    (Relation.equal e.Forensics.relation Relation.Dominated);
+  check_int "diverged at the first update" 1
+    (match e.Forensics.meet with Some m -> m.CT.id | None -> -1);
+  check_int "no exclusive updates on d1" 0 (List.length e.Forensics.only_a);
+  check_int "c3 has both extra updates" 2 (List.length e.Forensics.only_b);
+  (* label-based selection must agree with id-based selection; the d1
+     and c3 stamps of the run are [ε|00] and [1|1] *)
+  let e' = explain_exn t "[ε|00]" "[1|1]" in
+  check_int "label selects d1" e.Forensics.a.CT.id e'.Forensics.a.CT.id;
+  check_int "label selects c3" e.Forensics.b.CT.id e'.Forensics.b.CT.id;
+  (* fork siblings share their causal history *)
+  let e = explain_exn t "#4" "#5" in
+  check_bool "siblings equivalent" true
+    (Relation.equal e.Forensics.relation Relation.Equal);
+  (* f1 dominates d1 and the join that folded c's updates is named *)
+  let e = explain_exn t "#8" "#4" in
+  check_bool "f1 dominates d1" true
+    (Relation.equal e.Forensics.relation Relation.Dominates);
+  check_bool "join named in the explanation" true
+    (List.exists (fun n -> n.CT.id = 8) e.Forensics.joins_a)
+
+let test_explain_concurrent () =
+  let t = record [ Execution.Fork 0; Update 0; Update 1 ] in
+  let e = explain_exn t "#3" "#4" in
+  check_bool "concurrent" true
+    (Relation.equal e.Forensics.relation Relation.Concurrent);
+  check_int "one exclusive update each way (a)" 1
+    (List.length e.Forensics.only_a);
+  check_int "one exclusive update each way (b)" 1
+    (List.length e.Forensics.only_b)
+
+let test_resolve_errors () =
+  let t = record Scenario.Fig4.trace in
+  (match Forensics.resolve t "#99" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range id resolved");
+  (match Forensics.resolve t "#x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed id resolved");
+  (match Forensics.resolve t "[no|such]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown label resolved");
+  (* duplicate labels resolve to the latest node *)
+  match Forensics.resolve t "[1|1]" with
+  | Ok id -> check_int "latest wins" 7 id
+  | Error m -> Alcotest.fail m
+
+let () =
+  Alcotest.run "causal_trace"
+    [
+      ( "dag",
+        [
+          Alcotest.test_case "add validation" `Quick test_add_validation;
+          Alcotest.test_case "figure 4 structure" `Quick test_fig4_structure;
+          Alcotest.test_case "of_jsonl rejects garbage" `Quick
+            test_of_jsonl_rejects_garbage;
+          Alcotest.test_case "reconstruction rejects malformed DAGs" `Quick
+            test_ops_of_trace_rejects_malformed;
+        ] );
+      ( "exports",
+        [
+          Alcotest.test_case "DOT escaping" `Quick test_dot_escaping;
+          Alcotest.test_case "chrome trace JSON" `Quick test_chrome_export;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "figure 4 queries" `Quick test_explain_fig4;
+          Alcotest.test_case "concurrent states" `Quick test_explain_concurrent;
+          Alcotest.test_case "selector errors" `Quick test_resolve_errors;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_jsonl_roundtrip; prop_ops_reconstruction; prop_replay_identical ]
+      );
+    ]

@@ -1,0 +1,222 @@
+open Vstamp_core
+open Vstamp_sim
+module Obs = Vstamp_obs
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let counter_value reg name = Obs.Metric.count (Obs.Registry.counter reg name)
+
+(* --- the monitor itself --- *)
+
+let test_monitor_pass () =
+  let reg = Obs.Registry.create () in
+  let sink = Obs.Sink.memory () in
+  let m = Obs.Monitor.create ~registry:reg ~sink "t" in
+  check_bool "clean check passes" true (Obs.Monitor.check m ~step:1 (fun () -> []));
+  check_int "checks" 1 (Obs.Monitor.checks m);
+  check_int "violations" 0 (Obs.Monitor.violations m);
+  check_int "checks counter" 1
+    (counter_value reg {|vstamp_invariant_checks_total{monitor="t"}|});
+  check_int "violations counter" 0
+    (counter_value reg {|vstamp_invariant_violations_total{monitor="t"}|});
+  check_int "no events" 0 (List.length (Obs.Sink.contents sink));
+  check_bool "no first violation" true (Obs.Monitor.first_violation m = None)
+
+let test_monitor_fail () =
+  let reg = Obs.Registry.create () in
+  let sink = Obs.Sink.memory () in
+  let m = Obs.Monitor.create ~registry:reg ~sink "t" in
+  let witness () = [ ("broken", Obs.Jsonx.Bool true) ] in
+  check_bool "failing check reports" false (Obs.Monitor.check m ~step:7 witness);
+  check_bool "later clean check still passes" true
+    (Obs.Monitor.check m ~step:8 (fun () -> []));
+  check_int "checks" 2 (Obs.Monitor.checks m);
+  check_int "violations" 1 (Obs.Monitor.violations m);
+  check_int "violations counter" 1
+    (counter_value reg {|vstamp_invariant_violations_total{monitor="t"}|});
+  (match Obs.Sink.contents sink with
+  | [ ev ] ->
+      Alcotest.(check string) "event name" "invariant.violation" ev.Obs.Event.name;
+      check_bool "step timestamp" true (ev.Obs.Event.ts = Obs.Event.Step 7);
+      check_bool "monitor field" true
+        (List.assoc_opt "monitor" ev.Obs.Event.fields
+        = Some (Obs.Jsonx.String "t"));
+      check_bool "witness field" true
+        (List.assoc_opt "broken" ev.Obs.Event.fields = Some (Obs.Jsonx.Bool true))
+  | evs -> Alcotest.failf "expected one event, got %d" (List.length evs));
+  match Obs.Monitor.first_violation m with
+  | Some (7, fields) ->
+      check_bool "first violation witness" true
+        (List.assoc_opt "broken" fields = Some (Obs.Jsonx.Bool true))
+  | _ -> Alcotest.fail "first violation not recorded"
+
+(* --- System.run wiring: clean mechanisms never violate --- *)
+
+let test_run_clean () =
+  let ops = Workload.uniform ~seed:5 ~n_ops:120 () in
+  List.iter
+    (fun tracker ->
+      let reg = Obs.Registry.create () in
+      let (_ : System.result) =
+        System.run ~with_oracle:false ~registry:reg ~check_invariants:true
+          tracker ops
+      in
+      let name = Tracker.name tracker in
+      check_int
+        (Printf.sprintf "%s: one check per step plus the seed" name)
+        (List.length ops + 1)
+        (counter_value reg
+           (Printf.sprintf "vstamp_invariant_checks_total{monitor=%S}" name));
+      check_int
+        (Printf.sprintf "%s: no violations" name)
+        0
+        (counter_value reg
+           (Printf.sprintf "vstamp_invariant_violations_total{monitor=%S}" name)))
+    [ Tracker.stamps; Tracker.stamps_list; Tracker.version_vectors ]
+
+(* --- a deliberately corrupted mechanism is caught with a minimal
+       witness --- *)
+
+(* I1 demands update <= id; this stamp's update part names a subtree the
+   id does not own. *)
+let bad_stamp =
+  Stamp.make_unchecked
+    ~update:(Name_tree.of_list [ Bits.of_digits [ Bits.One ] ])
+    ~id:(Name_tree.of_list [ Bits.of_digits [ Bits.Zero ] ])
+
+module Corrupt = struct
+  type t = Stamp.t
+
+  type state = int
+
+  let name = "corrupt"
+
+  let initial = (0, Stamp.seed)
+
+  let update n s = (n + 1, if n + 1 >= 3 then bad_stamp else Stamp.update s)
+
+  let fork n s = (n, Stamp.fork s)
+
+  let join n a b = (n, Stamp.join a b)
+
+  let leq = Stamp.leq
+
+  let size_bits = Stamp.size_bits
+
+  let invariants = Invariants.check
+
+  let pp = Stamp.pp
+end
+
+let corrupt = Tracker.Packed (module Corrupt)
+
+let test_corrupted_stamp_caught () =
+  let ops = Execution.[ Update 0; Update 0; Update 0; Update 0; Update 0 ] in
+  let reg = Obs.Registry.create () in
+  let sink = Obs.Sink.memory () in
+  let file = Filename.temp_file "vstamp_violation" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      match
+        System.run ~with_oracle:false ~registry:reg ~sink
+          ~check_invariants:true ~violation_out:file corrupt ops
+      with
+      | (_ : System.result) -> Alcotest.fail "corruption not detected"
+      | exception
+          System.Invariant_violation
+            { tracker; step; violations; prefix; saved; _ } -> (
+          Alcotest.(check string) "tracker named" "corrupt" tracker;
+          check_int "detected at the third update" 3 step;
+          check_bool "I1 witness at position 0" true
+            (List.mem (Invariants.I1 0) violations);
+          check_int "minimal prefix stops at the offending op" 3
+            (List.length prefix);
+          check_bool "prefix saved" true (saved = Some file);
+          (* the saved prefix is a loadable, replayable trace *)
+          (match Trace.load ~file with
+          | Ok ops' -> check_bool "saved prefix loads" true (ops' = prefix)
+          | Error e -> Alcotest.failf "saved prefix unloadable: %a" Trace.pp_error e);
+          check_int "violation counted" 1
+            (counter_value reg
+               {|vstamp_invariant_violations_total{monitor="corrupt"}|});
+          (* the violation event carries the serialized witness *)
+          match
+            List.filter
+              (fun ev -> ev.Obs.Event.name = "invariant.violation")
+              (Obs.Sink.contents sink)
+          with
+          | [ ev ] ->
+              check_bool "witness serialized" true
+                (match List.assoc_opt "violations" ev.Obs.Event.fields with
+                | Some (Obs.Jsonx.List (_ :: _)) -> true
+                | _ -> false)
+          | evs ->
+              Alcotest.failf "expected one violation event, got %d"
+                (List.length evs)))
+
+(* --- order sanity: a broken leq trips the monitor even when the
+       stamps themselves are fine --- *)
+
+module Broken_order = struct
+  type t = Stamp.t
+
+  type state = unit
+
+  let name = "broken-order"
+
+  let initial = ((), Stamp.seed)
+
+  let update () s = ((), Stamp.update s)
+
+  let fork () s = ((), Stamp.fork s)
+
+  let join () a b = ((), Stamp.join a b)
+
+  let leq _ _ = false
+
+  let size_bits = Stamp.size_bits
+
+  let invariants _ = []
+
+  let pp = Stamp.pp
+end
+
+let test_broken_order_caught () =
+  match
+    System.run ~with_oracle:false ~check_invariants:true
+      (Tracker.Packed (module Broken_order))
+      [ Execution.Update 0 ]
+  with
+  | (_ : System.result) -> Alcotest.fail "broken order not detected"
+  | exception System.Invariant_violation { step; violations; prefix; _ } ->
+      check_int "caught on the seed frontier" 0 step;
+      check_bool "no stamp-invariant witnesses" true (violations = []);
+      check_int "empty prefix" 0 (List.length prefix)
+
+(* monitors off (the default): the corrupted run completes silently *)
+let test_default_off () =
+  let ops = Execution.[ Update 0; Update 0; Update 0; Update 0 ] in
+  let r = System.run ~with_oracle:false corrupt ops in
+  check_int "run completed" 4 r.System.ops
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "monitor",
+        [
+          Alcotest.test_case "passing checks" `Quick test_monitor_pass;
+          Alcotest.test_case "failing checks" `Quick test_monitor_fail;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "clean mechanisms" `Quick test_run_clean;
+          Alcotest.test_case "corrupted stamp caught" `Quick
+            test_corrupted_stamp_caught;
+          Alcotest.test_case "broken order caught" `Quick
+            test_broken_order_caught;
+          Alcotest.test_case "off by default" `Quick test_default_off;
+        ] );
+    ]

@@ -70,6 +70,60 @@ let prop_roundtrip =
       | Ok ops' -> ops = ops'
       | Error _ -> false)
 
+(* Inject deterministic whitespace wherever the grammar tolerates it:
+   around ';' and ',', after '(' and before ')' — never between an op
+   name and its '('. *)
+let spaced salt s =
+  let fills = [| ""; " "; "  "; "\t"; "\n"; " \t " |] in
+  let k = ref (abs salt) in
+  let pick () =
+    let f = fills.(!k mod Array.length fills) in
+    k := ((!k * 31) + 7) mod 9973;
+    f
+  in
+  let b = Buffer.create (String.length s * 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | ';' | ',' ->
+          Buffer.add_string b (pick ());
+          Buffer.add_char b c;
+          Buffer.add_string b (pick ())
+      | '(' ->
+          Buffer.add_char b '(';
+          Buffer.add_string b (pick ())
+      | ')' ->
+          Buffer.add_string b (pick ());
+          Buffer.add_char b ')'
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prop_whitespace_tolerant =
+  QCheck2.Test.make ~name:"parser tolerates interleaved whitespace" ~count:300
+    ~print:(fun (ops, salt) ->
+      Printf.sprintf "%s (salt %d)" (spaced salt (Trace.to_string ops)) salt)
+    QCheck2.Gen.(pair (Vstamp_test_support.Gen.trace ()) (int_bound 10_000))
+    (fun (ops, salt) ->
+      match Trace.of_string (spaced salt (Trace.to_string ops)) with
+      | Ok ops' -> ops = ops'
+      | Error _ -> false)
+
+(* Appending an op that needs a larger frontier than the trace leaves
+   must fail positionally: the reported position is the appended op's. *)
+let prop_validation_position =
+  QCheck2.Test.make ~name:"validation reports the offending position"
+    ~count:300 ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops ->
+      let final_size =
+        List.fold_left (fun n op -> n + Execution.size_delta op) 1 ops
+      in
+      let bad = ops @ [ Execution.Update final_size ] in
+      match Trace.of_string (Trace.to_string bad) with
+      | Ok _ -> false
+      | Error e -> e.Trace.position = List.length ops)
+
 let prop_parser_total =
   QCheck2.Test.make ~name:"trace parser is total" ~count:1000
     QCheck2.Gen.(string_size ~gen:printable (int_bound 30))
@@ -94,5 +148,11 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_parser_total ] );
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_roundtrip;
+            prop_parser_total;
+            prop_whitespace_tolerant;
+            prop_validation_position;
+          ] );
     ]

@@ -59,6 +59,55 @@ let test_column_count () =
   (* 4 chars per column, columns = ops + 1 *)
   check_int "width" (4 * (List.length ops + 1)) (String.length first)
 
+(* --- DOT output --- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let count_char c s =
+  String.fold_left (fun n x -> if x = c then n + 1 else n) 0 s
+
+let unescaped_quotes line =
+  let n = ref 0 and esc = ref false in
+  String.iter
+    (fun c ->
+      if !esc then esc := false
+      else if c = '\\' then esc := true
+      else if c = '"' then incr n)
+    line;
+  !n
+
+let test_dot_grammar () =
+  let dot = Viz.to_dot Scenario.Fig4.trace in
+  check_bool "digraph header" true
+    (String.length dot > 8 && String.sub dot 0 8 = "digraph ");
+  check_int "balanced braces" (count_char '{' dot) (count_char '}' dot);
+  check_bool "has edges" true (contains dot "->");
+  (* stamp notation's '+' and '|' pass through quoted labels unmangled *)
+  check_bool "f1 stamp labelled" true (contains dot "[1|01+1]");
+  (* no line may leave a quoted string open (escaping regression) *)
+  List.iter
+    (fun line ->
+      check_int
+        (Printf.sprintf "balanced quotes on %S" line)
+        0
+        (unescaped_quotes line mod 2))
+    (String.split_on_char '\n' dot)
+
+let prop_dot_any_trace =
+  QCheck2.Test.make ~name:"dot renders any valid trace" ~count:100
+    ~print:Vstamp_test_support.Gen.trace_print
+    (Vstamp_test_support.Gen.trace ())
+    (fun ops ->
+      let dot = Viz.to_dot ops in
+      String.sub dot 0 8 = "digraph "
+      && count_char '{' dot = count_char '}' dot
+      && List.for_all
+           (fun line -> unescaped_quotes line mod 2 = 0)
+           (String.split_on_char '\n' dot))
+
 let prop_renders_any_trace =
   QCheck2.Test.make ~name:"viz renders any valid trace" ~count:300
     ~print:Vstamp_test_support.Gen.trace_print
@@ -85,5 +134,8 @@ let () =
           Alcotest.test_case "header" `Quick test_header;
           Alcotest.test_case "column count" `Quick test_column_count;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_renders_any_trace ]);
+      ("dot", [ Alcotest.test_case "grammar and escaping" `Quick test_dot_grammar ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_renders_any_trace; prop_dot_any_trace ] );
     ]
