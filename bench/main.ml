@@ -4,11 +4,106 @@
    quantitative experiments the paper's claims imply (E1-E8), as indexed
    in DESIGN.md; then runs the bechamel micro-benchmarks for operation
    latency (E3).  Everything is deterministic except wall-clock
-   latencies.  Results are recorded in EXPERIMENTS.md. *)
+   latencies.  Results are recorded in EXPERIMENTS.md.
+
+   Usage: main.exe [--quick] [--out FILE] [--history FILE]
+
+   --quick shrinks the iteration budgets and skips the prose-only
+   experiments (E2b, E4-E10) so the JSON-producing lane finishes in
+   seconds — the mode scripts/bench_smoke.sh gates on.  The effective
+   knobs are recorded in the JSON's "config" block, and `vstamp bench
+   diff` refuses to compare runs whose configs differ. *)
 
 open Vstamp_core
 open Vstamp_vv
 open Vstamp_sim
+
+type opts = { quick : bool; out : string; history : string }
+
+let parse_argv () =
+  let quick = ref false
+  and out = ref "BENCH_core.json"
+  and history = ref "BENCH_history.jsonl" in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        go rest
+    | "--out" :: file :: rest ->
+        out := file;
+        go rest
+    | "--history" :: file :: rest ->
+        history := file;
+        go rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %s\nusage: main.exe [--quick] [--out FILE] \
+           [--history FILE]\n"
+          arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  { quick = !quick; out = !out; history = !history }
+
+(* Every knob that changes what the numbers mean lives here and is
+   dumped into the JSON's "config" block, so the regression gate can
+   refuse to compare apples to oranges (see Vstamp_obs.Bench_store). *)
+type bench_config = {
+  quick : bool;
+  e1_scales : int list;
+  latency_quota_s : float;
+  latency_limit : int;
+  case_budget_ms : float;
+  e11_uniform_ops : int;
+  e11_deep_fork_depth : int;
+  e11_churn_ops : int;
+  e11_every_n : int;
+  e11_best_of : int;
+}
+
+let bench_config ~quick =
+  if quick then
+    {
+      quick;
+      e1_scales = [ 50; 100 ];
+      latency_quota_s = 0.1;
+      latency_limit = 1000;
+      case_budget_ms = 25.0;
+      e11_uniform_ops = 100;
+      e11_deep_fork_depth = 40;
+      e11_churn_ops = 60;
+      e11_every_n = 100;
+      e11_best_of = 1;
+    }
+  else
+    {
+      quick;
+      e1_scales = [ 50; 100; 200; 400 ];
+      latency_quota_s = 0.25;
+      latency_limit = 2000;
+      case_budget_ms = 100.0;
+      e11_uniform_ops = 400;
+      e11_deep_fork_depth = 100;
+      e11_churn_ops = 200;
+      e11_every_n = 100;
+      e11_best_of = 3;
+    }
+
+let config_json c =
+  let open Vstamp_obs in
+  Jsonx.Obj
+    [
+      ("quick", Jsonx.Bool c.quick);
+      ("e1_scales", Jsonx.List (List.map (fun n -> Jsonx.Int n) c.e1_scales));
+      ("latency_quota_s", Jsonx.Float c.latency_quota_s);
+      ("latency_limit", Jsonx.Int c.latency_limit);
+      ("case_budget_ms", Jsonx.Float c.case_budget_ms);
+      ("e11_uniform_ops", Jsonx.Int c.e11_uniform_ops);
+      ("e11_deep_fork_depth", Jsonx.Int c.e11_deep_fork_depth);
+      ("e11_churn_ops", Jsonx.Int c.e11_churn_ops);
+      ("e11_every_n", Jsonx.Int c.e11_every_n);
+      ("e11_best_of", Jsonx.Int c.e11_best_of);
+    ]
 
 let section title =
   Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
@@ -107,9 +202,8 @@ let e1_trackers =
     Tracker.histories;
   ]
 
-let e1 () =
+let e1 ~scales () =
   section "E1: tracking-data size (bits/replica, mean/p95) by workload and scale";
-  let scales = [ 50; 100; 200; 400 ] in
   let workload_families =
     [
       ("uniform", fun n -> Workload.uniform ~seed:7 ~n_ops:n ());
@@ -553,11 +647,16 @@ let make_deep_list_stamp depth =
   in
   go Stamp.Over_list.seed depth
 
-let latency_tests () =
-  let open Bechamel in
+(* Latency cases as plain (group, name, thunk) triples so they can be
+   screened against the per-case time budget before bechamel sees them;
+   names reproduce the historical bechamel keys ("ops/stamp/join d8",
+   "ablation/list/join:12") so BENCH_history.jsonl stays comparable
+   across the restructuring. *)
+let latency_cases () =
   let stamp8 = make_deep_stamp 8 and stamp16 = make_deep_stamp 16 in
   let list8 = make_deep_list_stamp 8 in
   let other8 = snd (Stamp.fork stamp8) in
+  let other16 = snd (Stamp.fork stamp16) in
   let other_list8 = snd (Stamp.Over_list.fork list8) in
   let vv =
     List.fold_left
@@ -575,66 +674,61 @@ let latency_tests () =
     go Vstamp_itc.Itc.seed 8
   in
   let wire8 = Vstamp_codec.Wire.stamp_to_string stamp8 in
-  Test.make_grouped ~name:"ops"
-    [
-      Test.make ~name:"stamp/update d8" (Staged.stage (fun () -> Stamp.update stamp8));
-      Test.make ~name:"stamp/fork d8" (Staged.stage (fun () -> Stamp.fork stamp8));
-      Test.make ~name:"stamp/join d8"
-        (Staged.stage (fun () -> Stamp.join stamp8 other8));
-      Test.make ~name:"stamp/reduce d8" (Staged.stage (fun () -> Stamp.reduce stamp8));
-      Test.make ~name:"stamp/leq d8" (Staged.stage (fun () -> Stamp.leq stamp8 other8));
-      Test.make ~name:"stamp/leq d16"
-        (Staged.stage
-           (let o = snd (Stamp.fork stamp16) in
-            fun () -> Stamp.leq stamp16 o));
-      Test.make ~name:"stamp-list/join d8"
-        (Staged.stage (fun () -> Stamp.Over_list.join list8 other_list8));
-      Test.make ~name:"stamp-list/leq d8"
-        (Staged.stage (fun () -> Stamp.Over_list.leq list8 other_list8));
-      Test.make ~name:"vv/increment w8"
-        (Staged.stage (fun () -> Version_vector.increment vv 3));
-      Test.make ~name:"vv/merge w8" (Staged.stage (fun () -> Version_vector.merge vv vv));
-      Test.make ~name:"vv/leq w8" (Staged.stage (fun () -> Version_vector.leq vv vv));
-      Test.make ~name:"itc/update d8"
-        (Staged.stage (fun () -> Vstamp_itc.Itc.update itc8));
-      Test.make ~name:"itc/leq d8"
-        (Staged.stage (fun () -> Vstamp_itc.Itc.leq itc8 itc8));
-      Test.make ~name:"wire/encode d8"
-        (Staged.stage (fun () -> Vstamp_codec.Wire.stamp_to_string stamp8));
-      Test.make ~name:"wire/decode d8"
-        (Staged.stage (fun () -> Vstamp_codec.Wire.stamp_of_string wire8));
-    ]
+  [
+    ("ops", "stamp/update d8", fun () -> ignore (Stamp.update stamp8));
+    ("ops", "stamp/fork d8", fun () -> ignore (Stamp.fork stamp8));
+    ("ops", "stamp/join d8", fun () -> ignore (Stamp.join stamp8 other8));
+    ("ops", "stamp/reduce d8", fun () -> ignore (Stamp.reduce stamp8));
+    ("ops", "stamp/leq d8", fun () -> ignore (Stamp.leq stamp8 other8));
+    ("ops", "stamp/leq d16", fun () -> ignore (Stamp.leq stamp16 other16));
+    ( "ops",
+      "stamp-list/join d8",
+      fun () -> ignore (Stamp.Over_list.join list8 other_list8) );
+    ( "ops",
+      "stamp-list/leq d8",
+      fun () -> ignore (Stamp.Over_list.leq list8 other_list8) );
+    ("ops", "vv/increment w8", fun () -> ignore (Version_vector.increment vv 3));
+    ("ops", "vv/merge w8", fun () -> ignore (Version_vector.merge vv vv));
+    ("ops", "vv/leq w8", fun () -> ignore (Version_vector.leq vv vv));
+    ("ops", "itc/update d8", fun () -> ignore (Vstamp_itc.Itc.update itc8));
+    ("ops", "itc/leq d8", fun () -> ignore (Vstamp_itc.Itc.leq itc8 itc8));
+    ( "ops",
+      "wire/encode d8",
+      fun () -> ignore (Vstamp_codec.Wire.stamp_to_string stamp8) );
+    ( "ops",
+      "wire/decode d8",
+      fun () -> ignore (Vstamp_codec.Wire.stamp_of_string wire8) );
+  ]
 
 (* ablation A: representation choice (trie vs sorted list) as id
-   fragmentation deepens; the indexed tests sweep the construction
-   depth so the scaling shape is visible, not just one point *)
-let ablation_tests () =
-  let open Bechamel in
+   fragmentation deepens; the depth sweep makes the scaling shape
+   visible, not just one point *)
+let ablation_cases () =
   let depths = [ 2; 4; 8; 12 ] in
-  let tree_stamp = List.map (fun d -> (d, make_deep_stamp d)) depths in
-  let list_stamp = List.map (fun d -> (d, make_deep_list_stamp d)) depths in
-  Test.make_grouped ~name:"ablation"
-    [
-      Test.make_indexed ~name:"tree/leq" ~args:depths (fun d ->
-          let s = List.assoc d tree_stamp in
-          let o = snd (Stamp.fork s) in
-          Staged.stage (fun () -> Stamp.leq s o));
-      Test.make_indexed ~name:"list/leq" ~args:depths (fun d ->
-          let s = List.assoc d list_stamp in
-          let o = snd (Stamp.Over_list.fork s) in
-          Staged.stage (fun () -> Stamp.Over_list.leq s o));
-      Test.make_indexed ~name:"tree/join" ~args:depths (fun d ->
-          let s = List.assoc d tree_stamp in
-          let o = snd (Stamp.fork s) in
-          Staged.stage (fun () -> Stamp.join s o));
-      Test.make_indexed ~name:"list/join" ~args:depths (fun d ->
-          let s = List.assoc d list_stamp in
-          let o = snd (Stamp.Over_list.fork s) in
-          Staged.stage (fun () -> Stamp.Over_list.join s o));
-      Test.make_indexed ~name:"tree/reduce" ~args:depths (fun d ->
-          let s = List.assoc d tree_stamp in
-          Staged.stage (fun () -> Stamp.reduce s));
-    ]
+  List.concat_map
+    (fun d ->
+      let tree = make_deep_stamp d in
+      let tree_o = snd (Stamp.fork tree) in
+      let lst = make_deep_list_stamp d in
+      let lst_o = snd (Stamp.Over_list.fork lst) in
+      [
+        ( "ablation",
+          Printf.sprintf "tree/leq:%d" d,
+          fun () -> ignore (Stamp.leq tree tree_o) );
+        ( "ablation",
+          Printf.sprintf "list/leq:%d" d,
+          fun () -> ignore (Stamp.Over_list.leq lst lst_o) );
+        ( "ablation",
+          Printf.sprintf "tree/join:%d" d,
+          fun () -> ignore (Stamp.join tree tree_o) );
+        ( "ablation",
+          Printf.sprintf "list/join:%d" d,
+          fun () -> ignore (Stamp.Over_list.join lst lst_o) );
+        ( "ablation",
+          Printf.sprintf "tree/reduce:%d" d,
+          fun () -> ignore (Stamp.reduce tree) );
+      ])
+    depths
 
 (* ablation B: eager reduction at join vs deferring it to a single final
    normalization — measures what keeping normal form continuously
@@ -685,12 +779,15 @@ let e2b () =
 (* ------------------------------------------------------------------ *)
 
 (* Wall-clock throughput of the same run plain, with the I1-I3 runtime
-   monitors evaluating the whole frontier after every step, and with the
-   causal-trace recorder labelling every state.  Best of three runs so a
-   stray scheduler hiccup cannot dominate. *)
-let e11 () =
-  section "E11: observability overhead (ops/s: plain, +monitors, +recording)";
-  let best_of_3 f =
+   monitors evaluating the whole frontier after every step, with the
+   same monitors sampled 1-in-N, and with the causal-trace recorder
+   labelling every state.  Best of [cfg.e11_best_of] runs so a stray
+   scheduler hiccup cannot dominate. *)
+let e11 ~cfg () =
+  section
+    "E11: observability overhead (ops/s: plain, full monitors, sampled, \
+     +recording)";
+  let best_of f =
     let rec go k best =
       if k = 0 then best
       else begin
@@ -699,7 +796,23 @@ let e11 () =
         go (k - 1) (min best (Unix.gettimeofday () -. t0))
       end
     in
-    go 3 infinity
+    go (max 1 cfg.e11_best_of) infinity
+  in
+  (* effective coverage read back from the gauge of a separate untimed
+     run with a private registry, so the gauge bookkeeping never sits
+     inside the timed lane *)
+  let coverage_of ~sampling ops =
+    let registry = Vstamp_obs.Registry.create () in
+    ignore
+      (System.run ~with_oracle:false ~registry ~check_invariants:true ~sampling
+         Tracker.stamps ops
+        : System.result);
+    match
+      Vstamp_obs.Registry.find registry
+        "vstamp_monitor_coverage{monitor=\"stamps\"}"
+    with
+    | Some (Vstamp_obs.Registry.Gauge g) -> Vstamp_obs.Metric.value g
+    | _ -> nan
   in
   (* op counts are deliberately modest: I2/I3 are quadratic in frontier
      width and linear in name size, so a wide frontier (deep-fork) or
@@ -707,36 +820,43 @@ let e11 () =
      blow-up rather than the monitor *)
   let workloads =
     [
-      ("uniform", Workload.uniform ~seed:7 ~n_ops:400 ());
-      ("deep-fork", Workload.deep_fork ~depth:100 ());
-      ("churn", Workload.churn ~seed:7 ~target:8 ~n_ops:200 ());
+      ("uniform", Workload.uniform ~seed:7 ~n_ops:cfg.e11_uniform_ops ());
+      ("deep-fork", Workload.deep_fork ~depth:cfg.e11_deep_fork_depth ());
+      ("churn", Workload.churn ~seed:7 ~target:8 ~n_ops:cfg.e11_churn_ops ());
     ]
   in
+  let sampling = Vstamp_obs.Monitor.Every_n cfg.e11_every_n in
   let rows, payload =
     List.split
       (List.map
          (fun (wname, ops) ->
            let n = List.length ops in
-           let run ?check_invariants ?trace () =
+           let run ?check_invariants ?sampling ?trace () =
              ignore
-               (System.run ~with_oracle:false ?check_invariants ?trace
-                  Tracker.stamps ops
+               (System.run ~with_oracle:false ?check_invariants ?sampling
+                  ?trace Tracker.stamps ops
                  : System.result)
            in
-           let throughput f = float_of_int n /. best_of_3 f in
+           let throughput f = float_of_int n /. best_of f in
            let plain = throughput (fun () -> run ()) in
            let monitored = throughput (fun () -> run ~check_invariants:true ()) in
+           let sampled =
+             throughput (fun () -> run ~check_invariants:true ~sampling ())
+           in
            let recording =
              throughput (fun () ->
                  run ~trace:(Vstamp_obs.Causal_trace.create ()) ())
            in
+           let coverage = coverage_of ~sampling ops in
            ( [
                wname;
                string_of_int n;
                Printf.sprintf "%.2e" plain;
                Printf.sprintf "%.2e" monitored;
+               Printf.sprintf "%.2e" sampled;
                Printf.sprintf "%.2e" recording;
                Printf.sprintf "%.1fx" (plain /. monitored);
+               Printf.sprintf "%.1fx" (plain /. sampled);
              ],
              ( wname,
                Vstamp_obs.Jsonx.Obj
@@ -744,31 +864,116 @@ let e11 () =
                    ("ops", Vstamp_obs.Jsonx.Int n);
                    ("plain_ops_per_s", Vstamp_obs.Jsonx.Float plain);
                    ("monitored_ops_per_s", Vstamp_obs.Jsonx.Float monitored);
+                   ("sampled_ops_per_s", Vstamp_obs.Jsonx.Float sampled);
                    ("recording_ops_per_s", Vstamp_obs.Jsonx.Float recording);
                    ( "monitor_slowdown",
                      Vstamp_obs.Jsonx.Float (plain /. monitored) );
+                   ("sampled_slowdown", Vstamp_obs.Jsonx.Float (plain /. sampled));
+                   ("sampled_coverage", Vstamp_obs.Jsonx.Float coverage);
+                   ("every_n", Vstamp_obs.Jsonx.Int cfg.e11_every_n);
                  ] ) ))
          workloads)
   in
   table
     ~header:
-      [ "workload"; "ops"; "plain ops/s"; "+monitors"; "+recording"; "monitor cost" ]
+      [
+        "workload";
+        "ops";
+        "plain ops/s";
+        "full mon";
+        Printf.sprintf "1-in-%d" cfg.e11_every_n;
+        "+recording";
+        "full cost";
+        "sampled cost";
+      ]
     rows;
-  Vstamp_obs.Jsonx.Obj payload
+  (* E13's curve: how the overhead and coverage trade off as the
+     sampling period stretches, on the workload where full monitoring
+     hurts most *)
+  let churn = Workload.churn ~seed:7 ~target:8 ~n_ops:cfg.e11_churn_ops () in
+  let n = List.length churn in
+  let plain =
+    float_of_int n
+    /. best_of (fun () ->
+           ignore
+             (System.run ~with_oracle:false Tracker.stamps churn
+               : System.result))
+  in
+  Format.printf "@.sampling sweep (churn): slowdown vs coverage by period@.";
+  let sweep =
+    List.map
+      (fun every_n ->
+        let sampling = Vstamp_obs.Monitor.Every_n every_n in
+        let sampled =
+          float_of_int n
+          /. best_of (fun () ->
+                 ignore
+                   (System.run ~with_oracle:false ~check_invariants:true
+                      ~sampling Tracker.stamps churn
+                     : System.result))
+        in
+        let coverage = coverage_of ~sampling churn in
+        Format.printf "  every_n=%-5d %8.2e ops/s  %5.1fx slowdown  %5.1f%% \
+                       coverage@."
+          every_n sampled (plain /. sampled) (100.0 *. coverage);
+        Vstamp_obs.Jsonx.Obj
+          [
+            ("every_n", Vstamp_obs.Jsonx.Int every_n);
+            ("ops_per_s", Vstamp_obs.Jsonx.Float sampled);
+            ("slowdown", Vstamp_obs.Jsonx.Float (plain /. sampled));
+            ("coverage", Vstamp_obs.Jsonx.Float coverage);
+          ])
+      [ 1; 10; 100; 1000 ]
+  in
+  (Vstamp_obs.Jsonx.Obj payload, Vstamp_obs.Jsonx.List sweep)
 
-let e3 () =
+let e3 ~cfg () =
   section "E3: operation latency (bechamel, ns/op)";
   let open Bechamel in
+  (* screen every case against the per-case time budget with one timed
+     probe call; a pathological case (list/join at depth 12 costs
+     ~300 ms per call) would otherwise own the whole run's wall clock *)
+  let survivors, timed_out =
+    List.partition_map
+      (fun (group, name, fn) ->
+        let t0 = Unix.gettimeofday () in
+        fn ();
+        let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+        if ms <= cfg.case_budget_ms then Either.Left (group, name, fn)
+        else Either.Right (group ^ "/" ^ name, ms))
+      (latency_cases () @ ablation_cases ())
+  in
+  List.iter
+    (fun (key, ms) ->
+      Format.printf "  %s: over budget (probe %.1f ms > %.0f ms), recorded as \
+                     timed out@."
+        key ms cfg.case_budget_ms)
+    timed_out;
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+  let bcfg =
+    Benchmark.cfg ~limit:cfg.latency_limit
+      ~quota:(Time.second cfg.latency_quota_s)
+      ~kde:None ()
   in
-  let raw = Benchmark.all cfg [ instance ] (latency_tests ()) in
-  let raw_ablation = Benchmark.all cfg [ instance ] (ablation_tests ()) in
-  Hashtbl.iter (fun k v -> Hashtbl.replace raw k v) raw_ablation;
+  let groups =
+    List.sort_uniq compare (List.map (fun (g, _, _) -> g) survivors)
+  in
+  let raw = Hashtbl.create 64 in
+  List.iter
+    (fun g ->
+      let tests =
+        List.filter_map
+          (fun (g', name, fn) ->
+            if g' = g then Some (Test.make ~name (Staged.stage fn)) else None)
+          survivors
+      in
+      Hashtbl.iter
+        (fun k v -> Hashtbl.replace raw k v)
+        (Benchmark.all bcfg [ instance ] (Test.make_grouped ~name:g tests)))
+    groups;
   let results = Analyze.all ols instance raw in
   let estimates =
     Hashtbl.fold
@@ -783,7 +988,19 @@ let e3 () =
     ~header:[ "operation"; "ns/op" ]
     (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.0f" ns ]) estimates);
   Vstamp_obs.Jsonx.Obj
-    (List.map (fun (name, ns) -> (name, Vstamp_obs.Jsonx.Float ns)) estimates)
+    (List.sort compare
+       (List.map
+          (fun (name, ns) -> (name, Vstamp_obs.Jsonx.Float ns))
+          estimates
+       @ List.map
+           (fun (key, ms) ->
+             ( key,
+               Vstamp_obs.Jsonx.Obj
+                 [
+                   ("timed_out", Vstamp_obs.Jsonx.Bool true);
+                   ("probe_ms", Vstamp_obs.Jsonx.Float ms);
+                 ] ))
+           timed_out))
 
 (* ------------------------------------------------------------------ *)
 
@@ -854,11 +1071,14 @@ let core_counters () =
   Vstamp_obs.Jsonx.Obj
     (List.map (fun (k, v) -> (k, Vstamp_obs.Jsonx.Int v)) fields)
 
-(* /2 adds the monitor_overhead block (E11); every /1 field is kept
-   unchanged so existing consumers keep parsing. *)
-let bench_json_schema = "vstamp-bench-core/2"
+(* /3 keeps every /2 field and adds the config and wall_clock blocks
+   (Bench_store's comparability key and run metadata), the E11 sampled
+   columns, the E13 sampling_sweep, and {"timed_out": true} markers for
+   latency cases over the per-case budget. *)
+let bench_json_schema = "vstamp-bench-core/3"
 
-let write_bench_json ~sizes ~reduction ~latencies ~monitor_overhead =
+let write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
+    ~monitor_overhead ~sampling_sweep =
   let open Vstamp_obs in
   let json =
     Jsonx.Obj
@@ -866,37 +1086,56 @@ let write_bench_json ~sizes ~reduction ~latencies ~monitor_overhead =
         ("schema", Jsonx.String bench_json_schema);
         ("seed", Jsonx.Int 7);
         ("git_rev", Jsonx.String (git_rev ()));
+        ("config", config_json cfg);
+        ( "wall_clock",
+          Jsonx.Obj
+            [
+              ("recorded_unix_s", Jsonx.Float (Unix.gettimeofday ()));
+              ("elapsed_s", Jsonx.Float elapsed_s);
+            ] );
         ("op_latency_ns", latencies);
         ("sizes", sizes);
         ("reduction", reduction);
         ("core_counters", core_counters ());
         ("monitor_overhead", monitor_overhead);
+        ("sampling_sweep", sampling_sweep);
       ]
   in
-  let oc = open_out "BENCH_core.json" in
+  let oc = open_out opts.out in
   output_string oc (Jsonx.to_string json);
   output_char oc '\n';
   close_out oc;
-  Format.printf "@.wrote BENCH_core.json (schema %s)@." bench_json_schema
+  Bench_store.append ~file:opts.history json;
+  Format.printf "@.wrote %s (schema %s); appended to %s@." opts.out
+    bench_json_schema opts.history
 
 let () =
+  let opts = parse_argv () in
+  let cfg = bench_config ~quick:opts.quick in
   Vstamp_obs.Clock.set_source Unix.gettimeofday;
-  Format.printf "Version Stamps - experiment harness@.";
-  Format.printf "(deterministic except E3 latencies; see EXPERIMENTS.md)@.";
+  let t_start = Unix.gettimeofday () in
+  Format.printf "Version Stamps - experiment harness%s@."
+    (if cfg.quick then " (quick mode)" else "");
+  Format.printf "(deterministic except E3/E11 wall-clock lanes; see \
+                 EXPERIMENTS.md)@.";
   fig1 ();
   fig2_4 ();
   fig3 ();
-  let sizes = e1 () in
+  let sizes = e1 ~scales:cfg.e1_scales () in
   let reduction = e2 () in
-  e2b ();
-  let latencies = e3 () in
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  let monitor_overhead = e11 () in
-  write_bench_json ~sizes ~reduction ~latencies ~monitor_overhead;
+  if not cfg.quick then e2b ();
+  let latencies = e3 ~cfg () in
+  if not cfg.quick then begin
+    e4 ();
+    e5 ();
+    e6 ();
+    e7 ();
+    e8 ();
+    e9 ();
+    e10 ()
+  end;
+  let monitor_overhead, sampling_sweep = e11 ~cfg () in
+  let elapsed_s = Unix.gettimeofday () -. t_start in
+  write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
+    ~monitor_overhead ~sampling_sweep;
   Format.printf "@.done.@."

@@ -7,6 +7,8 @@
      simulate / gen-trace      run or generate workload traces
      compare              run one trace over several mechanisms
      metrics              run instrumented and expose the metric registry
+     bench                diff/check benchmark runs, browse the ledger
+     profile              attribute a run's time and allocation per op
      draw                 ASCII lineage diagram of a trace
      encode / decode      wire format round trips *)
 
@@ -163,20 +165,54 @@ let with_metrics_sink metrics_out f =
             (Vstamp_obs.Sink.emitted sink) file)
         (fun () -> f (Some sink))
 
+(* --sample-every / --sample-prob thin the invariant monitor; the
+   probability draws come from the simulation RNG seeded with the
+   workload seed, so a sampled run is as reproducible as the plain
+   one. *)
+let sampling_of sample_every sample_prob =
+  match (sample_every, sample_prob) with
+  | None, None -> Ok Vstamp_obs.Monitor.Always
+  | Some n, None ->
+      if n > 0 then Ok (Vstamp_obs.Monitor.Every_n n)
+      else Error (`Msg "--sample-every needs a positive period")
+  | None, Some p ->
+      if p >= 0.0 && p <= 1.0 then Ok (Vstamp_obs.Monitor.Probability p)
+      else Error (`Msg "--sample-prob needs a probability in [0, 1]")
+  | Some _, Some _ ->
+      Error (`Msg "--sample-every and --sample-prob are mutually exclusive")
+
 let simulate tracker workload seed n_ops no_oracle trace_file metrics_out
-    check_invariants violation_out =
-  match load_ops ~workload ~seed ~n_ops trace_file with
-  | Error (`Msg m) ->
+    check_invariants sample_every sample_prob violation_out =
+  let ops_or_err = load_ops ~workload ~seed ~n_ops trace_file in
+  match (ops_or_err, sampling_of sample_every sample_prob) with
+  | Error (`Msg m), _ | _, Error (`Msg m) ->
       Format.eprintf "error: %s@." m;
       exit 1
-  | Ok ops ->
+  | Ok ops, Ok sampling ->
       with_metrics_sink metrics_out (fun sink ->
           try
+            let registry = Vstamp_obs.Registry.create () in
             let r =
-              System.run ~with_oracle:(not no_oracle) ?sink ~check_invariants
-                ?violation_out tracker ops
+              System.run ~with_oracle:(not no_oracle) ~registry ?sink
+                ~check_invariants ~sampling ~sample_seed:seed ?violation_out
+                tracker ops
             in
-            Format.printf "%a@." System.pp_result r
+            Format.printf "%a@." System.pp_result r;
+            if check_invariants && sampling <> Vstamp_obs.Monitor.Always then begin
+              let gauge name =
+                match
+                  Vstamp_obs.Registry.find registry
+                    (Printf.sprintf "%s{monitor=%S}" name (Tracker.name tracker))
+                with
+                | Some (Vstamp_obs.Registry.Gauge g) -> Vstamp_obs.Metric.value g
+                | _ -> nan
+              in
+              Format.printf
+                "monitor sampling: %.1f%% of steps checked, %.1f%% of run \
+                 time in checks@."
+                (100.0 *. gauge "vstamp_monitor_coverage")
+                (100.0 *. gauge "vstamp_monitor_time_fraction")
+            end
           with System.Invariant_violation _ as e ->
             Format.eprintf "error: %s@." (Printexc.to_string e);
             exit 2)
@@ -236,6 +272,24 @@ let simulate_cmd =
             "Evaluate the mechanism's invariants (I1-I3 for stamps) after \
              every step; fail loudly with a minimal witness on violation")
   in
+  let sample_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-every" ] ~docv:"N"
+          ~doc:
+            "With --check-invariants: check only one step in N (plus the \
+             final frontier, always)")
+  in
+  let sample_prob =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sample-prob" ] ~docv:"P"
+          ~doc:
+            "With --check-invariants: check each step with probability P, \
+             drawn from the deterministic simulation RNG")
+  in
   let violation_out =
     Arg.(
       value
@@ -250,7 +304,8 @@ let simulate_cmd =
        ~doc:"Run a workload over a tracking mechanism and report size/accuracy")
     Term.(
       const simulate $ tracker $ workload $ seed $ n_ops $ no_oracle
-      $ trace_file $ metrics_out $ check_invariants $ violation_out)
+      $ trace_file $ metrics_out $ check_invariants $ sample_every
+      $ sample_prob $ violation_out)
 
 (* --- compare --- *)
 
@@ -767,6 +822,308 @@ let trace_cmd =
           for Graphviz or Perfetto")
     [ trace_record_cmd; trace_replay_cmd; trace_explain_cmd; trace_export_cmd ]
 
+(* --- bench: benchmark ledger and regression gate --- *)
+
+module BS = Vstamp_obs.Bench_store
+
+let load_run file =
+  match BS.load ~file with Error m -> die "%s" m | Ok run -> run
+
+let pp_run_id ppf run =
+  match BS.git_rev run with
+  | Some rev ->
+      Format.fprintf ppf "%s (%s)"
+        (String.sub rev 0 (min 12 (String.length rev)))
+        (BS.schema run)
+  | None -> Format.pp_print_string ppf (BS.schema run)
+
+let bench_diff ignore_config limit old_file new_file =
+  let baseline = load_run old_file and current = load_run new_file in
+  match BS.compare_runs ~ignore_config ~baseline current with
+  | Error m -> die "%s" m
+  | Ok deltas ->
+      Format.printf "baseline: %s %a@.current:  %s %a@.@." old_file pp_run_id
+        baseline new_file pp_run_id current;
+      BS.pp_delta_table ~limit Format.std_formatter deltas;
+      let n = List.length deltas in
+      let worse = List.length (BS.regressions ~tolerance:0.0 deltas) in
+      let better = List.length (BS.improvements ~tolerance:0.0 deltas) in
+      Format.printf "@.%d comparable metrics: %d worse, %d better, %d equal@."
+        n worse better (n - worse - better)
+
+let bench_diff_cmd =
+  let old_file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD_JSON")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW_JSON")
+  in
+  let ignore_config =
+    Arg.(
+      value & flag
+      & info [ "ignore-config" ]
+          ~doc:
+            "Compare runs even when their config blocks (iteration budgets, \
+             workload scales) differ")
+  in
+  let limit =
+    Arg.(
+      value & opt int 20
+      & info [ "limit" ] ~docv:"N" ~doc:"Table rows to show (worst first)")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two benchmark runs metric by metric (op latencies, sizes, \
+          reduction efficacy, monitor overheads), worst regression first")
+    Term.(const bench_diff $ ignore_config $ limit $ old_file $ new_file)
+
+let bench_check baseline_file current_file tolerance ignore_config limit =
+  let baseline = load_run baseline_file and current = load_run current_file in
+  match BS.compare_runs ~ignore_config ~baseline current with
+  | Error m -> die "%s" m
+  | Ok deltas -> (
+      let regs = BS.regressions ~tolerance deltas in
+      let imps = BS.improvements ~tolerance deltas in
+      Format.printf
+        "checked %d metrics of %s %a against baseline %s %a (tolerance \
+         %.1f%%)@."
+        (List.length deltas) current_file pp_run_id current baseline_file
+        pp_run_id baseline tolerance;
+      match regs with
+      | [] ->
+          Format.printf "OK: no regressions beyond %.1f%%; %d improvements@."
+            tolerance (List.length imps)
+      | _ ->
+          Format.printf "@.REGRESSIONS (worse by more than %.1f%%):@.@."
+            tolerance;
+          BS.pp_delta_table ~limit Format.std_formatter regs;
+          exit 1)
+
+let bench_check_cmd =
+  let baseline_file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE" ~doc:"Baseline benchmark JSON")
+  in
+  let current_file =
+    Arg.(
+      value
+      & pos 0 string "BENCH_core.json"
+      & info [] ~docv:"CURRENT_JSON"
+          ~doc:"Run to gate (default BENCH_core.json)")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 10.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Allowed regression per metric, in percent")
+  in
+  let ignore_config =
+    Arg.(
+      value & flag
+      & info [ "ignore-config" ]
+          ~doc:"Compare runs even when their config blocks differ")
+  in
+  let limit =
+    Arg.(
+      value & opt int 20
+      & info [ "limit" ] ~docv:"N" ~doc:"Regression rows to show")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Regression gate: exit non-zero when any metric of the current run \
+          is worse than the baseline by more than the tolerance")
+    Term.(
+      const bench_check $ baseline_file $ current_file $ tolerance
+      $ ignore_config $ limit)
+
+let bench_history file limit =
+  match BS.history ~file with
+  | Error m -> die "%s" m
+  | Ok entries ->
+      let entries =
+        let n = List.length entries in
+        if limit > 0 && n > limit then
+          List.filteri (fun i _ -> i >= n - limit) entries
+        else entries
+      in
+      let rows =
+        List.mapi
+          (fun i j ->
+            let str path =
+              match Vstamp_obs.Jsonx.member path j with
+              | Some (Vstamp_obs.Jsonx.String s) -> s
+              | _ -> "-"
+            in
+            let recorded =
+              match Vstamp_obs.Jsonx.member "wall_clock" j with
+              | Some wc -> (
+                  match
+                    Option.bind
+                      (Vstamp_obs.Jsonx.member "recorded_unix_s" wc)
+                      Vstamp_obs.Jsonx.to_float
+                  with
+                  | Some s ->
+                      let tm = Unix.localtime s in
+                      Printf.sprintf "%04d-%02d-%02d %02d:%02d"
+                        (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+                        tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+                  | None -> "-")
+              | None -> "-"
+            in
+            let metrics =
+              match BS.of_json j with
+              | Ok run -> string_of_int (List.length (BS.metrics run))
+              | Error _ -> "-"
+            in
+            let rev = str "git_rev" in
+            [
+              string_of_int i;
+              str "schema";
+              String.sub rev 0 (min 12 (String.length rev));
+              recorded;
+              metrics;
+            ])
+          entries
+      in
+      Stats.pp_table Format.std_formatter
+        ~header:[ "#"; "schema"; "git_rev"; "recorded"; "metrics" ]
+        rows
+
+let bench_history_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 string "BENCH_history.jsonl"
+      & info [] ~docv:"LEDGER"
+          ~doc:"Benchmark ledger (default BENCH_history.jsonl)")
+  in
+  let limit =
+    Arg.(
+      value & opt int 0
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Show only the newest N entries (0: all)")
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:"List the runs accumulated in a benchmark ledger, oldest first")
+    Term.(const bench_history $ file $ limit)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:
+         "Benchmark regression tooling over BENCH_core.json runs: diff two \
+          runs, gate against a baseline, browse the ledger")
+    [ bench_diff_cmd; bench_check_cmd; bench_history_cmd ]
+
+(* --- profile --- *)
+
+let profile tracker workload seed n_ops no_oracle trace_file check_invariants
+    out weight top_n by =
+  match load_ops ~workload ~seed ~n_ops trace_file with
+  | Error (`Msg m) -> die "%s" m
+  | Ok ops ->
+      let p = Vstamp_obs.Profile.create () in
+      (try
+         ignore
+           (System.run ~with_oracle:(not no_oracle) ~check_invariants
+              ~profile:p tracker ops
+             : System.result)
+       with System.Invariant_violation _ as e ->
+         Format.eprintf "error: %s@." (Printexc.to_string e);
+         exit 2);
+      Vstamp_obs.Profile.pp_top ~by ~n:top_n Format.std_formatter p;
+      Format.printf "attributed total: %.3f ms over %d stacks@."
+        (Int64.to_float (Vstamp_obs.Profile.total_ns p) /. 1e6)
+        (List.length (Vstamp_obs.Profile.rows p));
+      match out with
+      | None -> ()
+      | Some file ->
+          write_data (Some file) (Vstamp_obs.Profile.to_folded ~weight p);
+          Format.printf
+            "wrote collapsed stacks to %s (flamegraph.pl %s > prof.svg)@." file
+            file
+
+let profile_cmd =
+  let tracker =
+    Arg.(
+      value
+      & opt tracker_conv Tracker.stamps
+      & info [ "t"; "tracker" ] ~docv:"TRACKER" ~doc:"Mechanism to profile")
+  in
+  let workload =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload family")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"RNG seed")
+  in
+  let n_ops =
+    Arg.(
+      value & opt int 400
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"Approximate operation count")
+  in
+  let no_oracle =
+    Arg.(
+      value & flag
+      & info [ "no-oracle" ]
+          ~doc:"Skip (and so leave unprofiled) the causal-history oracle")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Profile a trace file instead of a generated workload")
+  in
+  let check_invariants =
+    Arg.(
+      value & flag
+      & info [ "check-invariants" ]
+          ~doc:"Also run (and attribute) the invariant monitors")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write collapsed-stack output (one 'frame;frame weight' line \
+             per stack, flamegraph.pl input) to FILE")
+  in
+  let weight =
+    Arg.(
+      value
+      & opt (enum [ ("ns", `Ns); ("alloc", `Alloc) ]) `Ns
+      & info [ "weight" ] ~docv:"WEIGHT"
+          ~doc:"Folded-stack weight: ns (time) or alloc (bytes)")
+  in
+  let top_n =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Rows in the hot-op table")
+  in
+  let by =
+    Arg.(
+      value
+      & opt (enum [ ("ns", `Ns); ("alloc", `Alloc); ("count", `Count) ]) `Ns
+      & info [ "by" ] ~docv:"KEY" ~doc:"Hot-op table order: ns, alloc, count")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a workload under the op-level profiler and report where the \
+          time and allocation went, per tracker operation (update / fork / \
+          join / monitor / record / oracle)")
+    Term.(
+      const profile $ tracker $ workload $ seed $ n_ops $ no_oracle
+      $ trace_file $ check_invariants $ out $ weight $ top_n $ by)
+
 (* --- main --- *)
 
 let main_cmd =
@@ -785,6 +1142,8 @@ let main_cmd =
       simulate_cmd;
       compare_cmd;
       metrics_cmd;
+      bench_cmd;
+      profile_cmd;
       gen_trace_cmd;
       trace_cmd;
       draw_cmd;

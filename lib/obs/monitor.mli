@@ -8,6 +8,15 @@
     first witness, and emits a structured [invariant.violation] event
     (step-stamped, deterministic) into the sink.
 
+    Full checking is expensive — I2/I3 are quadratic in frontier width —
+    so a monitor can carry a {e sampling policy} that evaluates only a
+    subset of the offered steps.  Skipped steps still count into
+    [steps_seen] and the [vstamp_monitor_coverage{monitor=...}] gauge,
+    and every violation event records the sampling decision (the policy,
+    the previous checked step, the seen/checked totals) so a violation
+    found under sampling pins down the exact window — [(prev_checked,
+    step]] — to replay with full checking.
+
     The monitor is policy-free: it neither raises nor stops the run —
     callers decide whether a violation is fatal (the simulator's
     [?check_invariants] wiring fails loudly with a minimal prefix
@@ -15,21 +24,64 @@
 
 type t
 
-val create : ?registry:Registry.t -> ?sink:Sink.t -> string -> t
-(** [create name] registers the check/violation counter pair (labelled
-    [{monitor=name}]) in [registry] (default {!Registry.default}). *)
+type sampling =
+  | Always  (** Check every offered step (the default). *)
+  | Every_n of int  (** Check the first offered step, then every nth. *)
+  | Probability of float
+      (** Check each step independently with this probability, using the
+          [sample] draw supplied to {!create}. *)
+
+val sampling_to_string : sampling -> string
+(** ["always"], ["every_n:100"], ["probability:0.01"] — the form carried
+    by violation events. *)
+
+val create :
+  ?registry:Registry.t ->
+  ?sink:Sink.t ->
+  ?sampling:sampling ->
+  ?sample:(unit -> float) ->
+  string ->
+  t
+(** [create name] registers the check/violation counter pair and the
+    coverage gauge (labelled [{monitor=name}]) in [registry] (default
+    {!Registry.default}).
+
+    [sampling] defaults to [Always].  [sample] supplies the uniform
+    [[0, 1)] draw behind [Probability] — pass the simulation's
+    deterministic RNG to keep runs reproducible; the default is a
+    built-in fixed-seed splitmix64, also deterministic.
+
+    @raise Invalid_argument on [Every_n n] with [n <= 0] or
+    [Probability p] outside [[0, 1]]. *)
 
 val name : t -> string
 
-val check : t -> step:int -> (unit -> (string * Jsonx.t) list) -> bool
-(** Evaluate the check at the given logical step.  The thunk returns a
-    {e witness}: an empty field list means the invariant holds; a
-    non-empty one describes the violation and becomes the fields of the
-    emitted [invariant.violation] event (after the [monitor] name
-    field).  Returns [true] iff the check passed. *)
+val sampling : t -> sampling
+
+val check : t -> ?force:bool -> step:int -> (unit -> (string * Jsonx.t) list) -> bool
+(** Offer the check at the given logical step.  If the sampling policy
+    elects to skip it (never when [force] is [true], which callers use
+    for must-check points like a run's final frontier), the thunk is not
+    evaluated and the result is [true].
+
+    Otherwise the thunk returns a {e witness}: an empty field list means
+    the invariant holds; a non-empty one describes the violation and
+    becomes the fields of the emitted [invariant.violation] event (after
+    the [monitor], [sampling], [prev_checked_step], [steps_seen] and
+    [steps_checked] fields).  Returns [true] iff the check passed or was
+    skipped. *)
 
 val checks : t -> int
-(** Evaluations so far. *)
+(** Evaluations so far (skipped steps excluded). *)
+
+val steps_seen : t -> int
+(** Steps offered so far, checked or skipped. *)
+
+val coverage : t -> float
+(** [checks / steps_seen]; [1.] before any step is offered. *)
+
+val last_checked_step : t -> int option
+(** The most recent step actually evaluated. *)
 
 val violations : t -> int
 

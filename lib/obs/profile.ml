@@ -1,0 +1,127 @@
+type cell = {
+  mutable count : int;
+  mutable total_ns : int64;
+  mutable total_alloc_bytes : float;
+}
+
+type t = (string list, cell) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let record t ~stack ~ns ~alloc_bytes =
+  if stack = [] then invalid_arg "Profile.record: empty stack";
+  let cell =
+    match Hashtbl.find_opt t stack with
+    | Some c -> c
+    | None ->
+        let c = { count = 0; total_ns = 0L; total_alloc_bytes = 0.0 } in
+        Hashtbl.add t stack c;
+        c
+  in
+  cell.count <- cell.count + 1;
+  cell.total_ns <- Int64.add cell.total_ns ns;
+  cell.total_alloc_bytes <- cell.total_alloc_bytes +. alloc_bytes
+
+let time t stack f =
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Clock.now_ns () in
+  let finally () =
+    record t ~stack
+      ~ns:(Int64.sub (Clock.now_ns ()) t0)
+      ~alloc_bytes:(Gc.allocated_bytes () -. a0)
+  in
+  Fun.protect ~finally f
+
+type row = {
+  stack : string list;
+  count : int;
+  total_ns : int64;
+  total_alloc_bytes : float;
+}
+
+let rows (t : t) =
+  Hashtbl.fold
+    (fun stack (c : cell) acc ->
+      {
+        stack;
+        count = c.count;
+        total_ns = c.total_ns;
+        total_alloc_bytes = c.total_alloc_bytes;
+      }
+      :: acc)
+    t []
+  |> List.sort (fun a b -> compare a.stack b.stack)
+
+let total_ns (t : t) =
+  Hashtbl.fold (fun _ (c : cell) acc -> Int64.add acc c.total_ns) t 0L
+
+let top ?(by = `Ns) ~n t =
+  let key r =
+    match by with
+    | `Ns -> Int64.to_float r.total_ns
+    | `Alloc -> r.total_alloc_bytes
+    | `Count -> float_of_int r.count
+  in
+  (* heaviest first; stack order breaks ties so the listing stays
+     deterministic *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare (key b) (key a) with
+        | 0 -> compare a.stack b.stack
+        | c -> c)
+      (rows t)
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+let sanitize_frame frame =
+  String.map (function ';' | ' ' | '\n' | '\t' -> '_' | c -> c) frame
+
+let to_folded ?(weight = `Ns) t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      let w =
+        match weight with
+        | `Ns -> Int64.to_string r.total_ns
+        | `Alloc -> Printf.sprintf "%.0f" r.total_alloc_bytes
+      in
+      Buffer.add_string buf
+        (String.concat ";" (List.map sanitize_frame r.stack));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf w;
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf
+
+let pp_top ?by ?(n = 10) ppf t =
+  let rs = top ?by ~n t in
+  let name r = String.concat ";" r.stack in
+  let width =
+    List.fold_left (fun w r -> max w (String.length (name r))) 5 rs
+  in
+  Format.fprintf ppf "%-*s %10s %12s %12s %12s@." width "stack" "calls"
+    "total ms" "ns/call" "alloc MiB";
+  List.iter
+    (fun r ->
+      let ns = Int64.to_float r.total_ns in
+      Format.fprintf ppf "%-*s %10d %12.3f %12.0f %12.3f@." width (name r)
+        r.count (ns /. 1e6)
+        (ns /. float_of_int (max 1 r.count))
+        (r.total_alloc_bytes /. (1024.0 *. 1024.0)))
+    rs
+
+let to_json t =
+  Jsonx.List
+    (List.map
+       (fun r ->
+         Jsonx.Obj
+           [
+             ("stack", Jsonx.List (List.map (fun f -> Jsonx.String f) r.stack));
+             ("count", Jsonx.Int r.count);
+             ("total_ns", Jsonx.Int (Int64.to_int r.total_ns));
+             ("alloc_bytes", Jsonx.Float r.total_alloc_bytes);
+           ])
+       (rows t))
+
+let reset = Hashtbl.reset

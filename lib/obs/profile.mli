@@ -1,0 +1,60 @@
+(** Op-level profiler: wall-clock time and allocation attributed to
+    call stacks.
+
+    A profile is a table keyed by a {e stack} — an ordered frame list
+    such as [["stamps"; "join"]] — accumulating call count, elapsed
+    nanoseconds (via {!Clock}) and allocated bytes (via
+    [Gc.allocated_bytes], so minor+major words promoted to bytes, exact
+    for single-threaded code).  The simulator attributes every tracker
+    operation, monitor check and oracle replay this way (see
+    {!Vstamp_sim.System.run}'s [?profile]).
+
+    Two renderings: a top-N hot-op table for humans, and the
+    collapsed-stack ("folded") text format — one
+    [frame;frame;frame <weight>] line per stack — consumed unchanged by
+    Brendan Gregg's [flamegraph.pl], inferno, speedscope and friends. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> stack:string list -> ns:int64 -> alloc_bytes:float -> unit
+(** Account one call of [stack].  [stack] must be non-empty;
+    @raise Invalid_argument otherwise. *)
+
+val time : t -> string list -> (unit -> 'a) -> 'a
+(** Run the thunk, measuring elapsed {!Clock} time and allocated bytes,
+    and account them to the stack.  The measurement is recorded even if
+    the thunk raises. *)
+
+type row = {
+  stack : string list;
+  count : int;
+  total_ns : int64;
+  total_alloc_bytes : float;
+}
+
+val rows : t -> row list
+(** All rows, sorted by stack (deterministic). *)
+
+val total_ns : t -> int64
+
+val top : ?by:[ `Ns | `Alloc | `Count ] -> n:int -> t -> row list
+(** The [n] heaviest rows, by total time (default), allocation or call
+    count. *)
+
+val to_folded : ?weight:[ `Ns | `Alloc ] -> t -> string
+(** Collapsed-stack text: one [a;b;c <integer>] line per stack, sorted
+    by stack, trailing newline, weight in nanoseconds (default) or
+    bytes.  Frame bytes that would break the format ([';'], space,
+    newline) are rewritten to ['_']. *)
+
+val pp_top : ?by:[ `Ns | `Alloc | `Count ] -> ?n:int -> Format.formatter -> t -> unit
+(** Aligned hot-op table ([n] defaults to 10): stack, calls, total ms,
+    ns/call, allocated MiB. *)
+
+val to_json : t -> Jsonx.t
+(** [[{"stack": [...], "count": n, "total_ns": ns, "alloc_bytes": b}]],
+    sorted by stack. *)
+
+val reset : t -> unit

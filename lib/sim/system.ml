@@ -119,9 +119,22 @@ let () =
    which are inherently nondeterministic, go only into the registry's
    histograms. *)
 let run ?(with_oracle = true) ?registry ?sink ?(check_invariants = false)
-    ?violation_out ?trace (Tracker.Packed (module T)) ops =
+    ?(sampling = Vstamp_obs.Monitor.Always) ?(sample_seed = 0) ?violation_out
+    ?trace ?profile (Tracker.Packed (module T)) ops =
   let module R = Execution.Run (T) in
   let open Vstamp_obs in
+  (* Per-attribution stacks are preallocated so profiling costs one
+     closure call per op, not a list cons. *)
+  let stack_update = [ T.name; "update" ]
+  and stack_fork = [ T.name; "fork" ]
+  and stack_join = [ T.name; "join" ]
+  and stack_monitor = [ T.name; "monitor" ]
+  and stack_record = [ T.name; "record" ]
+  and stack_oracle = [ T.name; "oracle" ] in
+  let profiled stack f =
+    match profile with None -> f () | Some p -> Profile.time p stack f
+  in
+  let run_t0 = Clock.now_ns () in
   let st0, f0 = R.init in
   let sizes0 = List.map T.size_bits f0 in
   let emit_step step op sizes =
@@ -148,7 +161,7 @@ let run ?(with_oracle = true) ?registry ?sink ?(check_invariants = false)
         in
         List.iter (Metric.observe_int h) sizes
   in
-  let apply st f op =
+  let timed_apply st f op =
     match registry with
     | None -> R.apply st f op
     | Some reg ->
@@ -158,6 +171,15 @@ let run ?(with_oracle = true) ?registry ?sink ?(check_invariants = false)
           (Printf.sprintf "sim_op_ns{tracker=%S,op=%S}" T.name (op_label op))
           (Int64.sub (Clock.now_ns ()) t0);
         r
+  in
+  let apply st f op =
+    let stack =
+      match op with
+      | Execution.Update _ -> stack_update
+      | Execution.Fork _ -> stack_fork
+      | Execution.Join _ -> stack_join
+    in
+    profiled stack (fun () -> timed_apply st f op)
   in
   (* Causal-trace recording: one DAG node per replica state, parents
      derived from the positional op structure.  [heads] mirrors the
@@ -176,7 +198,8 @@ let run ?(with_oracle = true) ?registry ?sink ?(check_invariants = false)
   let record_step step op frontier' =
     match trace with
     | None -> ()
-    | Some tr -> (
+    | Some tr ->
+        profiled stack_record @@ fun () -> (
         let head i = List.nth !heads i in
         let state i = record_label (List.nth frontier' i) in
         match op with
@@ -212,10 +235,22 @@ let run ?(with_oracle = true) ?registry ?sink ?(check_invariants = false)
      the minimal witness: the shortest failing prefix is saved as a
      replayable trace and carried in the exception. *)
   let monitor =
-    if check_invariants then Some (Monitor.create ?registry ?sink T.name)
+    if check_invariants then begin
+      (* the Probability policy draws from the sim's deterministic RNG,
+         so a sampled run is exactly reproducible from (trace, seed) *)
+      let sample =
+        let rng = ref (Rng.make sample_seed) in
+        fun () ->
+          let x, r = Rng.float !rng in
+          rng := r;
+          x
+      in
+      Some (Monitor.create ?registry ?sink ~sampling ~sample T.name)
+    end
     else None
   in
-  let monitor_step step op frontier rev_prefix =
+  let monitor_ns = ref 0L in
+  let monitor_step ?force step op frontier rev_prefix =
     match monitor with
     | None -> ()
     | Some m ->
@@ -228,7 +263,14 @@ let run ?(with_oracle = true) ?registry ?sink ?(check_invariants = false)
           Telemetry.violation_witness ~violations:!violations
             ~order_failures:!order_failures
         in
-        if not (Monitor.check m ~step witness) then begin
+        let passed =
+          profiled stack_monitor (fun () ->
+              let t0 = Clock.now_ns () in
+              let ok = Monitor.check m ?force ~step witness in
+              monitor_ns := Int64.add !monitor_ns (Int64.sub (Clock.now_ns ()) t0);
+              ok)
+        in
+        if not passed then begin
           let prefix = List.rev rev_prefix in
           let saved =
             match violation_out with
@@ -260,7 +302,7 @@ let run ?(with_oracle = true) ?registry ?sink ?(check_invariants = false)
   | None -> ());
   observe_sizes sizes0;
   monitor_step 0 (Execution.Update 0) f0 [];
-  let (_, final_frontier), rev_step_sizes, _, _ =
+  let (_, final_frontier), rev_step_sizes, _, rev_prefix_all =
     List.fold_left
       (fun ((st, f), acc, step, rev_prefix) op ->
         let st', f' = apply st f op in
@@ -273,12 +315,40 @@ let run ?(with_oracle = true) ?registry ?sink ?(check_invariants = false)
       ((st0, f0), [ sizes0 ], 1, [])
       ops
   in
+  (* Under sampling the last step may have been skipped; the final
+     frontier is the run's deliverable, so force-check it.  (With
+     [Always] it was just checked and this is a no-op.) *)
+  (match (monitor, rev_prefix_all) with
+  | Some m, last_op :: _ ->
+      let n = List.length ops in
+      if Monitor.last_checked_step m <> Some n then
+        monitor_step ~force:true n last_op final_frontier rev_prefix_all
+  | _ -> ());
+  (* What monitoring cost this run, as registry gauges: cumulative check
+     time and its share of the whole run (slowdown ~ 1/(1 - share)). *)
+  (match monitor with
+  | None -> ()
+  | Some _ ->
+      let reg =
+        match registry with Some r -> r | None -> Registry.default
+      in
+      let total_ns = Int64.to_float (Int64.sub (Clock.now_ns ()) run_t0) in
+      let mon_ns = Int64.to_float !monitor_ns in
+      Metric.set
+        (Registry.gauge reg
+           (Printf.sprintf "vstamp_monitor_check_ns{monitor=%S}" T.name))
+        mon_ns;
+      Metric.set
+        (Registry.gauge reg
+           (Printf.sprintf "vstamp_monitor_time_fraction{monitor=%S}" T.name))
+        (if total_ns > 0.0 then mon_ns /. total_ns else 0.0));
   let step_sizes = List.rev rev_step_sizes in
   let updates, forks, joins = count_ops ops in
   let accuracy =
     if with_oracle then
-      let oracle = Execution.Run_histories.run ops in
-      Some (accuracy_of (module T) final_frontier oracle)
+      profiled stack_oracle (fun () ->
+          let oracle = Execution.Run_histories.run ops in
+          Some (accuracy_of (module T) final_frontier oracle))
     else None
   in
   let result =
@@ -325,9 +395,12 @@ let run ?(with_oracle = true) ?registry ?sink ?(check_invariants = false)
   | None -> ());
   result
 
-let run_all ?with_oracle ?registry ?sink ?check_invariants trackers ops =
+let run_all ?with_oracle ?registry ?sink ?check_invariants ?sampling
+    ?sample_seed ?profile trackers ops =
   List.map
-    (fun t -> run ?with_oracle ?registry ?sink ?check_invariants t ops)
+    (fun t ->
+      run ?with_oracle ?registry ?sink ?check_invariants ?sampling
+        ?sample_seed ?profile t ops)
     trackers
 
 let pp_accuracy ppf = function

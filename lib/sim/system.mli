@@ -61,8 +61,11 @@ val run :
   ?registry:Vstamp_obs.Registry.t ->
   ?sink:Vstamp_obs.Sink.t ->
   ?check_invariants:bool ->
+  ?sampling:Vstamp_obs.Monitor.sampling ->
+  ?sample_seed:int ->
   ?violation_out:string ->
   ?trace:Vstamp_obs.Causal_trace.t ->
+  ?profile:Vstamp_obs.Profile.t ->
   Tracker.packed ->
   Vstamp_core.Execution.op list ->
   result
@@ -88,16 +91,38 @@ val run :
     carrying the minimal failing prefix, saved via {!Trace} to
     [violation_out] when given.
 
+    [sampling] (default [Always]) thins the invariant checks to a
+    subset of the steps — [Every_n k] or [Probability p], the latter
+    drawn from the deterministic simulation RNG seeded with
+    [sample_seed] (default [0]) so sampled runs stay reproducible.  The
+    final frontier is always force-checked.  The run publishes
+    [vstamp_monitor_coverage{monitor=...}] (checked/offered steps),
+    [vstamp_monitor_check_ns{monitor=...}] (cumulative check time) and
+    [vstamp_monitor_time_fraction{monitor=...}] (check time over run
+    time; slowdown ≈ 1/(1 − fraction)) as gauges in [registry] (or the
+    default registry).  A violation event under sampling carries the
+    sampling decision — the policy, the previous checked step and the
+    seen/checked totals — so the offending window can be replayed with
+    full checking.
+
     With [trace], the run's causal event DAG (one node per replica
     state, parent edges from the fork/update/join structure, logical
     step stamps, stamps as labels) is appended to the given recorder —
-    the input to the [vstamp trace] forensics. *)
+    the input to the [vstamp trace] forensics.
+
+    With [profile], every tracker operation, monitor check, trace
+    recording and oracle replay is attributed (time and allocation)
+    into the given {!Vstamp_obs.Profile} under stacks
+    [[tracker; "update"|"fork"|"join"|"monitor"|"record"|"oracle"]]. *)
 
 val run_all :
   ?with_oracle:bool ->
   ?registry:Vstamp_obs.Registry.t ->
   ?sink:Vstamp_obs.Sink.t ->
   ?check_invariants:bool ->
+  ?sampling:Vstamp_obs.Monitor.sampling ->
+  ?sample_seed:int ->
+  ?profile:Vstamp_obs.Profile.t ->
   Tracker.packed list ->
   Vstamp_core.Execution.op list ->
   result list

@@ -21,6 +21,9 @@ fi
 echo "== trace smoke (record -> replay byte-identity, exports) =="
 dune build @trace-smoke --force
 
+echo "== bench smoke (quick bench -> regression gate pass/fail/refuse) =="
+dune build @bench-smoke --force
+
 echo "== CLI smoke: vstamp metrics =="
 dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 >/dev/null
 dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 --format prom >/dev/null

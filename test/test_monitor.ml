@@ -202,6 +202,179 @@ let test_default_off () =
   let r = System.run ~with_oracle:false corrupt ops in
   check_int "run completed" 4 r.System.ops
 
+(* --- sampling --- *)
+
+let test_sampling_every_n () =
+  let m = Obs.Monitor.create ~registry:(Obs.Registry.create ()) ~sampling:(Obs.Monitor.Every_n 3) "t" in
+  let evaluated = ref 0 in
+  for step = 0 to 9 do
+    ignore
+      (Obs.Monitor.check m ~step (fun () ->
+           incr evaluated;
+           [])
+        : bool)
+  done;
+  (* pre-increment election: offered steps 0,3,6,9 are checked *)
+  check_int "4 of 10 checked" 4 (Obs.Monitor.checks m);
+  check_int "witness evaluated only when checked" 4 !evaluated;
+  check_int "all offers seen" 10 (Obs.Monitor.steps_seen m);
+  check_bool "coverage is checks/seen" true
+    (abs_float (Obs.Monitor.coverage m -. 0.4) < 1e-9);
+  check_bool "last checked step" true
+    (Obs.Monitor.last_checked_step m = Some 9)
+
+let test_sampling_probability_injected () =
+  (* inject the draws: the monitor checks exactly when draw < p *)
+  let draws = ref [ 0.9; 0.1; 0.5; 0.0 ] in
+  let sample () =
+    match !draws with
+    | [] -> 1.0
+    | d :: rest ->
+        draws := rest;
+        d
+  in
+  let m =
+    Obs.Monitor.create ~registry:(Obs.Registry.create ())
+      ~sampling:(Obs.Monitor.Probability 0.4) ~sample "t"
+  in
+  let checked = ref [] in
+  for step = 0 to 3 do
+    ignore
+      (Obs.Monitor.check m ~step (fun () ->
+           checked := step :: !checked;
+           [])
+        : bool)
+  done;
+  check_bool "draws 0.1 and 0.0 elected" true (List.rev !checked = [ 1; 3 ]);
+  check_int "two checks" 2 (Obs.Monitor.checks m)
+
+let test_sampling_skip_passes_without_evaluating () =
+  let m =
+    Obs.Monitor.create ~registry:(Obs.Registry.create ())
+      ~sampling:(Obs.Monitor.Every_n 1000) "t"
+  in
+  ignore (Obs.Monitor.check m ~step:0 (fun () -> []) : bool);
+  (* a skipped step reports success and must not run the witness *)
+  check_bool "skipped step passes" true
+    (Obs.Monitor.check m ~step:1 (fun () -> Alcotest.fail "witness ran"));
+  (* force overrides the policy *)
+  check_bool "forced step evaluates" false
+    (Obs.Monitor.check m ~force:true ~step:2 (fun () ->
+         [ ("broken", Obs.Jsonx.Bool true) ]));
+  check_int "two checks (step 0 and forced)" 2 (Obs.Monitor.checks m)
+
+let test_sampling_validation () =
+  let invalid f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  check_bool "Every_n 0 rejected" true
+    (invalid (fun () -> Obs.Monitor.create ~sampling:(Obs.Monitor.Every_n 0) "t"));
+  check_bool "negative probability rejected" true
+    (invalid (fun () ->
+         Obs.Monitor.create ~sampling:(Obs.Monitor.Probability (-0.1)) "t"));
+  check_bool "probability over 1 rejected" true
+    (invalid (fun () ->
+         Obs.Monitor.create ~sampling:(Obs.Monitor.Probability 1.5) "t"))
+
+let test_sampled_violation_event_replay_window () =
+  let sink = Obs.Sink.memory () in
+  let m =
+    Obs.Monitor.create ~registry:(Obs.Registry.create ()) ~sink
+      ~sampling:(Obs.Monitor.Every_n 2) "t"
+  in
+  (* step 0 checked clean, step 1 skipped, step 2 checked and violating:
+     the event must name (0, 2] as the replay window *)
+  ignore (Obs.Monitor.check m ~step:0 (fun () -> []) : bool);
+  ignore (Obs.Monitor.check m ~step:1 (fun () -> [ ("missed", Obs.Jsonx.Bool true) ]) : bool);
+  check_bool "violation at the sampled step" false
+    (Obs.Monitor.check m ~step:2 (fun () -> [ ("broken", Obs.Jsonx.Bool true) ]));
+  match Obs.Sink.contents sink with
+  | [ ev ] ->
+      let field name = List.assoc_opt name ev.Obs.Event.fields in
+      check_bool "sampling policy recorded" true
+        (field "sampling" = Some (Obs.Jsonx.String "every_n:2"));
+      check_bool "previous checked step recorded" true
+        (field "prev_checked_step" = Some (Obs.Jsonx.Int 0));
+      check_bool "seen recorded" true
+        (field "steps_seen" = Some (Obs.Jsonx.Int 3));
+      check_bool "checked recorded" true
+        (field "steps_checked" = Some (Obs.Jsonx.Int 2))
+  | evs -> Alcotest.failf "expected one event, got %d" (List.length evs)
+
+(* --- sampled System.run: deterministic thinning, forced final check --- *)
+
+let test_run_sampled_counts () =
+  let ops = Workload.uniform ~seed:5 ~n_ops:120 () in
+  let checks_with sampling =
+    let reg = Obs.Registry.create () in
+    let (_ : System.result) =
+      System.run ~with_oracle:false ~registry:reg ~check_invariants:true
+        ~sampling Tracker.stamps ops
+    in
+    counter_value reg {|vstamp_invariant_checks_total{monitor="stamps"}|}
+  in
+  (* 121 offered steps (seed + 120 ops); every 10th from the seed is 13,
+     and the 13th lands on the final step, so no extra forced check *)
+  check_int "Every_n 10 checks 13 steps" 13
+    (checks_with (Obs.Monitor.Every_n 10));
+  (* every 7th checks 18 steps ending at 119; the final frontier is then
+     force-checked on top *)
+  check_int "Every_n 7 checks 18+1 steps" 19
+    (checks_with (Obs.Monitor.Every_n 7));
+  check_int "Always still checks everything" 121
+    (checks_with Obs.Monitor.Always)
+
+let test_run_sampled_deterministic () =
+  let ops = Workload.uniform ~seed:5 ~n_ops:200 () in
+  let coverage ~sample_seed =
+    let reg = Obs.Registry.create () in
+    let (_ : System.result) =
+      System.run ~with_oracle:false ~registry:reg ~check_invariants:true
+        ~sampling:(Obs.Monitor.Probability 0.25) ~sample_seed Tracker.stamps
+        ops
+    in
+    ( counter_value reg {|vstamp_invariant_checks_total{monitor="stamps"}|},
+      match Obs.Registry.find reg {|vstamp_monitor_coverage{monitor="stamps"}|} with
+      | Some (Obs.Registry.Gauge g) -> Obs.Metric.value g
+      | _ -> nan )
+  in
+  let c1, cov1 = coverage ~sample_seed:42 in
+  let c2, cov2 = coverage ~sample_seed:42 in
+  check_int "same seed, same checks" c1 c2;
+  check_bool "same seed, same coverage" true (cov1 = cov2);
+  check_bool "coverage near the probability" true
+    (cov1 > 0.1 && cov1 < 0.5);
+  let c3, _ = coverage ~sample_seed:43 in
+  check_bool "a different seed may thin differently" true (c3 > 0)
+
+let test_run_sampled_still_catches () =
+  (* the corrupt tracker violates from its third update onward; a sparse
+     Every_n 5 skips steps 1-4 but the step-5 check (and the forced
+     final check semantics) still catch it, and the event names the
+     replay window *)
+  let ops = Execution.[ Update 0; Update 0; Update 0; Update 0; Update 0 ] in
+  let sink = Obs.Sink.memory () in
+  match
+    System.run ~with_oracle:false ~registry:(Obs.Registry.create ()) ~sink
+      ~check_invariants:true ~sampling:(Obs.Monitor.Every_n 5) corrupt ops
+  with
+  | (_ : System.result) -> Alcotest.fail "corruption not detected"
+  | exception System.Invariant_violation { step; prefix; _ } -> (
+      check_int "caught at the first sampled step past it" 5 step;
+      check_int "prefix covers the whole window" 5 (List.length prefix);
+      match
+        List.filter
+          (fun ev -> ev.Obs.Event.name = "invariant.violation")
+          (Obs.Sink.contents sink)
+      with
+      | [ ev ] ->
+          let field name = List.assoc_opt name ev.Obs.Event.fields in
+          check_bool "policy in event" true
+            (field "sampling" = Some (Obs.Jsonx.String "every_n:5"));
+          check_bool "window start in event" true
+            (field "prev_checked_step" = Some (Obs.Jsonx.Int 0))
+      | evs ->
+          Alcotest.failf "expected one violation event, got %d"
+            (List.length evs))
+
 let () =
   Alcotest.run "monitor"
     [
@@ -209,6 +382,17 @@ let () =
         [
           Alcotest.test_case "passing checks" `Quick test_monitor_pass;
           Alcotest.test_case "failing checks" `Quick test_monitor_fail;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "every_n election" `Quick test_sampling_every_n;
+          Alcotest.test_case "probability election" `Quick
+            test_sampling_probability_injected;
+          Alcotest.test_case "skip and force" `Quick
+            test_sampling_skip_passes_without_evaluating;
+          Alcotest.test_case "validation" `Quick test_sampling_validation;
+          Alcotest.test_case "violation replay window" `Quick
+            test_sampled_violation_event_replay_window;
         ] );
       ( "system",
         [
@@ -218,5 +402,11 @@ let () =
           Alcotest.test_case "broken order caught" `Quick
             test_broken_order_caught;
           Alcotest.test_case "off by default" `Quick test_default_off;
+          Alcotest.test_case "sampled check counts" `Quick
+            test_run_sampled_counts;
+          Alcotest.test_case "sampled runs deterministic" `Quick
+            test_run_sampled_deterministic;
+          Alcotest.test_case "sampling still catches" `Quick
+            test_run_sampled_still_catches;
         ] );
     ]

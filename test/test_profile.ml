@@ -1,0 +1,140 @@
+(* Vstamp_obs.Profile: per-stack aggregation, the hot-op ordering, and
+   the collapsed-stack flamegraph output. *)
+
+module Obs = Vstamp_obs
+module P = Obs.Profile
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+let test_record_aggregates () =
+  let p = P.create () in
+  P.record p ~stack:[ "stamps"; "join" ] ~ns:100L ~alloc_bytes:8.0;
+  P.record p ~stack:[ "stamps"; "join" ] ~ns:50L ~alloc_bytes:4.0;
+  P.record p ~stack:[ "stamps"; "update" ] ~ns:10L ~alloc_bytes:0.0;
+  (match P.rows p with
+  | [ join; update ] ->
+      (* rows are sorted by stack: join before update *)
+      check_bool "join stack" true (join.P.stack = [ "stamps"; "join" ]);
+      check_int "join count" 2 join.P.count;
+      check_bool "join ns summed" true (join.P.total_ns = 150L);
+      check_bool "join alloc summed" true (join.P.total_alloc_bytes = 12.0);
+      check_int "update count" 1 update.P.count
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows));
+  check_bool "total" true (P.total_ns p = 160L);
+  P.reset p;
+  check_int "reset empties" 0 (List.length (P.rows p));
+  check_bool "empty stack rejected" true
+    (match P.record p ~stack:[] ~ns:1L ~alloc_bytes:0.0 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_time_measures () =
+  (* a synthetic clock makes the measurement exact: each now_ns call
+     advances one millisecond *)
+  let ticks = ref 0 in
+  Obs.Clock.set_source (fun () ->
+      incr ticks;
+      float_of_int !ticks *. 1e-3);
+  Fun.protect
+    ~finally:(fun () -> Obs.Clock.set_source Sys.time)
+    (fun () ->
+      let p = P.create () in
+      let r = P.time p [ "work" ] (fun () -> 42) in
+      check_int "result passed through" 42 r;
+      (match P.rows p with
+      | [ row ] ->
+          check_int "one call" 1 row.P.count;
+          check_bool "exactly one synthetic ms" true (row.P.total_ns = 1_000_000L)
+      | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows));
+      (* the finally path records even when f raises *)
+      check_bool "raising f still recorded" true
+        (match P.time p [ "work" ] (fun () -> failwith "boom") with
+        | (_ : int) -> false
+        | exception Failure _ -> true);
+      match P.rows p with
+      | [ row ] -> check_int "two calls after raise" 2 row.P.count
+      | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows))
+
+let test_top_ordering () =
+  let p = P.create () in
+  P.record p ~stack:[ "a" ] ~ns:100L ~alloc_bytes:1.0;
+  P.record p ~stack:[ "b" ] ~ns:10L ~alloc_bytes:100.0;
+  P.record p ~stack:[ "c" ] ~ns:1L ~alloc_bytes:0.0;
+  P.record p ~stack:[ "c" ] ~ns:1L ~alloc_bytes:0.0;
+  let heads by = List.map (fun r -> List.hd r.P.stack) (P.top ~by ~n:3 p) in
+  check_bool "by ns" true (heads `Ns = [ "a"; "b"; "c" ]);
+  check_bool "by alloc" true (heads `Alloc = [ "b"; "a"; "c" ]);
+  check_bool "by count" true (heads `Count = [ "c"; "a"; "b" ]);
+  check_int "n truncates" 1 (List.length (P.top ~n:1 p))
+
+let test_folded_output () =
+  let p = P.create () in
+  P.record p ~stack:[ "stamps"; "join" ] ~ns:150L ~alloc_bytes:12.0;
+  P.record p ~stack:[ "stamps"; "leq d8" ] ~ns:10L ~alloc_bytes:2.0;
+  check_string "folded, sorted, sanitized, integer weights"
+    "stamps;join 150\nstamps;leq_d8 10\n"
+    (P.to_folded p);
+  check_string "alloc weight" "stamps;join 12\nstamps;leq_d8 2\n"
+    (P.to_folded ~weight:`Alloc p)
+
+let test_json () =
+  let p = P.create () in
+  P.record p ~stack:[ "x" ] ~ns:5L ~alloc_bytes:16.0;
+  match P.to_json p with
+  | Obs.Jsonx.List [ row ] ->
+      check_bool "stack field" true
+        (Obs.Jsonx.member "stack" row
+        = Some (Obs.Jsonx.List [ Obs.Jsonx.String "x" ]));
+      check_bool "count field" true
+        (Obs.Jsonx.member "count" row = Some (Obs.Jsonx.Int 1));
+      check_bool "ns field" true
+        (Obs.Jsonx.member "total_ns" row = Some (Obs.Jsonx.Int 5))
+  | j -> Alcotest.failf "unexpected json: %s" (Obs.Jsonx.to_string j)
+
+(* --- System.run wiring: the per-op stacks show up with plausible
+       shares --- *)
+
+let test_system_attribution () =
+  let open Vstamp_sim in
+  let p = P.create () in
+  let ops = Workload.uniform ~seed:3 ~n_ops:80 () in
+  let r = System.run ~check_invariants:true ~profile:p Tracker.stamps ops in
+  let stacks = List.map (fun row -> row.P.stack) (P.rows p) in
+  List.iter
+    (fun frame ->
+      check_bool (frame ^ " stack present") true
+        (List.mem [ "stamps"; frame ] stacks))
+    [ "update"; "fork"; "join"; "monitor"; "oracle" ];
+  let count frame =
+    match
+      List.find_opt (fun row -> row.P.stack = [ "stamps"; frame ]) (P.rows p)
+    with
+    | Some row -> row.P.count
+    | None -> 0
+  in
+  check_int "one timed cell per update" r.System.updates (count "update");
+  check_int "one timed cell per fork" r.System.forks (count "fork");
+  check_int "one timed cell per join" r.System.joins (count "join");
+  check_bool "monitor checked every step" true
+    (count "monitor" = List.length ops + 1)
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "record aggregates" `Quick test_record_aggregates;
+          Alcotest.test_case "time measures" `Quick test_time_measures;
+          Alcotest.test_case "top ordering" `Quick test_top_ordering;
+          Alcotest.test_case "folded output" `Quick test_folded_output;
+          Alcotest.test_case "json" `Quick test_json;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "run attribution" `Quick test_system_attribution;
+        ] );
+    ]

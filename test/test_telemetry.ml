@@ -1,0 +1,105 @@
+(* Vstamp_sim.Telemetry: the registry mirror of the core Instr counters
+   must agree with Instr exactly — every op counted once, under the
+   op label Instr itself reports. *)
+
+open Vstamp_core
+module Obs = Vstamp_obs
+
+let check_int = Alcotest.(check int)
+
+let counter_value reg name = Obs.Metric.count (Obs.Registry.counter reg name)
+
+(* a scripted op sequence with a known op census *)
+let scripted () =
+  let s = Stamp.update Stamp.seed in
+  let a, b = Stamp.fork s in
+  let a = Stamp.update a in
+  let b = Stamp.update b in
+  let j = Stamp.join ~reduce:false a b in
+  let c, d = Stamp.fork j in
+  let m = Stamp.join ~reduce:false (Stamp.update c) d in
+  ignore (Stamp.reduce m)
+
+let with_telemetry ~registry f =
+  Instr.reset ();
+  Vstamp_sim.Telemetry.attach ~registry ();
+  Fun.protect ~finally:Vstamp_sim.Telemetry.detach f
+
+let test_registry_matches_instr () =
+  let registry = Obs.Registry.create () in
+  with_telemetry ~registry scripted;
+  let c = Instr.read () in
+  (* the script's census, counted by hand *)
+  check_int "updates" 4 c.Instr.updates;
+  check_int "forks" 2 c.Instr.forks;
+  check_int "joins" 2 c.Instr.joins;
+  check_int "reduces" 1 c.Instr.reduces;
+  (* ...and the registry mirror agrees with Instr, op for op *)
+  List.iter
+    (fun (op, instr_count) ->
+      check_int
+        (Printf.sprintf "core_stamp_ops_total{op=%S} mirrors Instr" op)
+        instr_count
+        (counter_value registry
+           (Printf.sprintf "core_stamp_ops_total{op=%S}" op)))
+    [
+      ("update", c.Instr.updates);
+      ("fork", c.Instr.forks);
+      ("join", c.Instr.joins);
+      ("reduce", c.Instr.reduces);
+    ]
+
+(* the same agreement must survive a whole simulated run, where ops are
+   driven through Tracker/System instead of called directly *)
+let test_registry_matches_instr_after_run () =
+  let registry = Obs.Registry.create () in
+  with_telemetry ~registry (fun () ->
+      ignore
+        (Vstamp_sim.System.run ~with_oracle:false Vstamp_sim.Tracker.stamps
+           (Vstamp_sim.Workload.uniform ~seed:11 ~n_ops:150 ())
+          : Vstamp_sim.System.result));
+  let c = Instr.read () in
+  List.iter
+    (fun (op, instr_count) ->
+      check_int
+        (Printf.sprintf "op=%S after a run" op)
+        instr_count
+        (counter_value registry
+           (Printf.sprintf "core_stamp_ops_total{op=%S}" op)))
+    [
+      ("update", c.Instr.updates);
+      ("fork", c.Instr.forks);
+      ("join", c.Instr.joins);
+      ("reduce", c.Instr.reduces);
+    ];
+  (* a run has plenty of each op; zero would mean the mirror tested
+     nothing *)
+  Alcotest.(check bool) "ops actually happened" true (c.Instr.updates > 0 && c.Instr.forks > 0 && c.Instr.joins > 0)
+
+let test_sync_counters_gauges () =
+  let registry = Obs.Registry.create () in
+  with_telemetry ~registry scripted;
+  Vstamp_sim.Telemetry.sync_counters registry;
+  let c = Instr.read () in
+  List.iter
+    (fun (name, v) ->
+      let g =
+        match Obs.Registry.find registry ("core_" ^ name) with
+        | Some (Obs.Registry.Gauge g) -> Obs.Metric.value g
+        | _ -> Alcotest.failf "gauge core_%s missing" name
+      in
+      check_int ("core_" ^ name) v (int_of_float g))
+    [ ("updates", c.Instr.updates); ("forks", c.Instr.forks) ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "mirror",
+        [
+          Alcotest.test_case "scripted ops" `Quick test_registry_matches_instr;
+          Alcotest.test_case "simulated run" `Quick
+            test_registry_matches_instr_after_run;
+          Alcotest.test_case "sync_counters gauges" `Quick
+            test_sync_counters_gauges;
+        ] );
+    ]
