@@ -1124,6 +1124,456 @@ let profile_cmd =
       const profile $ tracker $ workload $ seed $ n_ops $ no_oracle
       $ trace_file $ check_invariants $ out $ weight $ top_n $ by)
 
+(* --- soak / top / scrape: the live telemetry plane --- *)
+
+module HE = Vstamp_obs.Http_export
+module Obs_registry = Vstamp_obs.Registry
+module Obs_sink = Vstamp_obs.Sink
+module Obs_event = Vstamp_obs.Event
+module Jx = Vstamp_obs.Jsonx
+
+(* One continuous key-value phase: three server replicas take causal
+   puts/gets/deletes and anti-entropy rounds, all counted by
+   Kv_node.Obs into the live registry. *)
+let soak_kv_phase rng ~ops_n =
+  let open Vstamp_kvs in
+  let keys = [| "alpha"; "beta"; "gamma"; "delta"; "epsilon"; "zeta" |] in
+  let nodes = Array.init 3 (fun i -> Kv_node.create ~id:i) in
+  let rec go rng k =
+    if k = 0 then rng
+    else
+      let op, rng =
+        Rng.pick_weighted rng
+          [ (5, `Put); (4, `Get); (1, `Delete); (2, `Sync) ]
+      in
+      let ni, rng = Rng.int rng (Array.length nodes) in
+      let ki, rng = Rng.int rng (Array.length keys) in
+      let key = keys.(ki) in
+      (match op with
+      | `Put ->
+          let _, context = Kv_node.get nodes.(ni) key in
+          nodes.(ni) <-
+            Kv_node.put nodes.(ni) ~key ~context (Printf.sprintf "v%d" k)
+      | `Get -> ignore (Kv_node.get nodes.(ni) key)
+      | `Delete ->
+          let _, context = Kv_node.get nodes.(ni) key in
+          nodes.(ni) <- Kv_node.delete nodes.(ni) ~key ~context
+      | `Sync ->
+          let nj = (ni + 1) mod Array.length nodes in
+          let a, b = Kv_node.anti_entropy nodes.(ni) nodes.(nj) in
+          nodes.(ni) <- a;
+          nodes.(nj) <- b);
+      go rng (k - 1)
+  in
+  go rng ops_n
+
+(* One continuous file-sync phase: two devices share some files,
+   create others independently (colliding paths surface as conflicts),
+   edit concurrently, and reconcile — counted by Sync.Obs. *)
+let soak_sync_phase rng =
+  let open Vstamp_panasync in
+  let content rng tag =
+    let n, rng = Rng.int rng 48 in
+    (Printf.sprintf "%s:%s" tag (String.make (8 + n) '#'), rng)
+  in
+  let add store path rng =
+    let c, rng = content rng path in
+    (Store.add_new store ~path ~content:c, rng)
+  in
+  let merge = Sync.Merge (fun ~left ~right -> left ^ "|" ^ right) in
+  let a = Store.create ~name:"left" and b = Store.create ~name:"right" in
+  let a, rng = add a "notes.txt" rng in
+  let a, rng = add a "todo.txt" rng in
+  let b, rng = add b "photos.idx" rng in
+  (* the same logical path created independently on both devices: an
+     unrelated-lineage conflict the stamps cannot order *)
+  let a, rng = add a "shared.cfg" rng in
+  let b, rng = add b "shared.cfg" rng in
+  let a, b, _ = Sync.session ~policy:merge a b in
+  (* concurrent edits of a now-shared file: a genuine stamp conflict *)
+  let c1, rng = content rng "notes-left" in
+  let c2, rng = content rng "notes-right" in
+  let a = Store.edit a ~path:"notes.txt" ~content:c1 in
+  let b = Store.edit b ~path:"notes.txt" ~content:c2 in
+  let a, b, _ = Sync.session ~policy:merge a b in
+  (* a one-sided edit: propagation, no conflict *)
+  let c3, rng = content rng "todo" in
+  let a = Store.edit a ~path:"todo.txt" ~content:c3 in
+  let a, b, _ = Sync.session ~policy:merge a b in
+  ignore (Sync.converged a b);
+  rng
+
+let soak_checkpoint ~history ~registry ~srv ~sink ~t0 ~iteration ~final =
+  let j =
+    Jx.Obj
+      [
+        ("schema", Jx.String "vstamp-soak-checkpoint/1");
+        ("final", Jx.Bool final);
+        ("iteration", Jx.Int iteration);
+        ("elapsed_s", Jx.Float (Unix.gettimeofday () -. t0));
+        ("events_total", Jx.Int (Obs_sink.emitted sink));
+        ("requests_total", Jx.Int (HE.requests srv));
+        ("port", Jx.Int (HE.port srv));
+        ("registry", Obs_registry.to_json registry);
+      ]
+  in
+  Vstamp_obs.Bench_store.append ~file:history j
+
+let soak port addr duration iterations n_ops seed sample_every sample_prob
+    checkpoint_every history events_out port_file quiet =
+  let sampling =
+    match (sampling_of sample_every sample_prob, sample_every, sample_prob) with
+    | Error (`Msg m), _, _ -> die "%s" m
+    (* soak default: sampled monitors — full I2/I3 checking on every
+       step would dominate the workload (EXPERIMENTS E13) *)
+    | Ok Vstamp_obs.Monitor.Always, None, None -> Vstamp_obs.Monitor.Every_n 8
+    | Ok s, _, _ -> s
+  in
+  let registry = Obs_registry.create () in
+  let stop = ref false in
+  let iterations_done = ref 0 in
+  let last_step = ref 0 in
+  let health () =
+    [
+      ("last_step", Jx.Int !last_step);
+      ("iterations", Jx.Int !iterations_done);
+      ("sampling", Jx.String (Vstamp_obs.Monitor.sampling_to_string sampling));
+    ]
+  in
+  let srv =
+    try HE.create ~registry ~health ~addr ~port ()
+    with Unix.Unix_error (e, _, _) ->
+      die "cannot bind %s:%d: %s" addr port (Unix.error_message e)
+  in
+  (match port_file with
+  | Some file -> write_data (Some file) (string_of_int (HE.port srv) ^ "\n")
+  | None -> ());
+  if not quiet then
+    Format.printf
+      "soak: serving on http://%s:%d (/metrics /healthz /stats.json /events) \
+       — SIGINT/SIGTERM for graceful shutdown@."
+      addr (HE.port srv);
+  let sink =
+    let live = HE.event_sink srv in
+    match events_out with
+    | Some file -> Obs_sink.tee (Obs_sink.to_file file) live
+    | None -> live
+  in
+  let on_signal _ = stop := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Vstamp_kvs.Kv_node.Obs.attach ~registry ();
+  Vstamp_panasync.Sync.Obs.attach ~registry ();
+  let sim_failures = Obs_registry.counter registry "soak_sim_failures_total" in
+  let iter_counter = Obs_registry.counter registry "soak_iterations_total" in
+  let step_gauge = Obs_registry.gauge registry "soak_last_step" in
+  let t0 = Unix.gettimeofday () in
+  let workloads =
+    [| "uniform"; "gossip"; "churn"; "partitioned"; "sync-star" |]
+  in
+  let expired i =
+    !stop
+    || (iterations > 0 && i > iterations)
+    || (duration > 0.0 && Unix.gettimeofday () -. t0 >= duration)
+  in
+  let rec loop i =
+    if expired i then ()
+    else begin
+      let wname = workloads.((i - 1) mod Array.length workloads) in
+      (match workload_of_name ~seed:(seed + i) ~n_ops wname with
+      | Error (`Msg m) -> die "%s" m (* unreachable: names are known *)
+      | Ok ops -> (
+          (try
+             ignore
+               (System.run ~with_oracle:false ~registry ~sink
+                  ~check_invariants:true ~sampling ~sample_seed:(seed + i)
+                  Tracker.stamps ops
+                 : System.result)
+           with System.Invariant_violation _ ->
+             Vstamp_obs.Metric.inc sim_failures);
+          last_step := !last_step + List.length ops));
+      let rng = Rng.make (seed + i) in
+      let rng = soak_kv_phase rng ~ops_n:(max 16 (n_ops / 2)) in
+      let (_ : Rng.t) = soak_sync_phase rng in
+      incr iterations_done;
+      Vstamp_obs.Metric.inc iter_counter;
+      Vstamp_obs.Metric.set step_gauge (float_of_int !last_step);
+      Obs_sink.emit sink
+        (Obs_event.v ~ts:(Obs_event.Step !last_step) "soak.iteration"
+           [ ("iteration", Jx.Int i); ("workload", Jx.String wname) ]);
+      (match history with
+      | Some file when checkpoint_every > 0 && i mod checkpoint_every = 0 ->
+          soak_checkpoint ~history:file ~registry ~srv ~sink ~t0 ~iteration:i
+            ~final:false
+      | _ -> ());
+      loop (i + 1)
+    end
+  in
+  loop 1;
+  (* graceful shutdown: final checkpoint, flushed and fsynced event
+     stream, drained server *)
+  (match history with
+  | Some file ->
+      soak_checkpoint ~history:file ~registry ~srv ~sink ~t0
+        ~iteration:!iterations_done ~final:true
+  | None -> ());
+  Obs_sink.flush sink;
+  Obs_sink.close sink;
+  HE.stop srv;
+  Vstamp_kvs.Kv_node.Obs.detach ();
+  Vstamp_panasync.Sync.Obs.detach ();
+  if not quiet then
+    Format.printf
+      "soak: %d iterations, %d logical steps, %d events, %d requests in \
+       %.1fs@."
+      !iterations_done !last_step (Obs_sink.emitted sink) (HE.requests srv)
+      (Unix.gettimeofday () -. t0)
+
+let soak_cmd =
+  let port =
+    Arg.(
+      value & opt int 9464
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Telemetry port (0 picks an ephemeral one; see --port-file)")
+  in
+  let addr =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "addr" ] ~docv:"ADDR" ~doc:"Address to bind")
+  in
+  let duration =
+    Arg.(
+      value & opt float 0.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Stop after this long (0: run until signalled)")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop after N iterations (0: run until signalled)")
+  in
+  let n_ops =
+    Arg.(
+      value & opt int 300
+      & info [ "n"; "ops" ] ~docv:"N" ~doc:"Simulator ops per iteration")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Base seed")
+  in
+  let sample_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-every" ] ~docv:"N"
+          ~doc:"Invariant-monitor sampling period (default 8)")
+  in
+  let sample_prob =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sample-prob" ] ~docv:"P"
+          ~doc:"Invariant-monitor sampling probability")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 25
+      & info [ "checkpoint-every" ] ~docv:"K"
+          ~doc:"Append a ledger checkpoint every K iterations")
+  in
+  let history =
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_history.jsonl")
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:"Checkpoint ledger (JSONL, appended); empty to disable")
+  in
+  let no_history =
+    Arg.(
+      value & flag
+      & info [ "no-history" ] ~doc:"Do not append ledger checkpoints")
+  in
+  let events_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events-out" ] ~docv:"FILE"
+          ~doc:
+            "Also persist the live event feed to FILE as JSONL (flushed and \
+             fsynced on shutdown)")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:"Write the bound port to FILE (for scripts with --port 0)")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No chatter") in
+  let wrap port addr duration iterations n_ops seed sample_every sample_prob
+      checkpoint_every history no_history events_out port_file quiet =
+    soak port addr duration iterations n_ops seed sample_every sample_prob
+      checkpoint_every
+      (if no_history then None else history)
+      events_out port_file quiet
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Long-running soak driver: continuously exercises the simulator, \
+          the replicated key-value store and file-sync sessions with \
+          sampled invariant monitors on, serving live telemetry over HTTP \
+          (/metrics for Prometheus, /stats.json for vstamp top, /events \
+          for streaming) and appending periodic checkpoints to the bench \
+          ledger")
+    Term.(
+      const wrap $ port $ addr $ duration $ iterations $ n_ops $ seed
+      $ sample_every $ sample_prob $ checkpoint_every $ history $ no_history
+      $ events_out $ port_file $ quiet)
+
+(* --- top --- *)
+
+let fetch ~host ~port path =
+  match HE.Client.get ~host ~port path with
+  | Ok (200, body) -> Ok body
+  | Ok (status, _) -> Error (Printf.sprintf "GET %s: HTTP %d" path status)
+  | Error m -> Error (Printf.sprintf "GET %s: %s" path m)
+
+let fetch_json ~host ~port path =
+  match fetch ~host ~port path with
+  | Error _ as e -> e
+  | Ok body -> (
+      match Jx.of_string (String.trim body) with
+      | Ok j -> Ok j
+      | Error m -> Error (Printf.sprintf "GET %s: bad JSON: %s" path m))
+
+let top host port interval frames events_n no_color =
+  let stats () =
+    match fetch_json ~host ~port "/stats.json" with
+    | Ok j -> j
+    | Error m -> die "%s" m
+  in
+  let frame_of prev prev_t =
+    let cur = stats () in
+    let now = Unix.gettimeofday () in
+    let deltas = Obs_registry.diff ~elapsed_s:(now -. prev_t) ~prev cur in
+    let health =
+      match fetch_json ~host ~port "/healthz" with
+      | Ok j -> Some j
+      | Error _ -> None
+    in
+    let events =
+      match
+        fetch_json ~host ~port (Printf.sprintf "/events.json?n=%d" events_n)
+      with
+      | Ok (Jx.List l) -> List.map Jx.to_string l
+      | _ -> []
+    in
+    ( Vstamp_obs.Dash.render ~color:(not no_color) ~events ?health ~deltas
+        ~snapshot:cur (),
+      cur,
+      now )
+  in
+  let clear = frames <> 1 in
+  let rec loop n prev prev_t =
+    Unix.sleepf interval;
+    let frame, cur, now = frame_of prev prev_t in
+    if clear then print_string Vstamp_obs.Dash.clear_screen;
+    print_string frame;
+    flush stdout;
+    if frames = 0 || n < frames then loop (n + 1) cur now
+  in
+  let first = stats () in
+  loop 1 first (Unix.gettimeofday ())
+
+let top_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Server address")
+  in
+  let port =
+    Arg.(
+      value & opt int 9464
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "i"; "interval" ] ~docv:"SECONDS" ~doc:"Poll interval")
+  in
+  let frames =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"N" ~doc:"Stop after N frames (0: forever)")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render a single frame and exit (no screen clearing)")
+  in
+  let events_n =
+    Arg.(
+      value & opt int 8
+      & info [ "events" ] ~docv:"N" ~doc:"Recent events to show")
+  in
+  let no_color =
+    Arg.(value & flag & info [ "no-color" ] ~doc:"Disable ANSI styling")
+  in
+  let wrap host port interval frames once events_n no_color =
+    top host port interval (if once then 1 else frames) events_n no_color
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard over a soaking process: polls \
+          /stats.json, differences successive snapshots into per-second \
+          rates (Registry.diff), and repaints op rates, gauges, histogram \
+          summaries and the latest events")
+    Term.(
+      const wrap $ host $ port $ interval $ frames $ once $ events_n
+      $ no_color)
+
+(* --- scrape --- *)
+
+let scrape host port timeout path =
+  match HE.Client.get ~host ~timeout_s:timeout ~port path with
+  | Ok (200, body) -> print_string body
+  | Ok (status, body) ->
+      Format.eprintf "error: GET %s: HTTP %d@.%s" path status body;
+      exit 1
+  | Error m -> die "GET %s: %s" path m
+
+let scrape_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Server address")
+  in
+  let port =
+    Arg.(
+      value & opt int 9464
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Socket timeout")
+  in
+  let path =
+    Arg.(
+      value & pos 0 string "/metrics"
+      & info [] ~docv:"PATH" ~doc:"Endpoint path (default /metrics)")
+  in
+  Cmd.v
+    (Cmd.info "scrape"
+       ~doc:
+         "Fetch one telemetry endpoint (curl-free, for scripts and CI \
+          smoke): prints the body of GET PATH, exits non-zero on any \
+          HTTP or transport error")
+    Term.(const scrape $ host $ port $ timeout $ path)
+
 (* --- main --- *)
 
 let main_cmd =
@@ -1143,6 +1593,9 @@ let main_cmd =
       compare_cmd;
       metrics_cmd;
       bench_cmd;
+      soak_cmd;
+      top_cmd;
+      scrape_cmd;
       profile_cmd;
       gen_trace_cmd;
       trace_cmd;

@@ -1,6 +1,46 @@
 open Vstamp_vv
 module Smap = Map.Make (String)
 
+(* Optional live instrumentation, off by default: when attached, every
+   client-facing operation and anti-entropy round counts into a
+   registry, the feed the embedded telemetry server exposes.  Counters
+   are resolved once at attach time so the per-op cost when enabled is
+   one load and one increment. *)
+module Obs = struct
+  module R = Vstamp_obs.Registry
+  module M = Vstamp_obs.Metric
+
+  type counters = {
+    get : M.counter;
+    put : M.counter;
+    delete : M.counter;
+    anti_entropy : M.counter;
+    siblings : M.histogram;  (* sibling values returned per get *)
+    size_bits : M.histogram;  (* node metadata after anti-entropy *)
+  }
+
+  let state : counters option ref = ref None
+
+  let attach ?(registry = R.default) () =
+    let op o = R.counter registry (R.with_labels "kvs_ops_total" [ ("op", o) ]) in
+    state :=
+      Some
+        {
+          get = op "get";
+          put = op "put";
+          delete = op "delete";
+          anti_entropy = op "anti_entropy";
+          siblings = R.histogram registry "kvs_get_siblings";
+          size_bits = R.histogram registry "kvs_node_size_bits";
+        }
+
+  let detach () = state := None
+
+  let attached () = Option.is_some !state
+
+  let[@inline] on f = match !state with Some c -> f c | None -> ()
+end
+
 type t = { id : Version_vector.id; entries : string Dotted_vv.t Smap.t }
 (* One server replica of the whole keyspace.  Each key is tracked
    independently with a dotted version vector; entries whose sibling set
@@ -26,9 +66,15 @@ let tombstones node =
   |> List.filter_map (fun (k, e) ->
          if Dotted_vv.is_empty e then Some k else None)
 
-let get node key = Dotted_vv.get (entry node key)
+let get node key =
+  let values, context = Dotted_vv.get (entry node key) in
+  Obs.on (fun c ->
+      Vstamp_obs.Metric.inc c.Obs.get;
+      Vstamp_obs.Metric.observe_int c.Obs.siblings (List.length values));
+  (values, context)
 
 let put node ~key ~context value =
+  Obs.on (fun c -> Vstamp_obs.Metric.inc c.Obs.put);
   let e = Dotted_vv.put (entry node key) ~replica:node.id ~context value in
   { node with entries = Smap.add key e node.entries }
 
@@ -36,6 +82,7 @@ let put node ~key ~context value =
    client saw disappear; concurrent writes survive.  The context lives on
    as a tombstone. *)
 let delete node ~key ~context =
+  Obs.on (fun c -> Vstamp_obs.Metric.inc c.Obs.delete);
   match Smap.find_opt key node.entries with
   | None -> node
   | Some e ->
@@ -43,6 +90,9 @@ let delete node ~key ~context =
       { node with entries = Smap.add key e' node.entries }
 
 let conflict node key = Dotted_vv.conflict (entry node key)
+
+let size_bits node =
+  Smap.fold (fun _ e acc -> acc + Dotted_vv.size_bits e) node.entries 0
 
 let anti_entropy a b =
   let all_keys =
@@ -62,7 +112,12 @@ let anti_entropy a b =
           node.entries merged;
     }
   in
-  (apply a, apply b)
+  let a' = apply a and b' = apply b in
+  Obs.on (fun c ->
+      Vstamp_obs.Metric.inc c.Obs.anti_entropy;
+      Vstamp_obs.Metric.observe_int c.Obs.size_bits (size_bits a');
+      Vstamp_obs.Metric.observe_int c.Obs.size_bits (size_bits b'));
+  (a', b')
 
 let converged a b =
   let all_keys =
@@ -75,9 +130,6 @@ let converged a b =
       List.sort compare (Dotted_vv.values (entry a k))
       = List.sort compare (Dotted_vv.values (entry b k)))
     all_keys
-
-let size_bits node =
-  Smap.fold (fun _ e acc -> acc + Dotted_vv.size_bits e) node.entries 0
 
 let pp ppf node =
   Format.fprintf ppf "node %d:@." node.id;

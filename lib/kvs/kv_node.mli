@@ -56,3 +56,22 @@ val size_bits : t -> int
 (** Total causality metadata. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Live instrumentation}
+
+    Off by default.  When attached, every {!get} / {!put} / {!delete}
+    and {!anti_entropy} round counts into
+    [kvs_ops_total{op=...}] counters, each get's sibling width into the
+    [kvs_get_siblings] histogram, and both nodes' causality-metadata
+    size after every anti-entropy round into [kvs_node_size_bits] — the
+    feed behind the [/metrics] endpoint of a soaking store. *)
+module Obs : sig
+  val attach : ?registry:Vstamp_obs.Registry.t -> unit -> unit
+  (** Start counting into [registry] (default
+      {!Vstamp_obs.Registry.default}).  Re-attaching rebinds to the
+      registry given last. *)
+
+  val detach : unit -> unit
+
+  val attached : unit -> bool
+end

@@ -1,0 +1,158 @@
+let clear_screen = "\x1b[H\x1b[2J"
+
+let style color code s =
+  if color then Printf.sprintf "\x1b[%sm%s\x1b[0m" code s else s
+
+let bold c = style c "1"
+
+let dim c = style c "2"
+
+let yellow c = style c "33"
+
+let red c = style c "31"
+
+let cyan c = style c "36"
+
+(* 12345678 -> "12.3M": the dashboard favours glanceability over
+   digits; exact values are one /stats.json away. *)
+let human f =
+  let a = Float.abs f in
+  if a >= 1e9 then Printf.sprintf "%.2fG" (f /. 1e9)
+  else if a >= 1e6 then Printf.sprintf "%.2fM" (f /. 1e6)
+  else if a >= 1e4 then Printf.sprintf "%.1fk" (f /. 1e3)
+  else if Float.is_integer f then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.2f" f
+
+let truncate_line width s =
+  if String.length s <= width then s
+  else String.sub s 0 (max 0 (width - 1)) ^ "…"
+
+let header_line color health =
+  let field name =
+    Option.bind health (fun h -> Jsonx.member name h)
+  in
+  let status =
+    match Option.bind (field "status") Jsonx.to_str with
+    | Some s -> s
+    | None -> "-"
+  in
+  let num name =
+    match Option.bind (field name) Jsonx.to_float with
+    | Some f -> human f
+    | None -> "-"
+  in
+  let status_str =
+    if status = "ok" then bold color status else red color status
+  in
+  Printf.sprintf "%s · status %s · up %ss · %s events · %s violations"
+    (bold color "vstamp top")
+    status_str (num "uptime_s") (num "events_total")
+    (num "invariant_violations")
+
+let section color title = Printf.sprintf "%s" (cyan color ("── " ^ title))
+
+let rates_rows ~max_rows deltas =
+  let monotone =
+    List.filter
+      (fun d -> d.Registry.kind <> Registry.Kgauge)
+      deltas
+  in
+  let sorted =
+    List.stable_sort
+      (fun a b -> compare b.Registry.rate a.Registry.rate)
+      monotone
+  in
+  List.filteri (fun i _ -> i < max_rows) sorted
+
+let gauge_rows ~max_rows deltas =
+  let gauges =
+    List.filter (fun d -> d.Registry.kind = Registry.Kgauge) deltas
+  in
+  List.filteri (fun i _ -> i < max_rows) gauges
+
+let histogram_rows ~max_rows snapshot =
+  let fields = match snapshot with Jsonx.Obj kvs -> kvs | _ -> [] in
+  List.filter_map
+    (fun (name, v) ->
+      match v with
+      | Jsonx.Obj _ -> (
+          let get k = Option.bind (Jsonx.member k v) Jsonx.to_float in
+          match (get "count", get "mean", get "p95", get "max") with
+          | Some n, Some mean, Some p95, Some mx ->
+              Some (name, n, mean, p95, mx)
+          | _ -> None)
+      | _ -> None)
+    fields
+  |> List.filteri (fun i _ -> i < max_rows)
+
+let render ?(color = true) ?(max_rows = 12) ?(width = 100) ?(events = [])
+    ?health ~deltas ~snapshot () =
+  let buf = Buffer.create 2048 in
+  let line s = Buffer.add_string buf (truncate_line width s ^ "\n") in
+  let raw_line s = Buffer.add_string buf (s ^ "\n") in
+  raw_line (header_line color health);
+  let name_w =
+    List.fold_left
+      (fun acc d -> max acc (String.length d.Registry.name))
+      24 deltas
+    |> min (width - 26)
+  in
+  (match rates_rows ~max_rows deltas with
+  | [] -> ()
+  | rows ->
+      raw_line (section color "rates (counters, per second)");
+      List.iter
+        (fun d ->
+          let mark = if d.Registry.reset then yellow color " ↻reset" else "" in
+          let rate_str =
+            let s = Printf.sprintf "%8s/s" (human d.Registry.rate) in
+            if d.Registry.rate = 0.0 then dim color s else s
+          in
+          line
+            (Printf.sprintf "  %-*s %10s %s%s" name_w
+               (truncate_line name_w d.Registry.name)
+               (human d.Registry.value)
+               rate_str mark))
+        rows);
+  (match gauge_rows ~max_rows deltas with
+  | [] -> ()
+  | rows ->
+      raw_line (section color "gauges");
+      List.iter
+        (fun d ->
+          let ch =
+            if d.Registry.change = 0.0 then dim color "        ="
+            else
+              Printf.sprintf "%9s"
+                ((if d.Registry.change > 0.0 then "+" else "")
+                ^ human d.Registry.change)
+          in
+          line
+            (Printf.sprintf "  %-*s %10s %s" name_w
+               (truncate_line name_w d.Registry.name)
+               (human d.Registry.value)
+               ch))
+        rows);
+  (match histogram_rows ~max_rows snapshot with
+  | [] -> ()
+  | rows ->
+      raw_line (section color "histograms (n / mean / p95 / max)");
+      List.iter
+        (fun (name, n, mean, p95, mx) ->
+          line
+            (Printf.sprintf "  %-*s %8s %9s %9s %9s" name_w
+               (truncate_line name_w name)
+               (human n) (human mean) (human p95) (human mx)))
+        rows);
+  (match events with
+  | [] -> ()
+  | events ->
+      raw_line (section color "events (newest last)");
+      let tail =
+        let len = List.length events in
+        if len > max_rows then
+          List.filteri (fun i _ -> i >= len - max_rows) events
+        else events
+      in
+      List.iter (fun e -> line (dim color ("  " ^ e))) tail);
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Terminal dashboard rendering for [vstamp top].
+
+    Pure: a frame is computed from data already fetched — a
+    {!Registry.diff} between two successive [/stats.json] snapshots,
+    the current snapshot, the [/healthz] object and the recent event
+    lines — and returned as a string (ANSI escapes only, no curses).
+    The polling loop around it lives in the CLI. *)
+
+val clear_screen : string
+(** Cursor home + erase display — print before a frame to repaint in
+    place. *)
+
+val render :
+  ?color:bool ->
+  ?max_rows:int ->
+  ?width:int ->
+  ?events:string list ->
+  ?health:Jsonx.t ->
+  deltas:Registry.delta list ->
+  snapshot:Jsonx.t ->
+  unit ->
+  string
+(** One frame: a health header, the busiest counters with their
+    per-second rates (a [reset] delta is flagged), the current gauges,
+    histogram summaries from [snapshot], and the tail of [events]
+    (newest last).  [color] (default [true]) toggles the ANSI styling;
+    [max_rows] (default 12) caps each table; [width] (default 100)
+    truncates long lines. *)

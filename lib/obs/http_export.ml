@@ -1,0 +1,471 @@
+(* A deliberately small HTTP/1.1 server: GET only, Connection: close,
+   one thread per connection.  The hot paths of the embedding process
+   never block on a scrape — handlers only read registry snapshots and
+   a guarded event ring. *)
+
+type subscriber = {
+  sub_mutex : Mutex.t;
+  sub_cond : Condition.t;
+  sub_queue : Event.t Queue.t;
+  mutable sub_closed : bool;
+}
+
+let sub_queue_cap = 1024
+
+type t = {
+  registry : Registry.t;
+  health : unit -> (string * Jsonx.t) list;
+  listen_fd : Unix.file_descr;
+  bound_addr : Unix.sockaddr;
+  bound_port : int;
+  started_s : float;
+  recent_cap : int;
+  mutex : Mutex.t;
+  (* everything below is guarded by [mutex] *)
+  recent : Event.t Queue.t;
+  mutable subscribers : subscriber list;
+  mutable conn_threads : (int * Thread.t) list;
+  mutable events_n : int;
+  mutable requests_n : int;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* --- low-level socket IO --- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+(* Read until the blank line ending the request head (we never accept
+   bodies), bounded so a hostile client cannot balloon memory. *)
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 8192 then Error "request head too large"
+    else
+      let s = Buffer.contents buf in
+      match String.index_opt s '\n' with
+      | Some _
+        when String.length s >= 4
+             && (let rec find i =
+                   i + 3 < String.length s
+                   && ((s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+                        && s.[i + 3] = '\n')
+                      || find (i + 1))
+                 in
+                 find 0) ->
+          Ok s
+      | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> if Buffer.length buf = 0 then Error "empty request" else Ok s
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              go ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              Error "request timed out")
+  in
+  go ()
+
+let parse_request_line head =
+  match String.index_opt head '\n' with
+  | None -> Error "no request line"
+  | Some i -> (
+      let line = String.trim (String.sub head 0 i) in
+      match String.split_on_char ' ' line with
+      | [ meth; target; version ]
+        when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+          Ok (meth, target)
+      | _ -> Error "malformed request line")
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+      let path = String.sub target 0 i in
+      let query = String.sub target (i + 1) (String.length target - i - 1) in
+      let params =
+        List.filter_map
+          (fun kv ->
+            match String.index_opt kv '=' with
+            | None -> None
+            | Some j ->
+                Some
+                  ( String.sub kv 0 j,
+                    String.sub kv (j + 1) (String.length kv - j - 1) ))
+          (String.split_on_char '&' query)
+      in
+      (path, params)
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | _ -> "Error"
+
+let respond fd ~status ~content_type body =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\n\
+        Content-Type: %s\r\n\
+        Content-Length: %d\r\n\
+        Connection: close\r\n\
+        \r\n\
+        %s"
+       status (status_text status) content_type (String.length body) body)
+
+let respond_json fd ~status j =
+  respond fd ~status ~content_type:"application/json"
+    (Jsonx.to_string j ^ "\n")
+
+(* --- handlers --- *)
+
+let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let sum_counters_with_prefix t prefix =
+  List.fold_left
+    (fun acc (name, m) ->
+      match m with
+      | Registry.Counter c when String.starts_with ~prefix name ->
+          acc + Metric.count c
+      | _ -> acc)
+    0
+    (Registry.snapshot t.registry)
+
+let health_fields t =
+  let uptime = Clock.now_s () -. t.started_s in
+  let violations =
+    sum_counters_with_prefix t "vstamp_invariant_violations_total"
+  in
+  let requests_n, events_n =
+    locked t (fun () -> (t.requests_n, t.events_n))
+  in
+  [
+    ("status", Jsonx.String (if violations = 0 then "ok" else "violations"));
+    ("uptime_s", Jsonx.Float uptime);
+    ("requests_total", Jsonx.Int requests_n);
+    ("events_total", Jsonx.Int events_n);
+    ("invariant_violations", Jsonx.Int violations);
+  ]
+  @ t.health ()
+
+let recent_events t =
+  locked t (fun () -> List.of_seq (Queue.to_seq t.recent))
+
+let handle_events_json t fd params =
+  let events = recent_events t in
+  let events =
+    match
+      Option.bind (List.assoc_opt "n" params) int_of_string_opt
+    with
+    | Some n when n >= 0 ->
+        let len = List.length events in
+        if len > n then List.filteri (fun i _ -> i >= len - n) events
+        else events
+    | _ -> events
+  in
+  respond_json fd ~status:200 (Jsonx.List (List.map Event.to_json events))
+
+let write_chunk fd line =
+  write_all fd
+    (Printf.sprintf "%x\r\n%s\n\r\n" (String.length line + 1) line)
+
+(* Stream the ring, then live events, as one JSONL line per chunk.
+   The subscriber queue is bounded; when a client reads too slowly the
+   oldest queued events are dropped so the feed stays live. *)
+let handle_events_stream t fd =
+  let sub =
+    {
+      sub_mutex = Mutex.create ();
+      sub_cond = Condition.create ();
+      sub_queue = Queue.create ();
+      sub_closed = false;
+    }
+  in
+  let backlog = locked t (fun () ->
+      t.subscribers <- sub :: t.subscribers;
+      List.of_seq (Queue.to_seq t.recent))
+  in
+  let unsubscribe () =
+    locked t (fun () ->
+        t.subscribers <- List.filter (fun s -> s != sub) t.subscribers)
+  in
+  Fun.protect ~finally:unsubscribe (fun () ->
+      write_all fd
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: application/x-ndjson\r\n\
+         Transfer-Encoding: chunked\r\n\
+         Connection: close\r\n\
+         \r\n";
+      List.iter (fun e -> write_chunk fd (Event.to_string e)) backlog;
+      let rec pump () =
+        Mutex.lock sub.sub_mutex;
+        while Queue.is_empty sub.sub_queue && not sub.sub_closed do
+          Condition.wait sub.sub_cond sub.sub_mutex
+        done;
+        let batch = List.of_seq (Queue.to_seq sub.sub_queue) in
+        Queue.clear sub.sub_queue;
+        let closed = sub.sub_closed in
+        Mutex.unlock sub.sub_mutex;
+        List.iter (fun e -> write_chunk fd (Event.to_string e)) batch;
+        if closed then write_all fd "0\r\n\r\n" else pump ()
+      in
+      pump ())
+
+let handle_request t fd =
+  match read_head fd with
+  | Error _ -> respond fd ~status:400 ~content_type:"text/plain" "bad request\n"
+  | Ok head -> (
+      match parse_request_line head with
+      | Error _ ->
+          respond fd ~status:400 ~content_type:"text/plain" "bad request\n"
+      | Ok (meth, _) when meth <> "GET" ->
+          respond fd ~status:405 ~content_type:"text/plain"
+            "only GET is supported\n"
+      | Ok (_, target) -> (
+          locked t (fun () -> t.requests_n <- t.requests_n + 1);
+          let path, params = split_target target in
+          match path with
+          | "/metrics" ->
+              respond fd ~status:200 ~content_type:prometheus_content_type
+                (Registry.to_prometheus t.registry)
+          | "/healthz" ->
+              respond_json fd ~status:200 (Jsonx.Obj (health_fields t))
+          | "/stats.json" ->
+              respond_json fd ~status:200 (Registry.to_json t.registry)
+          | "/events.json" -> handle_events_json t fd params
+          | "/events" -> handle_events_stream t fd
+          | "/" ->
+              respond fd ~status:200 ~content_type:"text/plain"
+                "vstamp telemetry: /metrics /healthz /stats.json /events \
+                 /events.json\n"
+          | _ ->
+              respond fd ~status:404 ~content_type:"text/plain" "not found\n"))
+
+(* --- server lifecycle --- *)
+
+let publish t e =
+  let subs =
+    locked t (fun () ->
+        t.events_n <- t.events_n + 1;
+        Queue.push e t.recent;
+        while Queue.length t.recent > t.recent_cap do
+          ignore (Queue.pop t.recent)
+        done;
+        t.subscribers)
+  in
+  List.iter
+    (fun sub ->
+      Mutex.lock sub.sub_mutex;
+      Queue.push e sub.sub_queue;
+      while Queue.length sub.sub_queue > sub_queue_cap do
+        ignore (Queue.pop sub.sub_queue)
+      done;
+      Condition.signal sub.sub_cond;
+      Mutex.unlock sub.sub_mutex)
+    subs
+
+let handle_connection t fd =
+  let finally () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    let self = Thread.id (Thread.self ()) in
+    locked t (fun () ->
+        t.conn_threads <- List.remove_assoc self t.conn_threads)
+  in
+  Fun.protect ~finally (fun () ->
+      (* Never let a hostile or vanished client hang a handler thread
+         forever; streaming writes fail with EPIPE once the client is
+         gone, which the catch-all below treats as a normal hangup. *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0
+       with Unix.Unix_error _ -> ());
+      try handle_request t fd
+      with Unix.Unix_error _ | Sys_error _ -> ())
+
+let rec accept_loop t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+      if locked t (fun () -> t.stopping) then (
+        (try Unix.close fd with Unix.Unix_error _ -> ()))
+      else begin
+        locked t (fun () ->
+            let th = Thread.create (fun () -> handle_connection t fd) () in
+            t.conn_threads <- (Thread.id th, th) :: t.conn_threads);
+        accept_loop t
+      end
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+      if not (locked t (fun () -> t.stopping)) then accept_loop t
+  | exception Unix.Unix_error _ -> ()
+
+let create ?(registry = Registry.default) ?(health = fun () -> [])
+    ?(recent = 64) ?(addr = "127.0.0.1") ~port () =
+  (* a client hanging up mid-response must not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let inet = Unix.inet_addr_of_string addr in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (inet, port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_addr = Unix.getsockname fd in
+  let bound_port =
+    match bound_addr with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let t =
+    {
+      registry;
+      health;
+      listen_fd = fd;
+      bound_addr;
+      bound_port;
+      started_s = Clock.now_s ();
+      recent_cap = max 1 recent;
+      mutex = Mutex.create ();
+      recent = Queue.create ();
+      subscribers = [];
+      conn_threads = [];
+      events_n = 0;
+      requests_n = 0;
+      stopping = false;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let port t = t.bound_port
+
+let event_sink t = Sink.of_fn (fun e -> publish t e)
+
+let requests t = locked t (fun () -> t.requests_n)
+
+let running t = not (locked t (fun () -> t.stopping))
+
+let stop t =
+  let already = locked t (fun () ->
+      let s = t.stopping in
+      t.stopping <- true;
+      s)
+  in
+  if not already then begin
+    (* wake the accept loop with a throwaway connection to ourselves *)
+    (try
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd t.bound_addr
+        with Unix.Unix_error _ -> ());
+       (try Unix.close fd with Unix.Unix_error _ -> ())
+     with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* release the streaming clients, then wait for every handler *)
+    let subs, threads =
+      locked t (fun () -> (t.subscribers, List.map snd t.conn_threads))
+    in
+    List.iter
+      (fun sub ->
+        Mutex.lock sub.sub_mutex;
+        sub.sub_closed <- true;
+        Condition.broadcast sub.sub_cond;
+        Mutex.unlock sub.sub_mutex)
+      subs;
+    List.iter Thread.join threads
+  end
+
+(* --- client --- *)
+
+module Client = struct
+  let rec read_all fd buf chunk =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        read_all fd buf chunk
+
+  let find_sub s sub from =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub s i m = sub then Some i
+      else go (i + 1)
+    in
+    go from
+
+  let dechunk body =
+    let buf = Buffer.create (String.length body) in
+    let rec go off =
+      match find_sub body "\r\n" off with
+      | None -> Buffer.contents buf (* truncated stream: keep what we have *)
+      | Some i -> (
+          let len_str = String.trim (String.sub body off (i - off)) in
+          match int_of_string_opt ("0x" ^ len_str) with
+          | None | Some 0 -> Buffer.contents buf
+          | Some len when i + 2 + len <= String.length body ->
+              Buffer.add_string buf (String.sub body (i + 2) len);
+              go (i + 2 + len + 2)
+          | Some _ -> Buffer.contents buf)
+    in
+    go 0
+
+  let get ?(host = "127.0.0.1") ?(timeout_s = 5.0) ~port path =
+    match
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+          write_all fd
+            (Printf.sprintf
+               "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+               path host);
+          read_all fd (Buffer.create 4096) (Bytes.create 4096))
+    with
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | exception Sys_error m -> Error m
+    | raw -> (
+        match find_sub raw "\r\n\r\n" 0 with
+        | None -> Error "malformed response: no header terminator"
+        | Some i -> (
+            let head = String.sub raw 0 i in
+            let body =
+              String.sub raw (i + 4) (String.length raw - i - 4)
+            in
+            let status_line =
+              match String.index_opt head '\r' with
+              | Some j -> String.sub head 0 j
+              | None -> head
+            in
+            match String.split_on_char ' ' status_line with
+            | _ :: code :: _ -> (
+                match int_of_string_opt code with
+                | None -> Error "malformed status line"
+                | Some status ->
+                    let lower = String.lowercase_ascii head in
+                    let chunked =
+                      match find_sub lower "transfer-encoding:" 0 with
+                      | Some j -> (
+                          match find_sub lower "chunked" j with
+                          | Some _ -> true
+                          | None -> false)
+                      | None -> false
+                    in
+                    Ok (status, if chunked then dechunk body else body))
+            | _ -> Error "malformed status line"))
+end

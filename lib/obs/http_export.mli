@@ -1,0 +1,81 @@
+(** Embedded telemetry server: live introspection of a running process.
+
+    A background-thread HTTP/1.1 listener (Unix sockets and [Thread]
+    only — no web framework) that exposes the observability state the
+    rest of [vstamp.obs] accumulates:
+
+    - [GET /metrics] — Prometheus text exposition of the registry
+      ({!Registry.to_prometheus}), scrapeable by a stock Prometheus;
+    - [GET /healthz] — one JSON object: status, uptime, request and
+      event totals, the summed invariant-violation counters, plus any
+      fields the embedding process adds via its [health] callback
+      (the soak driver reports its last-step watermark here);
+    - [GET /stats.json] — the full registry snapshot
+      ({!Registry.to_json}), the input to {!Registry.diff} and the
+      [vstamp top] dashboard;
+    - [GET /events] — chunked streaming of the live event feed: the
+      ring of recent events first, then every event published through
+      {!event_sink} as it happens, one JSONL line per chunk;
+    - [GET /events.json] — the ring of recent events as a JSON array
+      ([?n=N] limits to the newest N).
+
+    Each connection is served by its own thread, so concurrent scrapes
+    do not block one another or the embedding process.  {!stop} is
+    graceful: in-flight responses finish, streaming clients get a
+    terminating chunk, and all threads are joined. *)
+
+type t
+
+val create :
+  ?registry:Registry.t ->
+  ?health:(unit -> (string * Jsonx.t) list) ->
+  ?recent:int ->
+  ?addr:string ->
+  port:int ->
+  unit ->
+  t
+(** Bind [addr] (default loopback) on [port] ([0] picks an ephemeral
+    port — read it back with {!port}) and start the accept thread.
+    [registry] defaults to {!Registry.default}; [health] contributes
+    extra [/healthz] fields; [recent] is the event-ring capacity
+    (default 64).
+
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port (useful after [~port:0]). *)
+
+val event_sink : t -> Sink.t
+(** A sink that fans events out to every connected [/events] client
+    and into the recent-events ring.  Tee it with a file sink to both
+    persist and stream ({!Sink.tee}). *)
+
+val recent_events : t -> Event.t list
+(** The ring contents, oldest first. *)
+
+val requests : t -> int
+(** Requests served so far. *)
+
+val running : t -> bool
+
+val stop : t -> unit
+(** Graceful shutdown; idempotent.  Joins the accept thread and every
+    connection thread. *)
+
+(** {1 A minimal HTTP client}
+
+    Enough of HTTP/1.1 to scrape the server above (and anything as
+    simple): one GET, [Connection: close], chunked decoding.  Used by
+    [vstamp top] and the serve smoke tests. *)
+
+module Client : sig
+  val get :
+    ?host:string ->
+    ?timeout_s:float ->
+    port:int ->
+    string ->
+    (int * string, string) result
+  (** [get ~port path]: status code and (de-chunked) body.  [host]
+      defaults to loopback, [timeout_s] (socket send/receive timeout)
+      to 5 seconds. *)
+end

@@ -69,6 +69,57 @@ let with_label name extra =
   | base, None -> Printf.sprintf "%s{%s}" base extra
   | base, Some labels -> Printf.sprintf "%s{%s,%s}" base labels extra
 
+(* Exposition-format escaping for label values: backslash, double
+   quote and line feed, per the Prometheus text-format spec. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buf)
+    else
+      match s.[i] with
+      | '\\' ->
+          if i + 1 >= n then Error "dangling backslash"
+          else (
+            (match s.[i + 1] with
+            | '\\' -> Ok '\\'
+            | '"' -> Ok '"'
+            | 'n' -> Ok '\n'
+            | c -> Error (Printf.sprintf "unknown escape \\%c" c))
+            |> function
+            | Ok c ->
+                Buffer.add_char buf c;
+                go (i + 2)
+            | Error _ as e -> e)
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0
+
+let with_labels name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+      Printf.sprintf "%s{%s}" name
+        (String.concat ","
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+              labels))
+
 let num f =
   if Float.is_integer f && Float.abs f < 1e16 then
     Printf.sprintf "%.0f" f
@@ -164,3 +215,50 @@ let pp_table ppf t =
   List.iter
     (fun (a, b, c) -> Format.fprintf ppf "%-*s  %-*s  %s@." w1 a w2 b c)
     rows
+
+(* --- snapshot differencing --- *)
+
+type kind = Kcounter | Kgauge | Khistogram
+
+type delta = {
+  name : string;
+  kind : kind;
+  value : float;
+  change : float;
+  rate : float;
+  reset : bool;
+}
+
+(* Recognize a metric by its to_json shape: counters encode as Int,
+   gauges as Float, histograms as an Obj with a "count" field. *)
+let classify = function
+  | Jsonx.Int n -> Some (Kcounter, float_of_int n)
+  | Jsonx.Float f -> Some (Kgauge, f)
+  | Jsonx.Obj _ as o -> (
+      match Option.bind (Jsonx.member "count" o) Jsonx.to_int with
+      | Some n -> Some (Khistogram, float_of_int n)
+      | None -> None)
+  | _ -> None
+
+let diff ~elapsed_s ~prev cur =
+  let fields = function Jsonx.Obj kvs -> kvs | _ -> [] in
+  List.filter_map
+    (fun (name, v) ->
+      match classify v with
+      | None -> None
+      | Some (kind, value) ->
+          let previous =
+            match Option.bind (Jsonx.member name prev) classify with
+            | Some (k, p) when k = kind -> p
+            | _ -> 0.0
+          in
+          (* Counters and histogram counts are monotone; going
+             backwards means the process (or registry) restarted, so
+             the whole current value is the increase since then.
+             Gauges move freely and never "reset". *)
+          let reset = kind <> Kgauge && value < previous in
+          let change = if reset then value else value -. previous in
+          let rate = if elapsed_s <= 0.0 then 0.0 else change /. elapsed_s in
+          Some { name; kind; value; change; rate; reset })
+    (fields cur)
+  |> List.sort (fun a b -> String.compare a.name b.name)

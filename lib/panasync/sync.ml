@@ -1,5 +1,51 @@
 open Vstamp_core
 
+(* Optional live instrumentation, off by default (mirrors
+   Kv_node.Obs): when attached, every session, reconciled file and
+   propagated byte counts into a registry for the embedded telemetry
+   server to expose. *)
+module Obs = struct
+  module R = Vstamp_obs.Registry
+  module M = Vstamp_obs.Metric
+
+  type counters = {
+    rounds : M.counter;  (* sync_rounds_total: one per session *)
+    bytes : M.counter;  (* sync_bytes_total: content bytes moved *)
+    conflicts : M.counter;
+    files : string -> M.counter;  (* sync_files_total{outcome=...} *)
+  }
+
+  let state : counters option ref = ref None
+
+  let attach ?(registry = R.default) () =
+    let outcome_tbl = Hashtbl.create 8 in
+    let files outcome =
+      match Hashtbl.find_opt outcome_tbl outcome with
+      | Some c -> c
+      | None ->
+          let c =
+            R.counter registry
+              (R.with_labels "sync_files_total" [ ("outcome", outcome) ])
+          in
+          Hashtbl.add outcome_tbl outcome c;
+          c
+    in
+    state :=
+      Some
+        {
+          rounds = R.counter registry "sync_rounds_total";
+          bytes = R.counter registry "sync_bytes_total";
+          conflicts = R.counter registry "sync_conflicts_total";
+          files;
+        }
+
+  let detach () = state := None
+
+  let attached () = Option.is_some !state
+
+  let[@inline] on f = match !state with Some c -> f c | None -> ()
+end
+
 type policy =
   | Manual
   | Prefer_left
@@ -29,7 +75,33 @@ let pp_report ppf r =
     (match r.relation with None -> "-" | Some rel -> Relation.to_string rel)
     (outcome_to_string r.outcome)
 
-let sync_file policy left right =
+let outcome_slug = function
+  | Created -> "created"
+  | Unchanged -> "unchanged"
+  | Propagated_left_to_right -> "propagated_lr"
+  | Propagated_right_to_left -> "propagated_rl"
+  | Resolved -> "resolved"
+  | Conflict -> "conflict"
+
+(* Content bytes a reconciliation moved between the devices: the
+   propagated or resolved payload; nothing for equivalent copies or a
+   conflict left standing. *)
+let moved_bytes outcome l r =
+  match outcome with
+  | Propagated_left_to_right -> String.length (File_copy.content l)
+  | Propagated_right_to_left -> String.length (File_copy.content r)
+  | Resolved -> String.length (File_copy.content l)
+  | Created | Unchanged | Conflict -> 0
+
+let observe_report outcome l r =
+  Obs.on (fun c ->
+      Vstamp_obs.Metric.inc (c.Obs.files (outcome_slug outcome));
+      (match moved_bytes outcome l r with
+      | 0 -> ()
+      | n -> Vstamp_obs.Metric.add c.Obs.bytes n);
+      if outcome = Conflict then Vstamp_obs.Metric.inc c.Obs.conflicts)
+
+let sync_file_raw policy left right =
   match File_copy.relation left right with
   | Relation.Equal
     when not (String.equal (File_copy.content left) (File_copy.content right))
@@ -116,7 +188,20 @@ let sync_file policy left right =
           resolve
             (f ~left:(File_copy.content left) ~right:(File_copy.content right)))
 
+let sync_file policy left right =
+  let l, r, report = sync_file_raw policy left right in
+  observe_report report.outcome l r;
+  (l, r, report)
+
+(* A replica made for the peer: its whole content crosses the wire. *)
+let observe_created copy =
+  Obs.on (fun cs ->
+      Vstamp_obs.Metric.inc (cs.Obs.files "created");
+      Vstamp_obs.Metric.add cs.Obs.bytes
+        (String.length (File_copy.content copy)))
+
 let session ?(policy = Manual) left right =
+  Obs.on (fun c -> Vstamp_obs.Metric.inc c.Obs.rounds);
   let all_paths =
     List.sort_uniq compare (Store.paths left @ Store.paths right)
   in
@@ -126,11 +211,13 @@ let session ?(policy = Manual) left right =
       | None, None -> (l, r, reports)
       | Some c, None ->
           let mine, theirs = File_copy.replicate c in
+          observe_created c;
           ( Store.set l mine,
             Store.set r theirs,
             { path; relation = None; outcome = Created } :: reports )
       | None, Some c ->
           let theirs, mine = File_copy.replicate c in
+          observe_created c;
           ( Store.set l mine,
             Store.set r theirs,
             { path; relation = None; outcome = Created } :: reports )

@@ -55,3 +55,24 @@ val conflicts : report list -> report list
 val converged : Store.t -> Store.t -> bool
 (** Both stores hold content-identical copies of every logical path
     (observational convergence; further sessions are no-ops). *)
+
+(** {1 Live instrumentation}
+
+    Off by default.  When attached, every {!session} bumps
+    [sync_rounds_total], every reconciled logical file bumps
+    [sync_files_total{outcome=...}] (outcomes as slugs: [created],
+    [unchanged], [propagated_lr], [propagated_rl], [resolved],
+    [conflict]), the content bytes that crossed between the devices
+    (replicated, propagated or resolved payloads) accumulate in
+    [sync_bytes_total], and surfaced conflicts in
+    [sync_conflicts_total]. *)
+module Obs : sig
+  val attach : ?registry:Vstamp_obs.Registry.t -> unit -> unit
+  (** Start counting into [registry] (default
+      {!Vstamp_obs.Registry.default}).  Re-attaching rebinds to the
+      registry given last. *)
+
+  val detach : unit -> unit
+
+  val attached : unit -> bool
+end

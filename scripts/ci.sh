@@ -24,6 +24,9 @@ dune build @trace-smoke --force
 echo "== bench smoke (quick bench -> regression gate pass/fail/refuse) =="
 dune build @bench-smoke --force
 
+echo "== serve smoke (soak server, live scrapes, graceful shutdown) =="
+dune build @serve-smoke --force
+
 echo "== CLI smoke: vstamp metrics =="
 dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 >/dev/null
 dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 --format prom >/dev/null

@@ -1,0 +1,205 @@
+(* Registry.diff (the rate arithmetic behind vstamp top) and the Dash
+   frame renderer. *)
+
+open Vstamp_obs
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i =
+    i + m <= n && (String.sub haystack i m = needle || go (i + 1))
+  in
+  m = 0 || go 0
+
+let find_delta name deltas =
+  match List.find_opt (fun d -> d.Registry.name = name) deltas with
+  | Some d -> d
+  | None -> Alcotest.failf "no delta for %s" name
+
+(* Build a to_json snapshot from a quick throwaway registry. *)
+let snapshot build =
+  let r = Registry.create () in
+  build r;
+  Registry.to_json r
+
+(* --- Registry.diff --- *)
+
+let test_diff_counter_rate () =
+  let prev = snapshot (fun r -> Metric.add (Registry.counter r "ops") 100) in
+  let cur = snapshot (fun r -> Metric.add (Registry.counter r "ops") 350) in
+  let deltas = Registry.diff ~elapsed_s:5.0 ~prev cur in
+  let d = find_delta "ops" deltas in
+  check_bool "kind" true (d.Registry.kind = Registry.Kcounter);
+  check_float "value" 350.0 d.Registry.value;
+  check_float "change" 250.0 d.Registry.change;
+  check_float "rate" 50.0 d.Registry.rate;
+  check_bool "no reset" false d.Registry.reset
+
+let test_diff_zero_elapsed () =
+  (* two snapshots at the same instant: no rate information, never a
+     division by zero *)
+  let prev = snapshot (fun r -> Metric.add (Registry.counter r "ops") 1) in
+  let cur = snapshot (fun r -> Metric.add (Registry.counter r "ops") 100) in
+  List.iter
+    (fun elapsed_s ->
+      let d = find_delta "ops" (Registry.diff ~elapsed_s ~prev cur) in
+      check_float
+        (Printf.sprintf "rate at elapsed %g" elapsed_s)
+        0.0 d.Registry.rate;
+      check_float "change still reported" 99.0 d.Registry.change)
+    [ 0.0; -1.0 ]
+
+let test_diff_counter_reset () =
+  (* the counter went backwards: the process restarted, so the whole
+     current value is the increase since the restart *)
+  let prev = snapshot (fun r -> Metric.add (Registry.counter r "ops") 1000) in
+  let cur = snapshot (fun r -> Metric.add (Registry.counter r "ops") 40) in
+  let d = find_delta "ops" (Registry.diff ~elapsed_s:4.0 ~prev cur) in
+  check_bool "reset flagged" true d.Registry.reset;
+  check_float "change is the post-reset count" 40.0 d.Registry.change;
+  check_float "rate from the post-reset count" 10.0 d.Registry.rate
+
+let test_diff_gauge_moves_freely () =
+  let prev = snapshot (fun r -> Metric.set (Registry.gauge r "depth") 9.0) in
+  let cur = snapshot (fun r -> Metric.set (Registry.gauge r "depth") 4.0) in
+  let d = find_delta "depth" (Registry.diff ~elapsed_s:2.0 ~prev cur) in
+  check_bool "kind" true (d.Registry.kind = Registry.Kgauge);
+  check_bool "gauges never reset" false d.Registry.reset;
+  check_float "negative change" (-5.0) d.Registry.change;
+  check_float "negative rate" (-2.5) d.Registry.rate
+
+let test_diff_new_metric_counts_from_zero () =
+  let prev = snapshot (fun _ -> ()) in
+  let cur = snapshot (fun r -> Metric.add (Registry.counter r "fresh") 10) in
+  let d = find_delta "fresh" (Registry.diff ~elapsed_s:2.0 ~prev cur) in
+  check_float "change" 10.0 d.Registry.change;
+  check_float "rate" 5.0 d.Registry.rate;
+  check_bool "not a reset" false d.Registry.reset
+
+let test_diff_histogram_uses_count () =
+  let fill n r =
+    let h = Registry.histogram r "lat" in
+    for i = 1 to n do
+      Metric.observe_int h i
+    done
+  in
+  let prev = snapshot (fill 10) and cur = snapshot (fill 30) in
+  let d = find_delta "lat" (Registry.diff ~elapsed_s:10.0 ~prev cur) in
+  check_bool "kind" true (d.Registry.kind = Registry.Khistogram);
+  check_float "value is observation count" 30.0 d.Registry.value;
+  check_float "rate" 2.0 d.Registry.rate
+
+let test_diff_sorted_and_dropped () =
+  let prev = snapshot (fun r -> Metric.inc (Registry.counter r "gone")) in
+  let cur =
+    snapshot (fun r ->
+        Metric.inc (Registry.counter r "b");
+        Metric.inc (Registry.counter r "a"))
+  in
+  let deltas = Registry.diff ~elapsed_s:1.0 ~prev cur in
+  check_int "only current metrics" 2 (List.length deltas);
+  check_bool "sorted by name" true
+    (List.map (fun d -> d.Registry.name) deltas = [ "a"; "b" ])
+
+(* --- Dash.render --- *)
+
+let two_snapshots () =
+  let prev =
+    snapshot (fun r ->
+        Metric.add (Registry.counter r "kvs_ops_total{op=\"put\"}") 10;
+        Metric.set (Registry.gauge r "core_depth") 3.0)
+  in
+  let cur =
+    snapshot (fun r ->
+        Metric.add (Registry.counter r "kvs_ops_total{op=\"put\"}") 110;
+        Metric.set (Registry.gauge r "core_depth") 5.0;
+        let h = Registry.histogram r "sim_op_ns" in
+        List.iter (Metric.observe h) [ 100.0; 200.0; 300.0 ])
+  in
+  (prev, cur)
+
+let test_render_plain_frame () =
+  let prev, cur = two_snapshots () in
+  let deltas = Registry.diff ~elapsed_s:2.0 ~prev cur in
+  let frame =
+    Dash.render ~color:false ~deltas ~snapshot:cur
+      ~events:[ "{\"event\":\"soak.tick\"}" ]
+      ~health:
+        (Jsonx.Obj
+           [
+             ("status", Jsonx.String "ok");
+             ("uptime_s", Jsonx.Float 12.5);
+             ("events_total", Jsonx.Int 7);
+             ("invariant_violations", Jsonx.Int 0);
+           ])
+      ()
+  in
+  check_bool "no ANSI codes when color off" false (contains frame "\x1b[");
+  check_bool "header status" true (contains frame "status ok");
+  check_bool "rates section" true (contains frame "rates (counters");
+  check_bool "counter row with rate" true (contains frame "50/s");
+  check_bool "gauge row" true (contains frame "core_depth");
+  check_bool "gauge change" true (contains frame "+2");
+  check_bool "histogram section" true (contains frame "sim_op_ns");
+  check_bool "events tail" true (contains frame "soak.tick")
+
+let test_render_flags_reset () =
+  let prev = snapshot (fun r -> Metric.add (Registry.counter r "ops") 500) in
+  let cur = snapshot (fun r -> Metric.add (Registry.counter r "ops") 5) in
+  let deltas = Registry.diff ~elapsed_s:1.0 ~prev cur in
+  let frame = Dash.render ~color:false ~deltas ~snapshot:cur () in
+  check_bool "reset marker shown" true (contains frame "reset")
+
+let test_render_color_and_clear () =
+  let prev, cur = two_snapshots () in
+  let deltas = Registry.diff ~elapsed_s:2.0 ~prev cur in
+  let frame = Dash.render ~color:true ~deltas ~snapshot:cur () in
+  check_bool "ANSI styling present" true (contains frame "\x1b[");
+  check_bool "clear sequence is ANSI" true
+    (contains Dash.clear_screen "\x1b[2J")
+
+let test_render_truncates_width () =
+  let long = String.make 300 'x' in
+  let cur = snapshot (fun r -> Metric.inc (Registry.counter r long)) in
+  let deltas = Registry.diff ~elapsed_s:1.0 ~prev:(Jsonx.Obj []) cur in
+  let frame = Dash.render ~color:false ~width:60 ~deltas ~snapshot:cur () in
+  List.iter
+    (fun l ->
+      check_bool
+        (Printf.sprintf "line within width (%d)" (String.length l))
+        true
+        (String.length l <= 64))
+    (String.split_on_char '\n' frame)
+
+let () =
+  Alcotest.run "dash"
+    [
+      ( "registry-diff",
+        [
+          Alcotest.test_case "counter rate" `Quick test_diff_counter_rate;
+          Alcotest.test_case "zero elapsed time" `Quick test_diff_zero_elapsed;
+          Alcotest.test_case "counter reset" `Quick test_diff_counter_reset;
+          Alcotest.test_case "gauge moves freely" `Quick
+            test_diff_gauge_moves_freely;
+          Alcotest.test_case "new metric from zero" `Quick
+            test_diff_new_metric_counts_from_zero;
+          Alcotest.test_case "histogram count rate" `Quick
+            test_diff_histogram_uses_count;
+          Alcotest.test_case "sorted, absent dropped" `Quick
+            test_diff_sorted_and_dropped;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "plain frame" `Quick test_render_plain_frame;
+          Alcotest.test_case "reset flag" `Quick test_render_flags_reset;
+          Alcotest.test_case "color and clear" `Quick
+            test_render_color_and_clear;
+          Alcotest.test_case "width truncation" `Quick
+            test_render_truncates_width;
+        ] );
+    ]

@@ -1,0 +1,234 @@
+(* The embedded telemetry server, exercised over real loopback
+   sockets: response shapes of every endpoint, concurrent scrapes,
+   event streaming, graceful shutdown. *)
+
+open Vstamp_obs
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+let get_ok srv path =
+  match Http_export.Client.get ~port:(Http_export.port srv) path with
+  | Ok (status, body) -> (status, body)
+  | Error m -> Alcotest.failf "GET %s failed: %s" path m
+
+let with_server ?health ?recent f =
+  let registry = Registry.create () in
+  let srv = Http_export.create ~registry ?health ?recent ~port:0 () in
+  Fun.protect ~finally:(fun () -> Http_export.stop srv) (fun () ->
+      f registry srv)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i =
+    i + m <= n && (String.sub haystack i m = needle || go (i + 1))
+  in
+  m = 0 || go 0
+
+(* --- endpoints --- *)
+
+let test_metrics_endpoint () =
+  with_server (fun registry srv ->
+      Metric.add (Registry.counter registry "soak_ops_total") 42;
+      Metric.set (Registry.gauge registry "soak_depth") 7.0;
+      let status, body = get_ok srv "/metrics" in
+      check_int "status" 200 status;
+      check_bool "TYPE line" true
+        (contains body "# TYPE soak_ops_total counter");
+      check_bool "counter sample" true (contains body "soak_ops_total 42");
+      check_bool "gauge sample" true (contains body "soak_depth 7"))
+
+let test_stats_json_endpoint () =
+  with_server (fun registry srv ->
+      Metric.add (Registry.counter registry "soak_ops_total") 3;
+      let status, body = get_ok srv "/stats.json" in
+      check_int "status" 200 status;
+      match Jsonx.of_string (String.trim body) with
+      | Error m -> Alcotest.failf "stats.json did not parse: %s" m
+      | Ok j ->
+          check_int "counter value" 3
+            (Option.value ~default:(-1)
+               (Option.bind (Jsonx.member "soak_ops_total" j) Jsonx.to_int)))
+
+let test_healthz_endpoint () =
+  with_server
+    ~health:(fun () -> [ ("last_step", Jsonx.Int 99) ])
+    (fun registry srv ->
+      (* a violation counter must flip the reported status *)
+      let status, body = get_ok srv "/healthz" in
+      check_int "status" 200 status;
+      let j =
+        match Jsonx.of_string (String.trim body) with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "healthz did not parse: %s" m
+      in
+      check_string "ok status" "ok"
+        (Option.value ~default:"?"
+           (Option.bind (Jsonx.member "status" j) Jsonx.to_str));
+      check_int "health callback field" 99
+        (Option.value ~default:(-1)
+           (Option.bind (Jsonx.member "last_step" j) Jsonx.to_int));
+      check_bool "uptime present" true
+        (Option.is_some (Jsonx.member "uptime_s" j));
+      Metric.inc
+        (Registry.counter registry
+           "vstamp_invariant_violations_total{monitor=\"stamps\"}");
+      let _, body2 = get_ok srv "/healthz" in
+      let j2 =
+        match Jsonx.of_string (String.trim body2) with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "healthz did not parse: %s" m
+      in
+      check_string "violations status" "violations"
+        (Option.value ~default:"?"
+           (Option.bind (Jsonx.member "status" j2) Jsonx.to_str));
+      check_int "violation count" 1
+        (Option.value ~default:(-1)
+           (Option.bind (Jsonx.member "invariant_violations" j2) Jsonx.to_int)))
+
+let test_not_found_and_method () =
+  with_server (fun _ srv ->
+      let status, _ = get_ok srv "/nope" in
+      check_int "404" 404 status;
+      let status, _ = get_ok srv "/" in
+      check_int "index ok" 200 status)
+
+let test_events_json_ring () =
+  with_server ~recent:4 (fun _ srv ->
+      let sink = Http_export.event_sink srv in
+      for i = 1 to 6 do
+        Sink.emit sink
+          (Event.v ~ts:(Event.Step i) "soak.tick" [ ("i", Jsonx.Int i) ])
+      done;
+      (* capacity 4: only events 3..6 survive *)
+      check_int "ring trimmed" 4 (List.length (Http_export.recent_events srv));
+      let status, body = get_ok srv "/events.json" in
+      check_int "status" 200 status;
+      check_bool "oldest trimmed" false (contains body "\"i\":1}");
+      check_bool "oldest kept is 3" true (contains body "\"i\":3}");
+      check_bool "newest kept" true (contains body "\"i\":6}");
+      let _, body2 = get_ok srv "/events.json?n=1" in
+      check_bool "n=1 keeps newest only" false (contains body2 "\"i\":5}");
+      check_bool "n=1 keeps newest" true (contains body2 "\"i\":6}"))
+
+(* --- concurrency --- *)
+
+let test_concurrent_scrapes () =
+  with_server (fun registry srv ->
+      Metric.add (Registry.counter registry "soak_ops_total") 1;
+      let failures = ref 0 in
+      let mutex = Mutex.create () in
+      let scraper () =
+        for _ = 1 to 5 do
+          match
+            Http_export.Client.get ~port:(Http_export.port srv) "/metrics"
+          with
+          | Ok (200, body) when contains body "soak_ops_total" -> ()
+          | _ ->
+              Mutex.lock mutex;
+              incr failures;
+              Mutex.unlock mutex
+        done
+      in
+      let threads = List.init 8 (fun _ -> Thread.create scraper ()) in
+      List.iter Thread.join threads;
+      check_int "no failed scrape" 0 !failures;
+      check_bool "request counter advanced" true
+        (Http_export.requests srv >= 40))
+
+(* --- streaming --- *)
+
+let test_events_stream () =
+  let registry = Registry.create () in
+  let srv = Http_export.create ~registry ~port:0 () in
+  let sink = Http_export.event_sink srv in
+  Sink.emit sink (Event.v "soak.backlog" [ ("k", Jsonx.Int 0) ]);
+  let result = ref (Error "not run") in
+  let reader =
+    Thread.create
+      (fun () ->
+        result :=
+          Http_export.Client.get ~timeout_s:10.0
+            ~port:(Http_export.port srv) "/events")
+      ()
+  in
+  (* let the subscriber attach, then publish live events *)
+  Thread.delay 0.2;
+  for i = 1 to 3 do
+    Sink.emit sink (Event.v "soak.live" [ ("k", Jsonx.Int i) ])
+  done;
+  Thread.delay 0.2;
+  (* stop terminates the chunked stream, releasing the reader *)
+  Http_export.stop srv;
+  Thread.join reader;
+  match !result with
+  | Error m -> Alcotest.failf "streaming GET failed: %s" m
+  | Ok (status, body) ->
+      check_int "status" 200 status;
+      check_bool "backlog replayed" true (contains body "soak.backlog");
+      check_bool "live events streamed" true (contains body "\"k\":3}");
+      let lines =
+        String.split_on_char '\n' (String.trim body)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      check_int "one JSONL line per event" 4 (List.length lines);
+      List.iter
+        (fun l ->
+          match Event.of_string l with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "bad event line %S: %s" l m)
+        lines
+
+(* --- lifecycle --- *)
+
+let test_graceful_stop () =
+  let registry = Registry.create () in
+  let srv = Http_export.create ~registry ~port:0 () in
+  let port = Http_export.port srv in
+  check_bool "running" true (Http_export.running srv);
+  let status, _ = get_ok srv "/healthz" in
+  check_int "served before stop" 200 status;
+  Http_export.stop srv;
+  Http_export.stop srv;
+  (* idempotent *)
+  check_bool "stopped" false (Http_export.running srv);
+  match Http_export.Client.get ~timeout_s:1.0 ~port "/healthz" with
+  | Ok (status, _) -> Alcotest.failf "served after stop: %d" status
+  | Error _ -> ()
+
+let test_ephemeral_ports_distinct () =
+  with_server (fun _ a ->
+      with_server (fun _ b ->
+          check_bool "distinct ephemeral ports" true
+            (Http_export.port a <> Http_export.port b);
+          check_bool "nonzero" true (Http_export.port a > 0)))
+
+let () =
+  Alcotest.run "http_export"
+    [
+      ( "endpoints",
+        [
+          Alcotest.test_case "/metrics" `Quick test_metrics_endpoint;
+          Alcotest.test_case "/stats.json" `Quick test_stats_json_endpoint;
+          Alcotest.test_case "/healthz" `Quick test_healthz_endpoint;
+          Alcotest.test_case "404 and index" `Quick test_not_found_and_method;
+          Alcotest.test_case "/events.json ring" `Quick test_events_json_ring;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "8 threads x 5 scrapes" `Quick
+            test_concurrent_scrapes;
+        ] );
+      ( "streaming",
+        [ Alcotest.test_case "/events chunked feed" `Quick test_events_stream ]
+      );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "graceful stop" `Quick test_graceful_stop;
+          Alcotest.test_case "ephemeral ports" `Quick
+            test_ephemeral_ports_distinct;
+        ] );
+    ]

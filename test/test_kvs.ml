@@ -204,6 +204,42 @@ let prop_sound =
       && Kv_node.converged nodes.(0) nodes.(1)
       && Kv_node.converged nodes.(1) nodes.(2))
 
+(* --- Obs instrumentation --- *)
+
+let counter_value r name =
+  Vstamp_obs.Metric.count (Vstamp_obs.Registry.counter r name)
+
+let test_obs_counters () =
+  let module R = Vstamp_obs.Registry in
+  let r = R.create () in
+  check_bool "detached by default" false (Kv_node.Obs.attached ());
+  Kv_node.Obs.attach ~registry:r ();
+  Fun.protect ~finally:Kv_node.Obs.detach (fun () ->
+      check_bool "attached" true (Kv_node.Obs.attached ());
+      let a = Kv_node.create ~id:0 and b = Kv_node.create ~id:1 in
+      let _, ctx = Kv_node.get a "k" in
+      let a = Kv_node.put a ~key:"k" ~context:ctx "v1" in
+      let _, ctx = Kv_node.get a "k" in
+      let a = Kv_node.delete a ~key:"k" ~context:ctx in
+      let a, _b = Kv_node.anti_entropy a b in
+      ignore (Kv_node.get a "k");
+      let op o = R.with_labels "kvs_ops_total" [ ("op", o) ] in
+      check_int "gets" 3 (counter_value r (op "get"));
+      check_int "puts" 1 (counter_value r (op "put"));
+      check_int "deletes" 1 (counter_value r (op "delete"));
+      check_int "anti-entropy rounds" 1 (counter_value r (op "anti_entropy"));
+      check_int "sibling widths observed" 3
+        (Vstamp_obs.Metric.observations (R.histogram r "kvs_get_siblings"));
+      (* one anti-entropy round observes both endpoints' sizes *)
+      check_int "node sizes observed" 2
+        (Vstamp_obs.Metric.observations (R.histogram r "kvs_node_size_bits")));
+  check_bool "detached again" false (Kv_node.Obs.attached ());
+  (* instrumentation off: ops no longer count *)
+  let a = Kv_node.create ~id:0 in
+  ignore (Kv_node.get a "k");
+  check_int "no counting when detached" 3
+    (counter_value r (R.with_labels "kvs_ops_total" [ ("op", "get") ]))
+
 let () =
   Alcotest.run "kvs"
     [
@@ -231,5 +267,7 @@ let () =
           Alcotest.test_case "three-node ring" `Quick test_three_node_ring;
           Alcotest.test_case "size" `Quick test_size_bits;
         ] );
+      ( "instrumentation",
+        [ Alcotest.test_case "obs counters" `Quick test_obs_counters ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ prop_sound ]);
     ]

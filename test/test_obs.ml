@@ -489,6 +489,69 @@ let test_stats_summary () =
   check_int "empty n" 0 empty.Vstamp_sim.Stats.n;
   check_float "empty mean" 0.0 empty.Vstamp_sim.Stats.mean
 
+(* --- Label escaping (the /metrics text exposition) --- *)
+
+let test_label_escape_basics () =
+  check_string "backslash" "a\\\\b" (Registry.escape_label_value "a\\b");
+  check_string "quote" "say \\\"hi\\\"" (Registry.escape_label_value "say \"hi\"");
+  check_string "newline" "l1\\nl2" (Registry.escape_label_value "l1\nl2");
+  (match Registry.unescape_label_value "a\\\\b\\\"c\\nd" with
+  | Ok s -> check_string "unescape" "a\\b\"c\nd" s
+  | Error m -> Alcotest.failf "unescape failed: %s" m);
+  (match Registry.unescape_label_value "trailing\\" with
+  | Ok _ -> Alcotest.fail "dangling backslash must be rejected"
+  | Error _ -> ());
+  match Registry.unescape_label_value "bad\\q" with
+  | Ok _ -> Alcotest.fail "unknown escape must be rejected"
+  | Error _ -> ()
+
+(* Satellite property: label values containing backslashes, double
+   quotes and newlines survive the round trip through the /metrics
+   text format — both at the string level (escape then unescape) and
+   through an actual exposition of a labelled counter. *)
+let label_value_gen =
+  QCheck2.Gen.(
+    string_size
+      ~gen:
+        (frequency
+           [
+             (5, printable);
+             (2, return '\\');
+             (2, return '"');
+             (2, return '\n');
+           ])
+      (0 -- 24))
+
+let qcheck_label_escape_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"label value escape round trip"
+    label_value_gen (fun v ->
+      Registry.unescape_label_value (Registry.escape_label_value v) = Ok v)
+
+let qcheck_label_metrics_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"label values survive /metrics text"
+    label_value_gen (fun v ->
+      let r = Registry.create () in
+      let name = Registry.with_labels "escape_test_total" [ ("k", v) ] in
+      Metric.inc (Registry.counter r name);
+      let text = Registry.to_prometheus r in
+      let sample =
+        List.find_opt
+          (fun l -> String.length l > 0 && l.[0] <> '#')
+          (String.split_on_char '\n' text)
+      in
+      match sample with
+      | None -> false
+      | Some line ->
+          (* the escaped value cannot contain a raw quote or newline, so
+             the sample is one line bracketed by fixed prefix/suffix *)
+          let prefix = "escape_test_total{k=\"" and suffix = "\"} 1" in
+          let plen = String.length prefix and slen = String.length suffix in
+          String.length line >= plen + slen
+          && String.sub line 0 plen = prefix
+          && String.sub line (String.length line - slen) slen = suffix
+          && String.sub line plen (String.length line - plen - slen)
+             |> Registry.unescape_label_value = Ok v)
+
 (* --- runner --- *)
 
 let () =
@@ -524,6 +587,9 @@ let () =
           Alcotest.test_case "lifecycle" `Quick test_registry;
           Alcotest.test_case "exposition" `Quick test_registry_exposition;
           Alcotest.test_case "span" `Quick test_span;
+          Alcotest.test_case "label escaping" `Quick test_label_escape_basics;
+          qc qcheck_label_escape_roundtrip;
+          qc qcheck_label_metrics_roundtrip;
         ] );
       ( "sink",
         [

@@ -244,6 +244,53 @@ let test_outcomes_match_oracle () =
     (Causal_history.relation ha hb)
     (File_copy.relation a b)
 
+(* --- Obs instrumentation --- *)
+
+let counter_value r name =
+  Vstamp_obs.Metric.count (Vstamp_obs.Registry.counter r name)
+
+let test_sync_obs_counters () =
+  let module R = Vstamp_obs.Registry in
+  let r = R.create () in
+  check_bool "detached by default" false (Sync.Obs.attached ());
+  Sync.Obs.attach ~registry:r ();
+  Fun.protect ~finally:Sync.Obs.detach (fun () ->
+      let outcome o = R.with_labels "sync_files_total" [ ("outcome", o) ] in
+      let a = Store.create ~name:"a" and b = Store.create ~name:"b" in
+      (* session 1: one-sided file replicates over — 5 content bytes *)
+      let a = Store.add_new a ~path:"doc.txt" ~content:"hello" in
+      let a, b, _ = Sync.session a b in
+      check_int "created" 1 (counter_value r (outcome "created"));
+      check_int "replicated bytes" 5 (counter_value r "sync_bytes_total");
+      (* session 2: one-sided edit propagates — 11 bytes cross *)
+      let a = Store.edit a ~path:"doc.txt" ~content:"hello world" in
+      let a, b, _ = Sync.session a b in
+      check_int "propagated" 1 (counter_value r (outcome "propagated_lr"));
+      check_int "propagated bytes" 16 (counter_value r "sync_bytes_total");
+      (* session 3: concurrent edits under Manual — a conflict, no bytes *)
+      let a = Store.edit a ~path:"doc.txt" ~content:"L1" in
+      let b = Store.edit b ~path:"doc.txt" ~content:"R1" in
+      let a, b, reports = Sync.session a b in
+      check_int "conflict surfaced" 1 (List.length (Sync.conflicts reports));
+      check_int "conflict counted" 1 (counter_value r (outcome "conflict"));
+      check_int "conflicts total" 1 (counter_value r "sync_conflicts_total");
+      check_int "no bytes on standing conflict" 16
+        (counter_value r "sync_bytes_total");
+      (* session 4: merge policy settles it — the 4-byte merge crosses *)
+      let merge = Sync.Merge (fun ~left ~right -> left ^ right) in
+      let a, b, _ = Sync.session ~policy:merge a b in
+      check_int "resolved" 1 (counter_value r (outcome "resolved"));
+      check_int "resolved bytes" 20 (counter_value r "sync_bytes_total");
+      (* session 5: nothing to do *)
+      let _, _, _ = Sync.session a b in
+      check_int "unchanged" 1 (counter_value r (outcome "unchanged"));
+      check_int "rounds" 5 (counter_value r "sync_rounds_total"));
+  check_bool "detached again" false (Sync.Obs.attached ());
+  let a = Store.create ~name:"a" and b = Store.create ~name:"b" in
+  let _, _, _ = Sync.session a b in
+  check_int "no counting when detached" 5
+    (counter_value r "sync_rounds_total")
+
 let () =
   Alcotest.run "panasync"
     [
@@ -265,6 +312,8 @@ let () =
           Alcotest.test_case "edit missing" `Quick test_store_edit_missing;
           Alcotest.test_case "tracking bits" `Quick test_store_tracking_bits;
         ] );
+      ( "instrumentation",
+        [ Alcotest.test_case "obs counters" `Quick test_sync_obs_counters ] );
       ( "sync",
         [
           Alcotest.test_case "replicates" `Quick test_session_replicates;
