@@ -103,6 +103,9 @@ let config_json c =
       ("e11_churn_ops", Jsonx.Int c.e11_churn_ops);
       ("e11_every_n", Jsonx.Int c.e11_every_n);
       ("e11_best_of", Jsonx.Int c.e11_best_of);
+      ( "backends",
+        Jsonx.List
+          (List.map (fun k -> Jsonx.String k) (Vstamp_core.Backend.keys ())) );
     ]
 
 let section title =
@@ -196,6 +199,7 @@ let fig3 () =
 let e1_trackers =
   [
     Tracker.stamps;
+    Tracker.stamps_packed;
     Tracker.version_vectors;
     Tracker.dynamic_vv;
     itc_tracker;
@@ -647,6 +651,17 @@ let make_deep_list_stamp depth =
   in
   go Stamp.Over_list.seed depth
 
+let make_deep_packed_stamp depth =
+  let rec go s k =
+    if k = 0 then s
+    else
+      let a, b = Stamp.Over_packed.fork (Stamp.Over_packed.update s) in
+      go
+        (Stamp.Over_packed.join ~reduce:false (Stamp.Over_packed.update a) b)
+        (k - 1)
+  in
+  go Stamp.Over_packed.seed depth
+
 (* Latency cases as plain (group, name, thunk) triples so they can be
    screened against the per-case time budget before bechamel sees them;
    names reproduce the historical bechamel keys ("ops/stamp/join d8",
@@ -700,9 +715,12 @@ let latency_cases () =
       fun () -> ignore (Vstamp_codec.Wire.stamp_of_string wire8) );
   ]
 
-(* ablation A: representation choice (trie vs sorted list) as id
-   fragmentation deepens; the depth sweep makes the scaling shape
-   visible, not just one point *)
+(* ablation A: representation choice (trie vs sorted list vs hash-consed
+   trie) as id fragmentation deepens; the depth sweep makes the scaling
+   shape visible, not just one point.  The packed lanes deliberately
+   benchmark the steady state — interning and memo tables warm — since
+   that is how a long-lived replica runs; the first-call cost is the
+   tree lane's. *)
 let ablation_cases () =
   let depths = [ 2; 4; 8; 12 ] in
   List.concat_map
@@ -711,6 +729,8 @@ let ablation_cases () =
       let tree_o = snd (Stamp.fork tree) in
       let lst = make_deep_list_stamp d in
       let lst_o = snd (Stamp.Over_list.fork lst) in
+      let pkd = make_deep_packed_stamp d in
+      let pkd_o = snd (Stamp.Over_packed.fork pkd) in
       [
         ( "ablation",
           Printf.sprintf "tree/leq:%d" d,
@@ -719,14 +739,26 @@ let ablation_cases () =
           Printf.sprintf "list/leq:%d" d,
           fun () -> ignore (Stamp.Over_list.leq lst lst_o) );
         ( "ablation",
+          Printf.sprintf "packed/leq:%d" d,
+          fun () -> ignore (Stamp.Over_packed.leq pkd pkd_o) );
+        ( "ablation",
           Printf.sprintf "tree/join:%d" d,
           fun () -> ignore (Stamp.join tree tree_o) );
         ( "ablation",
           Printf.sprintf "list/join:%d" d,
           fun () -> ignore (Stamp.Over_list.join lst lst_o) );
         ( "ablation",
+          Printf.sprintf "packed/join:%d" d,
+          fun () -> ignore (Stamp.Over_packed.join pkd pkd_o) );
+        ( "ablation",
           Printf.sprintf "tree/reduce:%d" d,
           fun () -> ignore (Stamp.reduce tree) );
+        ( "ablation",
+          Printf.sprintf "list/reduce:%d" d,
+          fun () -> ignore (Stamp.Over_list.reduce lst) );
+        ( "ablation",
+          Printf.sprintf "packed/reduce:%d" d,
+          fun () -> ignore (Stamp.Over_packed.reduce pkd) );
       ])
     depths
 
@@ -839,6 +871,15 @@ let e11 ~cfg () =
            in
            let throughput f = float_of_int n /. best_of f in
            let plain = throughput (fun () -> run ()) in
+           (* same workload over the hash-consed backend, unmonitored:
+              how much of the monitorable budget the representation
+              itself buys back *)
+           let packed_plain =
+             throughput (fun () ->
+                 ignore
+                   (System.run ~with_oracle:false Tracker.stamps_packed ops
+                     : System.result))
+           in
            let monitored = throughput (fun () -> run ~check_invariants:true ()) in
            let sampled =
              throughput (fun () -> run ~check_invariants:true ~sampling ())
@@ -852,6 +893,7 @@ let e11 ~cfg () =
                wname;
                string_of_int n;
                Printf.sprintf "%.2e" plain;
+               Printf.sprintf "%.2e" packed_plain;
                Printf.sprintf "%.2e" monitored;
                Printf.sprintf "%.2e" sampled;
                Printf.sprintf "%.2e" recording;
@@ -863,6 +905,7 @@ let e11 ~cfg () =
                  [
                    ("ops", Vstamp_obs.Jsonx.Int n);
                    ("plain_ops_per_s", Vstamp_obs.Jsonx.Float plain);
+                   ("packed_plain_ops_per_s", Vstamp_obs.Jsonx.Float packed_plain);
                    ("monitored_ops_per_s", Vstamp_obs.Jsonx.Float monitored);
                    ("sampled_ops_per_s", Vstamp_obs.Jsonx.Float sampled);
                    ("recording_ops_per_s", Vstamp_obs.Jsonx.Float recording);
@@ -880,6 +923,7 @@ let e11 ~cfg () =
         "workload";
         "ops";
         "plain ops/s";
+        "packed";
         "full mon";
         Printf.sprintf "1-in-%d" cfg.e11_every_n;
         "+recording";
@@ -1074,8 +1118,10 @@ let core_counters () =
 (* /3 keeps every /2 field and adds the config and wall_clock blocks
    (Bench_store's comparability key and run metadata), the E11 sampled
    columns, the E13 sampling_sweep, and {"timed_out": true} markers for
-   latency cases over the per-case budget. *)
-let bench_json_schema = "vstamp-bench-core/3"
+   latency cases over the per-case budget.  /4 keeps every /3 field and
+   adds the registered backend set to the config block plus the
+   packed-backend ablation lanes. *)
+let bench_json_schema = "vstamp-bench-core/4"
 
 let write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
     ~monitor_overhead ~sampling_sweep =

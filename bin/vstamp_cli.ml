@@ -114,9 +114,13 @@ let reduce_cmd =
 
 (* --- simulate --- *)
 
+(* The stamp trackers come from the backend registry (one per
+   registered name backend); only the baselines are spelled out. *)
+let tracker_names () =
+  List.map Tracker.name (Tracker.of_registry ())
+  @ [ "stamps-noreduce"; "vv"; "dvv"; "oracle"; "plausible-<slots>" ]
+
 let tracker_of_name = function
-  | "stamps" -> Ok Tracker.stamps
-  | "stamps-list" -> Ok Tracker.stamps_list
   | "stamps-noreduce" -> Ok Tracker.stamps_nonreducing
   | "vv" -> Ok Tracker.version_vectors
   | "dvv" -> Ok Tracker.dynamic_vv
@@ -125,7 +129,40 @@ let tracker_of_name = function
       match int_of_string_opt (String.sub s 10 (String.length s - 10)) with
       | Some k when k > 0 -> Ok (Tracker.plausible k)
       | _ -> Error (`Msg "plausible-<slots> needs a positive slot count"))
-  | s -> Error (`Msg (Printf.sprintf "unknown tracker %S" s))
+  | s -> (
+      match
+        List.find_opt
+          (fun t -> String.equal (Tracker.name t) s)
+          (Tracker.of_registry ())
+      with
+      | Some t -> Ok t
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown tracker %S (known: %s)" s
+                  (String.concat ", " (tracker_names ())))))
+
+(* --backend KEY is shorthand for the stamp tracker over that name
+   backend; the valid set is whatever the registry holds. *)
+let tracker_for_backend key =
+  match Backend.find key with
+  | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown backend %S (valid: %s)" key
+              (String.concat ", " (Backend.keys ()))))
+  | Some _ -> tracker_of_name (Tracker.stamp_tracker_name key)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          (Printf.sprintf
+             "Name backend for the stamp tracker: %s.  Shorthand for \
+              --tracker stamps[-BACKEND]; overrides --tracker."
+             (String.concat ", " (Backend.keys ()))))
 
 let tracker_conv =
   Arg.conv
@@ -181,14 +218,17 @@ let sampling_of sample_every sample_prob =
   | Some _, Some _ ->
       Error (`Msg "--sample-every and --sample-prob are mutually exclusive")
 
-let simulate tracker workload seed n_ops no_oracle trace_file metrics_out
-    check_invariants sample_every sample_prob violation_out =
+let simulate tracker backend workload seed n_ops no_oracle trace_file
+    metrics_out check_invariants sample_every sample_prob violation_out =
+  let tracker_or_err =
+    match backend with None -> Ok tracker | Some key -> tracker_for_backend key
+  in
   let ops_or_err = load_ops ~workload ~seed ~n_ops trace_file in
-  match (ops_or_err, sampling_of sample_every sample_prob) with
-  | Error (`Msg m), _ | _, Error (`Msg m) ->
+  match (tracker_or_err, ops_or_err, sampling_of sample_every sample_prob) with
+  | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
       Format.eprintf "error: %s@." m;
       exit 1
-  | Ok ops, Ok sampling ->
+  | Ok tracker, Ok ops, Ok sampling ->
       with_metrics_sink metrics_out (fun sink ->
           try
             let registry = Vstamp_obs.Registry.create () in
@@ -223,9 +263,7 @@ let simulate_cmd =
       value
       & opt tracker_conv Tracker.stamps
       & info [ "t"; "tracker" ] ~docv:"TRACKER"
-          ~doc:
-            "Mechanism: stamps, stamps-list, stamps-noreduce, vv, dvv, \
-             plausible-<slots>, oracle")
+          ~doc:("Mechanism: " ^ String.concat ", " (tracker_names ())))
   in
   let workload =
     Arg.(
@@ -303,8 +341,8 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Run a workload over a tracking mechanism and report size/accuracy")
     Term.(
-      const simulate $ tracker $ workload $ seed $ n_ops $ no_oracle
-      $ trace_file $ metrics_out $ check_invariants $ sample_every
+      const simulate $ tracker $ backend_arg $ workload $ seed $ n_ops
+      $ no_oracle $ trace_file $ metrics_out $ check_invariants $ sample_every
       $ sample_prob $ violation_out)
 
 (* --- compare --- *)
@@ -1219,8 +1257,16 @@ let soak_checkpoint ~history ~registry ~srv ~sink ~t0 ~iteration ~final =
   in
   Vstamp_obs.Bench_store.append ~file:history j
 
-let soak port addr duration iterations n_ops seed sample_every sample_prob
-    checkpoint_every history events_out port_file quiet =
+let soak port addr duration iterations n_ops seed backend sample_every
+    sample_prob checkpoint_every history events_out port_file quiet =
+  let tracker =
+    match backend with
+    | None -> Tracker.stamps
+    | Some key -> (
+        match tracker_for_backend key with
+        | Ok t -> t
+        | Error (`Msg m) -> die "%s" m)
+  in
   let sampling =
     match (sampling_of sample_every sample_prob, sample_every, sample_prob) with
     | Error (`Msg m), _, _ -> die "%s" m
@@ -1287,7 +1333,7 @@ let soak port addr duration iterations n_ops seed sample_every sample_prob
              ignore
                (System.run ~with_oracle:false ~registry ~sink
                   ~check_invariants:true ~sampling ~sample_seed:(seed + i)
-                  Tracker.stamps ops
+                  tracker ops
                  : System.result)
            with System.Invariant_violation _ ->
              Vstamp_obs.Metric.inc sim_failures);
@@ -1410,10 +1456,11 @@ let soak_cmd =
           ~doc:"Write the bound port to FILE (for scripts with --port 0)")
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No chatter") in
-  let wrap port addr duration iterations n_ops seed sample_every sample_prob
-      checkpoint_every history no_history events_out port_file quiet =
-    soak port addr duration iterations n_ops seed sample_every sample_prob
-      checkpoint_every
+  let wrap port addr duration iterations n_ops seed backend sample_every
+      sample_prob checkpoint_every history no_history events_out port_file
+      quiet =
+    soak port addr duration iterations n_ops seed backend sample_every
+      sample_prob checkpoint_every
       (if no_history then None else history)
       events_out port_file quiet
   in
@@ -1428,8 +1475,8 @@ let soak_cmd =
           ledger")
     Term.(
       const wrap $ port $ addr $ duration $ iterations $ n_ops $ seed
-      $ sample_every $ sample_prob $ checkpoint_every $ history $ no_history
-      $ events_out $ port_file $ quiet)
+      $ backend_arg $ sample_every $ sample_prob $ checkpoint_every $ history
+      $ no_history $ events_out $ port_file $ quiet)
 
 (* --- top --- *)
 

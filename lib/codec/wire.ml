@@ -8,93 +8,151 @@ let pp_error ppf = function
   | Truncated -> Format.pp_print_string ppf "truncated input"
   | Malformed what -> Format.fprintf ppf "malformed input: %s" what
 
-(* Name tries are prefix-free self-delimiting:
+(* Names serialize through a local canonical trie, rebuilt from the
+   member list of whichever backend the functor is applied to:
      1        -> Node, followed by the left then right subtree
      0 0      -> Empty
      0 1      -> Mark
-   This is the canonical-form advantage of the trie representation: the
-   encoding is one-to-one with antichains and costs 2 bits per leaf and
-   1 per interior node. *)
-let rec write_name w (n : Name_tree.t) =
-  match n with
-  | Name_tree.Empty ->
+   The trie of an antichain is unique (it is the prefix tree of the
+   members with no [Node (Empty, Empty)]), so the encoding is one-to-one
+   with antichains regardless of the in-memory representation: two
+   backends holding the same name produce byte-identical output, and the
+   bytes match the historical format (which wrote {!Name_tree}'s
+   structure directly — that structure {e is} this trie). *)
+
+type trie = Empty | Mark | Node of trie * trie
+
+(* Members must be an antichain; epsilon can then only appear alone. *)
+let rec trie_of_members = function
+  | [] -> Empty
+  | [ s ] when Bits.is_epsilon s -> Mark
+  | members ->
+      let zeros, ones =
+        List.fold_left
+          (fun (zs, os) s ->
+            match Bits.uncons s with
+            | Some (Bits.Zero, rest) -> (rest :: zs, os)
+            | Some (Bits.One, rest) -> (zs, rest :: os)
+            | None -> (zs, os))
+          ([], []) members
+      in
+      Node (trie_of_members (List.rev zeros), trie_of_members (List.rev ones))
+
+let rec members_of_trie path acc = function
+  | Empty -> acc
+  | Mark -> Bits.of_digits (List.rev path) :: acc
+  | Node (l, r) ->
+      let acc = members_of_trie (Bits.Zero :: path) acc l in
+      members_of_trie (Bits.One :: path) acc r
+
+let rec write_trie w = function
+  | Empty ->
       Bitio.Writer.bit w false;
       Bitio.Writer.bit w false
-  | Name_tree.Mark ->
+  | Mark ->
       Bitio.Writer.bit w false;
       Bitio.Writer.bit w true
-  | Name_tree.Node (l, r) ->
+  | Node (l, r) ->
       Bitio.Writer.bit w true;
-      write_name w l;
-      write_name w r
+      write_trie w l;
+      write_trie w r
 
-let rec read_name r =
+let rec read_trie r =
   if Bitio.Reader.bit r then begin
-    let l = read_name r in
-    let right = read_name r in
-    if l = Name_tree.Empty && right = Name_tree.Empty then
-      failwith "node with two empty children"
-    else Name_tree.Node (l, right)
+    let l = read_trie r in
+    let right = read_trie r in
+    if l = Empty && right = Empty then failwith "node with two empty children"
+    else Node (l, right)
   end
-  else if Bitio.Reader.bit r then Name_tree.Mark
-  else Name_tree.Empty
+  else if Bitio.Reader.bit r then Mark
+  else Empty
 
-let name_to_string n =
-  let w = Bitio.Writer.create () in
-  write_name w n;
-  Bitio.Writer.contents w
+module type CODEC = sig
+  type name
 
-let name_bits n =
-  let w = Bitio.Writer.create () in
-  write_name w n;
-  Bitio.Writer.bit_length w
+  type stamp
 
-let name_of_string s =
-  match
-    let r = Bitio.Reader.of_string s in
-    read_name r
-  with
-  | n when Name_tree.well_formed n -> Ok n
-  | _ -> Error (Malformed "ill-formed name")
-  | exception Bitio.Truncated -> Error Truncated
-  | exception Failure _ -> Error (Malformed "node with two empty children")
+  val name_to_string : name -> string
 
-let write_stamp w s =
-  write_name w (Stamp.update_name s);
-  write_name w (Stamp.id s)
+  val name_of_string : string -> (name, error) result
 
-let read_stamp r =
-  let u = read_name r in
-  let i = read_name r in
-  (u, i)
+  val name_bits : name -> int
 
-let stamp_to_string s =
-  let w = Bitio.Writer.create () in
-  write_stamp w s;
-  let bytes = Bitio.Writer.contents w in
-  if !Instr.enabled then Instr.note_wire_encode ~bytes:(String.length bytes);
-  bytes
+  val stamp_to_string : stamp -> string
 
-let stamp_bits s =
-  let w = Bitio.Writer.create () in
-  write_stamp w s;
-  Bitio.Writer.bit_length w
+  val stamp_of_string : ?validate:bool -> string -> (stamp, error) result
 
-let stamp_of_string ?(validate = true) data =
-  match
-    let r = Bitio.Reader.of_string data in
-    read_stamp r
-  with
-  | exception Bitio.Truncated -> Error Truncated
-  | exception Failure _ -> Error (Malformed "node with two empty children")
-  | u, i ->
-      let s = Stamp.make_unchecked ~update:u ~id:i in
-      if (not validate) || Stamp.well_formed s then begin
-        if !Instr.enabled then
-          Instr.note_wire_decode ~bytes:(String.length data);
-        Ok s
-      end
-      else Error (Malformed "update component not dominated by id (I1)")
+  val stamp_bits : stamp -> int
+end
+
+module Make (B : Backend.S) = struct
+  type name = B.Name.t
+
+  type stamp = B.Stamp.t
+
+  let write_name w n = write_trie w (trie_of_members (B.Name.to_list n))
+
+  let read_name r = B.Name.of_list (members_of_trie [] [] (read_trie r))
+
+  let name_to_string n =
+    let w = Bitio.Writer.create () in
+    write_name w n;
+    Bitio.Writer.contents w
+
+  let name_bits n =
+    let w = Bitio.Writer.create () in
+    write_name w n;
+    Bitio.Writer.bit_length w
+
+  let name_of_string s =
+    match
+      let r = Bitio.Reader.of_string s in
+      read_name r
+    with
+    | n when B.Name.well_formed n -> Ok n
+    | _ -> Error (Malformed "ill-formed name")
+    | exception Bitio.Truncated -> Error Truncated
+    | exception Failure _ -> Error (Malformed "node with two empty children")
+
+  let write_stamp w s =
+    write_name w (B.Stamp.update_name s);
+    write_name w (B.Stamp.id s)
+
+  let read_stamp r =
+    let u = read_name r in
+    let i = read_name r in
+    (u, i)
+
+  let stamp_to_string s =
+    let w = Bitio.Writer.create () in
+    write_stamp w s;
+    let bytes = Bitio.Writer.contents w in
+    if !Instr.enabled then Instr.note_wire_encode ~bytes:(String.length bytes);
+    bytes
+
+  let stamp_bits s =
+    let w = Bitio.Writer.create () in
+    write_stamp w s;
+    Bitio.Writer.bit_length w
+
+  let stamp_of_string ?(validate = true) data =
+    match
+      let r = Bitio.Reader.of_string data in
+      read_stamp r
+    with
+    | exception Bitio.Truncated -> Error Truncated
+    | exception Failure _ -> Error (Malformed "node with two empty children")
+    | u, i ->
+        let s = B.Stamp.make_unchecked ~update:u ~id:i in
+        if (not validate) || B.Stamp.well_formed s then begin
+          if !Instr.enabled then
+            Instr.note_wire_decode ~bytes:(String.length data);
+          Ok s
+        end
+        else Error (Malformed "update component not dominated by id (I1)")
+end
+
+include Make (Backend.Over_tree)
 
 (* Version vectors on the wire: entry count, then (id, counter) varint
    pairs.  Used by the E7 size comparison. *)

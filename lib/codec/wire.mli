@@ -6,7 +6,13 @@
     the identity and re-encoding a decoded value is byte-identical.
     A stamp is its two names back to back.  Version vectors serialize as
     varint (id, counter) pairs for the size comparison of experiment
-    E7. *)
+    E7.
+
+    The codec is generic in the name backend: {!Make} builds it for any
+    registered {!Vstamp_core.Backend.S}, and because the trie is derived
+    from the {e antichain} (not the in-memory shape), two backends
+    holding the same name produce byte-identical output.  The top-level
+    functions are {!Make} applied to the default tree backend. *)
 
 type error =
   | Truncated  (** Input ended mid-value. *)
@@ -14,24 +20,40 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-(** {1 Names} *)
+(** Output signature of {!Make}. *)
+module type CODEC = sig
+  type name
 
-val name_to_string : Vstamp_core.Name_tree.t -> string
+  type stamp
 
-val name_of_string : string -> (Vstamp_core.Name_tree.t, error) result
+  (** {1 Names} *)
 
-val name_bits : Vstamp_core.Name_tree.t -> int
-(** Exact encoded size in bits (before byte padding). *)
+  val name_to_string : name -> string
 
-(** {1 Stamps} *)
+  val name_of_string : string -> (name, error) result
 
-val stamp_to_string : Vstamp_core.Stamp.t -> string
+  val name_bits : name -> int
+  (** Exact encoded size in bits (before byte padding). *)
 
-val stamp_of_string :
-  ?validate:bool -> string -> (Vstamp_core.Stamp.t, error) result
-(** [validate] (default [true]) rejects stamps violating invariant I1. *)
+  (** {1 Stamps} *)
 
-val stamp_bits : Vstamp_core.Stamp.t -> int
+  val stamp_to_string : stamp -> string
+
+  val stamp_of_string : ?validate:bool -> string -> (stamp, error) result
+  (** [validate] (default [true]) rejects stamps violating invariant I1. *)
+
+  val stamp_bits : stamp -> int
+end
+
+module Make (B : Vstamp_core.Backend.S) :
+  CODEC with type name = B.Name.t and type stamp = B.Stamp.t
+(** The wire codec over any name backend. *)
+
+include
+  CODEC
+    with type name = Vstamp_core.Stamp.name
+     and type stamp = Vstamp_core.Stamp.t
+(** The default-backend codec. *)
 
 (** {1 Version vectors} *)
 

@@ -1,0 +1,66 @@
+(** First-class registry of name backends.
+
+    A {e backend} bundles one {{!Name_intf.S} name implementation} with
+    the {{!Stamp.S} stamp structure} built over it.  Layers above the
+    core (codec, simulator trackers, KV store, CRDTs, CLI) are functors
+    over this signature or consult the registry at run time, instead of
+    pinning a concrete name module.
+
+    Three backends register themselves when the library is linked:
+
+    - ["tree"] — {!Name_tree}, plain binary tries (the default);
+    - ["list"] — {!Name}, sorted lists (the executable specification);
+    - ["packed"] — {!Name_packed}, hash-consed tries with memoized
+      operations (fastest on deep, shared structure).
+
+    Register additional implementations with {!register}, typically by
+    applying {!Of_name}. *)
+
+module type S = sig
+  module Name : Name_intf.S
+
+  module Stamp : Stamp.S with type name = Name.t
+end
+
+(** {1 Registry} *)
+
+type entry = { key : string; doc : string; impl : (module S) }
+
+val register : key:string -> ?doc:string -> (module S) -> unit
+(** Add a backend under a stable key.
+    @raise Invalid_argument if the key is already taken. *)
+
+val find : string -> (module S) option
+
+val get : string -> (module S)
+(** @raise Invalid_argument on unknown keys, listing the valid set. *)
+
+val find_entry : string -> entry option
+
+val keys : unit -> string list
+(** Registered keys, sorted. *)
+
+val entries : unit -> entry list
+(** Registered entries in key order. *)
+
+val default_key : string
+(** ["tree"]. *)
+
+val default : (module S)
+
+(** {1 The in-tree backends} *)
+
+module Over_tree : S with module Name = Name_tree and module Stamp = Stamp.Over_tree
+
+module Over_list : S with module Name = Name and module Stamp = Stamp.Over_list
+
+module Over_packed :
+  S with module Name = Name_packed and module Stamp = Stamp.Over_packed
+
+(** {1 Building new backends} *)
+
+module Of_name (N : Name_intf.S) :
+  S with module Name = N and type Stamp.t = Stamp.Make(N).t
+(** Wrap any name implementation into a backend by applying
+    {!Stamp.Make}; pass the result to {!register} to make it reachable
+    from the CLI and smoke tooling. *)

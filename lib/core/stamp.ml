@@ -204,5 +204,9 @@ module Over_list = Make (Name)
 module Over_tree = Make (Name_tree)
 (** Stamps over the trie name representation (the fast path). *)
 
+module Over_packed = Make (Name_packed)
+(** Stamps over the hash-consed trie representation (the memoized fast
+    path; see {!Name_packed}). *)
+
 include Over_tree
 (** The default stamp implementation is the trie-backed one. *)

@@ -163,5 +163,9 @@ module Over_list : S with type name = Name.t
 module Over_tree : S with type name = Name_tree.t
 (** Stamps over {!Name_tree} (binary tries) — the fast path. *)
 
+module Over_packed : S with type name = Name_packed.t
+(** Stamps over {!Name_packed} (hash-consed tries with memoized
+    operations) — the packed backend. *)
+
 include S with type name = Name_tree.t and type t = Over_tree.t
 (** The default implementation is {!Over_tree}. *)

@@ -1,0 +1,84 @@
+open Vstamp_core
+
+module Make (S : Stamp.S) = struct
+  module R = Vstamp_crdt.Mv_register.Make (S)
+  module Smap = Map.Make (String)
+
+  type t = string R.t Smap.t
+
+  let empty : t = Smap.empty
+
+  let keys t = List.map fst (Smap.bindings t)
+
+  let mem t key = Smap.mem key t
+
+  let get t key =
+    match Smap.find_opt key t with None -> [] | Some r -> R.read r
+
+  let stamp t key =
+    Option.map R.stamp (Smap.find_opt key t)
+
+  let put t ~key value =
+    let r =
+      match Smap.find_opt key t with
+      | Some r -> R.write r value
+      | None -> R.create value
+    in
+    Smap.add key r t
+
+  let remove t key = Smap.remove key t
+
+  let resolve t ~key ~value =
+    match Smap.find_opt key t with
+    | None -> put t ~key value
+    | Some r -> Smap.add key (R.resolve r ~value) t
+
+  let conflict t key =
+    match Smap.find_opt key t with
+    | Some r -> R.is_conflicted r
+    | None -> false
+
+  let sync a b =
+    let all_keys =
+      List.sort_uniq String.compare (keys a @ keys b)
+    in
+    List.fold_left
+      (fun (a, b) key ->
+        match (Smap.find_opt key a, Smap.find_opt key b) with
+        | None, None -> (a, b)
+        | Some r, None ->
+            let mine, theirs = R.fork r in
+            (Smap.add key mine a, Smap.add key theirs b)
+        | None, Some r ->
+            let theirs, mine = R.fork r in
+            (Smap.add key mine a, Smap.add key theirs b)
+        | Some ra, Some rb ->
+            let ra, rb = R.sync ra rb in
+            (Smap.add key ra a, Smap.add key rb b))
+      (a, b) all_keys
+
+  let converged a b =
+    List.for_all
+      (fun key ->
+        match (Smap.find_opt key a, Smap.find_opt key b) with
+        | Some ra, Some rb ->
+            List.sort compare (R.read ra) = List.sort compare (R.read rb)
+        | _ -> false)
+      (List.sort_uniq String.compare (keys a @ keys b))
+
+  let size_bits t =
+    Smap.fold (fun _ r acc -> acc + S.size_bits (R.stamp r)) t 0
+
+  let pp ppf t =
+    Format.pp_print_list
+      ~pp_sep:Format.pp_print_space
+      (fun ppf (key, r) ->
+        Format.fprintf ppf "%s=%a" key (R.pp Format.pp_print_string) r)
+      ppf (Smap.bindings t)
+end
+
+module Over_tree = Make (Stamp.Over_tree)
+module Over_list = Make (Stamp.Over_list)
+module Over_packed = Make (Stamp.Over_packed)
+
+include Over_tree

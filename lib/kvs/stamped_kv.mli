@@ -1,0 +1,70 @@
+(** A peer-to-peer key-value replica tracked by version stamps.
+
+    The stamp-based counterpart of {!Kv_node}: where [Kv_node] models
+    the data-center architecture (fixed server ids, dotted version
+    vectors, tombstoned deletes), this store models the {e ad-hoc} side
+    of the identity question — any replica can be copied anywhere, with
+    no id service, because every key is a stamped multi-value register
+    ({!Vstamp_crdt.Mv_register}) whose identity forks locally.
+
+    Caveats that follow from the model: keys created independently on
+    two replicas share no causal context, so their first sync reports a
+    conflict even for equal values; and {!remove} is a local forget with
+    no tombstone — a peer that still holds the key re-introduces it on
+    the next sync.
+
+    Generic in the stamp backend via {!Make}; the top level is the
+    default (tree) instantiation. *)
+
+module Make (S : Vstamp_core.Stamp.S) : sig
+  type t
+  (** One replica of the store.  Immutable. *)
+
+  val empty : t
+
+  val keys : t -> string list
+  (** Sorted. *)
+
+  val mem : t -> string -> bool
+
+  val get : t -> string -> string list
+  (** Current candidate values: [[]] for unknown keys, a singleton when
+      there is no unresolved conflict. *)
+
+  val stamp : t -> string -> S.t option
+  (** The version stamp tracking one key, if present. *)
+
+  val put : t -> key:string -> string -> t
+  (** Local write; first write of a key seeds a fresh register. *)
+
+  val remove : t -> string -> t
+  (** Local forget (no tombstone; see the module preamble). *)
+
+  val resolve : t -> key:string -> value:string -> t
+  (** Settle a conflict: the chosen value becomes a new write. *)
+
+  val conflict : t -> string -> bool
+  (** Multiple concurrent candidates currently stored for the key. *)
+
+  val sync : t -> t -> t * t
+  (** Pairwise anti-entropy over the union of the two replicas' keys;
+    keys held by one side only are replicated to the other (both
+    continuing the same forked lineage). *)
+
+  val converged : t -> t -> bool
+  (** Same keys, same candidate value sets. *)
+
+  val size_bits : t -> int
+  (** Total causality metadata across all keys. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Over_tree : module type of Make (Vstamp_core.Stamp.Over_tree)
+
+module Over_list : module type of Make (Vstamp_core.Stamp.Over_list)
+
+module Over_packed : module type of Make (Vstamp_core.Stamp.Over_packed)
+
+include module type of Over_tree
+(** The default (tree-backed) instantiation. *)

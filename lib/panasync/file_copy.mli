@@ -14,74 +14,84 @@
     therefore also carries a {e lineage tag} (a digest of path and
     initial content, computable offline): {!relation} answers
     [Concurrent] across lineages unconditionally, and {!resolve} unifies
-    the lineages of a settled conflict. *)
+    the lineages of a settled conflict.
 
-type t
+    Generic in the stamp backend via {!Make}; the top level is the
+    default (tree) instantiation. *)
 
-val create : path:string -> content:string -> t
-(** A brand-new logical file: seed stamp, already marked updated (its
-    creation is an event), lineage derived from path and content. *)
+module Make (St : Vstamp_core.Stamp.S) : sig
+  type t
 
-val restore :
-  path:string ->
-  content:string ->
-  stamp:Vstamp_core.Stamp.t ->
-  lineage:string ->
-  t
-(** Rebuild a copy from persisted parts (see {!Fs_store}).
-    @raise Invalid_argument if the stamp is ill-formed. *)
+  val create : path:string -> content:string -> t
+  (** A brand-new logical file: seed stamp, already marked updated (its
+      creation is an event), lineage derived from path and content. *)
 
-val lineage_of : path:string -> content:string -> string
-(** The tag {!create} derives. *)
+  val restore :
+    path:string -> content:string -> stamp:St.t -> lineage:string -> t
+  (** Rebuild a copy from persisted parts (see {!Fs_store}).
+      @raise Invalid_argument if the stamp is ill-formed. *)
 
-val path : t -> string
+  val lineage_of : path:string -> content:string -> string
+  (** The tag {!create} derives. *)
 
-val content : t -> string
+  val path : t -> string
 
-val stamp : t -> Vstamp_core.Stamp.t
+  val content : t -> string
 
-val lineage : t -> string
+  val stamp : t -> St.t
 
-val same_lineage : t -> t -> bool
+  val lineage : t -> string
 
-val edit : t -> content:string -> t
-(** Replace content, recording an update.  Editing to identical content
-    is a no-op. *)
+  val same_lineage : t -> t -> bool
 
-val touch : t -> t
-(** Record an update without changing content. *)
+  val edit : t -> content:string -> t
+  (** Replace content, recording an update.  Editing to identical content
+      is a no-op. *)
 
-val replicate : t -> t * t
-(** Fork: the copy and its new replica, distinguishable forever after —
-    created without any coordination. *)
+  val touch : t -> t
+  (** Record an update without changing content. *)
 
-val relation : t -> t -> Vstamp_core.Relation.t
-(** How two copies of the same logical file relate; [Concurrent] across
-    lineages.  @raise Invalid_argument if the paths differ. *)
+  val replicate : t -> t * t
+  (** Fork: the copy and its new replica, distinguishable forever after —
+      created without any coordination. *)
 
-val in_conflict : t -> t -> bool
-(** Both copies carry updates the other has not seen (or they belong to
-    unrelated lineages). *)
+  val relation : t -> t -> Vstamp_core.Relation.t
+  (** How two copies of the same logical file relate; [Concurrent] across
+      lineages.  @raise Invalid_argument if the paths differ. *)
 
-val resolve : t -> t -> content:string -> t * t
-(** Settle a conflict on [content]: stamps join, the resolution is
-    recorded as a fresh update and both survivors re-fork.  Across
-    lineages the stamps restart from a fresh seed under a brand-new
-    lineage tag (a symmetric digest of both old tags and the content),
-    so the survivors are never mis-compared against either old lineage.  The input copies are retired
-    by this operation: stamps order only {e coexisting} copies, so
-    comparing a survivor against a retired input is meaningless
-    (survivors do correctly dominate every still-live stale copy of the
-    same lineage).
-    @raise Invalid_argument if the paths differ. *)
+  val in_conflict : t -> t -> bool
+  (** Both copies carry updates the other has not seen (or they belong to
+      unrelated lineages). *)
 
-val propagate : from:t -> into:t -> t * t
-(** Bring a stale copy up to date with the dominant one; afterwards the
-    copies are equivalent but keep distinct identities.
-    @raise Invalid_argument if the paths differ or the lineages are
-    unrelated. *)
+  val resolve : t -> t -> content:string -> t * t
+  (** Settle a conflict on [content]: stamps join, the resolution is
+      recorded as a fresh update and both survivors re-fork.  Across
+      lineages the stamps restart from a fresh seed under a brand-new
+      lineage tag (a symmetric digest of both old tags and the content),
+      so the survivors are never mis-compared against either old lineage.  The input copies are retired
+      by this operation: stamps order only {e coexisting} copies, so
+      comparing a survivor against a retired input is meaningless
+      (survivors do correctly dominate every still-live stale copy of the
+      same lineage).
+      @raise Invalid_argument if the paths differ. *)
 
-val size_bits : t -> int
-(** Tracking overhead of this copy. *)
+  val propagate : from:t -> into:t -> t * t
+  (** Bring a stale copy up to date with the dominant one; afterwards the
+      copies are equivalent but keep distinct identities.
+      @raise Invalid_argument if the paths differ or the lineages are
+      unrelated. *)
 
-val pp : Format.formatter -> t -> unit
+  val size_bits : t -> int
+  (** Tracking overhead of this copy. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Over_tree : module type of Make (Vstamp_core.Stamp.Over_tree)
+
+module Over_list : module type of Make (Vstamp_core.Stamp.Over_list)
+
+module Over_packed : module type of Make (Vstamp_core.Stamp.Over_packed)
+
+include module type of Over_tree with type t = Over_tree.t
+(** The default (tree-backed) instantiation. *)

@@ -3,38 +3,67 @@
     A store models a laptop, phone or server holding copies of replicated
     files.  Stores never talk to a central service: files appear by local
     creation ({!add_new}) or by receiving a replica during a
-    {!Sync.session}. *)
+    {!Sync.session}.
 
-type t
+    Generic in the file-copy implementation (and hence the stamp
+    backend) via {!Make}; the top level is the default (tree)
+    instantiation, whose [file] type is {!File_copy.t}. *)
 
-val create : name:string -> t
+module Make (F : sig
+  type t
 
-val name : t -> string
+  val create : path:string -> content:string -> t
 
-val paths : t -> string list
-(** Sorted logical paths present in this store. *)
+  val edit : t -> content:string -> t
 
-val find : t -> string -> File_copy.t option
+  val path : t -> string
 
-val file_count : t -> int
+  val size_bits : t -> int
 
-val mem : t -> string -> bool
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  type file = F.t
 
-val add_new : t -> path:string -> content:string -> t
-(** Create a brand-new logical file on this device.
-    @raise Invalid_argument if the path already exists here. *)
+  type t
 
-val edit : t -> path:string -> content:string -> t
-(** @raise Invalid_argument if the path is absent. *)
+  val create : name:string -> t
 
-val remove : t -> path:string -> t
+  val name : t -> string
 
-val set : t -> File_copy.t -> t
-(** Insert or replace the copy at its own path. *)
+  val paths : t -> string list
+  (** Sorted logical paths present in this store. *)
 
-val fold : (File_copy.t -> 'a -> 'a) -> t -> 'a -> 'a
+  val find : t -> string -> file option
 
-val total_tracking_bits : t -> int
-(** Total stamp overhead across the store. *)
+  val file_count : t -> int
 
-val pp : Format.formatter -> t -> unit
+  val mem : t -> string -> bool
+
+  val add_new : t -> path:string -> content:string -> t
+  (** Create a brand-new logical file on this device.
+      @raise Invalid_argument if the path already exists here. *)
+
+  val edit : t -> path:string -> content:string -> t
+  (** @raise Invalid_argument if the path is absent. *)
+
+  val remove : t -> path:string -> t
+
+  val set : t -> file -> t
+  (** Insert or replace the copy at its own path. *)
+
+  val fold : (file -> 'a -> 'a) -> t -> 'a -> 'a
+
+  val total_tracking_bits : t -> int
+  (** Total stamp overhead across the store. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Over_tree : module type of Make (File_copy.Over_tree)
+
+module Over_list : module type of Make (File_copy.Over_list)
+
+module Over_packed : module type of Make (File_copy.Over_packed)
+
+include module type of Over_tree with type t = Over_tree.t
+(** The default (tree-backed) instantiation. *)

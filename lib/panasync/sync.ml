@@ -3,7 +3,8 @@ open Vstamp_core
 (* Optional live instrumentation, off by default (mirrors
    Kv_node.Obs): when attached, every session, reconciled file and
    propagated byte counts into a registry for the embedded telemetry
-   server to expose. *)
+   server to expose.  The counters are shared by every instantiation of
+   {!Make}, whichever backend it runs over. *)
 module Obs = struct
   module R = Vstamp_obs.Registry
   module M = Vstamp_obs.Metric
@@ -83,163 +84,184 @@ let outcome_slug = function
   | Resolved -> "resolved"
   | Conflict -> "conflict"
 
-(* Content bytes a reconciliation moved between the devices: the
-   propagated or resolved payload; nothing for equivalent copies or a
-   conflict left standing. *)
-let moved_bytes outcome l r =
-  match outcome with
-  | Propagated_left_to_right -> String.length (File_copy.content l)
-  | Propagated_right_to_left -> String.length (File_copy.content r)
-  | Resolved -> String.length (File_copy.content l)
-  | Created | Unchanged | Conflict -> 0
+let conflicts reports = List.filter (fun r -> r.outcome = Conflict) reports
 
-let observe_report outcome l r =
-  Obs.on (fun c ->
-      Vstamp_obs.Metric.inc (c.Obs.files (outcome_slug outcome));
-      (match moved_bytes outcome l r with
-      | 0 -> ()
-      | n -> Vstamp_obs.Metric.add c.Obs.bytes n);
-      if outcome = Conflict then Vstamp_obs.Metric.inc c.Obs.conflicts)
+module Make (F : sig
+  type t
 
-let sync_file_raw policy left right =
-  match File_copy.relation left right with
-  | Relation.Equal
-    when not (String.equal (File_copy.content left) (File_copy.content right))
-    -> (
-      (* Equivalent stamps with different content can only mean the two
-         copies were created independently (separate seed lineages share
-         no causal context), so this is a genuine conflict even though
-         the stamps cannot see it. *)
-      let resolve content =
-        let l, r = File_copy.resolve left right ~content in
-        ( l,
-          r,
-          { path = File_copy.path left; relation = Some Equal; outcome = Resolved }
-        )
-      in
-      match policy with
-      | Manual ->
-          ( left,
-            right,
-            {
-              path = File_copy.path left;
-              relation = Some Equal;
-              outcome = Conflict;
-            } )
-      | Prefer_left -> resolve (File_copy.content left)
-      | Prefer_right -> resolve (File_copy.content right)
-      | Merge f ->
-          resolve
-            (f ~left:(File_copy.content left) ~right:(File_copy.content right)))
-  | Relation.Equal ->
-      (left, right, { path = File_copy.path left; relation = Some Equal; outcome = Unchanged })
-  | Relation.Dominates ->
-      let l, r = File_copy.propagate ~from:left ~into:right in
-      ( l,
-        r,
-        {
-          path = File_copy.path left;
-          relation = Some Dominates;
-          outcome = Propagated_left_to_right;
-        } )
-  | Relation.Dominated ->
-      let r, l = File_copy.propagate ~from:right ~into:left in
-      ( l,
-        r,
-        {
-          path = File_copy.path left;
-          relation = Some Dominated;
-          outcome = Propagated_right_to_left;
-        } )
-  | Relation.Concurrent
-    when String.equal (File_copy.content left) (File_copy.content right) ->
-      (* concurrent histories (possibly unrelated lineages) but identical
-         contents: observationally nothing to reconcile *)
-      ( left,
-        right,
-        {
-          path = File_copy.path left;
-          relation = Some Concurrent;
-          outcome = Unchanged;
-        } )
-  | Relation.Concurrent -> (
-      let resolve content =
-        let l, r = File_copy.resolve left right ~content in
+  val path : t -> string
+
+  val content : t -> string
+
+  val relation : t -> t -> Relation.t
+
+  val resolve : t -> t -> content:string -> t * t
+
+  val propagate : from:t -> into:t -> t * t
+
+  val replicate : t -> t * t
+end) (St : sig
+  type t
+
+  val paths : t -> string list
+
+  val find : t -> string -> F.t option
+
+  val set : t -> F.t -> t
+end) =
+struct
+  (* Content bytes a reconciliation moved between the devices: the
+     propagated or resolved payload; nothing for equivalent copies or a
+     conflict left standing. *)
+  let moved_bytes outcome l r =
+    match outcome with
+    | Propagated_left_to_right -> String.length (F.content l)
+    | Propagated_right_to_left -> String.length (F.content r)
+    | Resolved -> String.length (F.content l)
+    | Created | Unchanged | Conflict -> 0
+
+  let observe_report outcome l r =
+    Obs.on (fun c ->
+        Vstamp_obs.Metric.inc (c.Obs.files (outcome_slug outcome));
+        (match moved_bytes outcome l r with
+        | 0 -> ()
+        | n -> Vstamp_obs.Metric.add c.Obs.bytes n);
+        if outcome = Conflict then Vstamp_obs.Metric.inc c.Obs.conflicts)
+
+  let sync_file_raw policy left right =
+    match F.relation left right with
+    | Relation.Equal
+      when not (String.equal (F.content left) (F.content right)) -> (
+        (* Equivalent stamps with different content can only mean the two
+           copies were created independently (separate seed lineages share
+           no causal context), so this is a genuine conflict even though
+           the stamps cannot see it. *)
+        let resolve content =
+          let l, r = F.resolve left right ~content in
+          (l, r, { path = F.path left; relation = Some Equal; outcome = Resolved })
+        in
+        match policy with
+        | Manual ->
+            ( left,
+              right,
+              { path = F.path left; relation = Some Equal; outcome = Conflict }
+            )
+        | Prefer_left -> resolve (F.content left)
+        | Prefer_right -> resolve (F.content right)
+        | Merge f ->
+            resolve (f ~left:(F.content left) ~right:(F.content right)))
+    | Relation.Equal ->
+        ( left,
+          right,
+          { path = F.path left; relation = Some Equal; outcome = Unchanged } )
+    | Relation.Dominates ->
+        let l, r = F.propagate ~from:left ~into:right in
         ( l,
           r,
           {
-            path = File_copy.path left;
-            relation = Some Concurrent;
-            outcome = Resolved;
+            path = F.path left;
+            relation = Some Dominates;
+            outcome = Propagated_left_to_right;
           } )
-      in
-      match policy with
-      | Manual ->
-          ( left,
-            right,
+    | Relation.Dominated ->
+        let r, l = F.propagate ~from:right ~into:left in
+        ( l,
+          r,
+          {
+            path = F.path left;
+            relation = Some Dominated;
+            outcome = Propagated_right_to_left;
+          } )
+    | Relation.Concurrent
+      when String.equal (F.content left) (F.content right) ->
+        (* concurrent histories (possibly unrelated lineages) but identical
+           contents: observationally nothing to reconcile *)
+        ( left,
+          right,
+          {
+            path = F.path left;
+            relation = Some Concurrent;
+            outcome = Unchanged;
+          } )
+    | Relation.Concurrent -> (
+        let resolve content =
+          let l, r = F.resolve left right ~content in
+          ( l,
+            r,
             {
-              path = File_copy.path left;
+              path = F.path left;
               relation = Some Concurrent;
-              outcome = Conflict;
+              outcome = Resolved;
             } )
-      | Prefer_left -> resolve (File_copy.content left)
-      | Prefer_right -> resolve (File_copy.content right)
-      | Merge f ->
-          resolve
-            (f ~left:(File_copy.content left) ~right:(File_copy.content right)))
+        in
+        match policy with
+        | Manual ->
+            ( left,
+              right,
+              {
+                path = F.path left;
+                relation = Some Concurrent;
+                outcome = Conflict;
+              } )
+        | Prefer_left -> resolve (F.content left)
+        | Prefer_right -> resolve (F.content right)
+        | Merge f ->
+            resolve (f ~left:(F.content left) ~right:(F.content right)))
 
-let sync_file policy left right =
-  let l, r, report = sync_file_raw policy left right in
-  observe_report report.outcome l r;
-  (l, r, report)
+  let sync_file policy left right =
+    let l, r, report = sync_file_raw policy left right in
+    observe_report report.outcome l r;
+    (l, r, report)
 
-(* A replica made for the peer: its whole content crosses the wire. *)
-let observe_created copy =
-  Obs.on (fun cs ->
-      Vstamp_obs.Metric.inc (cs.Obs.files "created");
-      Vstamp_obs.Metric.add cs.Obs.bytes
-        (String.length (File_copy.content copy)))
+  (* A replica made for the peer: its whole content crosses the wire. *)
+  let observe_created copy =
+    Obs.on (fun cs ->
+        Vstamp_obs.Metric.inc (cs.Obs.files "created");
+        Vstamp_obs.Metric.add cs.Obs.bytes (String.length (F.content copy)))
 
-let session ?(policy = Manual) left right =
-  Obs.on (fun c -> Vstamp_obs.Metric.inc c.Obs.rounds);
-  let all_paths =
-    List.sort_uniq compare (Store.paths left @ Store.paths right)
-  in
-  List.fold_left
-    (fun (l, r, reports) path ->
-      match (Store.find l path, Store.find r path) with
-      | None, None -> (l, r, reports)
-      | Some c, None ->
-          let mine, theirs = File_copy.replicate c in
-          observe_created c;
-          ( Store.set l mine,
-            Store.set r theirs,
-            { path; relation = None; outcome = Created } :: reports )
-      | None, Some c ->
-          let theirs, mine = File_copy.replicate c in
-          observe_created c;
-          ( Store.set l mine,
-            Store.set r theirs,
-            { path; relation = None; outcome = Created } :: reports )
-      | Some cl, Some cr ->
-          let cl, cr, report = sync_file policy cl cr in
-          (Store.set l cl, Store.set r cr, report :: reports))
-    (left, right, []) all_paths
-  |> fun (l, r, reports) -> (l, r, List.rev reports)
+  let session ?(policy = Manual) left right =
+    Obs.on (fun c -> Vstamp_obs.Metric.inc c.Obs.rounds);
+    let all_paths =
+      List.sort_uniq compare (St.paths left @ St.paths right)
+    in
+    List.fold_left
+      (fun (l, r, reports) path ->
+        match (St.find l path, St.find r path) with
+        | None, None -> (l, r, reports)
+        | Some c, None ->
+            let mine, theirs = F.replicate c in
+            observe_created c;
+            ( St.set l mine,
+              St.set r theirs,
+              { path; relation = None; outcome = Created } :: reports )
+        | None, Some c ->
+            let theirs, mine = F.replicate c in
+            observe_created c;
+            ( St.set l mine,
+              St.set r theirs,
+              { path; relation = None; outcome = Created } :: reports )
+        | Some cl, Some cr ->
+            let cl, cr, report = sync_file policy cl cr in
+            (St.set l cl, St.set r cr, report :: reports))
+      (left, right, []) all_paths
+    |> fun (l, r, reports) -> (l, r, List.rev reports)
 
-let conflicts reports =
-  List.filter (fun r -> r.outcome = Conflict) reports
+  (* Observational convergence: both stores hold every path with equal
+     content.  (Stamp equivalence is deliberately not required: copies of
+     colliding-but-independent lineages stay formally concurrent while
+     being indistinguishable to any reader, and a session on them is a
+     no-op.) *)
+  let converged left right =
+    List.for_all
+      (fun path ->
+        match (St.find left path, St.find right path) with
+        | Some a, Some b -> String.equal (F.content a) (F.content b)
+        | _ -> false)
+      (List.sort_uniq compare (St.paths left @ St.paths right))
+end
 
-(* Observational convergence: both stores hold every path with equal
-   content.  (Stamp equivalence is deliberately not required: copies of
-   colliding-but-independent lineages stay formally concurrent while
-   being indistinguishable to any reader, and a session on them is a
-   no-op.) *)
-let converged left right =
-  List.for_all
-    (fun path ->
-      match (Store.find left path, Store.find right path) with
-      | Some a, Some b ->
-          String.equal (File_copy.content a) (File_copy.content b)
-      | _ -> false)
-    (List.sort_uniq compare (Store.paths left @ Store.paths right))
+module Over_tree = Make (File_copy.Over_tree) (Store.Over_tree)
+module Over_list = Make (File_copy.Over_list) (Store.Over_list)
+module Over_packed = Make (File_copy.Over_packed) (Store.Over_packed)
+
+include Over_tree

@@ -12,7 +12,11 @@
     lineages (see {!File_copy}), so they always compare concurrent and
     surface as conflicts — unless their contents are identical, in which
     case there is observationally nothing to reconcile and the session
-    reports them unchanged. *)
+    reports them unchanged.
+
+    Generic in the file-copy and store implementations (and hence the
+    stamp backend) via {!Make}; the top level is the default (tree)
+    instantiation. *)
 
 type policy =
   | Manual  (** Leave conflicting copies untouched and report them. *)
@@ -40,21 +44,53 @@ val outcome_to_string : outcome -> string
 
 val pp_report : Format.formatter -> report -> unit
 
-val sync_file :
-  policy -> File_copy.t -> File_copy.t -> File_copy.t * File_copy.t * report
-(** Reconcile two copies of one logical file.
-    @raise Invalid_argument if their paths differ. *)
-
-val session :
-  ?policy:policy -> Store.t -> Store.t -> Store.t * Store.t * report list
-(** Synchronize two stores; returns both updated stores and one report
-    per logical path (sorted by path).  Default policy is [Manual]. *)
-
 val conflicts : report list -> report list
 
-val converged : Store.t -> Store.t -> bool
-(** Both stores hold content-identical copies of every logical path
-    (observational convergence; further sessions are no-ops). *)
+module Make (F : sig
+  type t
+
+  val path : t -> string
+
+  val content : t -> string
+
+  val relation : t -> t -> Vstamp_core.Relation.t
+
+  val resolve : t -> t -> content:string -> t * t
+
+  val propagate : from:t -> into:t -> t * t
+
+  val replicate : t -> t * t
+end) (St : sig
+  type t
+
+  val paths : t -> string list
+
+  val find : t -> string -> F.t option
+
+  val set : t -> F.t -> t
+end) : sig
+  val sync_file : policy -> F.t -> F.t -> F.t * F.t * report
+  (** Reconcile two copies of one logical file.
+      @raise Invalid_argument if their paths differ. *)
+
+  val session : ?policy:policy -> St.t -> St.t -> St.t * St.t * report list
+  (** Synchronize two stores; returns both updated stores and one report
+      per logical path (sorted by path).  Default policy is [Manual]. *)
+
+  val converged : St.t -> St.t -> bool
+  (** Both stores hold content-identical copies of every logical path
+      (observational convergence; further sessions are no-ops). *)
+end
+
+module Over_tree : module type of Make (File_copy.Over_tree) (Store.Over_tree)
+
+module Over_list : module type of Make (File_copy.Over_list) (Store.Over_list)
+
+module Over_packed :
+    module type of Make (File_copy.Over_packed) (Store.Over_packed)
+
+include module type of Over_tree
+(** The default (tree-backed) instantiation. *)
 
 (** {1 Live instrumentation}
 
@@ -65,7 +101,8 @@ val converged : Store.t -> Store.t -> bool
     [conflict]), the content bytes that crossed between the devices
     (replicated, propagated or resolved payloads) accumulate in
     [sync_bytes_total], and surfaced conflicts in
-    [sync_conflicts_total]. *)
+    [sync_conflicts_total].  Counters are shared by every instantiation
+    of {!Make}. *)
 module Obs : sig
   val attach : ?registry:Vstamp_obs.Registry.t -> unit -> unit
   (** Start counting into [registry] (default

@@ -83,9 +83,10 @@ module Fig4 = struct
     let g_unreduced = Stamp.join ~reduce:false d1 f1 in
     (* the published rewrite chain: [1|00+01+1] -> [1|0+1] -> [eps|eps] *)
     let mid =
+      let module N = Backend.Over_tree.Name in
       Stamp.make
-        ~update:(Name_tree.of_strings [ "1" ])
-        ~id:(Name_tree.of_strings [ "0"; "1" ])
+        ~update:(N.of_strings [ "1" ])
+        ~id:(N.of_strings [ "0"; "1" ])
     in
     let g = Stamp.join d1 f1 in
     {

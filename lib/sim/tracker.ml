@@ -29,63 +29,78 @@ type packed = Packed : (module S with type t = 'a and type state = 'b) -> packed
 
 let name (Packed (module T)) = T.name
 
-module Stamps : S with type t = Stamp.t and type state = unit = struct
-  type t = Stamp.t
+(* One stamp adapter for every name backend (and both join flavours):
+   the three hand-written copies this replaces differed only in the
+   stamp module and the [reduce] flag. *)
+module Of_stamp (B : sig
+  val name : string
+
+  val reduce : bool
+
+  include Backend.S
+end) : S with type t = B.Stamp.t and type state = unit = struct
+  module I = Invariants.Make (B.Name) (B.Stamp)
+
+  type t = B.Stamp.t
 
   type state = unit
 
+  let name = B.name
+
+  let initial = ((), B.Stamp.seed)
+
+  let update () x = ((), B.Stamp.update x)
+
+  let fork () x = ((), B.Stamp.fork x)
+
+  let join () a b = ((), B.Stamp.join ~reduce:B.reduce a b)
+
+  let leq = B.Stamp.leq
+
+  let size_bits = B.Stamp.size_bits
+
+  let invariants = I.check
+
+  let pp = B.Stamp.pp
+end
+
+(* The tree backend keeps its historical bare name; others are
+   suffixed with their registry key. *)
+let stamp_tracker_name key =
+  if String.equal key Backend.default_key then "stamps" else "stamps-" ^ key
+
+module Stamps = Of_stamp (struct
   let name = "stamps"
 
-  let initial = ((), Stamp.seed)
+  let reduce = true
 
-  let update () x = ((), Stamp.update x)
+  include Backend.Over_tree
+end)
 
-  let fork () x = ((), Stamp.fork x)
-
-  let join () a b = ((), Stamp.join a b)
-
-  let leq = Stamp.leq
-
-  let size_bits = Stamp.size_bits
-
-  let invariants = Invariants.check
-
-  let pp = Stamp.pp
-end
-
-module Stamps_nonreducing : S with type t = Stamp.t and type state = unit =
-struct
-  include Stamps
-
+module Stamps_nonreducing = Of_stamp (struct
   let name = "stamps-noreduce"
 
-  let join () a b = ((), Stamp.join ~reduce:false a b)
-end
+  let reduce = false
 
-module Stamps_list : S with type t = Stamp.Over_list.t and type state = unit =
-struct
-  type t = Stamp.Over_list.t
+  module Name = Name_tree
+  module Stamp = Stamp.Over_tree
+end)
 
-  type state = unit
-
+module Stamps_list = Of_stamp (struct
   let name = "stamps-list"
 
-  let initial = ((), Stamp.Over_list.seed)
+  let reduce = true
 
-  let update () x = ((), Stamp.Over_list.update x)
+  include Backend.Over_list
+end)
 
-  let fork () x = ((), Stamp.Over_list.fork x)
+module Stamps_packed = Of_stamp (struct
+  let name = "stamps-packed"
 
-  let join () a b = ((), Stamp.Over_list.join a b)
+  let reduce = true
 
-  let leq = Stamp.Over_list.leq
-
-  let size_bits = Stamp.Over_list.size_bits
-
-  let invariants = Invariants.Over_list.check
-
-  let pp = Stamp.Over_list.pp
-end
+  include Backend.Over_packed
+end)
 
 module Histories :
   S with type t = Causal_history.t and type state = Causal_history.Gen.t =
@@ -221,6 +236,34 @@ let stamps_nonreducing = Packed (module Stamps_nonreducing)
 
 let stamps_list = Packed (module Stamps_list)
 
+let stamps_packed = Packed (module Stamps_packed)
+
+(* Build a stamp tracker from any backend value, e.g. one freshly pulled
+   out of the registry. *)
+let of_backend ?(reduce = true) ~name b =
+  let module B = (val b : Backend.S) in
+  let module T = Of_stamp (struct
+    let name = name
+
+    let reduce = reduce
+
+    include B
+  end) in
+  Packed (module T)
+
+(* One stamp tracker per registered backend, in registry (key) order.
+   The three in-tree backends resolve to the statically built modules
+   above so their [t] types stay equal to the exposed ones. *)
+let of_registry () =
+  List.map
+    (fun (e : Backend.entry) ->
+      match e.key with
+      | "tree" -> stamps
+      | "list" -> stamps_list
+      | "packed" -> stamps_packed
+      | key -> of_backend ~name:(stamp_tracker_name key) e.impl)
+    (Backend.entries ())
+
 let histories = Packed (module Histories)
 
 let version_vectors = Packed (module Vv)
@@ -233,17 +276,13 @@ let plausible size =
   end) in
   Packed (module P)
 
+(* The sweep set: the default stamp tracker first (its historical
+   position), the non-reducing variant, then the remaining registry
+   backends, then the baselines. *)
 let all =
-  [
-    stamps;
-    stamps_nonreducing;
-    stamps_list;
-    histories;
-    version_vectors;
-    dynamic_vv;
-    plausible 4;
-    plausible 8;
-  ]
+  (stamps :: stamps_nonreducing
+   :: List.filter (fun t -> name t <> "stamps") (of_registry ()))
+  @ [ histories; version_vectors; dynamic_vv; plausible 4; plausible 8 ]
 
 (* Wrap a tracker so every operation (and comparison) is timed into a
    registry histogram — per-mechanism op latency without touching the

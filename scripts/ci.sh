@@ -24,6 +24,9 @@ dune build @trace-smoke --force
 echo "== bench smoke (quick bench -> regression gate pass/fail/refuse) =="
 dune build @bench-smoke --force
 
+echo "== backend smoke (every registered backend end to end) =="
+dune build @backend-smoke --force
+
 echo "== serve smoke (soak server, live scrapes, graceful shutdown) =="
 dune build @serve-smoke --force
 

@@ -135,6 +135,85 @@ let test_wire_stamp_bits_close_to_size () =
         (bits <= (4 * (Stamp.size_bits s + 4)) && bits >= 4))
     stamps
 
+(* --- Wire: backend genericity --- *)
+
+module Wire_list = Wire.Make (Backend.Over_list)
+module Wire_packed = Wire.Make (Backend.Over_packed)
+
+let as_list_stamp s =
+  Stamp.Over_list.make_unchecked
+    ~update:(Name.of_list (Name_tree.to_list (Stamp.update_name s)))
+    ~id:(Name.of_list (Name_tree.to_list (Stamp.id s)))
+
+let as_packed_stamp s =
+  Stamp.Over_packed.make_unchecked
+    ~update:(Name_packed.of_list (Name_tree.to_list (Stamp.update_name s)))
+    ~id:(Name_packed.of_list (Name_tree.to_list (Stamp.id s)))
+
+(* regression for the codec/backend coupling: the wire bytes are a
+   function of the antichain, never of the in-memory representation *)
+let test_wire_backend_byte_identity () =
+  List.iter
+    (fun s ->
+      let tree_bytes = Wire.stamp_to_string s in
+      Alcotest.(check string)
+        ("list bytes for " ^ Stamp.to_string s)
+        tree_bytes
+        (Wire_list.stamp_to_string (as_list_stamp s));
+      Alcotest.(check string)
+        ("packed bytes for " ^ Stamp.to_string s)
+        tree_bytes
+        (Wire_packed.stamp_to_string (as_packed_stamp s)))
+    stamps
+
+let test_wire_list_stamp_roundtrip () =
+  List.iter
+    (fun s ->
+      let l = as_list_stamp s in
+      let bytes = Wire_list.stamp_to_string l in
+      match Wire_list.stamp_of_string bytes with
+      | Ok l' ->
+          check_bool
+            ("round trip " ^ Stamp.to_string s)
+            true
+            (Stamp.Over_list.equal l l');
+          Alcotest.(check string)
+            "re-encode is byte-identical" bytes
+            (Wire_list.stamp_to_string l')
+      | Error e -> Alcotest.failf "decode failed: %a" Wire.pp_error e)
+    stamps
+
+let test_wire_cross_backend_decode () =
+  (* bytes written by one backend decode under any other *)
+  List.iter
+    (fun s ->
+      let bytes = Wire.stamp_to_string s in
+      (match Wire_packed.stamp_of_string bytes with
+      | Ok p ->
+          check_bool "packed decodes tree bytes" true
+            (Stamp.Over_packed.equal p (as_packed_stamp s))
+      | Error e -> Alcotest.failf "packed decode failed: %a" Wire.pp_error e);
+      match Wire_list.stamp_of_string bytes with
+      | Ok l ->
+          check_bool "list decodes tree bytes" true
+            (Stamp.Over_list.equal l (as_list_stamp s))
+      | Error e -> Alcotest.failf "list decode failed: %a" Wire.pp_error e)
+    stamps
+
+let test_wire_list_rejects_bad_i1 () =
+  let bad =
+    Stamp.Over_list.make_unchecked
+      ~update:(Name.of_strings [ "0" ])
+      ~id:(Name.of_strings [ "1" ])
+  in
+  let bytes = Wire_list.stamp_to_string bad in
+  (match Wire_list.stamp_of_string ~validate:true bytes with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "expected Malformed under validation");
+  match Wire_list.stamp_of_string ~validate:false bytes with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "validation off should accept"
+
 (* --- Wire: version vectors --- *)
 
 let test_wire_vv_roundtrip () =
@@ -269,6 +348,17 @@ let () =
           Alcotest.test_case "stamp bits sane" `Quick
             test_wire_stamp_bits_close_to_size;
           Alcotest.test_case "vv round trip" `Quick test_wire_vv_roundtrip;
+        ] );
+      ( "wire backends",
+        [
+          Alcotest.test_case "byte identity across backends" `Quick
+            test_wire_backend_byte_identity;
+          Alcotest.test_case "list stamp round trip" `Quick
+            test_wire_list_stamp_roundtrip;
+          Alcotest.test_case "cross-backend decode" `Quick
+            test_wire_cross_backend_decode;
+          Alcotest.test_case "list rejects bad I1" `Quick
+            test_wire_list_rejects_bad_i1;
         ] );
       ( "text",
         [

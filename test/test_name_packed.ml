@@ -1,0 +1,160 @@
+(* Agreement of the hash-consed backend with the executable list
+   specification, plus the interning properties the backend's fast
+   paths rely on (equal means physically equal; memoized operations
+   return interned nodes). *)
+
+open Vstamp_core
+
+let to_packed n = Name_packed.of_list (Name.to_list n)
+
+let of_packed p = Name.of_list (Name_packed.to_list p)
+
+let gen = Vstamp_test_support.Gen.name ()
+
+let gen2 = QCheck2.Gen.pair gen gen
+
+(* --- agreement with the list specification --- *)
+
+let agreement_props =
+  [
+    QCheck2.Test.make ~name:"to_list . of_list isomorphism" ~count:500 gen
+      (fun x -> Name.equal x (of_packed (to_packed x)));
+    QCheck2.Test.make ~name:"leq agrees with the spec" ~count:500 gen2
+      (fun (x, y) -> Name.leq x y = Name_packed.leq (to_packed x) (to_packed y));
+    QCheck2.Test.make ~name:"join agrees with the spec" ~count:500 gen2
+      (fun (x, y) ->
+        Name.equal (Name.join x y)
+          (of_packed (Name_packed.join (to_packed x) (to_packed y))));
+    QCheck2.Test.make ~name:"meet agrees with the spec" ~count:500 gen2
+      (fun (x, y) ->
+        Name.equal (Name.meet x y)
+          (of_packed (Name_packed.meet (to_packed x) (to_packed y))));
+    QCheck2.Test.make ~name:"incomparable_with agrees with the spec" ~count:500
+      gen2 (fun (x, y) ->
+        Name.incomparable_with x y
+        = Name_packed.incomparable_with (to_packed x) (to_packed y));
+    QCheck2.Test.make ~name:"reduce_stamp agrees with the spec" ~count:500 gen2
+      (fun (u0, i) ->
+        let u = Name.meet u0 i in
+        let lu, li = Name.reduce_stamp ~u ~id:i in
+        let pu, pi =
+          Name_packed.reduce_stamp ~u:(to_packed u) ~id:(to_packed i)
+        in
+        Name.equal lu (of_packed pu) && Name.equal li (of_packed pi));
+    QCheck2.Test.make ~name:"size metrics agree with the spec" ~count:500 gen
+      (fun x ->
+        let p = to_packed x in
+        Name.cardinal x = Name_packed.cardinal p
+        && Name.total_bits x = Name_packed.total_bits p
+        && Name.max_depth x = Name_packed.max_depth p);
+    QCheck2.Test.make ~name:"append_digit agrees with the spec" ~count:500 gen
+      (fun x ->
+        List.for_all
+          (fun d ->
+            Name.equal (Name.append_digit d x)
+              (of_packed (Name_packed.append_digit d (to_packed x))))
+          [ Bits.Zero; Bits.One ]);
+  ]
+
+(* --- hash-consing: structural equality is physical equality --- *)
+
+let interning_props =
+  [
+    QCheck2.Test.make ~name:"equal names intern to the same node" ~count:500
+      gen (fun x ->
+        let a = to_packed x and b = to_packed x in
+        a == b && Name_packed.equal a b && Name_packed.tag a = Name_packed.tag b);
+    QCheck2.Test.make
+      ~name:"structurally-equal joins are physically equal (commutativity)"
+      ~count:500 gen2
+      (fun (x, y) ->
+        let px = to_packed x and py = to_packed y in
+        Name_packed.join px py == Name_packed.join py px);
+    QCheck2.Test.make ~name:"join result is interned" ~count:500 gen2
+      (fun (x, y) ->
+        let j = Name_packed.join (to_packed x) (to_packed y) in
+        j == to_packed (of_packed j));
+    QCheck2.Test.make ~name:"distinct names never share a node" ~count:500 gen2
+      (fun (x, y) ->
+        let px = to_packed x and py = to_packed y in
+        Name.equal x y || (px != py && Name_packed.tag px <> Name_packed.tag py));
+  ]
+
+(* --- stamp-level agreement along whole traces --- *)
+
+module Packed_subject_maker = Execution.Stamp_subject (Stamp.Over_packed)
+module Packed_subject = (val Packed_subject_maker.make ~reduce:true)
+module Run_packed = Execution.Run (Packed_subject)
+
+let to_list_stamp (s : Stamp.Over_packed.t) : Stamp.Over_list.t =
+  Stamp.Over_list.make_unchecked
+    ~update:
+      (Name.of_list (Name_packed.to_list (Stamp.Over_packed.update_name s)))
+    ~id:(Name.of_list (Name_packed.to_list (Stamp.Over_packed.id s)))
+
+let trace_props =
+  let trace_gen = Vstamp_test_support.Gen.trace () in
+  [
+    QCheck2.Test.make
+      ~name:"packed and list stamps agree along any trace (update/fork/join)"
+      ~count:300 ~print:Vstamp_test_support.Gen.trace_print trace_gen
+      (fun ops ->
+        let packed = Run_packed.run ops in
+        let listed = Execution.Run_stamps_list.run ops in
+        List.for_all2
+          (fun p l -> Stamp.Over_list.equal (to_list_stamp p) l)
+          packed listed);
+    QCheck2.Test.make
+      ~name:"size_bits agrees with the list backend along any trace" ~count:300
+      ~print:Vstamp_test_support.Gen.trace_print trace_gen
+      (fun ops ->
+        List.for_all2
+          (fun p l -> Stamp.Over_packed.size_bits p = Stamp.Over_list.size_bits l)
+          (Run_packed.run ops)
+          (Execution.Run_stamps_list.run ops));
+    QCheck2.Test.make
+      ~name:"every packed stamp along a trace is well-formed and reduced"
+      ~count:300 ~print:Vstamp_test_support.Gen.trace_print trace_gen
+      (fun ops ->
+        Run_packed.run_steps ops
+        |> List.for_all
+             (List.for_all (fun s ->
+                  Stamp.Over_packed.well_formed s
+                  && Stamp.Over_packed.is_reduced s)));
+  ]
+
+(* --- unit corners --- *)
+
+let test_constants () =
+  Alcotest.(check bool) "empty is interned once" true
+    (Name_packed.empty == to_packed (Name.of_list []));
+  Alcotest.(check bool) "bottom is interned once" true
+    (Name_packed.bottom == to_packed (Name.of_strings [ "" ]));
+  Alcotest.(check bool) "empty <> bottom" true
+    (not (Name_packed.equal Name_packed.empty Name_packed.bottom))
+
+let test_interned_count_monotone () =
+  let before = Name_packed.interned_count () in
+  (* a fresh, deep name forces new interned nodes *)
+  let deep =
+    Name_packed.of_list
+      [ Bits.of_string "0101010101010101010101"; Bits.of_string "11" ]
+  in
+  ignore (Name_packed.cardinal deep);
+  Alcotest.(check bool) "interning grew the table" true
+    (Name_packed.interned_count () >= before)
+
+let () =
+  Alcotest.run "name_packed"
+    [
+      ( "agreement with spec",
+        List.map QCheck_alcotest.to_alcotest agreement_props );
+      ("hash-consing", List.map QCheck_alcotest.to_alcotest interning_props);
+      ("trace agreement", List.map QCheck_alcotest.to_alcotest trace_props);
+      ( "corners",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "interned_count" `Quick
+            test_interned_count_monotone;
+        ] );
+    ]

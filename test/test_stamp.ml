@@ -250,6 +250,12 @@ module List_suite =
       let label = "list"
     end)
 
+module Packed_suite =
+  Suite (Name_packed) (Stamp.Over_packed)
+    (struct
+      let label = "packed"
+    end)
+
 (* --- cross-implementation properties over random traces --- *)
 
 let to_list_stamp (s : Stamp.Over_tree.t) : Stamp.Over_list.t =
@@ -291,5 +297,5 @@ let cross_props =
 
 let () =
   Alcotest.run "stamp"
-    (Tree_suite.tests @ List_suite.tests
+    (Tree_suite.tests @ List_suite.tests @ Packed_suite.tests
     @ [ ("cross/trace properties", List.map QCheck_alcotest.to_alcotest cross_props) ])
