@@ -59,6 +59,9 @@ type bench_config = {
   e11_churn_ops : int;
   e11_every_n : int;
   e11_best_of : int;
+  e14_replicas : int;
+  e14_rounds : int;
+  e14_severities : float list;
 }
 
 let bench_config ~quick =
@@ -74,6 +77,9 @@ let bench_config ~quick =
       e11_churn_ops = 60;
       e11_every_n = 100;
       e11_best_of = 1;
+      e14_replicas = 4;
+      e14_rounds = 8;
+      e14_severities = [ 0.2; 0.5; 1.0 ];
     }
   else
     {
@@ -87,6 +93,9 @@ let bench_config ~quick =
       e11_churn_ops = 200;
       e11_every_n = 100;
       e11_best_of = 3;
+      e14_replicas = 4;
+      e14_rounds = 20;
+      e14_severities = [ 0.2; 0.5; 1.0 ];
     }
 
 let config_json c =
@@ -103,6 +112,10 @@ let config_json c =
       ("e11_churn_ops", Jsonx.Int c.e11_churn_ops);
       ("e11_every_n", Jsonx.Int c.e11_every_n);
       ("e11_best_of", Jsonx.Int c.e11_best_of);
+      ("e14_replicas", Jsonx.Int c.e14_replicas);
+      ("e14_rounds", Jsonx.Int c.e14_rounds);
+      ( "e14_severities",
+        Jsonx.List (List.map (fun s -> Jsonx.Float s) c.e14_severities) );
       ( "backends",
         Jsonx.List
           (List.map (fun k -> Jsonx.String k) (Vstamp_core.Backend.keys ())) );
@@ -1115,16 +1128,118 @@ let core_counters () =
   Vstamp_obs.Jsonx.Obj
     (List.map (fun (k, v) -> (k, Vstamp_obs.Jsonx.Int v)) fields)
 
+(* ------------------------------------------------------------------ *)
+(* E14: divergence and convergence time vs partition severity          *)
+(* ------------------------------------------------------------------ *)
+
+(* Stamps vs version vectors under partition weather: the Lag scenario
+   (writes plus weather-filtered syncs, then quiescence and gossip
+   sweeps) at several severities, measuring how far the replicas drift
+   (peak/mean oracle lag, frontier width), how many sync steps bring
+   them back to global dominance, and what fraction of the shipped
+   bytes a frontier-exchange protocol would have needed
+   (delta_efficiency).  Deterministic in the seed except for the
+   wall-clock convergence_ns column, which is informational and not
+   extracted by the regression gate. *)
+let e14_trackers = [ Tracker.stamps; Tracker.version_vectors ]
+
+let e14 ~cfg () =
+  section
+    "E14: divergence / convergence time vs partition severity (stamps vs vv)";
+  let rows =
+    List.concat_map
+      (fun severity ->
+        List.map
+          (fun tracker ->
+            let lag_cfg =
+              {
+                Lag.replicas = cfg.e14_replicas;
+                rounds = cfg.e14_rounds;
+                p_update = 0.5;
+                syncs_per_round = 2;
+                severity;
+                seed = 7;
+                epoch = 4;
+                max_heal_rounds = 16;
+              }
+            in
+            (severity, Tracker.name tracker, Lag.run lag_cfg tracker))
+          e14_trackers)
+      cfg.e14_severities
+  in
+  table
+    ~header:
+      [
+        "severity";
+        "tracker";
+        "peak lag";
+        "mean lag";
+        "width";
+        "conv steps";
+        "heal rounds";
+        "shipped B";
+        "redundant B";
+        "efficiency";
+      ]
+    (List.map
+       (fun (severity, name, (r : Lag.result)) ->
+         [
+           Printf.sprintf "%.1f" severity;
+           name;
+           string_of_int r.Lag.peak_lag;
+           Printf.sprintf "%.2f" r.Lag.mean_lag;
+           string_of_int r.Lag.peak_width;
+           (match r.Lag.convergence with
+           | Some (_, steps) -> string_of_int steps
+           | None -> "-");
+           string_of_int r.Lag.heal_rounds;
+           string_of_int r.Lag.shipped_bytes;
+           string_of_int r.Lag.redundant_bytes;
+           Printf.sprintf "%.3f" r.Lag.delta_efficiency;
+         ])
+       rows);
+  Vstamp_obs.Jsonx.List
+    (List.map
+       (fun (severity, name, (r : Lag.result)) ->
+         let open Vstamp_obs in
+         Jsonx.Obj
+           [
+             ("severity", Jsonx.Float severity);
+             ("tracker", Jsonx.String name);
+             ("replicas", Jsonx.Int r.Lag.replicas);
+             ("converged", Jsonx.Bool r.Lag.converged);
+             ( "convergence_steps",
+               match r.Lag.convergence with
+               | Some (_, steps) -> Jsonx.Int steps
+               | None -> Jsonx.Null );
+             ( "convergence_ns",
+               match r.Lag.convergence with
+               | Some (ns, _) -> Jsonx.Float (Int64.to_float ns)
+               | None -> Jsonx.Null );
+             ("heal_rounds", Jsonx.Int r.Lag.heal_rounds);
+             ("peak_lag", Jsonx.Int r.Lag.peak_lag);
+             ("mean_lag", Jsonx.Float r.Lag.mean_lag);
+             ("peak_width", Jsonx.Int r.Lag.peak_width);
+             ("peak_entropy", Jsonx.Float r.Lag.peak_entropy);
+             ("shipped_bytes", Jsonx.Int r.Lag.shipped_bytes);
+             ("minimal_bytes", Jsonx.Int r.Lag.minimal_bytes);
+             ("redundant_bytes", Jsonx.Int r.Lag.redundant_bytes);
+             ("sync_delta_efficiency", Jsonx.Float r.Lag.delta_efficiency);
+           ])
+       rows)
+
 (* /3 keeps every /2 field and adds the config and wall_clock blocks
    (Bench_store's comparability key and run metadata), the E11 sampled
    columns, the E13 sampling_sweep, and {"timed_out": true} markers for
    latency cases over the per-case budget.  /4 keeps every /3 field and
    adds the registered backend set to the config block plus the
-   packed-backend ablation lanes. *)
-let bench_json_schema = "vstamp-bench-core/4"
+   packed-backend ablation lanes.  /5 keeps every /4 field and adds the
+   E14 convergence block (divergence / time-to-convergence /
+   sync-delta efficiency vs partition severity). *)
+let bench_json_schema = "vstamp-bench-core/5"
 
 let write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
-    ~monitor_overhead ~sampling_sweep =
+    ~monitor_overhead ~sampling_sweep ~convergence =
   let open Vstamp_obs in
   let json =
     Jsonx.Obj
@@ -1145,6 +1260,7 @@ let write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
         ("core_counters", core_counters ());
         ("monitor_overhead", monitor_overhead);
         ("sampling_sweep", sampling_sweep);
+        ("convergence", convergence);
       ]
   in
   let oc = open_out opts.out in
@@ -1181,7 +1297,8 @@ let () =
     e10 ()
   end;
   let monitor_overhead, sampling_sweep = e11 ~cfg () in
+  let convergence = e14 ~cfg () in
   let elapsed_s = Unix.gettimeofday () -. t_start in
   write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
-    ~monitor_overhead ~sampling_sweep;
+    ~monitor_overhead ~sampling_sweep ~convergence;
   Format.printf "@.done.@."

@@ -1241,6 +1241,29 @@ let soak_sync_phase rng =
   ignore (Sync.converged a b);
   rng
 
+(* One stamped-KV anti-entropy phase: ad-hoc replicas write
+   concurrently and reconcile — the kvs_sync_* delta ledger counted by
+   Stamped_kv.Obs (a creation round, a concurrent round and an
+   already-equal round, so shipped/minimal/redundant all move). *)
+let soak_stamped_kv_phase rng =
+  let open Vstamp_kvs in
+  let value rng tag =
+    let n, rng = Rng.int rng 24 in
+    (Printf.sprintf "%s#%d" tag n, rng)
+  in
+  let v1, rng = value rng "x" in
+  let v2, rng = value rng "y" in
+  let v3, rng = value rng "x'" in
+  let a = Stamped_kv.put Stamped_kv.empty ~key:"x" v1 in
+  let a = Stamped_kv.put a ~key:"y" v2 in
+  let a, b = Stamped_kv.sync a Stamped_kv.empty in
+  let b = Stamped_kv.put b ~key:"x" v3 in
+  let a = Stamped_kv.put a ~key:"x" v1 in
+  let a, b = Stamped_kv.sync a b in
+  let a, b = Stamped_kv.sync a b in
+  ignore (Stamped_kv.converged a b : bool);
+  rng
+
 let soak_checkpoint ~history ~registry ~srv ~sink ~t0 ~iteration ~final =
   let j =
     Jx.Obj
@@ -1258,7 +1281,8 @@ let soak_checkpoint ~history ~registry ~srv ~sink ~t0 ~iteration ~final =
   Vstamp_obs.Bench_store.append ~file:history j
 
 let soak port addr duration iterations n_ops seed backend sample_every
-    sample_prob checkpoint_every history events_out port_file quiet =
+    sample_prob checkpoint_every history events_out port_file quiet
+    partition_weather =
   let tracker =
     match backend with
     | None -> Tracker.stamps
@@ -1267,6 +1291,10 @@ let soak port addr duration iterations n_ops seed backend sample_every
         | Ok t -> t
         | Error (`Msg m) -> die "%s" m)
   in
+  (match partition_weather with
+  | Some s when not (s >= 0.0 && s <= 1.0) ->
+      die "--partition-weather needs a severity in [0, 1]"
+  | _ -> ());
   let sampling =
     match (sampling_of sample_every sample_prob, sample_every, sample_prob) with
     | Error (`Msg m), _, _ -> die "%s" m
@@ -1309,6 +1337,7 @@ let soak port addr duration iterations n_ops seed backend sample_every
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
   Vstamp_kvs.Kv_node.Obs.attach ~registry ();
+  Vstamp_kvs.Stamped_kv.Obs.attach ~registry ();
   Vstamp_panasync.Sync.Obs.attach ~registry ();
   let sim_failures = Obs_registry.counter registry "soak_sim_failures_total" in
   let iter_counter = Obs_registry.counter registry "soak_iterations_total" in
@@ -1340,7 +1369,24 @@ let soak port addr duration iterations n_ops seed backend sample_every
           last_step := !last_step + List.length ops));
       let rng = Rng.make (seed + i) in
       let rng = soak_kv_phase rng ~ops_n:(max 16 (n_ops / 2)) in
-      let (_ : Rng.t) = soak_sync_phase rng in
+      let rng = soak_sync_phase rng in
+      let (_ : Rng.t) = soak_stamped_kv_phase rng in
+      (* partition-weather phase: a 3-replica convergence scenario per
+         iteration, publishing the vstamp_replica_lag /
+         vstamp_divergence_* / vstamp_convergence_* gauges and the
+         sim-level delta ledger into the live registry *)
+      (match partition_weather with
+      | None -> ()
+      | Some severity ->
+          let cfg =
+            {
+              Lag.default_config with
+              Lag.severity;
+              seed = seed + i;
+              rounds = max 4 (n_ops / 32);
+            }
+          in
+          ignore (Lag.run ~registry cfg tracker : Lag.result));
       incr iterations_done;
       Vstamp_obs.Metric.inc iter_counter;
       Vstamp_obs.Metric.set step_gauge (float_of_int !last_step);
@@ -1367,6 +1413,7 @@ let soak port addr duration iterations n_ops seed backend sample_every
   Obs_sink.close sink;
   HE.stop srv;
   Vstamp_kvs.Kv_node.Obs.detach ();
+  Vstamp_kvs.Stamped_kv.Obs.detach ();
   Vstamp_panasync.Sync.Obs.detach ();
   if not quiet then
     Format.printf
@@ -1456,13 +1503,24 @@ let soak_cmd =
           ~doc:"Write the bound port to FILE (for scripts with --port 0)")
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No chatter") in
+  let partition_weather =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "partition-weather" ] ~docv:"SEVERITY"
+          ~doc:
+            "Also run a partition-weather convergence phase each \
+             iteration (severity in [0,1]: evolving asymmetric \
+             connectivity), charting replica lag, divergence and \
+             sync-delta efficiency on /metrics and /lag.json")
+  in
   let wrap port addr duration iterations n_ops seed backend sample_every
       sample_prob checkpoint_every history no_history events_out port_file
-      quiet =
+      quiet partition_weather =
     soak port addr duration iterations n_ops seed backend sample_every
       sample_prob checkpoint_every
       (if no_history then None else history)
-      events_out port_file quiet
+      events_out port_file quiet partition_weather
   in
   Cmd.v
     (Cmd.info "soak"
@@ -1476,7 +1534,7 @@ let soak_cmd =
     Term.(
       const wrap $ port $ addr $ duration $ iterations $ n_ops $ seed
       $ backend_arg $ sample_every $ sample_prob $ checkpoint_every $ history
-      $ no_history $ events_out $ port_file $ quiet)
+      $ no_history $ events_out $ port_file $ quiet $ partition_weather)
 
 (* --- top --- *)
 
@@ -1621,6 +1679,228 @@ let scrape_cmd =
           HTTP or transport error")
     Term.(const scrape $ host $ port $ timeout $ path)
 
+(* --- lag --- *)
+
+module Obs_conv = Vstamp_obs.Convergence
+
+(* Sim mode: run the Lag convergence scenario and render its report —
+   the divergence matrix at quiescence, per-replica staleness, the
+   convergence timing and the sync-delta ledger. *)
+let lag_sim tracker backend replicas rounds p_update syncs_per_round severity
+    seed epoch json =
+  let tracker =
+    match backend with
+    | None -> tracker
+    | Some key -> (
+        match tracker_for_backend key with
+        | Ok t -> t
+        | Error (`Msg m) -> die "%s" m)
+  in
+  if not (severity >= 0.0 && severity <= 1.0) then
+    die "--severity needs a value in [0, 1]";
+  if replicas < 2 then die "--replicas needs at least 2";
+  let cfg =
+    {
+      Lag.replicas;
+      rounds;
+      p_update;
+      syncs_per_round;
+      severity;
+      seed;
+      epoch;
+      max_heal_rounds = 16;
+    }
+  in
+  let rounds_log = ref [] in
+  let r = Lag.run ~on_round:(fun o -> rounds_log := o :: !rounds_log) cfg tracker in
+  if json then begin
+    let matrix_j = Obs_conv.matrix_to_json in
+    let conv_j =
+      match r.Lag.convergence with
+      | None -> Jx.Null
+      | Some (ns, steps) ->
+          Jx.Obj
+            [
+              ("ns", Jx.Float (Int64.to_float ns)); ("steps", Jx.Int steps);
+            ]
+    in
+    print_endline
+      (Jx.to_string
+         (Jx.Obj
+            [
+              ("tracker", Jx.String (Tracker.name tracker));
+              ("replicas", Jx.Int r.Lag.replicas);
+              ("severity", Jx.Float severity);
+              ("updates", Jx.Int r.Lag.updates);
+              ("syncs", Jx.Int r.Lag.syncs);
+              ("blocked_syncs", Jx.Int r.Lag.blocked_syncs);
+              ("heal_rounds", Jx.Int r.Lag.heal_rounds);
+              ("converged", Jx.Bool r.Lag.converged);
+              ("convergence", conv_j);
+              ("peak_width", Jx.Int r.Lag.peak_width);
+              ("peak_lag", Jx.Int r.Lag.peak_lag);
+              ("mean_lag", Jx.Float r.Lag.mean_lag);
+              ("peak_entropy", Jx.Float r.Lag.peak_entropy);
+              ("divergence", matrix_j r.Lag.divergence);
+              ("final", matrix_j r.Lag.final);
+              ("shipped_bytes", Jx.Int r.Lag.shipped_bytes);
+              ("minimal_bytes", Jx.Int r.Lag.minimal_bytes);
+              ("redundant_bytes", Jx.Int r.Lag.redundant_bytes);
+              ("delta_efficiency", Jx.Float r.Lag.delta_efficiency);
+            ]))
+  end
+  else begin
+    Format.printf
+      "lag: tracker=%s replicas=%d rounds=%d severity=%.2f seed=%d@."
+      (Tracker.name tracker) replicas rounds severity seed;
+    Format.printf
+      "  %d updates, %d syncs (%d blocked by weather), peak width %d, \
+       peak lag %d, mean lag %.2f@."
+      r.Lag.updates r.Lag.syncs r.Lag.blocked_syncs r.Lag.peak_width
+      r.Lag.peak_lag r.Lag.mean_lag;
+    Format.printf "divergence at quiescence (= equal, > dominates, < \
+                   dominated, # concurrent):@.%a"
+      Obs_conv.pp_matrix r.Lag.divergence;
+    Format.printf "converged: %b (%d heal rounds)@." r.Lag.converged
+      r.Lag.heal_rounds;
+    (match r.Lag.convergence with
+    | Some (ns, steps) ->
+        Format.printf "  convergence: %d steps, %Ld ns after last write@."
+          steps ns
+    | None -> ());
+    Format.printf
+      "sync delta: shipped=%dB minimal=%dB redundant=%dB efficiency=%.3f@."
+      r.Lag.shipped_bytes r.Lag.minimal_bytes r.Lag.redundant_bytes
+      r.Lag.delta_efficiency;
+    if not r.Lag.converged then exit 3
+  end
+
+(* Live mode: render the /lag.json view of a soaking process. *)
+let lag_live host port json =
+  match fetch_json ~host ~port "/lag.json" with
+  | Error m -> die "%s" m
+  | Ok j ->
+      if json then print_endline (Jx.to_string j)
+      else begin
+        let obj name =
+          match Jx.member name j with Some (Jx.Obj kvs) -> kvs | _ -> []
+        in
+        let num name =
+          match Option.bind (Jx.member name j) Jx.to_float with
+          | Some f -> Printf.sprintf "%g" f
+          | None -> "-"
+        in
+        Format.printf "lag: live http://%s:%d/lag.json@." host port;
+        let fields label kvs =
+          Format.printf "  %s:%s@." label
+            (if kvs = [] then " (none)"
+             else
+               String.concat ""
+                 (List.map
+                    (fun (k, v) ->
+                      Printf.sprintf " %s=%s" k
+                        (match Jx.to_float v with
+                        | Some f -> Printf.sprintf "%g" f
+                        | None -> "-"))
+                    kvs))
+        in
+        fields "replica lag" (obj "replica_lag");
+        fields "divergence pairs" (obj "divergence_pairs");
+        Format.printf "  frontier width: %s, entropy %s@."
+          (num "frontier_width") (num "divergence_entropy");
+        (match
+           ( Option.bind (Jx.member "convergence_ns" j) Jx.to_float,
+             Option.bind (Jx.member "convergence_steps" j) Jx.to_float )
+         with
+        | Some ns, Some steps ->
+            Format.printf "  convergence: %.0f steps, %.0f ns after last \
+                           write@."
+              steps ns
+        | _ -> Format.printf "  convergence: not yet observed@.");
+        fields "sync delta" (obj "sync_delta")
+      end
+
+let lag_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Server address (live mode)")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:
+            "Render the /lag.json view of a live soak on PORT instead of \
+             running the simulation")
+  in
+  let tracker_arg =
+    Arg.(
+      value
+      & opt tracker_conv Tracker.stamps
+      & info [ "t"; "tracker" ] ~docv:"TRACKER"
+          ~doc:"Tracking mechanism for the simulated scenario")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 3
+      & info [ "replicas" ] ~docv:"N" ~doc:"Frontier size (>= 2)")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 12
+      & info [ "rounds" ] ~docv:"N" ~doc:"Active rounds before quiescence")
+  in
+  let p_update =
+    Arg.(
+      value & opt float 0.5
+      & info [ "p-update" ] ~docv:"P"
+          ~doc:"Per-replica write probability per round")
+  in
+  let syncs_per_round =
+    Arg.(
+      value & opt int 2
+      & info [ "syncs-per-round" ] ~docv:"N"
+          ~doc:"Sync attempts per round (the weather may block them)")
+  in
+  let severity =
+    Arg.(
+      value & opt float 0.6
+      & info [ "severity" ] ~docv:"S"
+          ~doc:"Partition-weather severity in [0, 1]")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Seed")
+  in
+  let epoch =
+    Arg.(
+      value & opt int 4
+      & info [ "epoch" ] ~docv:"N" ~doc:"Weather epoch length, in rounds")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output")
+  in
+  let wrap host port tracker backend replicas rounds p_update syncs_per_round
+      severity seed epoch json =
+    match port with
+    | Some p -> lag_live host p json
+    | None ->
+        lag_sim tracker backend replicas rounds p_update syncs_per_round
+          severity seed epoch json
+  in
+  Cmd.v
+    (Cmd.info "lag"
+       ~doc:
+         "Convergence report: run a partition-weather scenario and render \
+          the divergence matrix, per-replica staleness against the \
+          causal-history oracle, time-to-convergence and the sync-delta \
+          ledger — or, with --port, render the live /lag.json view of a \
+          soaking process")
+    Term.(
+      const wrap $ host $ port $ tracker_arg $ backend_arg $ replicas
+      $ rounds $ p_update $ syncs_per_round $ severity $ seed $ epoch $ json)
+
 (* --- main --- *)
 
 let main_cmd =
@@ -1643,6 +1923,7 @@ let main_cmd =
       soak_cmd;
       top_cmd;
       scrape_cmd;
+      lag_cmd;
       profile_cmd;
       gen_trace_cmd;
       trace_cmd;

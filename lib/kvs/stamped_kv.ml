@@ -1,5 +1,51 @@
 open Vstamp_core
 
+(* Optional live instrumentation, off by default (mirrors Sync.Obs):
+   when attached, every {!Make.sync} charges the anti-entropy walk to
+   the delta ledger — bytes a full exchange ships (both replicas' stamp
+   metadata per shared key, plus the candidate values that change
+   hands) against the minimal frontier-exchange delta.  Counters are
+   shared by every instantiation of {!Make}. *)
+module Obs = struct
+  module R = Vstamp_obs.Registry
+  module M = Vstamp_obs.Metric
+
+  type counters = {
+    rounds : M.counter;  (* kvs_sync_rounds_total *)
+    shipped : M.counter;  (* kvs_sync_shipped_bytes_total *)
+    minimal : M.counter;  (* kvs_sync_minimal_bytes_total *)
+    redundant : M.counter;  (* kvs_sync_redundant_bytes_total *)
+    efficiency : M.gauge;  (* kvs_sync_delta_efficiency *)
+  }
+
+  let state : counters option ref = ref None
+
+  let attach ?(registry = R.default) () =
+    state :=
+      Some
+        {
+          rounds = R.counter registry "kvs_sync_rounds_total";
+          shipped = R.counter registry "kvs_sync_shipped_bytes_total";
+          minimal = R.counter registry "kvs_sync_minimal_bytes_total";
+          redundant = R.counter registry "kvs_sync_redundant_bytes_total";
+          efficiency = R.gauge registry "kvs_sync_delta_efficiency";
+        }
+
+  let detach () = state := None
+
+  let attached () = Option.is_some !state
+
+  let[@inline] on f = match !state with Some c -> f c | None -> ()
+
+  let account c ~shipped ~minimal =
+    M.add c.shipped shipped;
+    M.add c.minimal minimal;
+    M.add c.redundant (shipped - minimal);
+    let s = M.count c.shipped in
+    M.set c.efficiency
+      (if s = 0 then 1. else float_of_int (M.count c.minimal) /. float_of_int s)
+end
+
 module Make (S : Stamp.S) = struct
   module R = Vstamp_crdt.Mv_register.Make (S)
   module Smap = Map.Make (String)
@@ -38,7 +84,41 @@ module Make (S : Stamp.S) = struct
     | Some r -> R.is_conflicted r
     | None -> false
 
+  let meta_bytes r = (S.size_bits (R.stamp r) + 7) / 8
+
+  let value_bytes r =
+    List.fold_left (fun acc v -> acc + String.length v) 0 (R.read r)
+
+  (* One key's wire charge: a full anti-entropy walk ships both stamps
+     and the candidate values that change hands; the frontier-exchange
+     minimum skips equivalent keys entirely and ships only the dominant
+     side for ordered ones. *)
+  let account_pair ra rb =
+    Obs.on (fun c ->
+        let ma = meta_bytes ra and mb = meta_bytes rb in
+        let shipped, minimal =
+          match R.relation ra rb with
+          | Relation.Equal -> (ma + mb, 0)
+          | Relation.Dominates ->
+              let v = value_bytes ra in
+              (ma + mb + v, ma + v)
+          | Relation.Dominated ->
+              let v = value_bytes rb in
+              (ma + mb + v, mb + v)
+          | Relation.Concurrent ->
+              let v = value_bytes ra + value_bytes rb in
+              (ma + mb + v, ma + mb + v)
+        in
+        Obs.account c ~shipped ~minimal)
+
+  (* A key held by one side only: stamp and values must ship anyway. *)
+  let account_replicated r =
+    Obs.on (fun c ->
+        let b = meta_bytes r + value_bytes r in
+        Obs.account c ~shipped:b ~minimal:b)
+
   let sync a b =
+    Obs.on (fun c -> Vstamp_obs.Metric.inc c.Obs.rounds);
     let all_keys =
       List.sort_uniq String.compare (keys a @ keys b)
     in
@@ -47,12 +127,15 @@ module Make (S : Stamp.S) = struct
         match (Smap.find_opt key a, Smap.find_opt key b) with
         | None, None -> (a, b)
         | Some r, None ->
+            account_replicated r;
             let mine, theirs = R.fork r in
             (Smap.add key mine a, Smap.add key theirs b)
         | None, Some r ->
+            account_replicated r;
             let theirs, mine = R.fork r in
             (Smap.add key mine a, Smap.add key theirs b)
         | Some ra, Some rb ->
+            account_pair ra rb;
             let ra, rb = R.sync ra rb in
             (Smap.add key ra a, Smap.add key rb b))
       (a, b) all_keys

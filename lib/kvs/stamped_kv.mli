@@ -60,6 +60,29 @@ module Make (S : Vstamp_core.Stamp.S) : sig
   val pp : Format.formatter -> t -> unit
 end
 
+(** {1 Live instrumentation}
+
+    Off by default.  When attached, every {!Make.sync} bumps
+    [kvs_sync_rounds_total] and charges the anti-entropy walk to the
+    delta ledger: [kvs_sync_shipped_bytes_total] (both replicas' stamp
+    metadata per shared key plus the candidate values that change
+    hands), [kvs_sync_minimal_bytes_total] (the frontier-exchange
+    minimum: nothing for equivalent keys, the dominant side only for
+    ordered ones), [kvs_sync_redundant_bytes_total] (their difference)
+    and the [kvs_sync_delta_efficiency] gauge (running
+    [minimal / shipped]).  Counters are shared by every instantiation
+    of {!Make}. *)
+module Obs : sig
+  val attach : ?registry:Vstamp_obs.Registry.t -> unit -> unit
+  (** Start counting into [registry] (default
+      {!Vstamp_obs.Registry.default}).  Re-attaching rebinds to the
+      registry given last. *)
+
+  val detach : unit -> unit
+
+  val attached : unit -> bool
+end
+
 module Over_tree : module type of Make (Vstamp_core.Stamp.Over_tree)
 
 module Over_list : module type of Make (Vstamp_core.Stamp.Over_list)

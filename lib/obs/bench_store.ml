@@ -161,11 +161,35 @@ let monitor_metrics run =
         workloads
   | _ -> []
 
+let convergence_metrics run =
+  match Jsonx.member "convergence" run with
+  | Some (Jsonx.List rows) ->
+      (* schema /5: one row per (severity, tracker) of the E14 lane.
+         convergence_ns is wall-clock noise and deliberately not
+         extracted; a null convergence_steps (heal budget exhausted)
+         simply contributes no metric. *)
+      List.concat_map
+        (fun row ->
+          match
+            ( Option.bind (Jsonx.member "severity" row) Jsonx.to_float,
+              Option.bind (Jsonx.member "tracker" row) Jsonx.to_str )
+          with
+          | Some s, Some t ->
+              let base = Printf.sprintf "convergence/severity=%g/%s" s t in
+              scalar_fields ~base ~direction:Lower_better
+                [ "convergence_steps"; "redundant_bytes"; "peak_lag" ]
+                row
+              @ scalar_fields ~base ~direction:Higher_better
+                  [ "sync_delta_efficiency" ] row
+          | _ -> [])
+        rows
+  | _ -> []
+
 let metrics run =
   List.sort
     (fun (a, _, _) (b, _, _) -> compare a b)
     (latency_metrics run @ size_metrics run @ reduction_metrics run
-   @ monitor_metrics run)
+   @ monitor_metrics run @ convergence_metrics run)
 
 let config_compatibility ~baseline ~current =
   match (config baseline, config current) with

@@ -68,7 +68,10 @@ type delta = {
 val metrics : run -> (string * float * direction) list
 (** Every comparable scalar of the run, as [metric-path, value,
     direction], sorted by path.  Latency entries recorded as timed out
-    (schema /3 [{"timed_out": true}]) are omitted. *)
+    (schema /3 [{"timed_out": true}]) are omitted.  From the schema /5
+    [convergence] block only the deterministic fields are extracted
+    (steps, bytes, efficiency) — never the wall-clock
+    [convergence_ns]. *)
 
 val config_compatibility :
   baseline:run -> current:run -> [ `Same | `Unknown | `Mismatch of string ]

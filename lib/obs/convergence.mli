@@ -1,0 +1,133 @@
+(** Convergence observability: divergence matrices, replica staleness,
+    and time-to-convergence — the quantities the anti-entropy work will
+    be tuned against.
+
+    The module is deliberately generic: it never names a concrete
+    mechanism.  A divergence matrix is computed from any array of
+    replica states plus the mechanism's [leq]; staleness is computed
+    from any causal-history representation plus its [union]/[cardinal].
+    The simulator instantiates both with {!Vstamp_sim.Tracker}
+    mechanisms and the causal-history oracle; tests can instantiate
+    them with integers.
+
+    Published metric families (all gauges, set by the [publish_*]
+    helpers):
+
+    - [vstamp_replica_lag{replica=...}] — events known somewhere in the
+      system but not at this replica;
+    - [vstamp_divergence_pairs{kind=...}] — unordered replica pairs by
+      relation kind ([equal], [dominates], [dominated], [concurrent]);
+    - [vstamp_frontier_width] — equivalence classes of maximal replicas
+      (1 when the system has converged);
+    - [vstamp_divergence_entropy] — Shannon entropy (bits) of the
+      pair-kind distribution;
+    - [vstamp_convergence_ns] / [vstamp_convergence_steps] — wall time
+      and logical steps from the last write to global dominance. *)
+
+(** {1 Pairwise divergence} *)
+
+type pair_kind = Equal | Dominates | Dominated | Concurrent
+
+val classify : leq_ab:bool -> leq_ba:bool -> pair_kind
+(** The relation of [a] to [b] given both [leq] directions. *)
+
+val kind_slug : pair_kind -> string
+(** [equal] / [dominates] / [dominated] / [concurrent] — the label
+    values of [vstamp_divergence_pairs{kind=...}]. *)
+
+val all_kinds : pair_kind list
+
+type matrix
+(** An [n] × [n] relation matrix over a snapshot of replica states;
+    cell [(i, j)] is the relation of replica [i] to replica [j]. *)
+
+val matrix : leq:('a -> 'a -> bool) -> 'a array -> matrix
+(** Classify every pair with two [leq] calls.  [leq] must be the
+    mechanism's frontier order (for version stamps it compares update
+    components only, so forked-but-synchronized replicas count as
+    equal). *)
+
+val size : matrix -> int
+
+val cell : matrix -> int -> int -> pair_kind
+(** Diagonal cells are [Equal]. *)
+
+val pair_counts : matrix -> (pair_kind * int) list
+(** Unordered pairs ([i < j]) bucketed by kind, every kind present. *)
+
+val converged : matrix -> bool
+(** Every pair compares [Equal] — the system is at a single frontier
+    point.  [true] for empty and singleton snapshots. *)
+
+val width : matrix -> int
+(** The number of equivalence classes among maximal (not strictly
+    dominated) replicas: 1 after convergence, up to [n] under full
+    divergence.  [0] only for an empty snapshot. *)
+
+val entropy : matrix -> float
+(** Shannon entropy (bits) of the pair-kind distribution; [0.] when
+    every pair relates the same way (or there are fewer than two
+    replicas). *)
+
+val pp_matrix : Format.formatter -> matrix -> unit
+(** Human divergence matrix: [=] equal, [>] dominates, [<] dominated,
+    [#] concurrent, [.] diagonal. *)
+
+val matrix_to_json : matrix -> Jsonx.t
+(** [{"n": 3, "rows": [".>#", ...]}] — one string per row with the
+    {!pp_matrix} cell characters. *)
+
+(** {1 Replica staleness} *)
+
+val staleness :
+  union:('h -> 'h -> 'h) -> cardinal:('h -> int) -> 'h list -> int array
+(** Per-replica lag against the global knowledge: element [i] is
+    [cardinal (union of all histories) - cardinal h_i] — the events
+    known somewhere but not at replica [i].  Zero everywhere iff every
+    replica knows everything. *)
+
+(** {1 Convergence timing} *)
+
+(** Tracks steps-and-wall-time from the last write to global dominance.
+    Feed every write and every convergence check; the timer latches the
+    first check that observes convergence after the final write (a
+    later divergent check unlatches it, so the result always describes
+    {e stable} convergence). *)
+module Timer : sig
+  type t
+
+  val create : unit -> t
+
+  val note_write : t -> step:int -> unit
+
+  val note_check : t -> step:int -> converged:bool -> unit
+
+  val result : t -> (int64 * int) option
+  (** [(ns, steps)] from the last write to convergence; [None] while
+      diverged or before any write. *)
+
+  val publish : ?registry:Registry.t -> t -> unit
+  (** Set [vstamp_convergence_ns] / [vstamp_convergence_steps] when a
+      result is available. *)
+end
+
+(** {1 Gauge publication} *)
+
+val publish_matrix : ?registry:Registry.t -> matrix -> unit
+(** Set [vstamp_divergence_pairs{kind=...}] (all four kinds),
+    [vstamp_frontier_width] and [vstamp_divergence_entropy]. *)
+
+val publish_lag : ?registry:Registry.t -> int array -> unit
+(** Set [vstamp_replica_lag{replica="i"}] per replica. *)
+
+(** {1 The /lag.json payload} *)
+
+val lag_json : Registry.t -> Jsonx.t
+(** Assemble the convergence view of a registry: [replica_lag] (object
+    keyed by replica label), [divergence_pairs] (keyed by kind),
+    [frontier_width], [divergence_entropy], [convergence_ns],
+    [convergence_steps] ([null] before convergence has been observed)
+    and [sync_delta] (every [*_delta_efficiency] gauge and
+    [*_shipped_bytes_total] / [*_minimal_bytes_total] /
+    [*_redundant_bytes_total] counter).  Served by [Http_export] as
+    [GET /lag.json]. *)

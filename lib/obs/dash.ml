@@ -70,6 +70,33 @@ let gauge_rows ~max_rows deltas =
   in
   List.filteri (fun i _ -> i < max_rows) gauges
 
+(* The convergence-observatory families get their own panel: they are
+   the signals a partition-weather soak is run to watch, and burying
+   them among the other gauges defeats the glance. *)
+let divergence_name name =
+  let has_prefix p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  let has_suffix s =
+    let n = String.length name and m = String.length s in
+    n >= m && String.sub name (n - m) m = s
+  in
+  has_prefix "vstamp_replica_lag" || has_prefix "vstamp_divergence_"
+  || has_prefix "vstamp_frontier_width"
+  || has_prefix "vstamp_convergence_"
+  || has_suffix "_delta_efficiency"
+
+let divergence_rows ~max_rows snapshot =
+  let fields = match snapshot with Jsonx.Obj kvs -> kvs | _ -> [] in
+  List.filter_map
+    (fun (name, v) ->
+      if divergence_name name then
+        Option.map (fun f -> (name, f)) (Jsonx.to_float v)
+      else None)
+    fields
+  |> List.filteri (fun i _ -> i < max_rows)
+
 let histogram_rows ~max_rows snapshot =
   let fields = match snapshot with Jsonx.Obj kvs -> kvs | _ -> [] in
   List.filter_map
@@ -132,6 +159,16 @@ let render ?(color = true) ?(max_rows = 12) ?(width = 100) ?(events = [])
                (truncate_line name_w d.Registry.name)
                (human d.Registry.value)
                ch))
+        rows);
+  (match divergence_rows ~max_rows snapshot with
+  | [] -> ()
+  | rows ->
+      raw_line (section color "divergence (replica lag, pairs, convergence)");
+      List.iter
+        (fun (name, v) ->
+          line
+            (Printf.sprintf "  %-*s %10s" name_w (truncate_line name_w name)
+               (human v)))
         rows);
   (match histogram_rows ~max_rows snapshot with
   | [] -> ()

@@ -22,7 +22,9 @@ val render :
   string
 (** One frame: a health header, the busiest counters with their
     per-second rates (a [reset] delta is flagged), the current gauges,
-    histogram summaries from [snapshot], and the tail of [events]
-    (newest last).  [color] (default [true]) toggles the ANSI styling;
-    [max_rows] (default 12) caps each table; [width] (default 100)
-    truncates long lines. *)
+    a divergence panel (the {!Convergence} gauge families and the
+    [*_delta_efficiency] sync-accounting gauges, shown only when the
+    snapshot carries them), histogram summaries from [snapshot], and
+    the tail of [events] (newest last).  [color] (default [true])
+    toggles the ANSI styling; [max_rows] (default 12) caps each table;
+    [width] (default 100) truncates long lines. *)

@@ -245,12 +245,14 @@ let handle_request t fd =
               respond_json fd ~status:200 (Jsonx.Obj (health_fields t))
           | "/stats.json" ->
               respond_json fd ~status:200 (Registry.to_json t.registry)
+          | "/lag.json" ->
+              respond_json fd ~status:200 (Convergence.lag_json t.registry)
           | "/events.json" -> handle_events_json t fd params
           | "/events" -> handle_events_stream t fd
           | "/" ->
               respond fd ~status:200 ~content_type:"text/plain"
-                "vstamp telemetry: /metrics /healthz /stats.json /events \
-                 /events.json\n"
+                "vstamp telemetry: /metrics /healthz /stats.json /lag.json \
+                 /events /events.json\n"
           | _ ->
               respond fd ~status:404 ~content_type:"text/plain" "not found\n"))
 
@@ -421,7 +423,27 @@ module Client = struct
     in
     go 0
 
+  (* [Unix.inet_addr_of_string] raises [Failure] on anything that is
+     not a literal address ("localhost" included), so fall back to a
+     resolver lookup and keep the whole thing in the [result]. *)
+  let resolve host =
+    match Unix.inet_addr_of_string host with
+    | addr -> Ok addr
+    | exception Failure _ -> (
+        match (Unix.gethostbyname host).Unix.h_addr_list with
+        | [||] -> Error (Printf.sprintf "cannot resolve host %S" host)
+        | addrs -> Ok addrs.(0)
+        | exception Not_found ->
+            Error (Printf.sprintf "cannot resolve host %S" host))
+
   let get ?(host = "127.0.0.1") ?(timeout_s = 5.0) ~port path =
+    (* a server vanishing mid-request must surface as an [Error], not
+       kill the client with an unhandled SIGPIPE *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
+    match resolve host with
+    | Error m -> Error m
+    | Ok inet -> (
     match
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Fun.protect
@@ -429,8 +451,7 @@ module Client = struct
         (fun () ->
           Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
           Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
-          Unix.connect fd
-            (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+          Unix.connect fd (Unix.ADDR_INET (inet, port));
           write_all fd
             (Printf.sprintf
                "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
@@ -467,5 +488,5 @@ module Client = struct
                       | None -> false
                     in
                     Ok (status, if chunked then dechunk body else body))
-            | _ -> Error "malformed status line"))
+            | _ -> Error "malformed status line")))
 end

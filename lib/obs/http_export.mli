@@ -13,6 +13,10 @@
     - [GET /stats.json] — the full registry snapshot
       ({!Registry.to_json}), the input to {!Registry.diff} and the
       [vstamp top] dashboard;
+    - [GET /lag.json] — the convergence view of the registry
+      ({!Convergence.lag_json}): per-replica lag, divergence-pair
+      counts, frontier width/entropy, convergence timing and the
+      sync-delta accounting totals;
     - [GET /events] — chunked streaming of the live event feed: the
       ring of recent events first, then every event published through
       {!event_sink} as it happens, one JSONL line per chunk;

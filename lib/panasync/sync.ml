@@ -14,6 +14,14 @@ module Obs = struct
     bytes : M.counter;  (* sync_bytes_total: content bytes moved *)
     conflicts : M.counter;
     files : string -> M.counter;  (* sync_files_total{outcome=...} *)
+    (* delta accounting: what a full walk ships (stamp metadata for
+       every compared copy plus the moved content) vs the minimal
+       wire-encoded delta a frontier-exchange protocol would need
+       (metadata and content only where something changes) *)
+    shipped : M.counter;  (* sync_shipped_bytes_total *)
+    minimal : M.counter;  (* sync_minimal_bytes_total *)
+    redundant : M.counter;  (* sync_redundant_bytes_total *)
+    efficiency : M.gauge;  (* sync_delta_efficiency: minimal / shipped *)
   }
 
   let state : counters option ref = ref None
@@ -38,6 +46,10 @@ module Obs = struct
           bytes = R.counter registry "sync_bytes_total";
           conflicts = R.counter registry "sync_conflicts_total";
           files;
+          shipped = R.counter registry "sync_shipped_bytes_total";
+          minimal = R.counter registry "sync_minimal_bytes_total";
+          redundant = R.counter registry "sync_redundant_bytes_total";
+          efficiency = R.gauge registry "sync_delta_efficiency";
         }
 
   let detach () = state := None
@@ -45,6 +57,14 @@ module Obs = struct
   let attached () = Option.is_some !state
 
   let[@inline] on f = match !state with Some c -> f c | None -> ()
+
+  let account c ~shipped ~minimal =
+    M.add c.shipped shipped;
+    M.add c.minimal minimal;
+    M.add c.redundant (shipped - minimal);
+    let s = M.count c.shipped in
+    M.set c.efficiency
+      (if s = 0 then 1. else float_of_int (M.count c.minimal) /. float_of_int s)
 end
 
 type policy =
@@ -93,6 +113,8 @@ module Make (F : sig
 
   val content : t -> string
 
+  val size_bits : t -> int
+
   val relation : t -> t -> Relation.t
 
   val resolve : t -> t -> content:string -> t * t
@@ -120,12 +142,35 @@ struct
     | Resolved -> String.length (F.content l)
     | Created | Unchanged | Conflict -> 0
 
+  let meta_bytes c = (F.size_bits c + 7) / 8
+
+  (* Wire accounting for one reconciled pair.  Shipped: the session's
+     walk exchanges both copies' stamp metadata for every shared path,
+     plus the moved content.  Minimal: what a frontier-exchange
+     protocol needs — nothing for equivalent copies, the dominant
+     side's metadata plus its content for ordered ones, both metadatas
+     (plus any resolution payload) when concurrency must be surfaced. *)
+  let delta_bytes outcome l r =
+    let moved = moved_bytes outcome l r in
+    let shipped = meta_bytes l + meta_bytes r + moved in
+    let minimal =
+      match outcome with
+      | Unchanged -> 0
+      | Propagated_left_to_right -> meta_bytes l + moved
+      | Propagated_right_to_left -> meta_bytes r + moved
+      | Resolved | Conflict -> meta_bytes l + meta_bytes r + moved
+      | Created -> shipped
+    in
+    (shipped, minimal)
+
   let observe_report outcome l r =
     Obs.on (fun c ->
         Vstamp_obs.Metric.inc (c.Obs.files (outcome_slug outcome));
         (match moved_bytes outcome l r with
         | 0 -> ()
         | n -> Vstamp_obs.Metric.add c.Obs.bytes n);
+        let shipped, minimal = delta_bytes outcome l r in
+        Obs.account c ~shipped ~minimal;
         if outcome = Conflict then Vstamp_obs.Metric.inc c.Obs.conflicts)
 
   let sync_file_raw policy left right =
@@ -213,11 +258,15 @@ struct
     observe_report report.outcome l r;
     (l, r, report)
 
-  (* A replica made for the peer: its whole content crosses the wire. *)
+  (* A replica made for the peer: its whole content crosses the wire,
+     and the frontier-exchange minimum is the same — creations carry no
+     redundancy. *)
   let observe_created copy =
     Obs.on (fun cs ->
         Vstamp_obs.Metric.inc (cs.Obs.files "created");
-        Vstamp_obs.Metric.add cs.Obs.bytes (String.length (F.content copy)))
+        Vstamp_obs.Metric.add cs.Obs.bytes (String.length (F.content copy));
+        let b = meta_bytes copy + String.length (F.content copy) in
+        Obs.account cs ~shipped:b ~minimal:b)
 
   let session ?(policy = Manual) left right =
     Obs.on (fun c -> Vstamp_obs.Metric.inc c.Obs.rounds);

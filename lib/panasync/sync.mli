@@ -53,6 +53,10 @@ module Make (F : sig
 
   val content : t -> string
 
+  val size_bits : t -> int
+  (** Causality-metadata size of one copy — the wire-size estimate the
+      delta accounting charges per compared stamp. *)
+
   val relation : t -> t -> Vstamp_core.Relation.t
 
   val resolve : t -> t -> content:string -> t * t
@@ -102,7 +106,16 @@ include module type of Over_tree
     (replicated, propagated or resolved payloads) accumulate in
     [sync_bytes_total], and surfaced conflicts in
     [sync_conflicts_total].  Counters are shared by every instantiation
-    of {!Make}. *)
+    of {!Make}.
+
+    Delta accounting rides along: [sync_shipped_bytes_total] counts
+    what the session's full walk exchanges (both copies' stamp metadata
+    for every shared path, plus moved content),
+    [sync_minimal_bytes_total] the minimal delta a frontier-exchange
+    protocol would need (nothing for equivalent copies, the dominant
+    side only for ordered ones), [sync_redundant_bytes_total] their
+    difference, and the [sync_delta_efficiency] gauge the running
+    [minimal / shipped] ratio ([1.0] = nothing wasted). *)
 module Obs : sig
   val attach : ?registry:Vstamp_obs.Registry.t -> unit -> unit
   (** Start counting into [registry] (default

@@ -1,0 +1,82 @@
+(** The convergence scenario: drive a fixed frontier of replicas under
+    {!Weather}, watch divergence with {!Vstamp_obs.Convergence}, then
+    quiesce and measure the time back to global dominance.
+
+    Each run keeps the causal-history oracle in lockstep, so per-replica
+    lag is ground truth (events issued somewhere but unknown locally),
+    while the divergence matrix reflects the {e mechanism's} view via
+    its [leq] — for an accurate tracker the two agree at convergence
+    (Proposition 5.1).
+
+    Every sync is also charged to the delta ledger: the bytes a
+    full-state exchange ships (both replicas' tracking data) against
+    the minimal delta a frontier-exchange protocol would need (nothing
+    for equal replicas, the dominant side only for ordered ones, both
+    for concurrent ones).  The totals surface as
+    [sim_sync_shipped_bytes_total], [sim_sync_minimal_bytes_total],
+    [sim_sync_redundant_bytes_total] and [sim_sync_delta_efficiency]
+    when a registry is supplied.
+
+    Deterministic in [seed] except for the wall-clock component of the
+    convergence time. *)
+
+type config = {
+  replicas : int;  (** Fixed frontier size (>= 2). *)
+  rounds : int;  (** Active (write + weathered sync) rounds. *)
+  p_update : float;  (** Per-replica write probability per round. *)
+  syncs_per_round : int;  (** Sync attempts per round (weather may block). *)
+  severity : float;  (** Partition severity, [0] – [1] (see {!Weather}). *)
+  seed : int;
+  epoch : int;  (** Weather epoch length, in rounds. *)
+  max_heal_rounds : int;  (** Quiescence gossip-sweep budget. *)
+}
+
+val default_config : config
+(** 3 replicas, 12 rounds, p_update 0.5, 2 syncs/round, severity 0.6,
+    seed 42, epoch 4, 8 heal rounds. *)
+
+type round_obs = {
+  round : int;
+  phase : [ `Active | `Heal ];
+  lag : int array;
+  width : int;
+  entropy : float;
+  converged_now : bool;
+}
+
+type result = {
+  replicas : int;
+  updates : int;
+  syncs : int;  (** Executed syncs (active + heal). *)
+  blocked_syncs : int;  (** Sync attempts the weather disallowed. *)
+  active_rounds : int;
+  heal_rounds : int;  (** Sweeps needed after quiescence. *)
+  converged : bool;
+  convergence : (int64 * int) option;
+      (** [(wall ns, steps)] from the last write to stable global
+          dominance; [None] if the heal budget ran out. *)
+  peak_width : int;
+  peak_lag : int;
+  mean_lag : float;  (** Mean per-replica lag, averaged over rounds. *)
+  peak_entropy : float;
+  divergence : Vstamp_obs.Convergence.matrix;
+      (** The mechanism's view at the end of the active phase. *)
+  final : Vstamp_obs.Convergence.matrix;
+  shipped_bytes : int;
+  minimal_bytes : int;
+  redundant_bytes : int;
+  delta_efficiency : float;  (** [minimal / shipped]; [1.] with no syncs. *)
+}
+
+val run :
+  ?registry:Vstamp_obs.Registry.t ->
+  ?on_round:(round_obs -> unit) ->
+  config ->
+  Tracker.packed ->
+  result
+(** Run the scenario over one tracking mechanism.  When [registry] is
+    given, every round publishes the {!Vstamp_obs.Convergence} gauge
+    families plus the delta-accounting totals into it (which is how the
+    soak driver's [--partition-weather] feeds [/metrics] and
+    [/lag.json]); [on_round] observes each round.
+    @raise Invalid_argument if [config.replicas < 2]. *)

@@ -5,6 +5,30 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== bench ledger presence =="
+if [ ! -f BENCH_core.json ]; then
+  echo "error: BENCH_core.json is missing from the repository root." >&2
+  echo "The perf trajectory needs a committed baseline; regenerate it with" >&2
+  echo "  dune exec bench/main.exe" >&2
+  echo "and commit BENCH_core.json (and the BENCH_history.jsonl it appends)." >&2
+  exit 1
+fi
+schema=$(sed -n 's/.*"schema":"vstamp-bench-core\/\([0-9][0-9]*\)".*/\1/p' \
+  BENCH_core.json)
+if [ -z "$schema" ]; then
+  echo "error: BENCH_core.json carries no vstamp-bench-core schema field." >&2
+  echo "Regenerate it with: dune exec bench/main.exe" >&2
+  exit 1
+fi
+if [ "$schema" -lt 4 ]; then
+  echo "error: BENCH_core.json is schema vstamp-bench-core/$schema, which" >&2
+  echo "predates /4 (no monitor_overhead block) — the regression gate" >&2
+  echo "cannot cover the observability lanes against it.  Regenerate the" >&2
+  echo "baseline with: dune exec bench/main.exe" >&2
+  exit 1
+fi
+echo "BENCH_core.json present (schema vstamp-bench-core/$schema)"
+
 echo "== dune build =="
 dune build
 
@@ -29,6 +53,9 @@ dune build @backend-smoke --force
 
 echo "== serve smoke (soak server, live scrapes, graceful shutdown) =="
 dune build @serve-smoke --force
+
+echo "== lag smoke (partition weather, /lag.json, divergence panel) =="
+dune build @lag-smoke --force
 
 echo "== CLI smoke: vstamp metrics =="
 dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 >/dev/null

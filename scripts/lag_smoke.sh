@@ -1,0 +1,101 @@
+#!/bin/sh
+# Convergence-observatory smoke: run the partition-weather lag
+# simulation offline (divergence must show up, then heal), then boot a
+# soaking process with --partition-weather on an ephemeral port and
+# check the live surfaces — /lag.json, the divergence gauges on
+# /metrics, the vstamp top panel, and vstamp lag in live mode.
+# Wired to the @lag-smoke dune alias (see the root dune file); not part
+# of @runtest so the tier-1 suite stays fast.
+set -eu
+
+VSTAMP="$1"
+tmpdir=$(mktemp -d)
+soak_pid=""
+cleanup() {
+  [ -n "$soak_pid" ] && kill "$soak_pid" 2>/dev/null || true
+  rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+# --- offline: the simulation must diverge under weather, then converge
+"$VSTAMP" lag --severity 0.8 --rounds 10 > "$tmpdir/lag.txt"
+grep -q 'divergence at quiescence' "$tmpdir/lag.txt"
+grep -q 'converged: true' "$tmpdir/lag.txt"
+grep -q 'sync delta: shipped=' "$tmpdir/lag.txt"
+# weather actually bit: some syncs were blocked and width exceeded 1
+grep -q 'blocked by weather' "$tmpdir/lag.txt"
+if grep -q 'peak width 1,' "$tmpdir/lag.txt"; then
+  echo "no divergence observed under severity 0.8" >&2
+  exit 1
+fi
+
+# same scenario as JSON: matrices and the delta ledger must be present
+"$VSTAMP" lag --severity 0.8 --rounds 10 --json > "$tmpdir/lag.json"
+grep -q '"divergence":{"n":3' "$tmpdir/lag.json"
+grep -q '"final":{"n":3' "$tmpdir/lag.json"
+grep -q '"converged":true' "$tmpdir/lag.json"
+grep -q '"redundant_bytes":' "$tmpdir/lag.json"
+
+# the two tracker families must both survive the same weather
+"$VSTAMP" lag -t vv --severity 0.8 --rounds 10 >/dev/null
+
+# determinism: same seed, same report (modulo the wall-clock ns field)
+"$VSTAMP" lag --severity 0.8 --rounds 10 --json > "$tmpdir/lag2.json"
+strip_ns() { sed 's/"ns":[0-9.eE+-]*/"ns":0/g' "$1"; }
+strip_ns "$tmpdir/lag.json" > "$tmpdir/lag.norm"
+strip_ns "$tmpdir/lag2.json" > "$tmpdir/lag2.norm"
+cmp "$tmpdir/lag.norm" "$tmpdir/lag2.norm"
+
+# --- live: soak under partition weather exposes the gauges
+"$VSTAMP" soak --port 0 --port-file "$tmpdir/port" --quiet \
+  --ops 200 --partition-weather 0.7 --no-history &
+soak_pid=$!
+
+i=0
+while [ ! -s "$tmpdir/port" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 50 ] && { echo "soak never bound a port" >&2; exit 1; }
+  sleep 0.1
+done
+port=$(cat "$tmpdir/port")
+
+scrape() { "$VSTAMP" scrape --port "$port" "$1"; }
+
+# give the first iteration a moment to publish the weather phase
+i=0
+until scrape /metrics 2>/dev/null | grep -q '^vstamp_replica_lag{replica="0"} '; do
+  i=$((i + 1))
+  [ "$i" -gt 50 ] && { echo "divergence gauges never appeared" >&2; exit 1; }
+  sleep 0.1
+done
+
+scrape /metrics > "$tmpdir/metrics"
+grep -q '^# TYPE vstamp_replica_lag gauge' "$tmpdir/metrics"
+grep -q '^vstamp_divergence_pairs{kind="equal"} ' "$tmpdir/metrics"
+grep -q '^vstamp_frontier_width ' "$tmpdir/metrics"
+grep -q '^vstamp_convergence_steps ' "$tmpdir/metrics"
+grep -q '^sim_sync_shipped_bytes_total ' "$tmpdir/metrics"
+grep -q '^kvs_sync_delta_efficiency ' "$tmpdir/metrics"
+
+# /lag.json: the structured convergence view
+scrape /lag.json > "$tmpdir/lagjson"
+grep -q '"replica_lag":' "$tmpdir/lagjson"
+grep -q '"divergence_pairs":' "$tmpdir/lagjson"
+grep -q '"frontier_width":' "$tmpdir/lagjson"
+grep -q '"sync_delta":' "$tmpdir/lagjson"
+
+# vstamp lag in live mode renders the same data
+"$VSTAMP" lag --port "$port" > "$tmpdir/live.txt"
+grep -q 'replica lag' "$tmpdir/live.txt"
+grep -q 'divergence pairs' "$tmpdir/live.txt"
+
+# the dashboard picks the gauges up in its divergence panel
+"$VSTAMP" top --port "$port" --once --interval 0.3 --no-color \
+  > "$tmpdir/frame"
+grep -q 'divergence (replica lag, pairs, convergence)' "$tmpdir/frame"
+
+kill -TERM "$soak_pid"
+wait "$soak_pid" || true
+soak_pid=""
+
+echo "lag smoke ok"

@@ -1,0 +1,249 @@
+(* The convergence observatory: pairwise classification, divergence
+   matrices (width, entropy, rendering), oracle staleness, the
+   convergence timer, and the /lag.json assembly. *)
+
+open Vstamp_obs
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+let kind =
+  Alcotest.testable
+    (fun ppf k -> Format.pp_print_string ppf (Convergence.kind_slug k))
+    ( = )
+
+(* replicas as integer sets ordered by inclusion: the smallest structure
+   with genuine concurrency *)
+module IS = Set.Make (Int)
+
+let set xs = IS.of_list xs
+
+let leq = IS.subset
+
+(* --- classify --- *)
+
+let test_classify () =
+  Alcotest.check kind "equal" Convergence.Equal
+    (Convergence.classify ~leq_ab:true ~leq_ba:true);
+  Alcotest.check kind "dominates" Convergence.Dominates
+    (Convergence.classify ~leq_ab:false ~leq_ba:true);
+  Alcotest.check kind "dominated" Convergence.Dominated
+    (Convergence.classify ~leq_ab:true ~leq_ba:false);
+  Alcotest.check kind "concurrent" Convergence.Concurrent
+    (Convergence.classify ~leq_ab:false ~leq_ba:false);
+  Alcotest.(check (list string))
+    "slugs"
+    [ "equal"; "dominates"; "dominated"; "concurrent" ]
+    (List.map Convergence.kind_slug Convergence.all_kinds)
+
+(* --- matrix --- *)
+
+let test_matrix_cells () =
+  (* {1} below {1,2}; {3} concurrent with both *)
+  let m = Convergence.matrix ~leq [| set [ 1 ]; set [ 1; 2 ]; set [ 3 ] |] in
+  check_int "size" 3 (Convergence.size m);
+  Alcotest.check kind "diagonal" Convergence.Equal (Convergence.cell m 2 2);
+  Alcotest.check kind "0 below 1" Convergence.Dominated
+    (Convergence.cell m 0 1);
+  Alcotest.check kind "1 above 0" Convergence.Dominates
+    (Convergence.cell m 1 0);
+  Alcotest.check kind "0 vs 2 concurrent" Convergence.Concurrent
+    (Convergence.cell m 0 2);
+  Alcotest.(check (list (pair kind int)))
+    "pair counts (unordered, every kind present)"
+    [
+      (Convergence.Equal, 0);
+      (Convergence.Dominates, 0);
+      (Convergence.Dominated, 1);
+      (Convergence.Concurrent, 2);
+    ]
+    (Convergence.pair_counts m);
+  check_bool "not converged" false (Convergence.converged m)
+
+let test_matrix_converged () =
+  let m = Convergence.matrix ~leq [| set [ 1; 2 ]; set [ 1; 2 ] |] in
+  check_bool "equal pair converged" true (Convergence.converged m);
+  check_int "width 1" 1 (Convergence.width m);
+  Alcotest.(check (float 1e-9)) "entropy 0" 0. (Convergence.entropy m);
+  check_bool "empty converged" true
+    (Convergence.converged (Convergence.matrix ~leq [||]));
+  check_bool "singleton converged" true
+    (Convergence.converged (Convergence.matrix ~leq [| set [ 9 ] |]))
+
+let test_width () =
+  (* one dominated replica does not widen the frontier *)
+  let chain =
+    Convergence.matrix ~leq [| set [ 1 ]; set [ 1; 2 ]; set [ 1; 2; 3 ] |]
+  in
+  check_int "chain width" 1 (Convergence.width chain);
+  (* three mutually concurrent maximal replicas *)
+  let fan = Convergence.matrix ~leq [| set [ 1 ]; set [ 2 ]; set [ 3 ] |] in
+  check_int "fan width" 3 (Convergence.width fan);
+  (* two equal maxima collapse into one class *)
+  let twin =
+    Convergence.matrix ~leq [| set [ 1; 2 ]; set [ 1; 2 ]; set [ 3 ] |]
+  in
+  check_int "equal maxima share a class" 2 (Convergence.width twin);
+  check_int "empty width" 0 (Convergence.width (Convergence.matrix ~leq [||]))
+
+let test_entropy () =
+  (* all three pairs concurrent: a single kind, entropy 0 *)
+  let fan = Convergence.matrix ~leq [| set [ 1 ]; set [ 2 ]; set [ 3 ] |] in
+  Alcotest.(check (float 1e-9)) "uniform kind" 0. (Convergence.entropy fan);
+  (* mixed kinds have positive entropy, bounded by 2 bits *)
+  let mixed =
+    Convergence.matrix ~leq [| set [ 1 ]; set [ 1; 2 ]; set [ 3 ] |]
+  in
+  let h = Convergence.entropy mixed in
+  check_bool "positive" true (h > 0.);
+  check_bool "at most 2 bits" true (h <= 2.)
+
+let test_matrix_render () =
+  let m = Convergence.matrix ~leq [| set [ 1 ]; set [ 1; 2 ]; set [ 3 ] |] in
+  (match Convergence.matrix_to_json m with
+  | Jsonx.Obj fields ->
+      check_int "n" 3
+        (Option.value ~default:(-1)
+           (Option.bind (List.assoc_opt "n" fields) Jsonx.to_int));
+      (match List.assoc_opt "rows" fields with
+      | Some (Jsonx.List [ Jsonx.String r0; Jsonx.String r1; Jsonx.String r2 ])
+        ->
+          check_string "row 0" ".<#" r0;
+          check_string "row 1" ">.#" r1;
+          check_string "row 2" "##." r2
+      | _ -> Alcotest.fail "rows not a 3-string list")
+  | _ -> Alcotest.fail "matrix_to_json not an object");
+  let rendered = Format.asprintf "%a" Convergence.pp_matrix m in
+  check_bool "pp shows concurrency" true (String.contains rendered '#');
+  check_bool "pp shows order" true (String.contains rendered '<')
+
+(* --- staleness --- *)
+
+let test_staleness () =
+  let union = IS.union and cardinal = IS.cardinal in
+  Alcotest.(check (array int))
+    "lag against global knowledge" [| 2; 1; 3 |]
+    (Convergence.staleness ~union ~cardinal
+       [ set [ 1; 2 ]; set [ 2; 3; 4 ]; set [ 1 ] ]);
+  Alcotest.(check (array int))
+    "zero everywhere iff all know all" [| 0; 0 |]
+    (Convergence.staleness ~union ~cardinal [ set [ 1; 2 ]; set [ 1; 2 ] ]);
+  Alcotest.(check (array int))
+    "empty input" [||]
+    (Convergence.staleness ~union ~cardinal [])
+
+(* --- timer --- *)
+
+let test_timer () =
+  let t = Convergence.Timer.create () in
+  check_bool "no result before any write" true
+    (Convergence.Timer.result t = None);
+  Convergence.Timer.note_write t ~step:3;
+  Convergence.Timer.note_check t ~step:4 ~converged:false;
+  check_bool "no result while diverged" true
+    (Convergence.Timer.result t = None);
+  Convergence.Timer.note_check t ~step:7 ~converged:true;
+  (match Convergence.Timer.result t with
+  | Some (ns, steps) ->
+      check_int "steps from last write" 4 steps;
+      check_bool "ns non-negative" true (Int64.compare ns 0L >= 0)
+  | None -> Alcotest.fail "expected a result after convergence");
+  (* a later converged check must not move the latch point *)
+  Convergence.Timer.note_check t ~step:9 ~converged:true;
+  (match Convergence.Timer.result t with
+  | Some (_, steps) -> check_int "first convergence latched" 4 steps
+  | None -> Alcotest.fail "latch lost");
+  (* divergence unlatches; only stable convergence counts *)
+  Convergence.Timer.note_check t ~step:10 ~converged:false;
+  check_bool "unlatched by divergence" true
+    (Convergence.Timer.result t = None);
+  Convergence.Timer.note_check t ~step:12 ~converged:true;
+  (match Convergence.Timer.result t with
+  | Some (_, steps) -> check_int "re-latched later" 9 steps
+  | None -> Alcotest.fail "expected re-latch");
+  (* a fresh write restarts the measurement *)
+  Convergence.Timer.note_write t ~step:13;
+  check_bool "write clears the latch" true
+    (Convergence.Timer.result t = None)
+
+(* --- publication and /lag.json --- *)
+
+let field = Jsonx.member
+
+let test_publish_and_lag_json () =
+  let registry = Registry.create () in
+  let m = Convergence.matrix ~leq [| set [ 1 ]; set [ 1; 2 ]; set [ 3 ] |] in
+  Convergence.publish_matrix ~registry m;
+  Convergence.publish_lag ~registry [| 2; 0; 3 |];
+  let t = Convergence.Timer.create () in
+  Convergence.Timer.note_write t ~step:1;
+  Convergence.Timer.note_check t ~step:5 ~converged:true;
+  Convergence.Timer.publish ~registry t;
+  Metric.add (Registry.counter registry "sim_sync_shipped_bytes_total") 100;
+  Metric.add (Registry.counter registry "sim_sync_minimal_bytes_total") 60;
+  Metric.add (Registry.counter registry "sim_sync_redundant_bytes_total") 40;
+  Metric.set (Registry.gauge registry "sim_sync_delta_efficiency") 0.6;
+  let j = Convergence.lag_json registry in
+  let num name obj =
+    match Option.bind (Jsonx.member name obj) Jsonx.to_float with
+    | Some f -> f
+    | None -> Alcotest.failf "missing numeric field %s" name
+  in
+  (match field "replica_lag" j with
+  | Some lag ->
+      Alcotest.(check (float 0.)) "replica 2 lag" 3. (num "2" lag);
+      Alcotest.(check (float 0.)) "replica 1 lag" 0. (num "1" lag)
+  | None -> Alcotest.fail "no replica_lag");
+  (match field "divergence_pairs" j with
+  | Some pairs ->
+      Alcotest.(check (float 0.)) "concurrent pairs" 2. (num "concurrent" pairs);
+      Alcotest.(check (float 0.)) "dominated pairs" 1. (num "dominated" pairs)
+  | None -> Alcotest.fail "no divergence_pairs");
+  Alcotest.(check (float 0.)) "frontier width" 2. (num "frontier_width" j);
+  Alcotest.(check (float 0.)) "convergence steps" 4. (num "convergence_steps" j);
+  (match field "sync_delta" j with
+  | Some d ->
+      Alcotest.(check (float 0.))
+        "shipped counter" 100.
+        (num "sim_sync_shipped_bytes_total" d);
+      Alcotest.(check (float 0.))
+        "efficiency gauge" 0.6
+        (num "sim_sync_delta_efficiency" d)
+  | None -> Alcotest.fail "no sync_delta")
+
+let test_lag_json_empty_registry () =
+  let j = Convergence.lag_json (Registry.create ()) in
+  (match field "replica_lag" j with
+  | Some (Jsonx.Obj []) -> ()
+  | _ -> Alcotest.fail "expected empty replica_lag");
+  check_bool "null width before publication" true
+    (field "frontier_width" j = Some Jsonx.Null);
+  check_bool "null convergence before publication" true
+    (field "convergence_ns" j = Some Jsonx.Null)
+
+let () =
+  Alcotest.run "convergence"
+    [
+      ( "pairs",
+        [
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "matrix cells and counts" `Quick test_matrix_cells;
+          Alcotest.test_case "converged matrices" `Quick test_matrix_converged;
+          Alcotest.test_case "frontier width" `Quick test_width;
+          Alcotest.test_case "entropy" `Quick test_entropy;
+          Alcotest.test_case "rendering" `Quick test_matrix_render;
+        ] );
+      ( "staleness",
+        [ Alcotest.test_case "oracle lag" `Quick test_staleness ] );
+      ("timer", [ Alcotest.test_case "latching" `Quick test_timer ]);
+      ( "lag_json",
+        [
+          Alcotest.test_case "published registry" `Quick
+            test_publish_and_lag_json;
+          Alcotest.test_case "empty registry" `Quick
+            test_lag_json_empty_registry;
+        ] );
+    ]

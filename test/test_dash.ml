@@ -106,6 +106,79 @@ let test_diff_sorted_and_dropped () =
   check_bool "sorted by name" true
     (List.map (fun d -> d.Registry.name) deltas = [ "a"; "b" ])
 
+(* Labelled series are independent time series: a label set appearing
+   between snapshots counts from zero, a disappearing one is dropped,
+   and a relabel (old set gone, new set present) is both at once —
+   never a reset on the surviving series. *)
+
+let lab base kv = Registry.with_labels base [ kv ]
+
+let test_diff_label_series_appears () =
+  let prev =
+    snapshot (fun r ->
+        Metric.add (Registry.counter r (lab "ops" ("op", "put"))) 10)
+  in
+  let cur =
+    snapshot (fun r ->
+        Metric.add (Registry.counter r (lab "ops" ("op", "put"))) 25;
+        Metric.add (Registry.counter r (lab "ops" ("op", "del"))) 7)
+  in
+  let deltas = Registry.diff ~elapsed_s:1.0 ~prev cur in
+  check_int "both series reported" 2 (List.length deltas);
+  let fresh = find_delta {|ops{op="del"}|} deltas in
+  check_float "new label set counts from zero" 7.0 fresh.Registry.change;
+  check_bool "not a reset" false fresh.Registry.reset;
+  let old = find_delta {|ops{op="put"}|} deltas in
+  check_float "existing series unaffected" 15.0 old.Registry.change
+
+let test_diff_label_series_disappears () =
+  let prev =
+    snapshot (fun r ->
+        Metric.add (Registry.counter r (lab "ops" ("op", "put"))) 10;
+        Metric.add (Registry.counter r (lab "ops" ("op", "del"))) 5)
+  in
+  let cur =
+    snapshot (fun r ->
+        Metric.add (Registry.counter r (lab "ops" ("op", "put"))) 12)
+  in
+  let deltas = Registry.diff ~elapsed_s:1.0 ~prev cur in
+  check_int "vanished series dropped" 1 (List.length deltas);
+  check_bool "survivor keeps its labelled name" true
+    ((find_delta {|ops{op="put"}|} deltas).Registry.change = 2.0)
+
+let test_diff_relabeled_series () =
+  (* e.g. a replica gauge renumbered between scrapes: the old series
+     vanishes, the new one starts fresh — no cross-talk between them *)
+  let prev =
+    snapshot (fun r ->
+        Metric.set (Registry.gauge r (lab "vstamp_replica_lag" ("replica", "0"))) 4.0)
+  in
+  let cur =
+    snapshot (fun r ->
+        Metric.set (Registry.gauge r (lab "vstamp_replica_lag" ("replica", "3"))) 9.0)
+  in
+  let deltas = Registry.diff ~elapsed_s:1.0 ~prev cur in
+  check_int "only the new label set" 1 (List.length deltas);
+  let d = find_delta {|vstamp_replica_lag{replica="3"}|} deltas in
+  check_float "change measured from zero, not from the old series" 9.0
+    d.Registry.change;
+  check_bool "no reset on a relabel" false d.Registry.reset
+
+let test_diff_label_value_not_confused_with_base () =
+  (* a bare name and a labelled variant of the same base are distinct
+     series; dropping one never disturbs the other *)
+  let prev =
+    snapshot (fun r ->
+        Metric.add (Registry.counter r "ops") 3;
+        Metric.add (Registry.counter r (lab "ops" ("op", "put"))) 8)
+  in
+  let cur = snapshot (fun r -> Metric.add (Registry.counter r "ops") 5) in
+  let deltas = Registry.diff ~elapsed_s:1.0 ~prev cur in
+  check_int "labelled series dropped, bare kept" 1 (List.length deltas);
+  let d = find_delta "ops" deltas in
+  check_float "bare series diffed against itself" 2.0 d.Registry.change;
+  check_bool "not a reset" false d.Registry.reset
+
 (* --- Dash.render --- *)
 
 let two_snapshots () =
@@ -163,6 +236,29 @@ let test_render_color_and_clear () =
   check_bool "clear sequence is ANSI" true
     (contains Dash.clear_screen "\x1b[2J")
 
+let test_render_divergence_panel () =
+  let cur =
+    snapshot (fun r ->
+        Metric.set (Registry.gauge r {|vstamp_replica_lag{replica="0"}|}) 2.0;
+        Metric.set
+          (Registry.gauge r {|vstamp_divergence_pairs{kind="concurrent"}|})
+          1.0;
+        Metric.set (Registry.gauge r "vstamp_frontier_width") 2.0;
+        Metric.set (Registry.gauge r "core_depth") 3.0)
+  in
+  let deltas = Registry.diff ~elapsed_s:1.0 ~prev:(Jsonx.Obj []) cur in
+  let frame = Dash.render ~color:false ~deltas ~snapshot:cur () in
+  check_bool "divergence section present" true
+    (contains frame "divergence (replica lag, pairs, convergence)");
+  check_bool "lag gauge in the panel" true
+    (contains frame {|vstamp_replica_lag{replica="0"}|});
+  (* without any convergence family the panel disappears *)
+  let plain = snapshot (fun r -> Metric.set (Registry.gauge r "d") 1.0) in
+  let deltas = Registry.diff ~elapsed_s:1.0 ~prev:(Jsonx.Obj []) plain in
+  let frame = Dash.render ~color:false ~deltas ~snapshot:plain () in
+  check_bool "no empty divergence section" false
+    (contains frame "divergence (replica lag, pairs, convergence)")
+
 let test_render_truncates_width () =
   let long = String.make 300 'x' in
   let cur = snapshot (fun r -> Metric.inc (Registry.counter r long)) in
@@ -192,6 +288,14 @@ let () =
             test_diff_histogram_uses_count;
           Alcotest.test_case "sorted, absent dropped" `Quick
             test_diff_sorted_and_dropped;
+          Alcotest.test_case "label set appears" `Quick
+            test_diff_label_series_appears;
+          Alcotest.test_case "label set disappears" `Quick
+            test_diff_label_series_disappears;
+          Alcotest.test_case "relabeled series" `Quick
+            test_diff_relabeled_series;
+          Alcotest.test_case "bare vs labelled base" `Quick
+            test_diff_label_value_not_confused_with_base;
         ] );
       ( "render",
         [
@@ -201,5 +305,7 @@ let () =
             test_render_color_and_clear;
           Alcotest.test_case "width truncation" `Quick
             test_render_truncates_width;
+          Alcotest.test_case "divergence panel" `Quick
+            test_render_divergence_panel;
         ] );
     ]

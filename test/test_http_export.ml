@@ -89,6 +89,45 @@ let test_healthz_endpoint () =
         (Option.value ~default:(-1)
            (Option.bind (Jsonx.member "invariant_violations" j2) Jsonx.to_int)))
 
+let test_lag_json_endpoint () =
+  with_server (fun registry srv ->
+      (* empty registry: the endpoint answers with null/empty defaults *)
+      let status, body = get_ok srv "/lag.json" in
+      check_int "status" 200 status;
+      (match Jsonx.of_string (String.trim body) with
+      | Error m -> Alcotest.failf "lag.json did not parse: %s" m
+      | Ok j ->
+          check_bool "width null before publication" true
+            (Jsonx.member "frontier_width" j = Some Jsonx.Null));
+      (* publish the convergence view and read it back *)
+      Convergence.publish_lag ~registry [| 0; 2 |];
+      Convergence.publish_matrix ~registry
+        (Convergence.matrix ~leq:( <= ) [| 1; 2 |]);
+      Metric.add (Registry.counter registry "sim_sync_shipped_bytes_total") 50;
+      let _, body2 = get_ok srv "/lag.json" in
+      match Jsonx.of_string (String.trim body2) with
+      | Error m -> Alcotest.failf "lag.json did not parse: %s" m
+      | Ok j ->
+          let num path name =
+            match
+              Option.bind
+                (Option.bind (Jsonx.member path j) (Jsonx.member name))
+                Jsonx.to_float
+            with
+            | Some f -> f
+            | None -> Alcotest.failf "missing %s.%s" path name
+          in
+          Alcotest.(check (float 0.)) "replica 1 lag" 2. (num "replica_lag" "1");
+          Alcotest.(check (float 0.))
+            "dominated pair" 1.
+            (num "divergence_pairs" "dominated");
+          Alcotest.(check (float 0.))
+            "delta counter surfaced" 50.
+            (num "sync_delta" "sim_sync_shipped_bytes_total");
+          check_bool "index lists the endpoint" true
+            (let _, index = get_ok srv "/" in
+             contains index "/lag.json"))
+
 let test_not_found_and_method () =
   with_server (fun _ srv ->
       let status, _ = get_ok srv "/nope" in
@@ -214,6 +253,7 @@ let () =
           Alcotest.test_case "/metrics" `Quick test_metrics_endpoint;
           Alcotest.test_case "/stats.json" `Quick test_stats_json_endpoint;
           Alcotest.test_case "/healthz" `Quick test_healthz_endpoint;
+          Alcotest.test_case "/lag.json" `Quick test_lag_json_endpoint;
           Alcotest.test_case "404 and index" `Quick test_not_found_and_method;
           Alcotest.test_case "/events.json ring" `Quick test_events_json_ring;
         ] );

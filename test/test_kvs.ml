@@ -240,6 +240,53 @@ let test_obs_counters () =
   check_int "no counting when detached" 3
     (counter_value r (R.with_labels "kvs_ops_total" [ ("op", "get") ]))
 
+let test_stamped_kv_delta_ledger () =
+  let module R = Vstamp_obs.Registry in
+  let module M = Vstamp_obs.Metric in
+  let r = R.create () in
+  check_bool "detached by default" false (Stamped_kv.Obs.attached ());
+  Stamped_kv.Obs.attach ~registry:r ();
+  Fun.protect ~finally:Stamped_kv.Obs.detach (fun () ->
+      check_bool "attached" true (Stamped_kv.Obs.attached ());
+      let shipped () = counter_value r "kvs_sync_shipped_bytes_total" in
+      let minimal () = counter_value r "kvs_sync_minimal_bytes_total" in
+      let redundant () = counter_value r "kvs_sync_redundant_bytes_total" in
+      (* replicate one key to an empty peer: shipping it IS the delta *)
+      let a = Stamped_kv.put Stamped_kv.empty ~key:"k" "hello" in
+      let a, b = Stamped_kv.sync a Stamped_kv.empty in
+      check_int "rounds" 1 (counter_value r "kvs_sync_rounds_total");
+      check_bool "replication ships" true (shipped () > 0);
+      check_int "replication is minimal" (shipped ()) (minimal ());
+      (* re-sync of equal replicas: the whole exchange is redundant *)
+      let before_min = minimal () in
+      let a, b = Stamped_kv.sync a b in
+      check_bool "equal keys ship metadata" true (shipped () > minimal ());
+      check_int "equal keys need nothing" before_min (minimal ());
+      check_bool "redundancy recorded" true (redundant () > 0);
+      (* a one-sided edit: the dominant side plus its value is needed *)
+      let a = Stamped_kv.put a ~key:"k" "hello world" in
+      let sh0 = shipped () and mi0 = minimal () in
+      let a, b = Stamped_kv.sync a b in
+      check_bool "propagation needs bytes" true (minimal () > mi0);
+      check_bool "but fewer than shipped" true
+        (minimal () - mi0 < shipped () - sh0);
+      (* concurrent edits: nothing can be elided, the delta is the lot *)
+      let a = Stamped_kv.put a ~key:"k" "left" in
+      let b = Stamped_kv.put b ~key:"k" "right" in
+      let sh1 = shipped () and mi1 = minimal () in
+      let _, _ = Stamped_kv.sync a b in
+      check_int "concurrent keys are irreducible" (shipped () - sh1)
+        (minimal () - mi1);
+      let eff = M.value (R.gauge r "kvs_sync_delta_efficiency") in
+      check_bool "efficiency in (0, 1]" true (eff > 0. && eff <= 1.);
+      check_int "ledger balances" (shipped ()) (minimal () + redundant ()));
+  check_bool "detached again" false (Stamped_kv.Obs.attached ());
+  let rounds = counter_value r "kvs_sync_rounds_total" in
+  let a = Stamped_kv.put Stamped_kv.empty ~key:"x" "v" in
+  let _ = Stamped_kv.sync a Stamped_kv.empty in
+  check_int "no counting when detached" rounds
+    (counter_value r "kvs_sync_rounds_total")
+
 let () =
   Alcotest.run "kvs"
     [
@@ -268,6 +315,10 @@ let () =
           Alcotest.test_case "size" `Quick test_size_bits;
         ] );
       ( "instrumentation",
-        [ Alcotest.test_case "obs counters" `Quick test_obs_counters ] );
+        [
+          Alcotest.test_case "obs counters" `Quick test_obs_counters;
+          Alcotest.test_case "stamped-kv delta ledger" `Quick
+            test_stamped_kv_delta_ledger;
+        ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ prop_sound ]);
     ]

@@ -291,6 +291,42 @@ let test_sync_obs_counters () =
   check_int "no counting when detached" 5
     (counter_value r "sync_rounds_total")
 
+let test_sync_obs_delta_ledger () =
+  let module R = Vstamp_obs.Registry in
+  let module M = Vstamp_obs.Metric in
+  let r = R.create () in
+  Sync.Obs.attach ~registry:r ();
+  Fun.protect ~finally:Sync.Obs.detach (fun () ->
+      let shipped () = counter_value r "sync_shipped_bytes_total" in
+      let minimal () = counter_value r "sync_minimal_bytes_total" in
+      let redundant () = counter_value r "sync_redundant_bytes_total" in
+      let a = Store.create ~name:"a" and b = Store.create ~name:"b" in
+      (* creation: replicating to an empty peer is already minimal *)
+      let a = Store.add_new a ~path:"doc.txt" ~content:"hello" in
+      let a, b, _ = Sync.session a b in
+      check_bool "creation ships" true (shipped () > 0);
+      check_int "creation is minimal" (shipped ()) (minimal ());
+      check_int "no redundancy yet" 0 (redundant ());
+      (* an unchanged round: full-state exchange is pure redundancy *)
+      let before = shipped () in
+      let a, b, _ = Sync.session a b in
+      check_bool "unchanged round still ships state" true (shipped () > before);
+      check_int "unchanged round needs nothing" (minimal () + redundant ())
+        (shipped ());
+      check_bool "redundancy recorded" true (redundant () > 0);
+      (* one-sided edit: the minimal delta is the dominant side only *)
+      let a = Store.edit a ~path:"doc.txt" ~content:"hello world" in
+      let sh0 = shipped () and mi0 = minimal () in
+      let _, _, _ = Sync.session a b in
+      check_bool "propagation ships" true (shipped () > sh0);
+      check_bool "propagation needs some bytes" true (minimal () > mi0);
+      check_bool "minimal below shipped" true
+        (minimal () - mi0 < shipped () - sh0);
+      (* the invariant the gauge reports: minimal / shipped *)
+      let eff = M.value (R.gauge r "sync_delta_efficiency") in
+      check_bool "efficiency in (0, 1]" true (eff > 0. && eff <= 1.);
+      check_int "ledger balances" (shipped ()) (minimal () + redundant ()))
+
 let () =
   Alcotest.run "panasync"
     [
@@ -313,7 +349,10 @@ let () =
           Alcotest.test_case "tracking bits" `Quick test_store_tracking_bits;
         ] );
       ( "instrumentation",
-        [ Alcotest.test_case "obs counters" `Quick test_sync_obs_counters ] );
+        [
+          Alcotest.test_case "obs counters" `Quick test_sync_obs_counters;
+          Alcotest.test_case "delta ledger" `Quick test_sync_obs_delta_ledger;
+        ] );
       ( "sync",
         [
           Alcotest.test_case "replicates" `Quick test_session_replicates;

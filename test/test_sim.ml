@@ -396,6 +396,121 @@ let prop_plausible_one_sided =
           | None -> false)
         [ 1; 3; 5 ])
 
+(* --- Weather --- *)
+
+let test_weather_deterministic () =
+  let w = Weather.make ~seed:7 ~epoch:4 ~severity:0.8 () in
+  let w' = Weather.make ~seed:7 ~epoch:4 ~severity:0.8 () in
+  for step = 0 to 20 do
+    Alcotest.(check (array int))
+      "same seed same grouping"
+      (Weather.groups_at w ~step ~n:5)
+      (Weather.groups_at w' ~step ~n:5)
+  done;
+  (* groupings are constant within an epoch *)
+  Alcotest.(check (array int))
+    "epoch-stable"
+    (Weather.groups_at w ~step:0 ~n:5)
+    (Weather.groups_at w ~step:3 ~n:5)
+
+let test_weather_severity_extremes () =
+  let calm = Weather.make ~severity:0. () in
+  for step = 0 to 30 do
+    check_int "severity 0 fully connected" 1
+      (Weather.group_count calm ~step ~n:6);
+    check_bool "any pair allowed" true (Weather.allowed calm ~step ~n:6 0 5)
+  done;
+  let storm = Weather.make ~seed:3 ~epoch:2 ~severity:1.0 () in
+  let fragmented = ref false in
+  for step = 0 to 30 do
+    check_bool "reflexive under any weather" true
+      (Weather.allowed storm ~step ~n:6 2 2);
+    if Weather.group_count storm ~step ~n:6 > 1 then fragmented := true
+  done;
+  check_bool "severity 1 fragments" true !fragmented
+
+let test_weather_validation () =
+  Alcotest.check_raises "severity out of range"
+    (Invalid_argument "Weather.make: severity must be in [0, 1]") (fun () ->
+      ignore (Weather.make ~severity:1.5 ()));
+  Alcotest.check_raises "bad epoch"
+    (Invalid_argument "Weather.make: epoch must be >= 1") (fun () ->
+      ignore (Weather.make ~epoch:0 ~severity:0.5 ()))
+
+(* --- Lag scenario --- *)
+
+let lag_cfg =
+  { Lag.default_config with Lag.severity = 0.8; rounds = 10; seed = 42 }
+
+let test_lag_converges () =
+  let r = Lag.run lag_cfg Tracker.stamps in
+  check_bool "converged after heal" true r.Lag.converged;
+  check_bool "convergence measured" true (r.Lag.convergence <> None);
+  check_bool "final matrix all-equal" true
+    (Vstamp_obs.Convergence.converged r.Lag.final);
+  check_int "frontier size" 3 r.Lag.replicas;
+  check_bool "weather blocked some syncs" true (r.Lag.blocked_syncs > 0);
+  check_bool "divergence was observed" true (r.Lag.peak_width > 1)
+
+let test_lag_deterministic () =
+  let strip r = { r with Lag.convergence = None } in
+  let a = strip (Lag.run lag_cfg Tracker.stamps) in
+  let b = strip (Lag.run lag_cfg Tracker.stamps) in
+  check_bool "identical modulo wall clock" true (a = b);
+  let c = strip (Lag.run { lag_cfg with Lag.seed = 43 } Tracker.stamps) in
+  check_bool "seed matters" true (a <> c)
+
+let test_lag_delta_ledger () =
+  let r = Lag.run lag_cfg Tracker.stamps in
+  check_bool "ships something" true (r.Lag.shipped_bytes > 0);
+  check_bool "minimal never exceeds shipped" true
+    (r.Lag.minimal_bytes <= r.Lag.shipped_bytes);
+  check_int "redundant = shipped - minimal"
+    (r.Lag.shipped_bytes - r.Lag.minimal_bytes)
+    r.Lag.redundant_bytes;
+  check_bool "efficiency in (0, 1]" true
+    (r.Lag.delta_efficiency > 0. && r.Lag.delta_efficiency <= 1.)
+
+let test_lag_vv_agrees () =
+  (* the same weather drives both mechanisms to the same oracle view *)
+  let a = Lag.run lag_cfg Tracker.stamps in
+  let b = Lag.run lag_cfg Tracker.version_vectors in
+  check_bool "vv converges too" true b.Lag.converged;
+  check_int "same update schedule" a.Lag.updates b.Lag.updates;
+  check_int "same peak lag (oracle-side)" a.Lag.peak_lag b.Lag.peak_lag
+
+let test_lag_publishes () =
+  let registry = Vstamp_obs.Registry.create () in
+  let rounds = ref 0 in
+  let r =
+    Lag.run ~registry ~on_round:(fun _ -> incr rounds) lag_cfg Tracker.stamps
+  in
+  check_bool "on_round fired per observation" true
+    (!rounds >= lag_cfg.Lag.rounds);
+  let snap = Vstamp_obs.Registry.snapshot registry in
+  let mem name = List.mem_assoc name snap in
+  check_bool "replica lag gauge" true (mem "vstamp_replica_lag{replica=\"0\"}");
+  check_bool "pairs gauge" true
+    (mem "vstamp_divergence_pairs{kind=\"concurrent\"}");
+  check_bool "width gauge" true (mem "vstamp_frontier_width");
+  check_bool "shipped counter" true (mem "sim_sync_shipped_bytes_total");
+  let count name =
+    match List.assoc name snap with
+    | Vstamp_obs.Registry.Counter c -> Vstamp_obs.Metric.count c
+    | _ -> Alcotest.failf "%s is not a counter" name
+  in
+  check_int "published totals match the result"
+    r.Lag.shipped_bytes
+    (count "sim_sync_shipped_bytes_total");
+  check_int "published minimal matches"
+    r.Lag.minimal_bytes
+    (count "sim_sync_minimal_bytes_total")
+
+let test_lag_validation () =
+  Alcotest.check_raises "needs 2 replicas"
+    (Invalid_argument "Lag.run: need at least 2 replicas") (fun () ->
+      ignore (Lag.run { lag_cfg with Lag.replicas = 1 } Tracker.stamps))
+
 let () =
   Alcotest.run "sim"
     [
@@ -455,6 +570,25 @@ let () =
           Alcotest.test_case "figure 4" `Quick test_fig4;
           Alcotest.test_case "figure 3" `Quick test_fig3;
           Alcotest.test_case "frontier sizes" `Quick test_frontier_sizes;
+        ] );
+      ( "weather",
+        [
+          Alcotest.test_case "deterministic epochs" `Quick
+            test_weather_deterministic;
+          Alcotest.test_case "severity extremes" `Quick
+            test_weather_severity_extremes;
+          Alcotest.test_case "validation" `Quick test_weather_validation;
+        ] );
+      ( "lag",
+        [
+          Alcotest.test_case "diverges then converges" `Quick
+            test_lag_converges;
+          Alcotest.test_case "deterministic" `Quick test_lag_deterministic;
+          Alcotest.test_case "delta ledger" `Quick test_lag_delta_ledger;
+          Alcotest.test_case "vv under the same weather" `Quick
+            test_lag_vv_agrees;
+          Alcotest.test_case "publication" `Quick test_lag_publishes;
+          Alcotest.test_case "validation" `Quick test_lag_validation;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
