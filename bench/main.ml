@@ -62,6 +62,9 @@ type bench_config = {
   e14_replicas : int;
   e14_rounds : int;
   e14_severities : float list;
+  e15_series : int;
+  e15_ticks : int;
+  e15_best_of : int;
 }
 
 let bench_config ~quick =
@@ -80,6 +83,9 @@ let bench_config ~quick =
       e14_replicas = 4;
       e14_rounds = 8;
       e14_severities = [ 0.2; 0.5; 1.0 ];
+      e15_series = 64;
+      e15_ticks = 200;
+      e15_best_of = 1;
     }
   else
     {
@@ -96,6 +102,9 @@ let bench_config ~quick =
       e14_replicas = 4;
       e14_rounds = 20;
       e14_severities = [ 0.2; 0.5; 1.0 ];
+      e15_series = 256;
+      e15_ticks = 2000;
+      e15_best_of = 3;
     }
 
 let config_json c =
@@ -116,6 +125,9 @@ let config_json c =
       ("e14_rounds", Jsonx.Int c.e14_rounds);
       ( "e14_severities",
         Jsonx.List (List.map (fun s -> Jsonx.Float s) c.e14_severities) );
+      ("e15_series", Jsonx.Int c.e15_series);
+      ("e15_ticks", Jsonx.Int c.e15_ticks);
+      ("e15_best_of", Jsonx.Int c.e15_best_of);
       ( "backends",
         Jsonx.List
           (List.map (fun k -> Jsonx.String k) (Vstamp_core.Backend.keys ())) );
@@ -1228,6 +1240,103 @@ let e14 ~cfg () =
            ])
        rows)
 
+(* E15: the flight recorder's duty cycle.  One recorder tick is a GC
+   sample, an alert-engine evaluation and a Tsdb snapshot of a
+   soak-shaped registry; the soak driver runs one per --record-every.
+   Reported as ns/tick (best of [cfg.e15_best_of] batches of
+   [cfg.e15_ticks]) and as the percentage of a 1 s and a 100 ms cadence
+   that cost represents, plus the recorder's fixed ring footprint. *)
+let e15 ~cfg () =
+  section "E15: flight recorder overhead (tick cost vs cadence)";
+  let open Vstamp_obs in
+  let registry = Registry.create () in
+  (* a live-soak-shaped registry: a mix of counters, gauges and
+     histograms across [cfg.e15_series] distinct names *)
+  let counters =
+    Array.init cfg.e15_series (fun i ->
+        Registry.counter registry (Printf.sprintf "bench_e15_ctr_%03d" i))
+  in
+  Array.iteri (fun i c -> Metric.add c (i * 17)) counters;
+  for i = 0 to (cfg.e15_series / 2) - 1 do
+    Metric.set
+      (Registry.gauge registry (Printf.sprintf "bench_e15_gauge_%03d" i))
+      (float_of_int i)
+  done;
+  for i = 0 to (cfg.e15_series / 4) - 1 do
+    let h = Registry.histogram registry (Printf.sprintf "bench_e15_hist_%03d" i) in
+    for v = 1 to 16 do
+      Metric.observe_int h (v * (i + 1))
+    done
+  done;
+  let rules =
+    match
+      Alert.parse_rules
+        "hot bench_e15_ctr_000 > 1e12\n\
+         fast rate(bench_e15_ctr_001) > 1e12\n\
+         gone absent(bench_e15_ctr_002)\n\
+         broken invariant_violation\n"
+    with
+    | Ok rs -> rs
+    | Error m -> failwith ("E15 rules: " ^ m)
+  in
+  let runtime = Runtime.create ~registry () in
+  let alerts = Alert.create ~registry rules in
+  let tsdb = Tsdb.create () in
+  let now = ref 0.0 in
+  let tick () =
+    now := !now +. 1.0;
+    (* a little registry churn so counter deltas are non-trivial *)
+    Metric.inc counters.(0);
+    Metric.add counters.(1) 3;
+    Runtime.sample ~now_s:!now runtime;
+    Alert.eval ~now_s:!now alerts;
+    Tsdb.sample tsdb ~now_s:!now registry
+  in
+  (* first tick registers every series in the recorder *)
+  tick ();
+  let best =
+    let rec go k best =
+      if k = 0 then best
+      else begin
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to cfg.e15_ticks do
+          tick ()
+        done;
+        go (k - 1) (min best (Unix.gettimeofday () -. t0))
+      end
+    in
+    go (max 1 cfg.e15_best_of) infinity
+  in
+  let tick_ns = best /. float_of_int cfg.e15_ticks *. 1e9 in
+  let pct_of cadence_s = 100.0 *. tick_ns /. (cadence_s *. 1e9) in
+  let overhead_pct_1s = pct_of 1.0 in
+  let overhead_pct_100ms = pct_of 0.1 in
+  let footprint = Tsdb.footprint_bytes tsdb in
+  table
+    ~header:
+      [ "series"; "ticks"; "ns/tick"; "@1s"; "@100ms"; "ring footprint" ]
+    [
+      [
+        string_of_int (List.length (Tsdb.names tsdb));
+        string_of_int cfg.e15_ticks;
+        Printf.sprintf "%.0f" tick_ns;
+        Printf.sprintf "%.3f%%" overhead_pct_1s;
+        Printf.sprintf "%.2f%%" overhead_pct_100ms;
+        Printf.sprintf "%dB" footprint;
+      ];
+    ]
+    ;
+  Jsonx.Obj
+    [
+      ("series", Jsonx.Int (List.length (Tsdb.names tsdb)));
+      ("ticks", Jsonx.Int cfg.e15_ticks);
+      ("tick_ns", Jsonx.Float tick_ns);
+      ("overhead_pct_1s", Jsonx.Float overhead_pct_1s);
+      ("overhead_pct_100ms", Jsonx.Float overhead_pct_100ms);
+      ("footprint_bytes", Jsonx.Int footprint);
+      ("points_retained", Jsonx.Int (Tsdb.points_retained tsdb));
+    ]
+
 (* /3 keeps every /2 field and adds the config and wall_clock blocks
    (Bench_store's comparability key and run metadata), the E11 sampled
    columns, the E13 sampling_sweep, and {"timed_out": true} markers for
@@ -1235,11 +1344,13 @@ let e14 ~cfg () =
    adds the registered backend set to the config block plus the
    packed-backend ablation lanes.  /5 keeps every /4 field and adds the
    E14 convergence block (divergence / time-to-convergence /
-   sync-delta efficiency vs partition severity). *)
-let bench_json_schema = "vstamp-bench-core/5"
+   sync-delta efficiency vs partition severity).  /6 keeps every /5
+   field and adds the E15 recorder block (flight-recorder tick cost,
+   cadence duty cycles, ring footprint). *)
+let bench_json_schema = "vstamp-bench-core/6"
 
 let write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
-    ~monitor_overhead ~sampling_sweep ~convergence =
+    ~monitor_overhead ~sampling_sweep ~convergence ~recorder =
   let open Vstamp_obs in
   let json =
     Jsonx.Obj
@@ -1261,6 +1372,7 @@ let write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
         ("monitor_overhead", monitor_overhead);
         ("sampling_sweep", sampling_sweep);
         ("convergence", convergence);
+        ("recorder", recorder);
       ]
   in
   let oc = open_out opts.out in
@@ -1298,7 +1410,8 @@ let () =
   end;
   let monitor_overhead, sampling_sweep = e11 ~cfg () in
   let convergence = e14 ~cfg () in
+  let recorder = e15 ~cfg () in
   let elapsed_s = Unix.gettimeofday () -. t_start in
   write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
-    ~monitor_overhead ~sampling_sweep ~convergence;
+    ~monitor_overhead ~sampling_sweep ~convergence ~recorder;
   Format.printf "@.done.@."

@@ -1282,7 +1282,7 @@ let soak_checkpoint ~history ~registry ~srv ~sink ~t0 ~iteration ~final =
 
 let soak port addr duration iterations n_ops seed backend sample_every
     sample_prob checkpoint_every history events_out port_file quiet
-    partition_weather =
+    partition_weather rules_file retention record_every tsdb_out =
   let tracker =
     match backend with
     | None -> Tracker.stamps
@@ -1295,6 +1295,27 @@ let soak port addr duration iterations n_ops seed backend sample_every
   | Some s when not (s >= 0.0 && s <= 1.0) ->
       die "--partition-weather needs a severity in [0, 1]"
   | _ -> ());
+  if record_every <= 0.0 then die "--record-every needs a positive cadence";
+  let rules =
+    match rules_file with
+    | None -> None
+    | Some file -> (
+        match read_file file with
+        | Error (`Msg m) -> die "--rules %s: %s" file m
+        | Ok text -> (
+            match Vstamp_obs.Alert.parse_rules text with
+            | Ok rs -> Some rs
+            | Error m -> die "--rules %s: %s" file m))
+  in
+  let retention_s =
+    match retention with
+    | None -> None
+    | Some dur -> (
+        match Vstamp_obs.Alert.duration_of_string dur with
+        | Ok s when s > 0.0 -> Some s
+        | Ok _ -> die "--retention needs a positive duration"
+        | Error m -> die "--retention: %s" m)
+  in
   let sampling =
     match (sampling_of sample_every sample_prob, sample_every, sample_prob) with
     | Error (`Msg m), _, _ -> die "%s" m
@@ -1314,8 +1335,37 @@ let soak port addr duration iterations n_ops seed backend sample_every
       ("sampling", Jx.String (Vstamp_obs.Monitor.sampling_to_string sampling));
     ]
   in
+  (* Flight recorder: a bounded multi-resolution history of every
+     registry metric, sampled on the recorder cadence.  [--retention]
+     sizes the rings so the coarsest tier reaches back that far. *)
+  let tsdb =
+    let capacity =
+      match retention_s with
+      | None -> 240
+      | Some r ->
+          let coarsest_period = record_every *. 144.0 (* downsample^2 *) in
+          max 16 (int_of_float (ceil (r /. coarsest_period)))
+    in
+    Vstamp_obs.Tsdb.create ~capacity ~tiers:3 ~downsample:12 ()
+  in
+  let runtime = Vstamp_obs.Runtime.create ~registry () in
+  (* The alert engine's transition events must reach the live /events
+     feed, but the sink tees off the server — which itself needs the
+     engine for /alerts.json.  Break the cycle with an indirection. *)
+  let sink_ref = ref Obs_sink.null in
+  let alerts =
+    Option.map
+      (fun rs ->
+        Vstamp_obs.Alert.create ~registry
+          ~sink:(Obs_sink.of_fn (fun e -> Obs_sink.emit !sink_ref e))
+          rs)
+      rules
+  in
   let srv =
-    try HE.create ~registry ~health ~addr ~port ()
+    (* a deeper /events ring than the default 64: one workload iteration
+       emits ~n_ops sim events, which would evict sparse-but-important
+       lines (alert transitions) before anyone can scrape them *)
+    try HE.create ~registry ~health ~tsdb ?alerts ~recent:512 ~addr ~port ()
     with Unix.Unix_error (e, _, _) ->
       die "cannot bind %s:%d: %s" addr port (Unix.error_message e)
   in
@@ -1324,14 +1374,34 @@ let soak port addr duration iterations n_ops seed backend sample_every
   | None -> ());
   if not quiet then
     Format.printf
-      "soak: serving on http://%s:%d (/metrics /healthz /stats.json /events) \
-       — SIGINT/SIGTERM for graceful shutdown@."
+      "soak: serving on http://%s:%d (/metrics /healthz /stats.json \
+       /range.json /alerts.json /events) — SIGINT/SIGTERM for graceful \
+       shutdown@."
       addr (HE.port srv);
   let sink =
     let live = HE.event_sink srv in
     match events_out with
     | Some file -> Obs_sink.tee (Obs_sink.to_file file) live
     | None -> live
+  in
+  sink_ref := sink;
+  (* GC sampling, alert evaluation and time-series capture run on
+     their own cadence so history and debounce stay even-paced no
+     matter how long an iteration takes. *)
+  let record_tick () =
+    Vstamp_obs.Runtime.sample runtime;
+    (match alerts with Some a -> Vstamp_obs.Alert.eval a | None -> ());
+    Vstamp_obs.Tsdb.sample tsdb registry
+  in
+  let recorder_stop = ref false in
+  let recorder =
+    Thread.create
+      (fun () ->
+        while not !recorder_stop do
+          record_tick ();
+          Thread.delay record_every
+        done)
+      ()
   in
   let on_signal _ = stop := true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
@@ -1402,8 +1472,14 @@ let soak port addr duration iterations n_ops seed backend sample_every
     end
   in
   loop 1;
-  (* graceful shutdown: final checkpoint, flushed and fsynced event
-     stream, drained server *)
+  (* graceful shutdown.  One last recorder tick so the dump and the
+     exit status reflect the end state, then stop the server *before*
+     the final checkpoint and the events fsync — an in-flight scrape
+     must never observe (or race) a half-written checkpoint. *)
+  recorder_stop := true;
+  Thread.join recorder;
+  record_tick ();
+  HE.stop srv;
   (match history with
   | Some file ->
       soak_checkpoint ~history:file ~registry ~srv ~sink ~t0
@@ -1411,7 +1487,12 @@ let soak port addr duration iterations n_ops seed backend sample_every
   | None -> ());
   Obs_sink.flush sink;
   Obs_sink.close sink;
-  HE.stop srv;
+  (match tsdb_out with
+  | Some file ->
+      let alerts_json = Option.map Vstamp_obs.Alert.to_json alerts in
+      write_data (Some file)
+        (Jx.to_string (Vstamp_obs.Tsdb.to_json ?alerts:alerts_json tsdb) ^ "\n")
+  | None -> ());
   Vstamp_kvs.Kv_node.Obs.detach ();
   Vstamp_kvs.Stamped_kv.Obs.detach ();
   Vstamp_panasync.Sync.Obs.detach ();
@@ -1420,7 +1501,18 @@ let soak port addr duration iterations n_ops seed backend sample_every
       "soak: %d iterations, %d logical steps, %d events, %d requests in \
        %.1fs@."
       !iterations_done !last_step (Obs_sink.emitted sink) (HE.requests srv)
-      (Unix.gettimeofday () -. t0)
+      (Unix.gettimeofday () -. t0);
+  match alerts with
+  | Some a when Vstamp_obs.Alert.any_firing a ->
+      let names =
+        List.map
+          (fun r -> r.Vstamp_obs.Alert.name)
+          (Vstamp_obs.Alert.firing a)
+      in
+      Format.eprintf "soak: alerts firing at shutdown: %s@."
+        (String.concat ", " names);
+      exit 4
+  | _ -> ()
 
 let soak_cmd =
   let port =
@@ -1514,13 +1606,51 @@ let soak_cmd =
              connectivity), charting replica lag, divergence and \
              sync-delta efficiency on /metrics and /lag.json")
   in
+  let rules =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"FILE"
+          ~doc:
+            "Alert rules file (one `name condition [for duration]` per \
+             line; see doc/telemetry.md).  Firing/resolved transitions \
+             appear on /events and /alerts.json; alerts still firing at \
+             shutdown make soak exit 4")
+  in
+  let retention =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "retention" ] ~docv:"DURATION"
+          ~doc:
+            "How far back the flight recorder's coarsest tier reaches \
+             (e.g. 30m, 4h; default ~9.6h at the default cadence).  \
+             Memory stays fixed: the rings are sized once, up front")
+  in
+  let record_every =
+    Arg.(
+      value & opt float 1.0
+      & info [ "record-every" ] ~docv:"SECONDS"
+          ~doc:"Flight-recorder cadence: registry sampling, GC telemetry \
+                and alert evaluation")
+  in
+  let tsdb_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tsdb-out" ] ~docv:"FILE"
+          ~doc:
+            "Dump the recorded time series (and alert state) as JSON on \
+             shutdown — the input of `vstamp report --dump`")
+  in
   let wrap port addr duration iterations n_ops seed backend sample_every
       sample_prob checkpoint_every history no_history events_out port_file
-      quiet partition_weather =
+      quiet partition_weather rules retention record_every tsdb_out =
     soak port addr duration iterations n_ops seed backend sample_every
       sample_prob checkpoint_every
       (if no_history then None else history)
-      events_out port_file quiet partition_weather
+      events_out port_file quiet partition_weather rules retention
+      record_every tsdb_out
   in
   Cmd.v
     (Cmd.info "soak"
@@ -1528,13 +1658,15 @@ let soak_cmd =
          "Long-running soak driver: continuously exercises the simulator, \
           the replicated key-value store and file-sync sessions with \
           sampled invariant monitors on, serving live telemetry over HTTP \
-          (/metrics for Prometheus, /stats.json for vstamp top, /events \
-          for streaming) and appending periodic checkpoints to the bench \
-          ledger")
+          (/metrics for Prometheus, /stats.json for vstamp top, \
+          /range.json for recorded history, /alerts.json for the alert \
+          plane, /events for streaming) and appending periodic \
+          checkpoints to the bench ledger")
     Term.(
       const wrap $ port $ addr $ duration $ iterations $ n_ops $ seed
       $ backend_arg $ sample_every $ sample_prob $ checkpoint_every $ history
-      $ no_history $ events_out $ port_file $ quiet $ partition_weather)
+      $ no_history $ events_out $ port_file $ quiet $ partition_weather
+      $ rules $ retention $ record_every $ tsdb_out)
 
 (* --- top --- *)
 
@@ -1552,11 +1684,42 @@ let fetch_json ~host ~port path =
       | Ok j -> Ok j
       | Error m -> Error (Printf.sprintf "GET %s: bad JSON: %s" path m))
 
-let top host port interval frames events_n no_color =
+let top host port interval frames events_n no_color spark_arg =
   let stats () =
     match fetch_json ~host ~port "/stats.json" with
     | Ok j -> j
     | Error m -> die "%s" m
+  in
+  let spark_names =
+    String.split_on_char ',' spark_arg
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  (* Flight-recorder panels: both endpoints 404 on a server without a
+     recorder or alert engine — the panels just don't render then. *)
+  let fetch_sparks () =
+    List.filter_map
+      (fun metric ->
+        match
+          fetch_json ~host ~port
+            (Printf.sprintf "/range.json?metric=%s&from=-120" metric)
+        with
+        | Ok j -> (
+            match Jx.member "points" j with
+            | Some (Jx.List (_ :: _ as pts)) ->
+                Some
+                  ( metric,
+                    List.filter_map
+                      (fun p -> Option.bind (Jx.member "avg" p) Jx.to_float)
+                      pts )
+            | _ -> None)
+        | Error _ -> None)
+      spark_names
+  in
+  let fetch_alerts () =
+    match fetch_json ~host ~port "/alerts.json" with
+    | Ok j -> Some j
+    | Error _ -> None
   in
   let frame_of prev prev_t =
     let cur = stats () in
@@ -1574,22 +1737,32 @@ let top host port interval frames events_n no_color =
       | Ok (Jx.List l) -> List.map Jx.to_string l
       | _ -> []
     in
-    ( Vstamp_obs.Dash.render ~color:(not no_color) ~events ?health ~deltas
+    ( Vstamp_obs.Dash.render ~color:(not no_color) ~events ?health
+        ?alerts:(fetch_alerts ()) ~sparks:(fetch_sparks ()) ~deltas
         ~snapshot:cur (),
       cur,
       now )
   in
-  let clear = frames <> 1 in
-  let rec loop n prev prev_t =
-    Unix.sleepf interval;
-    let frame, cur, now = frame_of prev prev_t in
-    if clear then print_string Vstamp_obs.Dash.clear_screen;
-    print_string frame;
-    flush stdout;
-    if frames = 0 || n < frames then loop (n + 1) cur now
-  in
   let first = stats () in
-  loop 1 first (Unix.gettimeofday ())
+  if frames = 1 then begin
+    (* --once: a single frame, immediately, from one snapshot (rates
+       read 0 — there is no second sample to difference against), no
+       screen clearing, exit 0.  Scriptable in CI and over ssh pipes. *)
+    let frame, _, _ = frame_of first (Unix.gettimeofday ()) in
+    print_string frame;
+    flush stdout
+  end
+  else begin
+    let rec loop n prev prev_t =
+      Unix.sleepf interval;
+      let frame, cur, now = frame_of prev prev_t in
+      print_string Vstamp_obs.Dash.clear_screen;
+      print_string frame;
+      flush stdout;
+      if frames = 0 || n < frames then loop (n + 1) cur now
+    in
+    loop 1 first (Unix.gettimeofday ())
+  end
 
 let top_cmd =
   let host =
@@ -1626,19 +1799,33 @@ let top_cmd =
   let no_color =
     Arg.(value & flag & info [ "no-color" ] ~doc:"Disable ANSI styling")
   in
-  let wrap host port interval frames once events_n no_color =
+  let spark =
+    Arg.(
+      value
+      & opt string
+          "soak_iterations_total,runtime_heap_words,runtime_allocation_rate_words_per_s"
+      & info [ "spark" ] ~docv:"METRICS"
+          ~doc:
+            "Comma-separated metric names to render as flight-recorder \
+             sparklines (needs a server with /range.json; missing series \
+             are skipped)")
+  in
+  let wrap host port interval frames once events_n no_color spark =
     top host port interval (if once then 1 else frames) events_n no_color
+      spark
   in
   Cmd.v
     (Cmd.info "top"
        ~doc:
          "Live terminal dashboard over a soaking process: polls \
           /stats.json, differences successive snapshots into per-second \
-          rates (Registry.diff), and repaints op rates, gauges, histogram \
-          summaries and the latest events")
+          rates (Registry.diff), and repaints alerts, op rates, gauges, \
+          flight-recorder sparklines, histogram summaries and the latest \
+          events.  --once renders a single frame immediately and exits 0 \
+          (no screen clearing) for CI and ssh pipes")
     Term.(
       const wrap $ host $ port $ interval $ frames $ once $ events_n
-      $ no_color)
+      $ no_color $ spark)
 
 (* --- scrape --- *)
 
@@ -1901,6 +2088,345 @@ let lag_cmd =
       const wrap $ host $ port $ tracker_arg $ backend_arg $ replicas
       $ rounds $ p_update $ syncs_per_round $ severity $ seed $ epoch $ json)
 
+(* --- report: markdown soak post-mortem --- *)
+
+module Obs_tsdb = Vstamp_obs.Tsdb
+module Obs_alert = Vstamp_obs.Alert
+
+(* One recorded series, uniform across the live (/range.json) and dump
+   (--dump) sources: buckets of (t, min, max, avg, last, count). *)
+type report_series = {
+  rs_name : string;
+  rs_kind : string;
+  rs_points : (float * float * float * float * float * int) list;
+}
+
+let report_points_of_json j =
+  match Jx.member "points" j with
+  | Some (Jx.List pts) ->
+      List.filter_map
+        (fun p ->
+          let f k = Option.bind (Jx.member k p) Jx.to_float in
+          let i k = Option.bind (Jx.member k p) Jx.to_int in
+          match (f "t", f "min", f "max", f "avg", f "last", i "count") with
+          | Some t, Some mn, Some mx, Some avg, Some last, Some n ->
+              Some (t, mn, mx, avg, last, n)
+          | _ -> None)
+        pts
+  | _ -> []
+
+let report_series_live ~host ~port ~window_s ~step_s =
+  let index =
+    match fetch_json ~host ~port "/range.json" with
+    | Ok j -> j
+    | Error m -> die "%s" m
+  in
+  let metrics =
+    match Jx.member "metrics" index with
+    | Some (Jx.List ms) -> List.filter_map Jx.to_str ms
+    | _ -> die "GET /range.json: no metrics index in response"
+  in
+  let series =
+    List.filter_map
+      (fun metric ->
+        match
+          fetch_json ~host ~port
+            (Printf.sprintf "/range.json?from=-%g&step=%g&metric=%s" window_s
+               step_s metric)
+        with
+        | Error _ -> None
+        | Ok j -> (
+            match report_points_of_json j with
+            | [] -> None
+            | points ->
+                let kind =
+                  match Option.bind (Jx.member "kind" j) Jx.to_str with
+                  | Some k -> k
+                  | None -> "?"
+                in
+                Some { rs_name = metric; rs_kind = kind; rs_points = points }))
+      metrics
+  in
+  let alerts =
+    match fetch_json ~host ~port "/alerts.json" with
+    | Ok j -> Some j
+    | Error _ -> None
+  in
+  (series, alerts)
+
+let report_series_dump ~file ~window_s ~step_s =
+  let json =
+    match read_file file with
+    | Error (`Msg m) -> die "%s: %s" file m
+    | Ok text -> (
+        match Jx.of_string (String.trim text) with
+        | Ok j -> j
+        | Error m -> die "%s: bad JSON: %s" file m)
+  in
+  match Obs_tsdb.of_json json with
+  | Error m -> die "%s: %s" file m
+  | Ok (tsdb, alerts) ->
+      let series =
+        match Obs_tsdb.time_bounds tsdb with
+        | None -> []
+        | Some (lo, hi) ->
+            let from_s =
+              if window_s > 0.0 then Stdlib.max lo (hi -. window_s) else lo
+            in
+            let to_s = hi +. 1e-6 in
+            let step_s =
+              if step_s > 0.0 then step_s
+              else Stdlib.max 1e-9 ((to_s -. from_s) /. 60.0)
+            in
+            List.filter_map
+              (fun name ->
+                match
+                  Obs_tsdb.query tsdb ~metric:name ~from_s ~to_s ~step_s
+                with
+                | [] -> None
+                | points ->
+                    let kind =
+                      match Obs_tsdb.series_kind tsdb name with
+                      | Some Obs_tsdb.Counter -> "counter"
+                      | Some Obs_tsdb.Gauge -> "gauge"
+                      | Some Obs_tsdb.Histogram -> "histogram"
+                      | None -> "?"
+                    in
+                    Some
+                      {
+                        rs_name = name;
+                        rs_kind = kind;
+                        rs_points =
+                          List.map
+                            (fun p ->
+                              ( p.Obs_tsdb.t_s,
+                                p.Obs_tsdb.min,
+                                p.Obs_tsdb.max,
+                                (if p.Obs_tsdb.count = 0 then 0.0
+                                 else
+                                   p.Obs_tsdb.sum
+                                   /. float_of_int p.Obs_tsdb.count),
+                                p.Obs_tsdb.last,
+                                p.Obs_tsdb.count ))
+                            points;
+                      })
+              (Obs_tsdb.names tsdb)
+      in
+      (series, alerts)
+
+let report_percentile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+      let idx = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+      sorted.(Stdlib.max 0 (Stdlib.min (n - 1) idx))
+
+let report_time t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let report_num f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.4g" f
+
+(* The post-mortem document: summary, alert timeline, GC summary, then
+   a sparkline block and percentile table per recorded metric. *)
+let render_report ~source ~series ~alerts =
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  out "# vstamp soak post-mortem\n\n";
+  out "- source: %s\n" source;
+  let bounds =
+    List.concat_map
+      (fun rs -> List.map (fun (t, _, _, _, _, _) -> t) rs.rs_points)
+      series
+  in
+  (match bounds with
+  | [] -> out "- window: (no recorded samples)\n"
+  | ts ->
+      let lo = List.fold_left Float.min infinity ts in
+      let hi = List.fold_left Float.max neg_infinity ts in
+      out "- window: %s → %s (%.1f s)\n" (report_time lo) (report_time hi)
+        (hi -. lo));
+  out "- series recorded: %d\n\n" (List.length series);
+  (* alerts *)
+  out "## Alerts\n\n";
+  (match Option.bind alerts (Jx.member "rules") with
+  | Some (Jx.List (_ :: _ as rules)) ->
+      out "| rule | state | condition | value |\n";
+      out "|---|---|---|---|\n";
+      List.iter
+        (fun r ->
+          let str k =
+            Option.value ~default:"-"
+              (Option.bind (Jx.member k r) Jx.to_str)
+          in
+          let value =
+            match Option.bind (Jx.member "value" r) Jx.to_float with
+            | Some v -> report_num v
+            | None -> "-"
+          in
+          out "| %s | %s | `%s` | %s |\n" (str "name") (str "state")
+            (str "rule") value)
+        rules
+  | _ -> out "No alert rules were loaded.\n");
+  (match Option.bind alerts (Jx.member "transitions") with
+  | Some (Jx.List (_ :: _ as trs)) ->
+      out "\n### Timeline\n\n";
+      out "| time | rule | transition |\n";
+      out "|---|---|---|\n";
+      List.iter
+        (fun tr ->
+          let t =
+            match Option.bind (Jx.member "t_s" tr) Jx.to_float with
+            | Some t -> report_time t
+            | None -> "-"
+          in
+          let str k =
+            Option.value ~default:"-"
+              (Option.bind (Jx.member k tr) Jx.to_str)
+          in
+          out "| %s | %s | %s |\n" t (str "rule") (str "to"))
+        trs
+  | _ -> ());
+  out "\n";
+  (* GC summary *)
+  let stats_of rs =
+    let avgs =
+      Array.of_list (List.map (fun (_, _, _, a, _, _) -> a) rs.rs_points)
+    in
+    Array.sort compare avgs;
+    let mins = List.map (fun (_, m, _, _, _, _) -> m) rs.rs_points in
+    let maxs = List.map (fun (_, _, m, _, _, _) -> m) rs.rs_points in
+    let n = List.fold_left (fun a (_, _, _, _, _, c) -> a + c) 0 rs.rs_points in
+    let weighted_sum =
+      List.fold_left
+        (fun a (_, _, _, avg, _, c) -> a +. (avg *. float_of_int c))
+        0.0 rs.rs_points
+    in
+    let last =
+      match List.rev rs.rs_points with
+      | (_, _, _, _, l, _) :: _ -> l
+      | [] -> 0.0
+    in
+    ( n,
+      List.fold_left Float.min infinity mins,
+      (if n = 0 then 0.0 else weighted_sum /. float_of_int n),
+      report_percentile avgs 0.5,
+      report_percentile avgs 0.95,
+      List.fold_left Float.max neg_infinity maxs,
+      last )
+  in
+  let runtime_series =
+    List.filter
+      (fun rs -> String.starts_with ~prefix:"runtime_" rs.rs_name)
+      series
+  in
+  out "## Runtime / GC\n\n";
+  (match runtime_series with
+  | [] -> out "No runtime telemetry was recorded.\n\n"
+  | rts ->
+      out "| metric | last | min | mean | max |\n";
+      out "|---|---|---|---|---|\n";
+      List.iter
+        (fun rs ->
+          let _, mn, mean, _, _, mx, last = stats_of rs in
+          out "| `%s` | %s | %s | %s | %s |\n" rs.rs_name (report_num last)
+            (report_num mn) (report_num mean) (report_num mx))
+        rts;
+      out "\n");
+  (* per-metric blocks *)
+  out "## Metrics\n\n";
+  List.iter
+    (fun rs ->
+      out "### `%s` (%s)\n\n" rs.rs_name rs.rs_kind;
+      let avgs = List.map (fun (_, _, _, a, _, _) -> a) rs.rs_points in
+      out "```\n%s\n```\n\n" (Vstamp_obs.Dash.sparkline ~width:60 avgs);
+      let n, mn, mean, p50, p95, mx, last = stats_of rs in
+      out "| samples | min | mean | p50 | p95 | max | last |\n";
+      out "|---|---|---|---|---|---|---|\n";
+      out "| %d | %s | %s | %s | %s | %s | %s |\n\n" n (report_num mn)
+        (report_num mean) (report_num p50) (report_num p95) (report_num mx)
+        (report_num last))
+    series;
+  Buffer.contents buf
+
+let report host port dump output window step =
+  let window_s =
+    match Obs_alert.duration_of_string window with
+    | Ok s -> s
+    | Error m -> die "--window: %s" m
+  in
+  let series, alerts =
+    match (port, dump) with
+    | Some _, Some _ -> die "use either --port (live) or --dump (file), not both"
+    | Some port, None ->
+        let step_s =
+          if step > 0.0 then step else Stdlib.max 0.001 (window_s /. 60.0)
+        in
+        report_series_live ~host ~port ~window_s ~step_s
+    | None, Some file -> report_series_dump ~file ~window_s ~step_s:step
+    | None, None ->
+        die "need a source: --port for a live soak, --dump for a tsdb dump"
+  in
+  let source =
+    match (port, dump) with
+    | Some port, _ -> Printf.sprintf "live soak at http://%s:%d" host port
+    | _, Some file -> Printf.sprintf "tsdb dump `%s`" file
+    | _ -> assert false
+  in
+  write_data output (render_report ~source ~series ~alerts)
+
+let report_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Server address (live mode)")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Read the history from a live soak's /range.json")
+  in
+  let dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"FILE"
+          ~doc:"Read the history from a `vstamp soak --tsdb-out` dump")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the markdown here (default stdout)")
+  in
+  let window =
+    Arg.(
+      value & opt string "10m"
+      & info [ "window" ] ~docv:"DURATION"
+          ~doc:"How far back to report (e.g. 90s, 10m, 2h)")
+  in
+  let step =
+    Arg.(
+      value & opt float 0.0
+      & info [ "step" ] ~docv:"SECONDS"
+          ~doc:"Bucket width (default: window/60)")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a markdown soak post-mortem — alert timeline, GC \
+          summary, and a sparkline block plus percentile table per \
+          recorded metric — from a live soak's /range.json and \
+          /alerts.json or from a --tsdb-out dump file")
+    Term.(const report $ host $ port $ dump $ output $ window $ step)
+
 (* --- main --- *)
 
 let main_cmd =
@@ -1924,6 +2450,7 @@ let main_cmd =
       top_cmd;
       scrape_cmd;
       lag_cmd;
+      report_cmd;
       profile_cmd;
       gen_trace_cmd;
       trace_cmd;

@@ -185,11 +185,22 @@ let convergence_metrics run =
         rows
   | _ -> []
 
+let recorder_metrics run =
+  match Jsonx.member "recorder" run with
+  | Some (Jsonx.Obj _ as obj) ->
+      (* schema /6: the E15 flight-recorder lane.  footprint_bytes is a
+         deterministic function of the store geometry; the tick costs
+         are wall clock. *)
+      scalar_fields ~base:"recorder" ~direction:Lower_better
+        [ "tick_ns"; "overhead_pct_1s"; "overhead_pct_100ms"; "footprint_bytes" ]
+        obj
+  | _ -> []
+
 let metrics run =
   List.sort
     (fun (a, _, _) (b, _, _) -> compare a b)
     (latency_metrics run @ size_metrics run @ reduction_metrics run
-   @ monitor_metrics run @ convergence_metrics run)
+   @ monitor_metrics run @ convergence_metrics run @ recorder_metrics run)
 
 let config_compatibility ~baseline ~current =
   match (config baseline, config current) with

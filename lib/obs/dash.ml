@@ -112,12 +112,92 @@ let histogram_rows ~max_rows snapshot =
     fields
   |> List.filteri (fun i _ -> i < max_rows)
 
+(* Eight-level unicode sparkline.  A flat series renders mid-height so
+   "no movement" is visibly distinct from "no data". *)
+let spark_levels = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+let sparkline ?width values =
+  let values = List.filter Float.is_finite values in
+  let values =
+    match width with
+    | Some w when w > 0 && List.length values > w ->
+        (* keep the newest [w] values *)
+        let len = List.length values in
+        List.filteri (fun i _ -> i >= len - w) values
+    | _ -> values
+  in
+  match values with
+  | [] -> ""
+  | vs ->
+      let lo = List.fold_left Float.min infinity vs in
+      let hi = List.fold_left Float.max neg_infinity vs in
+      let buf = Buffer.create (3 * List.length vs) in
+      List.iter
+        (fun v ->
+          let level =
+            if hi <= lo then 3
+            else
+              Stdlib.min 7
+                (int_of_float ((v -. lo) /. (hi -. lo) *. 8.))
+          in
+          Buffer.add_string buf spark_levels.(level))
+        vs;
+      Buffer.contents buf
+
+(* One row per /range.json series: name, sparkline over the bucket
+   averages, and the most recent value. *)
+let spark_rows ~max_rows sparks =
+  List.filter_map
+    (fun (name, values) ->
+      match List.filter Float.is_finite values with
+      | [] -> None
+      | vs -> Some (name, vs))
+    sparks
+  |> List.filteri (fun i _ -> i < max_rows)
+
+let alert_rows alerts =
+  match Jsonx.member "rules" alerts with
+  | Some (Jsonx.List rules) ->
+      List.filter_map
+        (fun r ->
+          let str k = Option.bind (Jsonx.member k r) Jsonx.to_str in
+          match (str "name", str "state") with
+          | Some name, Some state ->
+              let spec = Option.value ~default:"" (str "rule") in
+              let value = Option.bind (Jsonx.member "value" r) Jsonx.to_float in
+              Some (name, state, spec, value)
+          | _ -> None)
+        rules
+  | _ -> []
+
 let render ?(color = true) ?(max_rows = 12) ?(width = 100) ?(events = [])
-    ?health ~deltas ~snapshot () =
+    ?health ?alerts ?(sparks = []) ~deltas ~snapshot () =
   let buf = Buffer.create 2048 in
   let line s = Buffer.add_string buf (truncate_line width s ^ "\n") in
   let raw_line s = Buffer.add_string buf (s ^ "\n") in
   raw_line (header_line color health);
+  (match Option.map alert_rows alerts with
+  | None | Some [] -> ()
+  | Some rows ->
+      raw_line (section color "alerts");
+      List.iter
+        (fun (name, state, spec, value) ->
+          let mark, state_str =
+            match state with
+            | "firing" -> (red color "●", red color "firing  ")
+            | "pending" -> (yellow color "●", yellow color "pending ")
+            | _ -> (dim color "○", dim color "inactive")
+          in
+          let value_str =
+            match value with Some v -> " = " ^ human v | None -> ""
+          in
+          (* the state dot is multi-byte and the row carries ANSI
+             styling; skip byte-truncation *)
+          raw_line
+            (Printf.sprintf "  %s %-20s %s %s%s" mark
+               (truncate_line 20 name) state_str
+               (dim color spec) value_str))
+        rows);
   let name_w =
     List.fold_left
       (fun acc d -> max acc (String.length d.Registry.name))
@@ -169,6 +249,22 @@ let render ?(color = true) ?(max_rows = 12) ?(width = 100) ?(events = [])
           line
             (Printf.sprintf "  %-*s %10s" name_w (truncate_line name_w name)
                (human v)))
+        rows);
+  (match spark_rows ~max_rows sparks with
+  | [] -> ()
+  | rows ->
+      raw_line (section color "history (flight recorder)");
+      let spark_w = max 8 (width - name_w - 16) in
+      List.iter
+        (fun (name, values) ->
+          let last = List.nth values (List.length values - 1) in
+          (* sparkline glyphs are multi-byte; byte-truncation would cut
+             a codepoint in half, so this row manages its own width *)
+          raw_line
+            (Printf.sprintf "  %-*s %s %10s" name_w
+               (truncate_line name_w name)
+               (sparkline ~width:spark_w values)
+               (human last)))
         rows);
   (match histogram_rows ~max_rows snapshot with
   | [] -> ()

@@ -10,21 +10,34 @@ val clear_screen : string
 (** Cursor home + erase display — print before a frame to repaint in
     place. *)
 
+val sparkline : ?width:int -> float list -> string
+(** An eight-level unicode sparkline ([▁▂▃▄▅▆▇█]) of the values,
+    oldest first, scaled to the series' own min/max (a flat series
+    renders mid-height).  [width] keeps only the newest that many
+    values; non-finite values are dropped; [""] when nothing
+    remains. *)
+
 val render :
   ?color:bool ->
   ?max_rows:int ->
   ?width:int ->
   ?events:string list ->
   ?health:Jsonx.t ->
+  ?alerts:Jsonx.t ->
+  ?sparks:(string * float list) list ->
   deltas:Registry.delta list ->
   snapshot:Jsonx.t ->
   unit ->
   string
-(** One frame: a health header, the busiest counters with their
-    per-second rates (a [reset] delta is flagged), the current gauges,
-    a divergence panel (the {!Convergence} gauge families and the
-    [*_delta_efficiency] sync-accounting gauges, shown only when the
-    snapshot carries them), histogram summaries from [snapshot], and
-    the tail of [events] (newest last).  [color] (default [true])
-    toggles the ANSI styling; [max_rows] (default 12) caps each table;
-    [width] (default 100) truncates long lines. *)
+(** One frame: a health header, an alerts panel (from an
+    [/alerts.json] object — firing rules red, pending yellow), the
+    busiest counters with their per-second rates (a [reset] delta is
+    flagged), the current gauges, a divergence panel (the
+    {!Convergence} gauge families and the [*_delta_efficiency]
+    sync-accounting gauges, shown only when the snapshot carries
+    them), a flight-recorder history panel ([sparks]: one {!sparkline}
+    row per named series, fed from [/range.json] bucket averages),
+    histogram summaries from [snapshot], and the tail of [events]
+    (newest last).  [color] (default [true]) toggles the ANSI styling;
+    [max_rows] (default 12) caps each table; [width] (default 100)
+    truncates long lines. *)

@@ -15,6 +15,8 @@ let sub_queue_cap = 1024
 type t = {
   registry : Registry.t;
   health : unit -> (string * Jsonx.t) list;
+  tsdb : Tsdb.t option;
+  alerts : Alert.t option;
   listen_fd : Unix.file_descr;
   bound_addr : Unix.sockaddr;
   bound_port : int;
@@ -224,6 +226,60 @@ let handle_events_stream t fd =
       in
       pump ())
 
+(* /range.json: the flight-recorder query endpoint.  Without [metric],
+   the series index.  [from]/[to] accept absolute unix seconds or
+   negative offsets relative to now; [step] defaults to a 1/100 slice
+   of the window. *)
+let handle_range_json t fd params =
+  match t.tsdb with
+  | None ->
+      respond fd ~status:404 ~content_type:"text/plain"
+        "no flight recorder attached\n"
+  | Some tsdb -> (
+      match List.assoc_opt "metric" params with
+      | None -> respond_json fd ~status:200 (Tsdb.index_json tsdb)
+      | Some metric -> (
+          let now = Clock.now_s () in
+          let time_param name default =
+            match List.assoc_opt name params with
+            | None -> Ok default
+            | Some s -> (
+                match float_of_string_opt s with
+                | Some f when f < 0. -> Ok (now +. f)
+                | Some f -> Ok f
+                | None -> Error name)
+          in
+          match (time_param "from" (now -. 300.), time_param "to" now) with
+          | Error p, _ | _, Error p ->
+              respond fd ~status:400 ~content_type:"text/plain"
+                (Printf.sprintf "bad %s parameter\n" p)
+          | Ok from_s, Ok to_s -> (
+              let default_step =
+                let span = to_s -. from_s in
+                if span > 0. then span /. 100. else 1.
+              in
+              match
+                match List.assoc_opt "step" params with
+                | None -> Ok default_step
+                | Some s -> (
+                    match float_of_string_opt s with
+                    | Some f when f > 0. -> Ok f
+                    | _ -> Error ())
+              with
+              | Error () ->
+                  respond fd ~status:400 ~content_type:"text/plain"
+                    "bad step parameter\n"
+              | Ok step_s ->
+                  respond_json fd ~status:200
+                    (Tsdb.range_json tsdb ~metric ~from_s ~to_s ~step_s))))
+
+let handle_alerts_json t fd =
+  match t.alerts with
+  | None ->
+      respond fd ~status:404 ~content_type:"text/plain"
+        "no alert engine attached\n"
+  | Some alerts -> respond_json fd ~status:200 (Alert.to_json alerts)
+
 let handle_request t fd =
   match read_head fd with
   | Error _ -> respond fd ~status:400 ~content_type:"text/plain" "bad request\n"
@@ -247,12 +303,14 @@ let handle_request t fd =
               respond_json fd ~status:200 (Registry.to_json t.registry)
           | "/lag.json" ->
               respond_json fd ~status:200 (Convergence.lag_json t.registry)
+          | "/range.json" -> handle_range_json t fd params
+          | "/alerts.json" -> handle_alerts_json t fd
           | "/events.json" -> handle_events_json t fd params
           | "/events" -> handle_events_stream t fd
           | "/" ->
               respond fd ~status:200 ~content_type:"text/plain"
                 "vstamp telemetry: /metrics /healthz /stats.json /lag.json \
-                 /events /events.json\n"
+                 /range.json /alerts.json /events /events.json\n"
           | _ ->
               respond fd ~status:404 ~content_type:"text/plain" "not found\n"))
 
@@ -310,8 +368,8 @@ let rec accept_loop t =
       if not (locked t (fun () -> t.stopping)) then accept_loop t
   | exception Unix.Unix_error _ -> ()
 
-let create ?(registry = Registry.default) ?(health = fun () -> [])
-    ?(recent = 64) ?(addr = "127.0.0.1") ~port () =
+let create ?(registry = Registry.default) ?(health = fun () -> []) ?tsdb
+    ?alerts ?(recent = 64) ?(addr = "127.0.0.1") ~port () =
   (* a client hanging up mid-response must not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
@@ -332,6 +390,8 @@ let create ?(registry = Registry.default) ?(health = fun () -> [])
     {
       registry;
       health;
+      tsdb;
+      alerts;
       listen_fd = fd;
       bound_addr;
       bound_port;

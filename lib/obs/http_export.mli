@@ -17,6 +17,15 @@
       ({!Convergence.lag_json}): per-replica lag, divergence-pair
       counts, frontier width/entropy, convergence timing and the
       sync-delta accounting totals;
+    - [GET /range.json] — the flight-recorder query endpoint (requires
+      a {!Tsdb.t} passed to {!create}): with [?metric=NAME] the rolled
+      -up history of one series over [?from=]/[?to=] (unix seconds, or
+      negative offsets relative to now; default the last 5 minutes) in
+      [?step=]-second buckets; without [metric], the series index and
+      store statistics;
+    - [GET /alerts.json] — the alert engine's state ({!Alert.to_json}:
+      per-rule state, values and the firing/resolved timeline;
+      requires an {!Alert.t} passed to {!create});
     - [GET /events] — chunked streaming of the live event feed: the
       ring of recent events first, then every event published through
       {!event_sink} as it happens, one JSONL line per chunk;
@@ -33,6 +42,8 @@ type t
 val create :
   ?registry:Registry.t ->
   ?health:(unit -> (string * Jsonx.t) list) ->
+  ?tsdb:Tsdb.t ->
+  ?alerts:Alert.t ->
   ?recent:int ->
   ?addr:string ->
   port:int ->
@@ -41,8 +52,9 @@ val create :
 (** Bind [addr] (default loopback) on [port] ([0] picks an ephemeral
     port — read it back with {!port}) and start the accept thread.
     [registry] defaults to {!Registry.default}; [health] contributes
-    extra [/healthz] fields; [recent] is the event-ring capacity
-    (default 64).
+    extra [/healthz] fields; [tsdb]/[alerts] enable [/range.json] and
+    [/alerts.json] (404 otherwise); [recent] is the event-ring
+    capacity (default 64).
 
     @raise Unix.Unix_error when the address cannot be bound. *)
 

@@ -1,0 +1,74 @@
+(* Gc.quick_stat sampler.  Word totals from the GC are floats that only
+   grow; the registry's counters are ints, so each sample adds the
+   integer part of the growth and carries the fractional remainder
+   forward — the published totals never drift more than a word from
+   the truth. *)
+
+type accum = { counter : Metric.counter; mutable carry : float }
+
+type t = {
+  minor_words : accum;
+  major_words : accum;
+  promoted_words : accum;
+  minor_collections : Metric.counter;
+  major_collections : Metric.counter;
+  compactions : Metric.counter;
+  heap_words : Metric.gauge;
+  top_heap_words : Metric.gauge;
+  allocation_rate : Metric.gauge;
+  mutable prev : Gc.stat;
+  mutable prev_t : float option;
+  mutable samples : int;
+}
+
+let feed accum growth =
+  if growth > 0. then begin
+    let total = accum.carry +. growth in
+    let whole = floor total in
+    accum.carry <- total -. whole;
+    Metric.add accum.counter (int_of_float whole)
+  end
+
+let create ?(registry = Registry.default) () =
+  let c name = { counter = Registry.counter registry name; carry = 0. } in
+  {
+    minor_words = c "runtime_minor_words_total";
+    major_words = c "runtime_major_words_total";
+    promoted_words = c "runtime_promoted_words_total";
+    minor_collections = Registry.counter registry "runtime_minor_collections_total";
+    major_collections = Registry.counter registry "runtime_major_collections_total";
+    compactions = Registry.counter registry "runtime_compactions_total";
+    heap_words = Registry.gauge registry "runtime_heap_words";
+    top_heap_words = Registry.gauge registry "runtime_top_heap_words";
+    allocation_rate = Registry.gauge registry "runtime_allocation_rate_words_per_s";
+    prev = Gc.quick_stat ();
+    prev_t = None;
+    samples = 0;
+  }
+
+let sample ?now_s t =
+  let now_s = match now_s with Some s -> s | None -> Clock.now_s () in
+  let st = Gc.quick_stat () in
+  let prev = t.prev in
+  feed t.minor_words (st.Gc.minor_words -. prev.Gc.minor_words);
+  feed t.major_words (st.Gc.major_words -. prev.Gc.major_words);
+  feed t.promoted_words (st.Gc.promoted_words -. prev.Gc.promoted_words);
+  let bump c cur prv = if cur > prv then Metric.add c (cur - prv) in
+  bump t.minor_collections st.Gc.minor_collections prev.Gc.minor_collections;
+  bump t.major_collections st.Gc.major_collections prev.Gc.major_collections;
+  bump t.compactions st.Gc.compactions prev.Gc.compactions;
+  Metric.set t.heap_words (float_of_int st.Gc.heap_words);
+  Metric.set t.top_heap_words (float_of_int st.Gc.top_heap_words);
+  (let allocated st =
+     st.Gc.minor_words +. st.Gc.major_words -. st.Gc.promoted_words
+   in
+   match t.prev_t with
+   | Some prev_t when now_s > prev_t ->
+       Metric.set t.allocation_rate
+         ((allocated st -. allocated prev) /. (now_s -. prev_t))
+   | _ -> ());
+  t.prev <- st;
+  t.prev_t <- Some now_s;
+  t.samples <- t.samples + 1
+
+let samples_taken t = t.samples

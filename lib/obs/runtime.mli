@@ -1,0 +1,33 @@
+(** OCaml runtime / GC telemetry: a [Gc.quick_stat] sampler that
+    publishes runtime health into a {!Registry}.
+
+    Each {!sample} reads [Gc.quick_stat] and updates:
+
+    - [runtime_minor_words_total], [runtime_major_words_total],
+      [runtime_promoted_words_total] — monotone word counters, fed by
+      the increase since the previous sample;
+    - [runtime_minor_collections_total],
+      [runtime_major_collections_total], [runtime_compactions_total] —
+      collection counters, same delta discipline;
+    - [runtime_heap_words], [runtime_top_heap_words] — gauges of the
+      current and peak major-heap size;
+    - [runtime_allocation_rate_words_per_s] — gauge: words allocated
+      ([minor + major - promoted]) per second since the previous
+      sample; [0.] until two samples exist.
+
+    Attachable to any registry; the soak driver samples it on the
+    flight-recorder cadence by default. *)
+
+type t
+
+val create : ?registry:Registry.t -> unit -> t
+(** Register the metric families (zeroed) and remember the baseline
+    [Gc.quick_stat], so the counters measure growth from attach time,
+    not from process start.  [registry] defaults to
+    {!Registry.default}. *)
+
+val sample : ?now_s:float -> t -> unit
+(** Take one sample.  [now_s] (default {!Clock.now_s}) feeds the
+    allocation-rate gauge. *)
+
+val samples_taken : t -> int

@@ -1,0 +1,92 @@
+(** Fixed-memory ring-buffer time-series store — the flight recorder.
+
+    A [Tsdb.t] is fed by periodic {!Registry} snapshots ({!sample}) and
+    retains a bounded, multi-resolution history per metric: tier 0
+    keeps the last [capacity] raw samples; each coarser tier keeps
+    [capacity] roll-ups of [downsample] points from the tier below
+    (min/max/sum/count/last per window).  Memory is therefore capped at
+    allocation time — an hours-long soak fits in a few MB no matter how
+    long it runs, old detail degrading gracefully into coarser windows
+    instead of disappearing.
+
+    Counters (and histogram observation counts) are recorded as the
+    {e increase} since the previous sample — the natural shape for
+    sparklines and rate math — with resets handled per the Prometheus
+    [rate()] convention.  Gauges are recorded raw. *)
+
+type t
+
+type kind = Counter | Gauge | Histogram
+
+type point = {
+  t_s : float;  (** wall-clock seconds of the (latest) sample folded in *)
+  min : float;
+  max : float;
+  sum : float;
+  count : int;
+  last : float;
+}
+
+val create : ?capacity:int -> ?tiers:int -> ?downsample:int -> ?max_series:int -> unit -> t
+(** [capacity] points per tier per series (default 240), [tiers]
+    resolutions (default 3), [downsample] fan-in between tiers
+    (default 12), [max_series] distinct metric names retained (default
+    512; further names are counted in {!dropped_series} and ignored).
+    At a 1 s sample cadence the defaults retain 4 min of raw samples,
+    48 min at 12 s resolution and ~9.6 h at 144 s resolution.
+    @raise Invalid_argument on non-positive parameters. *)
+
+val sample : t -> ?now_s:float -> Registry.t -> unit
+(** Record one snapshot of every metric in the registry.  [now_s]
+    defaults to {!Clock.now_s}. *)
+
+val observe : t -> now_s:float -> kind:kind -> string -> float -> unit
+(** Feed a single named value directly (what {!sample} does per
+    metric).  Counter-kind values are cumulative; the stored point is
+    the increase since the previous observation. *)
+
+val names : t -> string list
+(** Metric names with recorded history, sorted. *)
+
+val series_kind : t -> string -> kind option
+
+val samples_taken : t -> int
+
+val dropped_series : t -> int
+
+val footprint_bytes : t -> int
+(** Upper bound on heap bytes held by ring storage — constant after
+    all series are registered, regardless of how many samples land. *)
+
+val points_retained : t -> int
+(** Total points currently stored across all series and tiers;
+    bounded by [series * tiers * capacity]. *)
+
+val time_bounds : t -> (float * float) option
+(** Earliest and latest sample timestamps retained across all series;
+    [None] while empty. *)
+
+val query :
+  t -> metric:string -> from_s:float -> to_s:float -> step_s:float -> point list
+(** Roll the retained history of [metric] into [step_s]-wide buckets
+    covering [[from_s, to_s)], reading from the finest tier that still
+    reaches back to [from_s].  Empty buckets are omitted.  Unknown
+    metrics yield [[]]. *)
+
+val range_json :
+  t -> metric:string -> from_s:float -> to_s:float -> step_s:float -> Jsonx.t
+(** The [/range.json] payload: metric, kind, window, step and the
+    bucket list of {!query}. *)
+
+val index_json : t -> Jsonx.t
+(** The [/range.json] payload when no [metric] is given: the metric
+    -name index plus store statistics. *)
+
+val to_json : ?alerts:Jsonx.t -> t -> Jsonx.t
+(** Dump the full retained history (schema [vstamp-tsdb/1]), optionally
+    embedding an alert-engine state block — the input format of
+    [vstamp report --dump]. *)
+
+val of_json : Jsonx.t -> (t * Jsonx.t option, string) result
+(** Inverse of {!to_json}; returns the store and the embedded alerts
+    block, if any. *)

@@ -57,6 +57,9 @@ dune build @serve-smoke --force
 echo "== lag smoke (partition weather, /lag.json, divergence panel) =="
 dune build @lag-smoke --force
 
+echo "== report smoke (flight recorder, alerts, post-mortem) =="
+dune build @report-smoke --force
+
 echo "== CLI smoke: vstamp metrics =="
 dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 >/dev/null
 dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 --format prom >/dev/null

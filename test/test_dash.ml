@@ -259,6 +259,81 @@ let test_render_divergence_panel () =
   check_bool "no empty divergence section" false
     (contains frame "divergence (replica lag, pairs, convergence)")
 
+(* --- sparklines + flight-recorder panels --- *)
+
+let test_sparkline () =
+  Alcotest.(check string) "empty" "" (Dash.sparkline []);
+  Alcotest.(check string) "flat series renders mid-height" "▄▄▄"
+    (Dash.sparkline [ 5.; 5.; 5. ]);
+  Alcotest.(check string) "extremes" "▁█" (Dash.sparkline [ 0.; 7. ]);
+  Alcotest.(check string) "full ramp" "▁▂▃▄▅▆▇█"
+    (Dash.sparkline [ 0.; 1.; 2.; 3.; 4.; 5.; 6.; 7. ]);
+  Alcotest.(check string) "width keeps the newest values" "▁█"
+    (Dash.sparkline ~width:2 [ 0.; 1.; 2.; 3.; 4.; 5.; 6.; 7. ]);
+  Alcotest.(check string) "non-finite values dropped" "▁█"
+    (Dash.sparkline [ Float.nan; 1.; Float.infinity; 2. ]);
+  Alcotest.(check string) "all non-finite is empty" ""
+    (Dash.sparkline [ Float.nan; Float.infinity ])
+
+let test_render_alerts_panel () =
+  let alerts =
+    Jsonx.Obj
+      [
+        ( "rules",
+          Jsonx.List
+            [
+              Jsonx.Obj
+                [
+                  ("name", Jsonx.String "hot");
+                  ("rule", Jsonx.String "hot ops > 1");
+                  ("state", Jsonx.String "firing");
+                  ("value", Jsonx.Float 3.);
+                ];
+              Jsonx.Obj
+                [
+                  ("name", Jsonx.String "cold");
+                  ("rule", Jsonx.String "cold ops < 0");
+                  ("state", Jsonx.String "inactive");
+                ];
+            ] );
+      ]
+  in
+  let cur = snapshot (fun r -> Metric.inc (Registry.counter r "ops")) in
+  let deltas = Registry.diff ~elapsed_s:1.0 ~prev:(Jsonx.Obj []) cur in
+  let frame = Dash.render ~color:false ~alerts ~deltas ~snapshot:cur () in
+  check_bool "alerts section" true (contains frame "alerts");
+  check_bool "firing rule shown" true (contains frame "hot");
+  check_bool "firing state shown" true (contains frame "firing");
+  check_bool "inactive rule shown" true (contains frame "inactive");
+  (* no rules: no panel *)
+  let frame =
+    Dash.render ~color:false
+      ~alerts:(Jsonx.Obj [ ("rules", Jsonx.List []) ])
+      ~deltas ~snapshot:cur ()
+  in
+  check_bool "no empty alerts section" false (contains frame "alerts")
+
+let test_render_history_panel () =
+  let cur = snapshot (fun r -> Metric.inc (Registry.counter r "ops")) in
+  let deltas = Registry.diff ~elapsed_s:1.0 ~prev:(Jsonx.Obj []) cur in
+  let frame =
+    Dash.render ~color:false
+      ~sparks:[ ("soak_iterations_total", [ 1.; 2.; 3.; 4. ]) ]
+      ~deltas ~snapshot:cur ()
+  in
+  check_bool "history section" true
+    (contains frame "history (flight recorder)");
+  check_bool "series name shown" true (contains frame "soak_iterations_total");
+  check_bool "sparkline glyphs rendered" true (contains frame "█");
+  (* empty or all-NaN series render no panel *)
+  let frame =
+    Dash.render ~color:false
+      ~sparks:[ ("dead", [ Float.nan ]) ]
+      ~deltas ~snapshot:cur ()
+  in
+  check_bool "no empty history section" false
+    (contains frame "history (flight recorder)")
+
 let test_render_truncates_width () =
   let long = String.make 300 'x' in
   let cur = snapshot (fun r -> Metric.inc (Registry.counter r long)) in
@@ -307,5 +382,8 @@ let () =
             test_render_truncates_width;
           Alcotest.test_case "divergence panel" `Quick
             test_render_divergence_panel;
+          Alcotest.test_case "sparkline" `Quick test_sparkline;
+          Alcotest.test_case "alerts panel" `Quick test_render_alerts_panel;
+          Alcotest.test_case "history panel" `Quick test_render_history_panel;
         ] );
     ]

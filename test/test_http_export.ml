@@ -153,6 +153,189 @@ let test_events_json_ring () =
       check_bool "n=1 keeps newest only" false (contains body2 "\"i\":5}");
       check_bool "n=1 keeps newest" true (contains body2 "\"i\":6}"))
 
+(* --- flight recorder + alert endpoints --- *)
+
+let test_range_json_absent () =
+  with_server (fun _ srv ->
+      let status, body = get_ok srv "/range.json" in
+      check_int "404 without a recorder" 404 status;
+      check_bool "explains itself" true (contains body "no flight recorder"))
+
+let test_range_json () =
+  let registry = Registry.create () in
+  let tsdb = Tsdb.create () in
+  Tsdb.observe tsdb ~now_s:10. ~kind:Tsdb.Gauge "depth" 2.;
+  Tsdb.observe tsdb ~now_s:11. ~kind:Tsdb.Gauge "depth" 4.;
+  let srv = Http_export.create ~registry ~tsdb ~port:0 () in
+  Fun.protect ~finally:(fun () -> Http_export.stop srv) (fun () ->
+      (* no metric parameter: the index *)
+      let status, body = get_ok srv "/range.json" in
+      check_int "index status" 200 status;
+      let j =
+        match Jsonx.of_string (String.trim body) with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "index did not parse: %s" m
+      in
+      check_bool "metric listed" true (contains body "\"depth\"");
+      check_int "series count" 1
+        (Option.value ~default:(-1)
+           (Option.bind (Jsonx.member "series" j) Jsonx.to_int));
+      check_bool "footprint reported" true
+        (Option.is_some (Jsonx.member "footprint_bytes" j));
+      (* explicit absolute window *)
+      let status, body =
+        get_ok srv "/range.json?metric=depth&from=9&to=12&step=10"
+      in
+      check_int "query status" 200 status;
+      let j =
+        match Jsonx.of_string (String.trim body) with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "range did not parse: %s" m
+      in
+      check_bool "kind" true
+        (Option.bind (Jsonx.member "kind" j) Jsonx.to_str = Some "gauge");
+      (match Jsonx.member "points" j with
+      | Some (Jsonx.List [ p ]) ->
+          check_bool "bucket max" true
+            (Option.bind (Jsonx.member "max" p) Jsonx.to_float = Some 4.);
+          check_bool "bucket avg" true
+            (Option.bind (Jsonx.member "avg" p) Jsonx.to_float = Some 3.)
+      | _ -> Alcotest.fail "expected one bucket");
+      (* unknown metrics answer with an empty series, not an error *)
+      let status, body = get_ok srv "/range.json?metric=nope&from=0&to=1" in
+      check_int "unknown metric is 200" 200 status;
+      check_bool "empty points" true (contains body "\"points\":[]");
+      (* malformed parameters are a client error *)
+      let status, _ = get_ok srv "/range.json?metric=depth&from=xyz" in
+      check_int "bad from" 400 status;
+      let status, _ = get_ok srv "/range.json?metric=depth&step=-1" in
+      check_int "bad step" 400 status;
+      check_bool "index lists the endpoint" true
+        (let _, index = get_ok srv "/" in
+         contains index "/range.json"))
+
+let test_alerts_json () =
+  with_server (fun _ srv ->
+      let status, body = get_ok srv "/alerts.json" in
+      check_int "404 without an engine" 404 status;
+      check_bool "explains itself" true (contains body "no alert engine"));
+  let registry = Registry.create () in
+  let rule =
+    match Alert.parse_rule "deep depth >= 5" with
+    | Ok (Some r) -> r
+    | _ -> Alcotest.fail "rule did not parse"
+  in
+  let alerts = Alert.create ~registry [ rule ] in
+  Metric.set (Registry.gauge registry "depth") 9.;
+  Alert.eval ~now_s:1. alerts;
+  let srv = Http_export.create ~registry ~alerts ~port:0 () in
+  Fun.protect ~finally:(fun () -> Http_export.stop srv) (fun () ->
+      let status, body = get_ok srv "/alerts.json" in
+      check_int "status" 200 status;
+      check_bool "rule state served" true (contains body "\"state\":\"firing\"");
+      check_bool "firing gauge exported" true
+        (let _, metrics = get_ok srv "/metrics" in
+         contains metrics "vstamp_alerts_firing{rule=\"deep\"} 1");
+      check_bool "index lists the endpoint" true
+        (let _, index = get_ok srv "/" in
+         contains index "/alerts.json"))
+
+(* --- /events ring wraparound --- *)
+
+let parse_events_json body =
+  match Jsonx.of_string (String.trim body) with
+  | Error m -> Alcotest.failf "events.json did not parse: %s" m
+  | Ok (Jsonx.List items) ->
+      List.map
+        (fun j ->
+          match Event.of_json j with
+          | Ok e -> e
+          | Error m -> Alcotest.failf "torn event in events.json: %s" m)
+        items
+  | Ok _ -> Alcotest.fail "events.json is not a list"
+
+let test_events_ring_wraparound () =
+  with_server ~recent:8 (fun _ srv ->
+      let sink = Http_export.event_sink srv in
+      (* fill far past capacity: only the newest 8 survive *)
+      for i = 1 to 100 do
+        Sink.emit sink
+          (Event.v ~ts:(Event.Step i) "soak.tick" [ ("i", Jsonx.Int i) ])
+      done;
+      let _, body = get_ok srv "/events.json" in
+      let events = parse_events_json body in
+      check_int "ring holds capacity" 8 (List.length events);
+      let idx e =
+        match List.assoc_opt "i" e.Event.fields with
+        | Some (Jsonx.Int i) -> i
+        | _ -> Alcotest.fail "event lost its field"
+      in
+      Alcotest.(check (list int))
+        "oldest dropped, order preserved"
+        [ 93; 94; 95; 96; 97; 98; 99; 100 ]
+        (List.map idx events);
+      (* the stream resumes cleanly after wraparound: backlog is the
+         wrapped ring, then live events append *)
+      let result = ref (Error "not run") in
+      let reader =
+        Thread.create
+          (fun () ->
+            result :=
+              Http_export.Client.get ~timeout_s:10.0
+                ~port:(Http_export.port srv) "/events")
+          ()
+      in
+      Thread.delay 0.2;
+      Sink.emit sink
+        (Event.v ~ts:(Event.Step 101) "soak.tick" [ ("i", Jsonx.Int 101) ]);
+      Thread.delay 0.2;
+      Http_export.stop srv;
+      Thread.join reader;
+      match !result with
+      | Error m -> Alcotest.failf "stream after wraparound failed: %s" m
+      | Ok (status, body) ->
+          check_int "stream status" 200 status;
+          let lines =
+            String.split_on_char '\n' (String.trim body)
+            |> List.filter (fun l -> String.trim l <> "")
+          in
+          check_int "backlog + live line" 9 (List.length lines);
+          check_bool "oldest was dropped from backlog" false
+            (contains body "\"i\":92}");
+          check_bool "live event streamed" true (contains body "\"i\":101}");
+          List.iter
+            (fun l ->
+              match Event.of_string l with
+              | Ok _ -> ()
+              | Error m -> Alcotest.failf "torn stream line %S: %s" l m)
+            lines)
+
+let test_events_json_never_torn_under_load () =
+  with_server ~recent:16 (fun _ srv ->
+      let sink = Http_export.event_sink srv in
+      let stop = ref false in
+      let emitter =
+        Thread.create
+          (fun () ->
+            let i = ref 0 in
+            while not !stop do
+              incr i;
+              Sink.emit sink
+                (Event.v ~ts:(Event.Step !i) "soak.tick"
+                   [ ("i", Jsonx.Int !i) ])
+            done)
+          ()
+      in
+      (* every fetch while the ring churns must be a well-formed list
+         of well-formed events, never a torn line *)
+      for _ = 1 to 25 do
+        let _, body = get_ok srv "/events.json?n=10" in
+        let events = parse_events_json body in
+        check_bool "n respected" true (List.length events <= 10)
+      done;
+      stop := true;
+      Thread.join emitter)
+
 (* --- concurrency --- *)
 
 let test_concurrent_scrapes () =
@@ -256,6 +439,17 @@ let () =
           Alcotest.test_case "/lag.json" `Quick test_lag_json_endpoint;
           Alcotest.test_case "404 and index" `Quick test_not_found_and_method;
           Alcotest.test_case "/events.json ring" `Quick test_events_json_ring;
+          Alcotest.test_case "/range.json without recorder" `Quick
+            test_range_json_absent;
+          Alcotest.test_case "/range.json" `Quick test_range_json;
+          Alcotest.test_case "/alerts.json" `Quick test_alerts_json;
+        ] );
+      ( "ring wraparound",
+        [
+          Alcotest.test_case "backlog wrap + stream resume" `Quick
+            test_events_ring_wraparound;
+          Alcotest.test_case "no torn lines under churn" `Quick
+            test_events_json_never_torn_under_load;
         ] );
       ( "concurrency",
         [

@@ -1,0 +1,121 @@
+(* The GC/runtime sampler: metric families registered on attach,
+   counters fed by deltas from the attach-time baseline, heap gauges,
+   and the allocation-rate gauge. *)
+
+open Vstamp_obs
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let counter_value registry name =
+  match Registry.find registry name with
+  | Some (Registry.Counter c) -> Metric.count c
+  | _ -> Alcotest.failf "no counter %S" name
+
+let gauge_value registry name =
+  match Registry.find registry name with
+  | Some (Registry.Gauge g) -> Metric.value g
+  | _ -> Alcotest.failf "no gauge %S" name
+
+let families =
+  [
+    "runtime_minor_words_total";
+    "runtime_major_words_total";
+    "runtime_promoted_words_total";
+    "runtime_minor_collections_total";
+    "runtime_major_collections_total";
+    "runtime_compactions_total";
+  ]
+
+(* keep the allocation observable: build and return real structure *)
+let churn () =
+  let rec build n acc = if n = 0 then acc else build (n - 1) (n :: acc) in
+  ignore (Sys.opaque_identity (build 100_000 []) : int list)
+
+let test_families_registered_at_zero () =
+  let registry = Registry.create () in
+  let rt = Runtime.create ~registry () in
+  check_int "no samples yet" 0 (Runtime.samples_taken rt);
+  List.iter
+    (fun name ->
+      check_int (name ^ " starts at 0") 0 (counter_value registry name))
+    families;
+  check_bool "heap gauge present" true
+    (Registry.find registry "runtime_heap_words" <> None);
+  check_bool "rate gauge present" true
+    (Registry.find registry "runtime_allocation_rate_words_per_s" <> None)
+
+let test_counters_advance_with_allocation () =
+  let registry = Registry.create () in
+  let rt = Runtime.create ~registry () in
+  churn ();
+  Runtime.sample ~now_s:1. rt;
+  check_int "one sample" 1 (Runtime.samples_taken rt);
+  check_bool "minor words grew" true
+    (counter_value registry "runtime_minor_words_total" > 0);
+  check_bool "heap gauge set" true
+    (gauge_value registry "runtime_heap_words" > 0.);
+  check_bool "top heap gauge set" true
+    (gauge_value registry "runtime_top_heap_words" > 0.)
+
+let test_counters_monotone () =
+  let registry = Registry.create () in
+  let rt = Runtime.create ~registry () in
+  let read () = List.map (fun n -> counter_value registry n) families in
+  let prev = ref (read ()) in
+  for i = 1 to 5 do
+    churn ();
+    Runtime.sample ~now_s:(float_of_int i) rt;
+    let cur = read () in
+    List.iter2
+      (fun p c -> check_bool "counter never decreases" true (c >= p))
+      !prev cur;
+    prev := cur
+  done;
+  check_int "five samples" 5 (Runtime.samples_taken rt)
+
+let test_allocation_rate () =
+  let registry = Registry.create () in
+  let rt = Runtime.create ~registry () in
+  Runtime.sample ~now_s:10. rt;
+  Alcotest.(check (float 0.))
+    "rate is 0 after one sample" 0.
+    (gauge_value registry "runtime_allocation_rate_words_per_s");
+  churn ();
+  Runtime.sample ~now_s:12. rt;
+  check_bool "rate positive once two samples exist" true
+    (gauge_value registry "runtime_allocation_rate_words_per_s" > 0.)
+
+let test_flows_into_tsdb () =
+  (* the soak wiring: runtime sampled into a registry that the flight
+     recorder snapshots *)
+  let registry = Registry.create () in
+  let rt = Runtime.create ~registry () in
+  let tsdb = Tsdb.create () in
+  churn ();
+  Runtime.sample ~now_s:1. rt;
+  Tsdb.sample tsdb ~now_s:1. registry;
+  check_bool "recorder sees the runtime counters" true
+    (Tsdb.series_kind tsdb "runtime_minor_words_total" = Some Tsdb.Counter);
+  check_bool "recorder sees the heap gauge" true
+    (Tsdb.series_kind tsdb "runtime_heap_words" = Some Tsdb.Gauge)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "registration",
+        [
+          Alcotest.test_case "families at zero" `Quick
+            test_families_registered_at_zero;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "counters advance" `Quick
+            test_counters_advance_with_allocation;
+          Alcotest.test_case "counters monotone" `Quick test_counters_monotone;
+          Alcotest.test_case "allocation rate" `Quick test_allocation_rate;
+          Alcotest.test_case "feeds the flight recorder" `Quick
+            test_flows_into_tsdb;
+        ] );
+    ]

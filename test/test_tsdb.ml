@@ -1,0 +1,233 @@
+(* The flight recorder's time-series store: bounded memory, counter
+   increase semantics, multi-resolution roll-ups, tier fallback on
+   query, registry sampling and the dump round trip. *)
+
+open Vstamp_obs
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+(* --- construction --- *)
+
+let test_create_validation () =
+  let bad f = try ignore (f () : Tsdb.t); false with Invalid_argument _ -> true in
+  check_bool "capacity 0" true (bad (fun () -> Tsdb.create ~capacity:0 ()));
+  check_bool "tiers 0" true (bad (fun () -> Tsdb.create ~tiers:0 ()));
+  check_bool "downsample 1" true (bad (fun () -> Tsdb.create ~downsample:1 ()));
+  check_bool "max_series 0" true (bad (fun () -> Tsdb.create ~max_series:0 ()))
+
+(* --- recording semantics --- *)
+
+let one_bucket t metric =
+  match Tsdb.query t ~metric ~from_s:0. ~to_s:1e9 ~step_s:1e9 with
+  | [ p ] -> p
+  | ps -> Alcotest.failf "expected one bucket, got %d" (List.length ps)
+
+let test_counter_increase_semantics () =
+  let t = Tsdb.create () in
+  (* cumulative 10, 15 then a reset to 12: stored increases 10, 5, 12 *)
+  Tsdb.observe t ~now_s:1. ~kind:Tsdb.Counter "c" 10.;
+  Tsdb.observe t ~now_s:2. ~kind:Tsdb.Counter "c" 15.;
+  Tsdb.observe t ~now_s:3. ~kind:Tsdb.Counter "c" 12.;
+  let p = one_bucket t "c" in
+  checkf "min is smallest increase" 5. p.Tsdb.min;
+  checkf "max is reset value" 12. p.Tsdb.max;
+  checkf "sum of increases" 27. p.Tsdb.sum;
+  check_int "count" 3 p.Tsdb.count;
+  checkf "last increase" 12. p.Tsdb.last;
+  check_bool "kind recorded" true (Tsdb.series_kind t "c" = Some Tsdb.Counter)
+
+let test_gauge_raw_semantics () =
+  let t = Tsdb.create () in
+  List.iteri
+    (fun i v -> Tsdb.observe t ~now_s:(float_of_int i) ~kind:Tsdb.Gauge "g" v)
+    [ 3.; 1.; 2. ];
+  let p = one_bucket t "g" in
+  checkf "min" 1. p.Tsdb.min;
+  checkf "max" 3. p.Tsdb.max;
+  checkf "sum" 6. p.Tsdb.sum;
+  checkf "last raw value" 2. p.Tsdb.last
+
+(* --- roll-ups and tier fallback --- *)
+
+let test_rollup_and_fallback () =
+  (* tier 0 holds 4 raw points; every 4 pushes roll into tier 1 *)
+  let t = Tsdb.create ~capacity:4 ~tiers:2 ~downsample:4 () in
+  for i = 1 to 16 do
+    Tsdb.observe t ~now_s:(float_of_int i) ~kind:Tsdb.Gauge "g" (float_of_int i)
+  done;
+  (* from 13: the raw tier still reaches back, full detail *)
+  let raw = one_bucket t "g" in
+  ignore raw;
+  let fine =
+    match Tsdb.query t ~metric:"g" ~from_s:13. ~to_s:17. ~step_s:4. with
+    | [ p ] -> p
+    | ps -> Alcotest.failf "fine query: %d buckets" (List.length ps)
+  in
+  checkf "fine min" 13. fine.Tsdb.min;
+  check_int "fine count" 4 fine.Tsdb.count;
+  (* from 0: only the coarse tier reaches back; the roll-ups preserve
+     the full min/max/sum/count even though the raw points are gone *)
+  let coarse =
+    match Tsdb.query t ~metric:"g" ~from_s:0. ~to_s:17. ~step_s:17. with
+    | [ p ] -> p
+    | ps -> Alcotest.failf "coarse query: %d buckets" (List.length ps)
+  in
+  checkf "coarse min survives eviction" 1. coarse.Tsdb.min;
+  checkf "coarse max" 16. coarse.Tsdb.max;
+  checkf "coarse sum" 136. coarse.Tsdb.sum;
+  check_int "coarse count" 16 coarse.Tsdb.count;
+  checkf "coarse last" 16. coarse.Tsdb.last;
+  (* bucketed: the coarse tier has 4 roll-ups at t = 4, 8, 12, 16 *)
+  let buckets = Tsdb.query t ~metric:"g" ~from_s:0. ~to_s:17. ~step_s:5. in
+  check_bool "multiple coarse buckets" true (List.length buckets >= 2);
+  check_bool "unknown metric yields nothing" true
+    (Tsdb.query t ~metric:"nope" ~from_s:0. ~to_s:17. ~step_s:1. = [])
+
+(* --- bounded memory: the tentpole invariant --- *)
+
+let test_memory_capped () =
+  let t = Tsdb.create ~capacity:8 ~tiers:3 ~downsample:4 () in
+  Tsdb.observe t ~now_s:0. ~kind:Tsdb.Gauge "g" 0.;
+  let footprint0 = Tsdb.footprint_bytes t in
+  check_bool "footprint accounted" true (footprint0 > 0);
+  for i = 1 to 10_000 do
+    Tsdb.observe t ~now_s:(float_of_int i) ~kind:Tsdb.Gauge "g" (float_of_int i)
+  done;
+  check_int "footprint unchanged after 10k samples" footprint0
+    (Tsdb.footprint_bytes t);
+  check_bool "points bounded by tiers * capacity" true
+    (Tsdb.points_retained t <= 3 * 8);
+  (match Tsdb.time_bounds t with
+  | None -> Alcotest.fail "no time bounds"
+  | Some (lo, hi) ->
+      checkf "newest is the last sample" 10_000. hi;
+      check_bool "oldest moved forward (rings rotated)" true (lo > 0.))
+
+let test_max_series_dropped () =
+  let t = Tsdb.create ~max_series:2 () in
+  Tsdb.observe t ~now_s:1. ~kind:Tsdb.Gauge "a" 1.;
+  Tsdb.observe t ~now_s:1. ~kind:Tsdb.Gauge "b" 1.;
+  Tsdb.observe t ~now_s:1. ~kind:Tsdb.Gauge "c" 1.;
+  Alcotest.(check (list string)) "only first two kept" [ "a"; "b" ]
+    (Tsdb.names t);
+  check_bool "drops counted" true (Tsdb.dropped_series t >= 1)
+
+(* --- registry sampling --- *)
+
+let test_sample_registry () =
+  let registry = Registry.create () in
+  let c = Registry.counter registry "ops_total" in
+  let g = Registry.gauge registry "depth" in
+  let h = Registry.histogram registry "latency" in
+  Metric.add c 5;
+  Metric.set g 2.5;
+  Metric.observe h 1.0;
+  let t = Tsdb.create () in
+  Tsdb.sample t ~now_s:1. registry;
+  Metric.add c 3;
+  Metric.observe h 1.0;
+  Tsdb.sample t ~now_s:2. registry;
+  check_int "two samples" 2 (Tsdb.samples_taken t);
+  check_bool "counter series" true
+    (Tsdb.series_kind t "ops_total" = Some Tsdb.Counter);
+  check_bool "gauge series" true (Tsdb.series_kind t "depth" = Some Tsdb.Gauge);
+  check_bool "histogram series" true
+    (Tsdb.series_kind t "latency" = Some Tsdb.Histogram);
+  let p = one_bucket t "ops_total" in
+  checkf "counter increases: 5 then 3" 8. p.Tsdb.sum;
+  checkf "last increase" 3. p.Tsdb.last;
+  let ph = one_bucket t "latency" in
+  checkf "histogram records observation increases" 2. ph.Tsdb.sum
+
+(* --- dump round trip --- *)
+
+let test_json_round_trip () =
+  let t = Tsdb.create ~capacity:4 ~tiers:2 ~downsample:4 () in
+  for i = 1 to 10 do
+    Tsdb.observe t ~now_s:(float_of_int i) ~kind:Tsdb.Gauge "g" (float_of_int i);
+    Tsdb.observe t ~now_s:(float_of_int i) ~kind:Tsdb.Counter "c"
+      (float_of_int (i * 2))
+  done;
+  let alerts = Jsonx.Obj [ ("firing", Jsonx.Int 1) ] in
+  let dump = Tsdb.to_json ~alerts t in
+  (* canonical serialisation survives a string round trip too *)
+  let reparsed =
+    match Jsonx.of_string (Jsonx.to_string dump) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "dump did not reparse: %s" m
+  in
+  match Tsdb.of_json reparsed with
+  | Error m -> Alcotest.failf "of_json failed: %s" m
+  | Ok (t', alerts') ->
+      Alcotest.(check (list string)) "names preserved" (Tsdb.names t)
+        (Tsdb.names t');
+      check_bool "kind preserved" true
+        (Tsdb.series_kind t' "c" = Some Tsdb.Counter);
+      check_bool "alerts block preserved" true
+        (alerts' = Some (Jsonx.Obj [ ("firing", Jsonx.Int 1) ]));
+      let same metric =
+        let q t =
+          Tsdb.query t ~metric ~from_s:0. ~to_s:11. ~step_s:1.
+        in
+        Alcotest.(check int)
+          (metric ^ " point count preserved")
+          (List.length (q t)) (List.length (q t'));
+        List.iter2
+          (fun (a : Tsdb.point) (b : Tsdb.point) ->
+            checkf (metric ^ " t") a.Tsdb.t_s b.Tsdb.t_s;
+            checkf (metric ^ " sum") a.Tsdb.sum b.Tsdb.sum;
+            check_int (metric ^ " count") a.Tsdb.count b.Tsdb.count)
+          (q t) (q t')
+      in
+      same "g";
+      same "c";
+      check_bool "time bounds preserved" true
+        (Tsdb.time_bounds t = Tsdb.time_bounds t')
+
+let test_of_json_rejects_garbage () =
+  let bad j =
+    match Tsdb.of_json j with Ok _ -> false | Error _ -> true
+  in
+  check_bool "missing schema" true (bad (Jsonx.Obj []));
+  check_bool "wrong schema" true
+    (bad (Jsonx.Obj [ ("schema", Jsonx.String "vstamp-tsdb/999") ]))
+
+let () =
+  Alcotest.run "tsdb"
+    [
+      ( "construction",
+        [ Alcotest.test_case "parameter validation" `Quick test_create_validation ]
+      );
+      ( "recording",
+        [
+          Alcotest.test_case "counter increases + reset" `Quick
+            test_counter_increase_semantics;
+          Alcotest.test_case "gauges raw" `Quick test_gauge_raw_semantics;
+        ] );
+      ( "tiers",
+        [
+          Alcotest.test_case "roll-up cascade + query fallback" `Quick
+            test_rollup_and_fallback;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "footprint capped over 10k samples" `Quick
+            test_memory_capped;
+          Alcotest.test_case "max_series drops extras" `Quick
+            test_max_series_dropped;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "snapshot sampling" `Quick test_sample_registry ]
+      );
+      ( "dump",
+        [
+          Alcotest.test_case "to_json/of_json round trip" `Quick
+            test_json_round_trip;
+          Alcotest.test_case "of_json rejects garbage" `Quick
+            test_of_json_rejects_garbage;
+        ] );
+    ]
