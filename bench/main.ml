@@ -65,6 +65,8 @@ type bench_config = {
   e15_series : int;
   e15_ticks : int;
   e15_best_of : int;
+  e16_spans : int;
+  e16_best_of : int;
 }
 
 let bench_config ~quick =
@@ -86,6 +88,8 @@ let bench_config ~quick =
       e15_series = 64;
       e15_ticks = 200;
       e15_best_of = 1;
+      e16_spans = 2000;
+      e16_best_of = 1;
     }
   else
     {
@@ -105,6 +109,8 @@ let bench_config ~quick =
       e15_series = 256;
       e15_ticks = 2000;
       e15_best_of = 3;
+      e16_spans = 20000;
+      e16_best_of = 3;
     }
 
 let config_json c =
@@ -128,6 +134,8 @@ let config_json c =
       ("e15_series", Jsonx.Int c.e15_series);
       ("e15_ticks", Jsonx.Int c.e15_ticks);
       ("e15_best_of", Jsonx.Int c.e15_best_of);
+      ("e16_spans", Jsonx.Int c.e16_spans);
+      ("e16_best_of", Jsonx.Int c.e16_best_of);
       ( "backends",
         Jsonx.List
           (List.map (fun k -> Jsonx.String k) (Vstamp_core.Backend.keys ())) );
@@ -1337,6 +1345,92 @@ let e15 ~cfg () =
       ("points_retained", Jsonx.Int (Tsdb.points_retained tsdb));
     ]
 
+(* E16: distributed-tracing overhead.  What context propagation costs
+   the sync layers: the per-call cost of recording a span (attached,
+   with a throwaway sink) against the detached no-op path every
+   uninstrumented run takes, the remote continuation (header parse +
+   child span), and the fixed wire overhead — the header bytes a sync
+   envelope carries and the JSONL record one span adds to a node's
+   log. *)
+let e16 ~cfg () =
+  section "E16: trace propagation overhead (span cost, wire bytes)";
+  let open Vstamp_obs in
+  let n = cfg.e16_spans in
+  let best_of f =
+    let rec go k best =
+      if k = 0 then best
+      else begin
+        let t0 = Unix.gettimeofday () in
+        f ();
+        go (k - 1) (min best (Unix.gettimeofday () -. t0))
+      end
+    in
+    go (max 1 cfg.e16_best_of) infinity
+  in
+  let spans body =
+    best_of (fun () ->
+        for i = 1 to n do
+          Trace_ctx.with_span "bench.span"
+            ~attrs:[ ("i", Jsonx.Int i) ]
+            body
+        done)
+  in
+  Trace_ctx.set_id_seed 0x5eed;
+  let sink_count = ref 0 in
+  Trace_ctx.attach ~sink:(fun _ -> incr sink_count) ~node:"bench" ();
+  let header =
+    match Trace_ctx.current () with
+    | Some c -> Trace_ctx.to_header c
+    | None -> ""
+  in
+  let attached_s = spans (fun () -> ()) in
+  let remote_s =
+    best_of (fun () ->
+        for _ = 1 to n do
+          Trace_ctx.with_remote_span ~header "bench.apply" (fun () -> ())
+        done)
+  in
+  (* one representative record, shaped like the soak's sync spans *)
+  let recorded = ref [] in
+  Trace_ctx.detach ();
+  Trace_ctx.attach ~sink:(fun sp -> recorded := sp :: !recorded) ~node:"bench" ();
+  Trace_ctx.with_span "sync.session" ~stamp:"[1|0]" ~domain:"cluster"
+    ~attrs:[ ("files", Jsonx.Int 5); ("conflicts", Jsonx.Int 0) ]
+    (fun () -> ());
+  Trace_ctx.detach ();
+  let span_json_bytes =
+    match !recorded with
+    | sp :: _ -> String.length (Trace_ctx.span_to_string sp)
+    | [] -> 0
+  in
+  (* the same instrumented call sites with no tracer attached: the
+     price every un-traced run pays *)
+  let detached_s = spans (fun () -> ()) in
+  let per s = s /. float_of_int n *. 1e9 in
+  table
+    ~header:
+      [ "spans"; "with_span ns"; "detached ns"; "remote ns"; "header B";
+        "record B" ]
+    [
+      [
+        string_of_int n;
+        Printf.sprintf "%.0f" (per attached_s);
+        Printf.sprintf "%.1f" (per detached_s);
+        Printf.sprintf "%.0f" (per remote_s);
+        string_of_int (String.length header);
+        string_of_int span_json_bytes;
+      ];
+    ];
+  Jsonx.Obj
+    [
+      ("spans", Jsonx.Int n);
+      ("with_span_ns", Jsonx.Float (per attached_s));
+      ("detached_ns", Jsonx.Float (per detached_s));
+      ("remote_span_ns", Jsonx.Float (per remote_s));
+      ("header_bytes", Jsonx.Int (String.length header));
+      ("span_json_bytes", Jsonx.Int span_json_bytes);
+    ]
+
 (* /3 keeps every /2 field and adds the config and wall_clock blocks
    (Bench_store's comparability key and run metadata), the E11 sampled
    columns, the E13 sampling_sweep, and {"timed_out": true} markers for
@@ -1346,11 +1440,13 @@ let e15 ~cfg () =
    E14 convergence block (divergence / time-to-convergence /
    sync-delta efficiency vs partition severity).  /6 keeps every /5
    field and adds the E15 recorder block (flight-recorder tick cost,
-   cadence duty cycles, ring footprint). *)
-let bench_json_schema = "vstamp-bench-core/6"
+   cadence duty cycles, ring footprint).  /7 keeps every /6 field and
+   adds the E16 trace block (span-record and remote-continuation
+   costs, context-propagation wire bytes). *)
+let bench_json_schema = "vstamp-bench-core/7"
 
 let write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
-    ~monitor_overhead ~sampling_sweep ~convergence ~recorder =
+    ~monitor_overhead ~sampling_sweep ~convergence ~recorder ~trace =
   let open Vstamp_obs in
   let json =
     Jsonx.Obj
@@ -1373,6 +1469,7 @@ let write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
         ("sampling_sweep", sampling_sweep);
         ("convergence", convergence);
         ("recorder", recorder);
+        ("trace", trace);
       ]
   in
   let oc = open_out opts.out in
@@ -1411,7 +1508,8 @@ let () =
   let monitor_overhead, sampling_sweep = e11 ~cfg () in
   let convergence = e14 ~cfg () in
   let recorder = e15 ~cfg () in
+  let trace = e16 ~cfg () in
   let elapsed_s = Unix.gettimeofday () -. t_start in
   write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
-    ~monitor_overhead ~sampling_sweep ~convergence ~recorder;
+    ~monitor_overhead ~sampling_sweep ~convergence ~recorder ~trace;
   Format.printf "@.done.@."

@@ -1169,6 +1169,30 @@ module Obs_registry = Vstamp_obs.Registry
 module Obs_sink = Vstamp_obs.Sink
 module Obs_event = Vstamp_obs.Event
 module Jx = Vstamp_obs.Jsonx
+module Tr = Vstamp_obs.Trace_ctx
+module Tmerge = Vstamp_obs.Trace_merge
+
+(* Stamp comparison over text labels, for the merge layer (which lives
+   below the stamp mechanism and sees only strings).  Memoized: a
+   cluster merge compares every label pair within a scope. *)
+let stamp_label_leq : Tmerge.leq =
+  let cache : (string, Stamp.t option) Hashtbl.t = Hashtbl.create 64 in
+  let parse label =
+    match Hashtbl.find_opt cache label with
+    | Some v -> v
+    | None ->
+        let v =
+          match Vstamp_codec.Text.stamp_of_string label with
+          | Ok s -> Some s
+          | Error _ -> None
+        in
+        Hashtbl.add cache label v;
+        v
+  in
+  fun a b ->
+    match (parse a, parse b) with
+    | Some sa, Some sb -> Some (Stamp.leq sa sb)
+    | _ -> None
 
 (* One continuous key-value phase: three server replicas take causal
    puts/gets/deletes and anti-entropy rounds, all counted by
@@ -1282,7 +1306,8 @@ let soak_checkpoint ~history ~registry ~srv ~sink ~t0 ~iteration ~final =
 
 let soak port addr duration iterations n_ops seed backend sample_every
     sample_prob checkpoint_every history events_out port_file quiet
-    partition_weather rules_file retention record_every tsdb_out =
+    partition_weather rules_file retention record_every tsdb_out node_id
+    span_out trace_parent stamp_seed =
   let tracker =
     match backend with
     | None -> Tracker.stamps
@@ -1325,6 +1350,41 @@ let soak port addr duration iterations n_ops seed backend sample_every
     | Ok s, _, _ -> s
   in
   let registry = Obs_registry.create () in
+  (* Distributed tracing: with --span-out every iteration (and the
+     sync rounds inside it) becomes a span appended to a JSONL log;
+     with --trace-parent those spans continue the launching process's
+     trace, so a whole cluster's workers land in one trace (merged by
+     `vstamp report --cluster`). *)
+  let trace_root =
+    match trace_parent with
+    | None -> None
+    | Some h -> (
+        match Tr.of_header h with
+        | Ok ctx -> Some ctx
+        | Error m -> die "--trace-parent: %s" m)
+  in
+  let span_oc =
+    match span_out with
+    | None -> None
+    | Some file -> Some (open_out_bin file)
+  in
+  if span_oc <> None || trace_root <> None then begin
+    let sink =
+      match span_oc with
+      | None -> fun _ -> ()
+      | Some oc ->
+          fun sp ->
+            output_string oc (Tr.span_to_string sp);
+            output_char oc '\n';
+            flush oc
+    in
+    Tr.attach ~registry ~sink ~node:node_id ?parent:trace_root ()
+  end;
+  (* Each iteration advances this stamp and labels its span with it:
+     inside one process the labels are linearly ordered by [update],
+     and across a cluster the parent forks the seed so every worker's
+     labels stay mutually comparable (domain "cluster"). *)
+  let soak_stamp = ref (Option.value ~default:Stamp.seed stamp_seed) in
   let stop = ref false in
   let iterations_done = ref 0 in
   let last_step = ref 0 in
@@ -1425,38 +1485,52 @@ let soak port addr duration iterations n_ops seed backend sample_every
     if expired i then ()
     else begin
       let wname = workloads.((i - 1) mod Array.length workloads) in
-      (match workload_of_name ~seed:(seed + i) ~n_ops wname with
-      | Error (`Msg m) -> die "%s" m (* unreachable: names are known *)
-      | Ok ops -> (
-          (try
-             ignore
-               (System.run ~with_oracle:false ~registry ~sink
-                  ~check_invariants:true ~sampling ~sample_seed:(seed + i)
-                  tracker ops
-                 : System.result)
-           with System.Invariant_violation _ ->
-             Vstamp_obs.Metric.inc sim_failures);
-          last_step := !last_step + List.length ops));
-      let rng = Rng.make (seed + i) in
-      let rng = soak_kv_phase rng ~ops_n:(max 16 (n_ops / 2)) in
-      let rng = soak_sync_phase rng in
-      let (_ : Rng.t) = soak_stamped_kv_phase rng in
-      (* partition-weather phase: a 3-replica convergence scenario per
-         iteration, publishing the vstamp_replica_lag /
-         vstamp_divergence_* / vstamp_convergence_* gauges and the
-         sim-level delta ledger into the live registry *)
-      (match partition_weather with
-      | None -> ()
-      | Some severity ->
-          let cfg =
-            {
-              Lag.default_config with
-              Lag.severity;
-              seed = seed + i;
-              rounds = max 4 (n_ops / 32);
-            }
-          in
-          ignore (Lag.run ~registry cfg tracker : Lag.result));
+      let iteration_body () =
+        (match workload_of_name ~seed:(seed + i) ~n_ops wname with
+        | Error (`Msg m) -> die "%s" m (* unreachable: names are known *)
+        | Ok ops -> (
+            (try
+               ignore
+                 (System.run ~with_oracle:false ~registry ~sink
+                    ~check_invariants:true ~sampling ~sample_seed:(seed + i)
+                    tracker ops
+                   : System.result)
+             with System.Invariant_violation _ ->
+               Vstamp_obs.Metric.inc sim_failures);
+            last_step := !last_step + List.length ops));
+        let rng = Rng.make (seed + i) in
+        let rng = soak_kv_phase rng ~ops_n:(max 16 (n_ops / 2)) in
+        let rng = soak_sync_phase rng in
+        let (_ : Rng.t) = soak_stamped_kv_phase rng in
+        (* partition-weather phase: a 3-replica convergence scenario per
+           iteration, publishing the vstamp_replica_lag /
+           vstamp_divergence_* / vstamp_convergence_* gauges and the
+           sim-level delta ledger into the live registry *)
+        match partition_weather with
+        | None -> ()
+        | Some severity ->
+            let cfg =
+              {
+                Lag.default_config with
+                Lag.severity;
+                seed = seed + i;
+                rounds = max 4 (n_ops / 32);
+              }
+            in
+            ignore (Lag.run ~registry cfg tracker : Lag.result)
+      in
+      (* One iteration is one span, labelled with this worker's stamp
+         after a fresh [update] — so the cluster merge can place the
+         iteration in the causal order by stamp leq alone. *)
+      if Tr.attached () then begin
+        soak_stamp := Stamp.update !soak_stamp;
+        Tr.with_span "soak.iteration"
+          ~stamp:(Stamp.to_string !soak_stamp)
+          ~domain:"cluster"
+          ~attrs:[ ("iteration", Jx.Int i); ("workload", Jx.String wname) ]
+          iteration_body
+      end
+      else iteration_body ();
       incr iterations_done;
       Vstamp_obs.Metric.inc iter_counter;
       Vstamp_obs.Metric.set step_gauge (float_of_int !last_step);
@@ -1496,6 +1570,8 @@ let soak port addr duration iterations n_ops seed backend sample_every
   Vstamp_kvs.Kv_node.Obs.detach ();
   Vstamp_kvs.Stamped_kv.Obs.detach ();
   Vstamp_panasync.Sync.Obs.detach ();
+  if Tr.attached () then Tr.detach ();
+  (match span_oc with None -> () | Some oc -> close_out_noerr oc);
   if not quiet then
     Format.printf
       "soak: %d iterations, %d logical steps, %d events, %d requests in \
@@ -1513,6 +1589,229 @@ let soak port addr duration iterations n_ops seed backend sample_every
         (String.concat ", " names);
       exit 4
   | _ -> ()
+
+(* --- soak --cluster: the multi-process cluster observatory ---
+
+   The parent forks N soak workers (each with its own telemetry port,
+   flight recorder and span log), hands each a trace header and a
+   forked stamp seed, federates their telemetry behind /cluster.json,
+   and on shutdown merges every node's span log into one causally
+   ordered Chrome trace plus a causal-ordering validation report. *)
+
+let soak_cluster n port addr duration iterations n_ops seed backend quiet
+    partition_weather rules_file record_every port_file dir =
+  if n < 2 then die "--cluster needs at least 2 workers";
+  (try Unix.mkdir dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path p = Filename.concat dir p in
+  (* the parent's own spans (the launch) go to memory, written out at
+     the end next to the workers' logs *)
+  let parent_spans = ref [] in
+  Tr.attach ~sink:(fun sp -> parent_spans := sp :: !parent_spans)
+    ~node:"parent" ();
+  (* one n-way fork of the seed: every worker's stamp lineage stays
+     mutually comparable, and the launch (labelled with the seed
+     itself) is strictly below every worker iteration — the cross-node
+     ordered pairs wall clocks could not justify *)
+  let worker_stamps = Stamp.fork_many Stamp.seed n in
+  let spawn header i stamp =
+    let name = Printf.sprintf "node-%d" i in
+    (try Sys.remove (path (name ^ ".port")) with Sys_error _ -> ());
+    let argv =
+      [
+        "vstamp"; "soak"; "--port"; "0"; "--addr"; addr;
+        "--port-file"; path (name ^ ".port");
+        "--node-id"; name;
+        "--span-out"; path (name ^ ".spans.jsonl");
+        "--trace-parent"; header;
+        "--stamp-seed"; Stamp.to_string stamp;
+        "--tsdb-out"; path (name ^ ".tsdb.json");
+        "--seed"; string_of_int (seed + (1000 * i));
+        "--ops"; string_of_int n_ops;
+        "--record-every"; string_of_float record_every;
+        "--no-history"; "--quiet";
+      ]
+      @ (if duration > 0.0 then [ "--duration"; string_of_float duration ]
+         else [])
+      @ (if iterations > 0 then
+           [ "--iterations"; string_of_int iterations ]
+         else [])
+      @ (match partition_weather with
+        | None -> []
+        | Some s -> [ "--partition-weather"; string_of_float s ])
+      @ (match rules_file with None -> [] | Some f -> [ "--rules"; f ])
+      @ (match backend with None -> [] | Some b -> [ "--backend"; b ])
+    in
+    let pid =
+      Unix.create_process Sys.executable_name (Array.of_list argv)
+        Unix.stdin Unix.stdout Unix.stderr
+    in
+    (name, pid)
+  in
+  let workers =
+    Tr.with_span "cluster.launch"
+      ~stamp:(Stamp.to_string Stamp.seed)
+      ~domain:"cluster"
+      ~attrs:[ ("workers", Jx.Int n) ]
+      (fun () ->
+        let header =
+          match Tr.current () with Some c -> Tr.to_header c | None -> ""
+        in
+        List.mapi (spawn header) worker_stamps)
+  in
+  (* children die with us: forward the signal, then keep reaping *)
+  let forward _ =
+    List.iter
+      (fun (_, pid) ->
+        try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+      workers
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle forward);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle forward);
+  (* wait for every worker's ephemeral port to land in its port file *)
+  let await_port name =
+    let file = path (name ^ ".port") in
+    let deadline = Unix.gettimeofday () +. 15.0 in
+    let rec go () =
+      let p =
+        match read_file file with
+        | Ok s -> int_of_string_opt (String.trim s)
+        | Error _ -> None
+      in
+      match p with
+      | Some p -> p
+      | None ->
+          if Unix.gettimeofday () > deadline then
+            die "cluster: %s did not publish a port within 15s" name
+          else begin
+            (try Unix.sleepf 0.05
+             with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            go ()
+          end
+    in
+    go ()
+  in
+  let nodes =
+    List.map
+      (fun (name, _) ->
+        { Vstamp_obs.Cluster.id = name; host = "127.0.0.1";
+          port = await_port name })
+      workers
+  in
+  let trace_id =
+    match Tr.root () with Some c -> c.Tr.trace_id | None -> "?"
+  in
+  let registry = Obs_registry.create () in
+  let srv =
+    try
+      HE.create ~registry
+        ~health:(fun () -> [ ("cluster_workers", Jx.Int n) ])
+        ~cluster:(fun () ->
+          Vstamp_obs.Cluster.collect ~timeout_s:2.0
+            ~meta:[ ("trace", Jx.String trace_id) ]
+            nodes)
+        ~addr ~port ()
+    with Unix.Unix_error (e, _, _) ->
+      die "cannot bind %s:%d: %s" addr port (Unix.error_message e)
+  in
+  (match port_file with
+  | Some file -> write_data (Some file) (string_of_int (HE.port srv) ^ "\n")
+  | None -> ());
+  if not quiet then begin
+    Format.printf
+      "cluster: %d workers (%s), parent on http://%s:%d/cluster.json, \
+       trace %s@."
+      n
+      (String.concat ", "
+         (List.map
+            (fun nd ->
+              Printf.sprintf "%s:%d" nd.Vstamp_obs.Cluster.id
+                nd.Vstamp_obs.Cluster.port)
+            nodes))
+      addr (HE.port srv) trace_id;
+    Format.print_flush ()
+  end;
+  (* reap until every worker has exited (waitpid is interruptible —
+     the signal handler above already forwarded the TERM) *)
+  let statuses = Hashtbl.create n in
+  let rec reap () =
+    if Hashtbl.length statuses < List.length workers then begin
+      List.iter
+        (fun (name, pid) ->
+          if not (Hashtbl.mem statuses pid) then
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ -> ()
+            | _, st -> Hashtbl.replace statuses pid (name, st)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+                Hashtbl.replace statuses pid (name, Unix.WEXITED 0))
+        workers;
+      if Hashtbl.length statuses < List.length workers then begin
+        (try Unix.sleepf 0.1
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        reap ()
+      end
+    end
+  in
+  reap ();
+  HE.stop srv;
+  Tr.detach ();
+  write_data
+    (Some (path "parent.spans.jsonl"))
+    (Tr.spans_to_jsonl (List.rev !parent_spans));
+  (* the cross-node post-mortem: merge every node's span log into one
+     stamp-ordered timeline and validate every stamp-ordered pair
+     against the wall clocks *)
+  let all_spans =
+    List.concat_map
+      (fun file ->
+        match Tmerge.load_file (path file) with
+        | Ok sps -> sps
+        | Error m ->
+            Format.eprintf "cluster: %s@." m;
+            [])
+      ("parent.spans.jsonl"
+      :: List.map (fun (name, _) -> name ^ ".spans.jsonl") workers)
+  in
+  let merged = Tmerge.merge ~leq:stamp_label_leq all_spans in
+  write_data
+    (Some (path "trace.chrome.json"))
+    (Jx.to_string (Tmerge.to_chrome merged) ^ "\n");
+  let rep = Tmerge.validate ~leq:stamp_label_leq all_spans in
+  write_data
+    (Some (path "causal-report.json"))
+    (Jx.to_string (Tmerge.report_json rep) ^ "\n");
+  if not quiet then
+    Format.printf
+      "cluster: %d spans over %d nodes, %d stamped, %d stamp-ordered \
+       pairs (%d cross-node), %d contradictions — %s, %s@."
+      rep.Tmerge.rp_spans
+      (List.length rep.Tmerge.rp_nodes)
+      rep.Tmerge.rp_stamped rep.Tmerge.rp_ordered_pairs
+      rep.Tmerge.rp_cross_node_ordered_pairs
+      (List.length rep.Tmerge.rp_contradictions)
+      (path "trace.chrome.json")
+      (path "causal-report.json");
+  let worst =
+    Hashtbl.fold
+      (fun _ (name, st) acc ->
+        match st with
+        | Unix.WEXITED 0 -> acc
+        | Unix.WEXITED c ->
+            Format.eprintf "cluster: %s exited %d@." name c;
+            max acc c
+        | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+            Format.eprintf "cluster: %s killed by signal@." name;
+            max acc 1)
+      statuses 0
+  in
+  if worst <> 0 then exit worst;
+  if rep.Tmerge.rp_contradictions <> [] then begin
+    Format.eprintf
+      "cluster: %d span pairs contradict stamp order@."
+      (List.length rep.Tmerge.rp_contradictions);
+    exit 5
+  end
 
 let soak_cmd =
   let port =
@@ -1643,14 +1942,74 @@ let soak_cmd =
             "Dump the recorded time series (and alert state) as JSON on \
              shutdown — the input of `vstamp report --dump`")
   in
+  let node_id =
+    Arg.(
+      value & opt string "node-0"
+      & info [ "node-id" ] ~docv:"NAME"
+          ~doc:"This process's node name in span records")
+  in
+  let span_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "span-out" ] ~docv:"FILE"
+          ~doc:
+            "Record every iteration and sync round as a trace span, \
+             appended to FILE as JSONL — the input of `vstamp report \
+             --cluster`")
+  in
+  let trace_parent =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-parent" ] ~docv:"HEADER"
+          ~doc:
+            "Continue a propagated trace: a vstamp-trace/1 header (the \
+             cluster driver passes the launch span's) that becomes the \
+             parent of this process's spans")
+  in
+  let stamp_seed =
+    Arg.(
+      value
+      & opt (some stamp_conv) None
+      & info [ "stamp-seed" ] ~docv:"STAMP"
+          ~doc:
+            "Starting stamp for the per-iteration span labels, in the \
+             paper's text notation (default the seed [1|0]); the \
+             cluster driver forks the seed n ways so workers' labels \
+             stay mutually comparable")
+  in
+  let cluster =
+    Arg.(
+      value & opt int 0
+      & info [ "cluster" ] ~docv:"N"
+          ~doc:
+            "Fork N soak worker processes (each with its own telemetry \
+             port, flight recorder and span log), federate them behind \
+             this process's /cluster.json, and merge their span logs \
+             into a causally ordered Chrome trace on shutdown")
+  in
+  let cluster_dir =
+    Arg.(
+      value & opt string "cluster-out"
+      & info [ "cluster-dir" ] ~docv:"DIR"
+          ~doc:
+            "Where --cluster keeps its artifacts (port files, span \
+             logs, tsdb dumps, trace.chrome.json, causal-report.json)")
+  in
   let wrap port addr duration iterations n_ops seed backend sample_every
       sample_prob checkpoint_every history no_history events_out port_file
-      quiet partition_weather rules retention record_every tsdb_out =
-    soak port addr duration iterations n_ops seed backend sample_every
-      sample_prob checkpoint_every
-      (if no_history then None else history)
-      events_out port_file quiet partition_weather rules retention
-      record_every tsdb_out
+      quiet partition_weather rules retention record_every tsdb_out node_id
+      span_out trace_parent stamp_seed cluster cluster_dir =
+    if cluster > 0 then
+      soak_cluster cluster port addr duration iterations n_ops seed backend
+        quiet partition_weather rules record_every port_file cluster_dir
+    else
+      soak port addr duration iterations n_ops seed backend sample_every
+        sample_prob checkpoint_every
+        (if no_history then None else history)
+        events_out port_file quiet partition_weather rules retention
+        record_every tsdb_out node_id span_out trace_parent stamp_seed
   in
   Cmd.v
     (Cmd.info "soak"
@@ -1661,30 +2020,58 @@ let soak_cmd =
           (/metrics for Prometheus, /stats.json for vstamp top, \
           /range.json for recorded history, /alerts.json for the alert \
           plane, /events for streaming) and appending periodic \
-          checkpoints to the bench ledger")
+          checkpoints to the bench ledger.  --cluster N forks N workers \
+          and federates them behind /cluster.json")
     Term.(
       const wrap $ port $ addr $ duration $ iterations $ n_ops $ seed
       $ backend_arg $ sample_every $ sample_prob $ checkpoint_every $ history
       $ no_history $ events_out $ port_file $ quiet $ partition_weather
-      $ rules $ retention $ record_every $ tsdb_out)
+      $ rules $ retention $ record_every $ tsdb_out $ node_id $ span_out
+      $ trace_parent $ stamp_seed $ cluster $ cluster_dir)
 
 (* --- top --- *)
 
-let fetch ~host ~port path =
-  match HE.Client.get ~host ~port path with
+let fetch ?timeout_s ~host ~port path =
+  match HE.Client.get ?timeout_s ~host ~port path with
   | Ok (200, body) -> Ok body
   | Ok (status, _) -> Error (Printf.sprintf "GET %s: HTTP %d" path status)
   | Error m -> Error (Printf.sprintf "GET %s: %s" path m)
 
-let fetch_json ~host ~port path =
-  match fetch ~host ~port path with
+let fetch_json ?timeout_s ~host ~port path =
+  match fetch ?timeout_s ~host ~port path with
   | Error _ as e -> e
   | Ok body -> (
       match Jx.of_string (String.trim body) with
       | Ok j -> Ok j
       | Error m -> Error (Printf.sprintf "GET %s: bad JSON: %s" path m))
 
-let top host port interval frames events_n no_color spark_arg =
+(* Cluster mode: one /cluster.json fetch per frame, rendered as the
+   multi-node panel. *)
+let top_cluster ~host ~port ~timeout_s interval frames no_color =
+  let frame () =
+    match fetch_json ~timeout_s ~host ~port "/cluster.json" with
+    | Ok j -> Vstamp_obs.Dash.render_cluster ~color:(not no_color) j
+    | Error m -> die "%s" m
+  in
+  if frames = 1 then begin
+    print_string (frame ());
+    flush stdout
+  end
+  else begin
+    let rec loop n =
+      print_string Vstamp_obs.Dash.clear_screen;
+      print_string (frame ());
+      flush stdout;
+      if frames = 0 || n < frames then begin
+        Unix.sleepf interval;
+        loop (n + 1)
+      end
+    in
+    loop 1
+  end
+
+let top host port timeout_s interval frames events_n no_color spark_arg =
+  let fetch_json ~host ~port path = fetch_json ~timeout_s ~host ~port path in
   let stats () =
     match fetch_json ~host ~port "/stats.json" with
     | Ok j -> j
@@ -1810,9 +2197,28 @@ let top_cmd =
              sparklines (needs a server with /range.json; missing series \
              are skipped)")
   in
-  let wrap host port interval frames once events_n no_color spark =
-    top host port interval (if once then 1 else frames) events_n no_color
-      spark
+  let timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Socket timeout per fetch (a stalled endpoint errors out \
+                instead of freezing the panel)")
+  in
+  let cluster =
+    Arg.(
+      value & flag
+      & info [ "cluster" ]
+          ~doc:
+            "Render the multi-node cluster panel from /cluster.json (a \
+             `soak --cluster` parent) instead of the single-process \
+             dashboard")
+  in
+  let wrap host port timeout interval frames once events_n no_color spark
+      cluster =
+    let frames = if once then 1 else frames in
+    if cluster then
+      top_cluster ~host ~port ~timeout_s:timeout interval frames no_color
+    else top host port timeout interval frames events_n no_color spark
   in
   Cmd.v
     (Cmd.info "top"
@@ -1822,10 +2228,11 @@ let top_cmd =
           rates (Registry.diff), and repaints alerts, op rates, gauges, \
           flight-recorder sparklines, histogram summaries and the latest \
           events.  --once renders a single frame immediately and exits 0 \
-          (no screen clearing) for CI and ssh pipes")
+          (no screen clearing) for CI and ssh pipes; --cluster renders \
+          the multi-node panel of a `soak --cluster` parent")
     Term.(
-      const wrap $ host $ port $ interval $ frames $ once $ events_n
-      $ no_color $ spark)
+      const wrap $ host $ port $ timeout $ interval $ frames $ once
+      $ events_n $ no_color $ spark $ cluster)
 
 (* --- scrape --- *)
 
@@ -1963,8 +2370,8 @@ let lag_sim tracker backend replicas rounds p_update syncs_per_round severity
   end
 
 (* Live mode: render the /lag.json view of a soaking process. *)
-let lag_live host port json =
-  match fetch_json ~host ~port "/lag.json" with
+let lag_live host port timeout_s json =
+  match fetch_json ~timeout_s ~host ~port "/lag.json" with
   | Error m -> die "%s" m
   | Ok j ->
       if json then print_endline (Jx.to_string j)
@@ -2068,10 +2475,16 @@ let lag_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output")
   in
-  let wrap host port tracker backend replicas rounds p_update syncs_per_round
-      severity seed epoch json =
+  let timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Socket timeout for the live fetch")
+  in
+  let wrap host port timeout tracker backend replicas rounds p_update
+      syncs_per_round severity seed epoch json =
     match port with
-    | Some p -> lag_live host p json
+    | Some p -> lag_live host p timeout json
     | None ->
         lag_sim tracker backend replicas rounds p_update syncs_per_round
           severity seed epoch json
@@ -2085,8 +2498,9 @@ let lag_cmd =
           ledger — or, with --port, render the live /lag.json view of a \
           soaking process")
     Term.(
-      const wrap $ host $ port $ tracker_arg $ backend_arg $ replicas
-      $ rounds $ p_update $ syncs_per_round $ severity $ seed $ epoch $ json)
+      const wrap $ host $ port $ timeout $ tracker_arg $ backend_arg
+      $ replicas $ rounds $ p_update $ syncs_per_round $ severity $ seed
+      $ epoch $ json)
 
 (* --- report: markdown soak post-mortem --- *)
 
@@ -2115,7 +2529,8 @@ let report_points_of_json j =
         pts
   | _ -> []
 
-let report_series_live ~host ~port ~window_s ~step_s =
+let report_series_live ~host ~port ~timeout_s ~window_s ~step_s =
+  let fetch_json ~host ~port path = fetch_json ~timeout_s ~host ~port path in
   let index =
     match fetch_json ~host ~port "/range.json" with
     | Ok j -> j
@@ -2353,31 +2768,137 @@ let render_report ~source ~series ~alerts =
     series;
   Buffer.contents buf
 
-let report host port dump output window step =
-  let window_s =
-    match Obs_alert.duration_of_string window with
-    | Ok s -> s
-    | Error m -> die "--window: %s" m
+(* Cluster mode: a cross-node post-mortem from a `soak --cluster`
+   artifact directory — merge every node's span log into one
+   stamp-ordered timeline, validate it against the wall clocks, and
+   summarize each worker's flight-recorder dump. *)
+let report_cluster dir output =
+  let entries =
+    match Sys.readdir dir with
+    | files -> List.sort compare (Array.to_list files)
+    | exception Sys_error m -> die "--cluster %s: %s" dir m
   in
-  let series, alerts =
-    match (port, dump) with
-    | Some _, Some _ -> die "use either --port (live) or --dump (file), not both"
-    | Some port, None ->
-        let step_s =
-          if step > 0.0 then step else Stdlib.max 0.001 (window_s /. 60.0)
-        in
-        report_series_live ~host ~port ~window_s ~step_s
-    | None, Some file -> report_series_dump ~file ~window_s ~step_s:step
-    | None, None ->
-        die "need a source: --port for a live soak, --dump for a tsdb dump"
+  let span_files =
+    List.filter (fun f -> Filename.check_suffix f ".spans.jsonl") entries
   in
-  let source =
-    match (port, dump) with
-    | Some port, _ -> Printf.sprintf "live soak at http://%s:%d" host port
-    | _, Some file -> Printf.sprintf "tsdb dump `%s`" file
-    | _ -> assert false
+  if span_files = [] then die "--cluster %s: no *.spans.jsonl span logs" dir;
+  let spans =
+    List.concat_map
+      (fun f ->
+        match Tmerge.load_file (Filename.concat dir f) with
+        | Ok sps -> sps
+        | Error m -> die "%s" m)
+      span_files
   in
-  write_data output (render_report ~source ~series ~alerts)
+  let merged = Tmerge.merge ~leq:stamp_label_leq spans in
+  let rep = Tmerge.validate ~leq:stamp_label_leq spans in
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "# vstamp cluster post-mortem\n\n";
+  out "- source: `%s` (%d span logs)\n" dir (List.length span_files);
+  out "- spans: %d over %d nodes (%s), %d carrying stamp labels\n"
+    rep.Tmerge.rp_spans
+    (List.length rep.Tmerge.rp_nodes)
+    (String.concat ", " rep.Tmerge.rp_nodes)
+    rep.Tmerge.rp_stamped;
+  out "- stamp-ordered pairs: %d (%d cross-node — the orderings wall \
+       clocks could not justify)\n"
+    rep.Tmerge.rp_ordered_pairs rep.Tmerge.rp_cross_node_ordered_pairs;
+  out "- contradictions (wall clock vs stamp order): %d\n\n"
+    (List.length rep.Tmerge.rp_contradictions);
+  (match rep.Tmerge.rp_contradictions with
+  | [] -> ()
+  | prs ->
+      out "## Contradictions\n\n";
+      out "| stamp-before | wall-before |\n|---|---|\n";
+      List.iter
+        (fun (a, b) ->
+          out "| %s/%s | %s/%s |\n" a.Tr.sp_node a.Tr.sp_name b.Tr.sp_node
+            b.Tr.sp_name)
+        prs;
+      out "\n");
+  out "## Merged timeline (stamp order)\n\n";
+  out "| seq | node | span | stamp | ms |\n|---|---|---|---|---|\n";
+  let shown = 40 in
+  List.iteri
+    (fun i sp ->
+      if i < shown then
+        out "| %d | %s | %s | %s | %.3f |\n" i sp.Tr.sp_node sp.Tr.sp_name
+          (match sp.Tr.sp_stamp with
+          | Some s -> Printf.sprintf "`%s`" s
+          | None -> "-")
+          (Int64.to_float (Int64.sub sp.Tr.sp_end_ns sp.Tr.sp_start_ns)
+          /. 1e6))
+    merged;
+  if List.length merged > shown then
+    out "\n… %d more spans (full trace: `%s`)\n"
+      (List.length merged - shown)
+      (Filename.concat dir "trace.chrome.json");
+  out "\n## Workers\n\n";
+  let tsdbs =
+    List.filter (fun f -> Filename.check_suffix f ".tsdb.json") entries
+  in
+  if tsdbs = [] then out "No per-worker flight-recorder dumps found.\n"
+  else begin
+    out "| worker | recorded series | window (s) |\n|---|---|---|\n";
+    List.iter
+      (fun f ->
+        let name = Filename.chop_suffix f ".tsdb.json" in
+        match read_file (Filename.concat dir f) with
+        | Error (`Msg m) -> out "| `%s` | (unreadable: %s) | - |\n" name m
+        | Ok text -> (
+            match Jx.of_string (String.trim text) with
+            | Error m -> out "| `%s` | (bad JSON: %s) | - |\n" name m
+            | Ok j -> (
+                match Obs_tsdb.of_json j with
+                | Error m -> out "| `%s` | (%s) | - |\n" name m
+                | Ok (tsdb, _) ->
+                    let window =
+                      match Obs_tsdb.time_bounds tsdb with
+                      | Some (lo, hi) -> Printf.sprintf "%.1f" (hi -. lo)
+                      | None -> "-"
+                    in
+                    out "| `%s` | %d | %s |\n" name
+                      (List.length (Obs_tsdb.names tsdb))
+                      window)))
+      tsdbs
+  end;
+  write_data output (Buffer.contents buf)
+
+let report host port timeout_s dump cluster output window step =
+  match cluster with
+  | Some dir ->
+      if port <> None || dump <> None then
+        die "--cluster is its own source; drop --port/--dump";
+      report_cluster dir output
+  | None ->
+      let window_s =
+        match Obs_alert.duration_of_string window with
+        | Ok s -> s
+        | Error m -> die "--window: %s" m
+      in
+      let series, alerts =
+        match (port, dump) with
+        | Some _, Some _ ->
+            die "use either --port (live) or --dump (file), not both"
+        | Some port, None ->
+            let step_s =
+              if step > 0.0 then step else Stdlib.max 0.001 (window_s /. 60.0)
+            in
+            report_series_live ~host ~port ~timeout_s ~window_s ~step_s
+        | None, Some file -> report_series_dump ~file ~window_s ~step_s:step
+        | None, None ->
+            die
+              "need a source: --port for a live soak, --dump for a tsdb \
+               dump, --cluster for a cluster directory"
+      in
+      let source =
+        match (port, dump) with
+        | Some port, _ -> Printf.sprintf "live soak at http://%s:%d" host port
+        | _, Some file -> Printf.sprintf "tsdb dump `%s`" file
+        | _ -> assert false
+      in
+      write_data output (render_report ~source ~series ~alerts)
 
 let report_cmd =
   let host =
@@ -2398,6 +2919,22 @@ let report_cmd =
       & opt (some string) None
       & info [ "dump" ] ~docv:"FILE"
           ~doc:"Read the history from a `vstamp soak --tsdb-out` dump")
+  in
+  let cluster =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cluster" ] ~docv:"DIR"
+          ~doc:
+            "Render a cross-node post-mortem from a `soak --cluster` \
+             artifact directory: the stamp-ordered merged timeline, the \
+             causal-ordering validation and per-worker summaries")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Socket timeout per live fetch")
   in
   let output =
     Arg.(
@@ -2424,8 +2961,12 @@ let report_cmd =
          "Render a markdown soak post-mortem — alert timeline, GC \
           summary, and a sparkline block plus percentile table per \
           recorded metric — from a live soak's /range.json and \
-          /alerts.json or from a --tsdb-out dump file")
-    Term.(const report $ host $ port $ dump $ output $ window $ step)
+          /alerts.json or from a --tsdb-out dump file; or, with \
+          --cluster DIR, a cross-node post-mortem with the \
+          stamp-ordered merged trace")
+    Term.(
+      const report $ host $ port $ timeout $ dump $ cluster $ output
+      $ window $ step)
 
 (* --- main --- *)
 

@@ -117,7 +117,7 @@ module Make (S : Stamp.S) = struct
         let b = meta_bytes r + value_bytes r in
         Obs.account c ~shipped:b ~minimal:b)
 
-  let sync a b =
+  let sync_body a b =
     Obs.on (fun c -> Vstamp_obs.Metric.inc c.Obs.rounds);
     let all_keys =
       List.sort_uniq String.compare (keys a @ keys b)
@@ -139,6 +139,31 @@ module Make (S : Stamp.S) = struct
             let ra, rb = R.sync ra rb in
             (Smap.add key ra a, Smap.add key rb b))
       (a, b) all_keys
+
+  (* One anti-entropy walk is one span; the trace context rides the
+     exchange envelope and the apply side continues the trace from the
+     extracted header (see [Sync.session] for the same pattern). *)
+  let sync a b =
+    let module Tr = Vstamp_obs.Trace_ctx in
+    let module J = Vstamp_obs.Jsonx in
+    if not (Tr.attached ()) then sync_body a b
+    else
+      Tr.with_span "kvs.sync" (fun () ->
+          let header =
+            match Tr.current () with
+            | Some ctx -> Tr.to_header ctx
+            | None -> ""
+          in
+          let keys_n =
+            List.length (List.sort_uniq String.compare (keys a @ keys b))
+          in
+          let a, b = sync_body a b in
+          Tr.annotate [ ("keys", J.Int keys_n) ];
+          Tr.with_remote_span ~header
+            ~attrs:[ ("keys", J.Int keys_n) ]
+            "kvs.apply"
+            (fun () -> ());
+          (a, b))
 
   let converged a b =
     List.for_all

@@ -196,11 +196,26 @@ let recorder_metrics run =
         obj
   | _ -> []
 
+let trace_metrics run =
+  match Jsonx.member "trace" run with
+  | Some (Jsonx.Obj _ as obj) ->
+      (* schema /7: the E16 context-propagation lane.  header_bytes and
+         span_json_bytes are deterministic wire/record sizes; the span
+         costs are wall clock. *)
+      scalar_fields ~base:"trace" ~direction:Lower_better
+        [
+          "with_span_ns"; "detached_ns"; "remote_span_ns"; "header_bytes";
+          "span_json_bytes";
+        ]
+        obj
+  | _ -> []
+
 let metrics run =
   List.sort
     (fun (a, _, _) (b, _, _) -> compare a b)
     (latency_metrics run @ size_metrics run @ reduction_metrics run
-   @ monitor_metrics run @ convergence_metrics run @ recorder_metrics run)
+   @ monitor_metrics run @ convergence_metrics run @ recorder_metrics run
+   @ trace_metrics run)
 
 let config_compatibility ~baseline ~current =
   match (config baseline, config current) with

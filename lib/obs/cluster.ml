@@ -1,0 +1,78 @@
+(* Federation: one scrape of every node's telemetry endpoints, rolled
+   up into a single /cluster.json document.  This is pure client code
+   over {!Http_export.Client}, so the same roll-up serves the
+   multi-process soak driver (behind a parent [Http_export] with a
+   [?cluster] callback) and in-process tests that stand up two servers
+   and federate them. *)
+
+type node = { id : string; host : string; port : int }
+
+let schema = "vstamp-cluster/1"
+
+let get_json ?timeout_s ~host ~port path =
+  match Http_export.Client.get ?timeout_s ~host ~port path with
+  | Error m -> Error m
+  | Ok (200, body) -> (
+      match Jsonx.of_string (String.trim body) with
+      | Ok j -> Ok j
+      | Error m -> Error (Printf.sprintf "%s: %s" path m))
+  | Ok (status, _) -> Error (Printf.sprintf "%s: HTTP %d" path status)
+
+let node_json ?timeout_s n =
+  let base =
+    [
+      ("id", Jsonx.String n.id);
+      ("host", Jsonx.String n.host);
+      ("port", Jsonx.Int n.port);
+    ]
+  in
+  match get_json ?timeout_s ~host:n.host ~port:n.port "/healthz" with
+  | Error m ->
+      (Jsonx.Obj
+         (base @ [ ("up", Jsonx.Bool false); ("error", Jsonx.String m) ]),
+       false,
+       0)
+  | Ok health ->
+      (* a node without an alert engine answers 404 — that is absence,
+         not failure *)
+      let alerts =
+        match get_json ?timeout_s ~host:n.host ~port:n.port "/alerts.json" with
+        | Ok j -> j
+        | Error _ -> Jsonx.Null
+      in
+      let firing =
+        match Option.bind (Jsonx.member "firing" alerts) Jsonx.to_int with
+        | Some k -> k
+        | None -> 0
+      in
+      let stats =
+        match get_json ?timeout_s ~host:n.host ~port:n.port "/stats.json" with
+        | Ok j -> j
+        | Error _ -> Jsonx.Null
+      in
+      ( Jsonx.Obj
+          (base
+          @ [
+              ("up", Jsonx.Bool true);
+              ("alerts_firing", Jsonx.Int firing);
+              ("health", health);
+              ("alerts", alerts);
+              ("stats", stats);
+            ]),
+        true,
+        firing )
+
+let collect ?timeout_s ?(meta = []) nodes =
+  let rows = List.map (node_json ?timeout_s) nodes in
+  let up = List.length (List.filter (fun (_, u, _) -> u) rows) in
+  let firing = List.fold_left (fun acc (_, _, f) -> acc + f) 0 rows in
+  Jsonx.Obj
+    ([
+       ("schema", Jsonx.String schema);
+       ("collected_s", Jsonx.Float (Clock.now_s ()));
+       ("nodes_total", Jsonx.Int (List.length nodes));
+       ("nodes_up", Jsonx.Int up);
+       ("alerts_firing", Jsonx.Int firing);
+     ]
+    @ meta
+    @ [ ("nodes", Jsonx.List (List.map (fun (j, _, _) -> j) rows)) ])

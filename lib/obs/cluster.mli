@@ -1,0 +1,21 @@
+(** Cluster federation: scrape every node's telemetry endpoints and
+    roll them up into one /cluster.json document.
+
+    Pure client code over {!Http_export.Client}: the multi-process
+    soak driver serves {!collect}'s result behind a parent
+    {!Http_export} (its [?cluster] callback), and tests can federate
+    in-process servers the same way. *)
+
+type node = { id : string; host : string; port : int }
+
+val schema : string
+(** ["vstamp-cluster/1"]. *)
+
+val collect :
+  ?timeout_s:float -> ?meta:(string * Jsonx.t) list -> node list -> Jsonx.t
+(** One federation pass.  Per node: [/healthz] (its failure marks the
+    node down, with the error recorded), [/alerts.json] and
+    [/stats.json] (absence tolerated).  The roll-up carries
+    [nodes_total] / [nodes_up] / [alerts_firing] summaries, any
+    [meta] fields (e.g. the cluster trace id), and the per-node
+    documents under ["nodes"]. *)

@@ -289,3 +289,79 @@ let render ?(color = true) ?(max_rows = 12) ?(width = 100) ?(events = [])
       in
       List.iter (fun e -> line (dim color ("  " ^ e))) tail);
   Buffer.contents buf
+
+(* One row of the cluster panel, from a /cluster.json "nodes" entry.
+   A down node shows its scrape error instead of health numbers. *)
+let cluster_node_row color width node =
+  let str k = Option.bind (Jsonx.member k node) Jsonx.to_str in
+  let id = Option.value ~default:"?" (str "id") in
+  let port =
+    match Option.bind (Jsonx.member "port" node) Jsonx.to_int with
+    | Some p -> string_of_int p
+    | None -> "-"
+  in
+  let up =
+    match Option.bind (Jsonx.member "up" node) Jsonx.to_bool with
+    | Some b -> b
+    | None -> false
+  in
+  if not up then
+    let err = Option.value ~default:"unreachable" (str "error") in
+    Printf.sprintf "  %s %-12s %-6s %s" (red color "●")
+      (truncate_line 12 id) port
+      (red color (truncate_line (max 0 (width - 30)) err))
+  else
+    let health = Jsonx.member "health" node in
+    let hfield k = Option.bind health (fun h -> Jsonx.member k h) in
+    let hnum k =
+      match Option.bind (hfield k) Jsonx.to_float with
+      | Some f -> human f
+      | None -> "-"
+    in
+    let status =
+      Option.value ~default:"-" (Option.bind (hfield "status") Jsonx.to_str)
+    in
+    let firing =
+      match Option.bind (Jsonx.member "alerts_firing" node) Jsonx.to_int with
+      | Some 0 | None -> dim color "0"
+      | Some n -> red color (string_of_int n)
+    in
+    let status_str =
+      if status = "ok" then status else red color status
+    in
+    Printf.sprintf "  %s %-12s %-6s %-8s %8s %9s %9s %9s  %s"
+      (style color "32" "●")
+      (truncate_line 12 id) port status_str (hnum "uptime_s")
+      (hnum "iterations") (hnum "events_total") (hnum "requests_total")
+      firing
+
+let render_cluster ?(color = true) ?(width = 100) cluster =
+  let buf = Buffer.create 1024 in
+  let raw_line s = Buffer.add_string buf (s ^ "\n") in
+  let num k =
+    match Option.bind (Jsonx.member k cluster) Jsonx.to_int with
+    | Some n -> string_of_int n
+    | None -> "-"
+  in
+  let firing =
+    match Option.bind (Jsonx.member "alerts_firing" cluster) Jsonx.to_int with
+    | Some 0 | None -> dim color "0 firing"
+    | Some n -> red color (string_of_int n ^ " firing")
+  in
+  raw_line
+    (Printf.sprintf "%s · %s/%s nodes up · %s"
+       (bold color "vstamp cluster")
+       (num "nodes_up") (num "nodes_total") firing);
+  (match Jsonx.member "trace" cluster with
+  | Some (Jsonx.String t) -> raw_line (dim color ("  trace " ^ t))
+  | _ -> ());
+  raw_line (section color "nodes");
+  raw_line
+    (dim color
+       (Printf.sprintf "  %s %-12s %-6s %-8s %8s %9s %9s %9s  %s" " "
+          "node" "port" "status" "up(s)" "iters" "events" "reqs" "alerts"));
+  (match Jsonx.member "nodes" cluster with
+  | Some (Jsonx.List nodes) ->
+      List.iter (fun n -> raw_line (cluster_node_row color width n)) nodes
+  | _ -> raw_line (dim color "  (no nodes)"));
+  Buffer.contents buf

@@ -41,3 +41,11 @@ val render :
     (newest last).  [color] (default [true]) toggles the ANSI styling;
     [max_rows] (default 12) caps each table; [width] (default 100)
     truncates long lines. *)
+
+val render_cluster : ?color:bool -> ?width:int -> Jsonx.t -> string
+(** One frame of the multi-node panel, from a [/cluster.json] roll-up
+    ({!Cluster.collect}): a summary header (nodes up / total, firing
+    alerts, the cluster trace id when present) and one row per node —
+    green/red up marker, id, port, status, uptime, iteration / event /
+    request totals and its own firing-alert count.  Down nodes show
+    the scrape error instead. *)

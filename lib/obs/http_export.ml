@@ -17,6 +17,7 @@ type t = {
   health : unit -> (string * Jsonx.t) list;
   tsdb : Tsdb.t option;
   alerts : Alert.t option;
+  cluster : (unit -> Jsonx.t) option;
   listen_fd : Unix.file_descr;
   bound_addr : Unix.sockaddr;
   bound_port : int;
@@ -117,19 +118,25 @@ let status_text = function
   | 405 -> "Method Not Allowed"
   | _ -> "Error"
 
-let respond fd ~status ~content_type body =
+(* [head] sends the headers a GET would (Content-Length included) with
+   no body — the HEAD method contract. *)
+let respond ?(head = false) ?(extra = []) fd ~status ~content_type body =
+  let extra =
+    String.concat "" (List.map (fun h -> h ^ "\r\n") extra)
+  in
   write_all fd
     (Printf.sprintf
        "HTTP/1.1 %d %s\r\n\
         Content-Type: %s\r\n\
         Content-Length: %d\r\n\
-        Connection: close\r\n\
+        %sConnection: close\r\n\
         \r\n\
         %s"
-       status (status_text status) content_type (String.length body) body)
+       status (status_text status) content_type (String.length body) extra
+       (if head then "" else body))
 
-let respond_json fd ~status j =
-  respond fd ~status ~content_type:"application/json"
+let respond_json ?head fd ~status j =
+  respond ?head fd ~status ~content_type:"application/json"
     (Jsonx.to_string j ^ "\n")
 
 (* --- handlers --- *)
@@ -166,7 +173,7 @@ let health_fields t =
 let recent_events t =
   locked t (fun () -> List.of_seq (Queue.to_seq t.recent))
 
-let handle_events_json t fd params =
+let handle_events_json ?head t fd params =
   let events = recent_events t in
   let events =
     match
@@ -178,7 +185,8 @@ let handle_events_json t fd params =
         else events
     | _ -> events
   in
-  respond_json fd ~status:200 (Jsonx.List (List.map Event.to_json events))
+  respond_json ?head fd ~status:200
+    (Jsonx.List (List.map Event.to_json events))
 
 let write_chunk fd line =
   write_all fd
@@ -230,14 +238,14 @@ let handle_events_stream t fd =
    the series index.  [from]/[to] accept absolute unix seconds or
    negative offsets relative to now; [step] defaults to a 1/100 slice
    of the window. *)
-let handle_range_json t fd params =
+let handle_range_json ?head t fd params =
   match t.tsdb with
   | None ->
-      respond fd ~status:404 ~content_type:"text/plain"
+      respond ?head fd ~status:404 ~content_type:"text/plain"
         "no flight recorder attached\n"
   | Some tsdb -> (
       match List.assoc_opt "metric" params with
-      | None -> respond_json fd ~status:200 (Tsdb.index_json tsdb)
+      | None -> respond_json ?head fd ~status:200 (Tsdb.index_json tsdb)
       | Some metric -> (
           let now = Clock.now_s () in
           let time_param name default =
@@ -251,7 +259,7 @@ let handle_range_json t fd params =
           in
           match (time_param "from" (now -. 300.), time_param "to" now) with
           | Error p, _ | _, Error p ->
-              respond fd ~status:400 ~content_type:"text/plain"
+              respond ?head fd ~status:400 ~content_type:"text/plain"
                 (Printf.sprintf "bad %s parameter\n" p)
           | Ok from_s, Ok to_s -> (
               let default_step =
@@ -267,52 +275,84 @@ let handle_range_json t fd params =
                     | _ -> Error ())
               with
               | Error () ->
-                  respond fd ~status:400 ~content_type:"text/plain"
+                  respond ?head fd ~status:400 ~content_type:"text/plain"
                     "bad step parameter\n"
               | Ok step_s ->
-                  respond_json fd ~status:200
+                  respond_json ?head fd ~status:200
                     (Tsdb.range_json tsdb ~metric ~from_s ~to_s ~step_s))))
 
-let handle_alerts_json t fd =
+let handle_alerts_json ?head t fd =
   match t.alerts with
   | None ->
-      respond fd ~status:404 ~content_type:"text/plain"
+      respond ?head fd ~status:404 ~content_type:"text/plain"
         "no alert engine attached\n"
-  | Some alerts -> respond_json fd ~status:200 (Alert.to_json alerts)
+  | Some alerts -> respond_json ?head fd ~status:200 (Alert.to_json alerts)
+
+(* The federation endpoint: the roll-up callback fans out to the
+   worker nodes, so it runs here in the connection thread and never
+   blocks the embedding process. *)
+let handle_cluster_json ?head t fd =
+  match t.cluster with
+  | None ->
+      respond ?head fd ~status:404 ~content_type:"text/plain"
+        "no cluster attached\n"
+  | Some roll_up -> (
+      match roll_up () with
+      | j -> respond_json ?head fd ~status:200 j
+      | exception _ ->
+          respond ?head fd ~status:500 ~content_type:"text/plain"
+            "cluster roll-up failed\n")
 
 let handle_request t fd =
   match read_head fd with
   | Error _ -> respond fd ~status:400 ~content_type:"text/plain" "bad request\n"
-  | Ok head -> (
-      match parse_request_line head with
+  | Ok req_head -> (
+      match parse_request_line req_head with
       | Error _ ->
           respond fd ~status:400 ~content_type:"text/plain" "bad request\n"
-      | Ok (meth, _) when meth <> "GET" ->
-          respond fd ~status:405 ~content_type:"text/plain"
-            "only GET is supported\n"
-      | Ok (_, target) -> (
+      | Ok (meth, _) when meth <> "GET" && meth <> "HEAD" ->
+          respond fd ~status:405 ~extra:[ "Allow: GET, HEAD" ]
+            ~content_type:"text/plain"
+            "method not allowed; this server speaks GET and HEAD\n"
+      | Ok (meth, target) -> (
+          let head = String.equal meth "HEAD" in
           locked t (fun () -> t.requests_n <- t.requests_n + 1);
           let path, params = split_target target in
           match path with
           | "/metrics" ->
-              respond fd ~status:200 ~content_type:prometheus_content_type
+              respond ~head fd ~status:200
+                ~content_type:prometheus_content_type
                 (Registry.to_prometheus t.registry)
           | "/healthz" ->
-              respond_json fd ~status:200 (Jsonx.Obj (health_fields t))
+              respond_json ~head fd ~status:200 (Jsonx.Obj (health_fields t))
           | "/stats.json" ->
-              respond_json fd ~status:200 (Registry.to_json t.registry)
+              respond_json ~head fd ~status:200 (Registry.to_json t.registry)
           | "/lag.json" ->
-              respond_json fd ~status:200 (Convergence.lag_json t.registry)
-          | "/range.json" -> handle_range_json t fd params
-          | "/alerts.json" -> handle_alerts_json t fd
-          | "/events.json" -> handle_events_json t fd params
-          | "/events" -> handle_events_stream t fd
+              respond_json ~head fd ~status:200
+                (Convergence.lag_json t.registry)
+          | "/range.json" -> handle_range_json ~head t fd params
+          | "/alerts.json" -> handle_alerts_json ~head t fd
+          | "/cluster.json" -> handle_cluster_json ~head t fd
+          | "/events.json" -> handle_events_json ~head t fd params
+          | "/events" ->
+              if head then
+                (* the headers a streaming GET would send; no body,
+                   the stream is not entered *)
+                write_all fd
+                  "HTTP/1.1 200 OK\r\n\
+                   Content-Type: application/x-ndjson\r\n\
+                   Transfer-Encoding: chunked\r\n\
+                   Connection: close\r\n\
+                   \r\n"
+              else handle_events_stream t fd
           | "/" ->
-              respond fd ~status:200 ~content_type:"text/plain"
+              respond ~head fd ~status:200 ~content_type:"text/plain"
                 "vstamp telemetry: /metrics /healthz /stats.json /lag.json \
-                 /range.json /alerts.json /events /events.json\n"
+                 /range.json /alerts.json /cluster.json /events \
+                 /events.json\n"
           | _ ->
-              respond fd ~status:404 ~content_type:"text/plain" "not found\n"))
+              respond ~head fd ~status:404 ~content_type:"text/plain"
+                "not found\n"))
 
 (* --- server lifecycle --- *)
 
@@ -369,7 +409,7 @@ let rec accept_loop t =
   | exception Unix.Unix_error _ -> ()
 
 let create ?(registry = Registry.default) ?(health = fun () -> []) ?tsdb
-    ?alerts ?(recent = 64) ?(addr = "127.0.0.1") ~port () =
+    ?alerts ?cluster ?(recent = 64) ?(addr = "127.0.0.1") ~port () =
   (* a client hanging up mid-response must not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
@@ -392,6 +432,7 @@ let create ?(registry = Registry.default) ?(health = fun () -> []) ?tsdb
       health;
       tsdb;
       alerts;
+      cluster;
       listen_fd = fd;
       bound_addr;
       bound_port;
@@ -496,9 +537,29 @@ module Client = struct
         | exception Not_found ->
             Error (Printf.sprintf "cannot resolve host %S" host))
 
-  let get ?(host = "127.0.0.1") ?(timeout_s = 5.0) ~port path =
+  (* header names lowercased; values trimmed *)
+  let parse_headers head =
+    match String.split_on_char '\n' head with
+    | [] -> []
+    | _ :: lines ->
+        List.filter_map
+          (fun line ->
+            let line = String.trim line in
+            match String.index_opt line ':' with
+            | None -> None
+            | Some i ->
+                Some
+                  ( String.lowercase_ascii (String.sub line 0 i),
+                    String.trim
+                      (String.sub line (i + 1) (String.length line - i - 1))
+                  ))
+          lines
+
+  let request ?(host = "127.0.0.1") ?(timeout_s = 5.0) ?(meth = "GET") ~port
+      path =
     (* a server vanishing mid-request must surface as an [Error], not
-       kill the client with an unhandled SIGPIPE *)
+       kill the client with an unhandled SIGPIPE; the socket timeouts
+       keep a stalled endpoint from hanging the caller forever *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
      with Invalid_argument _ | Sys_error _ -> ());
     match resolve host with
@@ -514,8 +575,8 @@ module Client = struct
           Unix.connect fd (Unix.ADDR_INET (inet, port));
           write_all fd
             (Printf.sprintf
-               "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
-               path host);
+               "%s %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+               meth path host);
           read_all fd (Buffer.create 4096) (Bytes.create 4096))
     with
     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
@@ -538,15 +599,24 @@ module Client = struct
                 match int_of_string_opt code with
                 | None -> Error "malformed status line"
                 | Some status ->
-                    let lower = String.lowercase_ascii head in
+                    let headers = parse_headers head in
                     let chunked =
-                      match find_sub lower "transfer-encoding:" 0 with
-                      | Some j -> (
-                          match find_sub lower "chunked" j with
+                      match List.assoc_opt "transfer-encoding" headers with
+                      | Some v -> (
+                          match find_sub (String.lowercase_ascii v) "chunked" 0
+                          with
                           | Some _ -> true
                           | None -> false)
                       | None -> false
                     in
-                    Ok (status, if chunked then dechunk body else body))
+                    Ok
+                      ( status,
+                        headers,
+                        if chunked then dechunk body else body ))
             | _ -> Error "malformed status line")))
+
+  let get ?host ?timeout_s ~port path =
+    match request ?host ?timeout_s ~port path with
+    | Error m -> Error m
+    | Ok (status, _, body) -> Ok (status, body)
 end

@@ -30,7 +30,14 @@
       ring of recent events first, then every event published through
       {!event_sink} as it happens, one JSONL line per chunk;
     - [GET /events.json] — the ring of recent events as a JSON array
-      ([?n=N] limits to the newest N).
+      ([?n=N] limits to the newest N);
+    - [GET /cluster.json] — the federation roll-up (requires a
+      [cluster] callback passed to {!create}; 404 otherwise): the
+      multi-process soak parent serves {!Cluster.collect} here.
+
+    [HEAD] is answered for every endpoint with the headers the
+    corresponding [GET] would send and no body; any other method gets
+    [405 Method Not Allowed] with an [Allow: GET, HEAD] header.
 
     Each connection is served by its own thread, so concurrent scrapes
     do not block one another or the embedding process.  {!stop} is
@@ -44,6 +51,7 @@ val create :
   ?health:(unit -> (string * Jsonx.t) list) ->
   ?tsdb:Tsdb.t ->
   ?alerts:Alert.t ->
+  ?cluster:(unit -> Jsonx.t) ->
   ?recent:int ->
   ?addr:string ->
   port:int ->
@@ -53,8 +61,10 @@ val create :
     port — read it back with {!port}) and start the accept thread.
     [registry] defaults to {!Registry.default}; [health] contributes
     extra [/healthz] fields; [tsdb]/[alerts] enable [/range.json] and
-    [/alerts.json] (404 otherwise); [recent] is the event-ring
-    capacity (default 64).
+    [/alerts.json] (404 otherwise); [cluster] enables [/cluster.json]
+    — it runs in the connection thread on every hit, so a fan-out
+    roll-up never blocks the embedding process; [recent] is the
+    event-ring capacity (default 64).
 
     @raise Unix.Unix_error when the address cannot be bound. *)
 
@@ -85,13 +95,24 @@ val stop : t -> unit
     [vstamp top] and the serve smoke tests. *)
 
 module Client : sig
+  val request :
+    ?host:string ->
+    ?timeout_s:float ->
+    ?meth:string ->
+    port:int ->
+    string ->
+    (int * (string * string) list * string, string) result
+  (** [request ~port path]: status code, response headers (names
+      lowercased, values trimmed) and (de-chunked) body.  [host]
+      defaults to loopback, [meth] to ["GET"], and [timeout_s] — the
+      socket send/receive timeout, so a stalled endpoint surfaces as
+      an [Error] instead of hanging the caller — to 5 seconds. *)
+
   val get :
     ?host:string ->
     ?timeout_s:float ->
     port:int ->
     string ->
     (int * string, string) result
-  (** [get ~port path]: status code and (de-chunked) body.  [host]
-      defaults to loopback, [timeout_s] (socket send/receive timeout)
-      to 5 seconds. *)
+  (** {!request} without the headers. *)
 end

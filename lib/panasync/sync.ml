@@ -268,7 +268,7 @@ struct
         let b = meta_bytes copy + String.length (F.content copy) in
         Obs.account cs ~shipped:b ~minimal:b)
 
-  let session ?(policy = Manual) left right =
+  let session_body policy left right =
     Obs.on (fun c -> Vstamp_obs.Metric.inc c.Obs.rounds);
     let all_paths =
       List.sort_uniq compare (St.paths left @ St.paths right)
@@ -294,6 +294,36 @@ struct
             (St.set l cl, St.set r cr, report :: reports))
       (left, right, []) all_paths
     |> fun (l, r, reports) -> (l, r, List.rev reports)
+
+  (* A session is one span; its trace context rides the session
+     envelope (the header an on-the-wire protocol would carry in its
+     first message), and the receiving side's work is a child span
+     extracted from that header — so the remote half of every sync
+     round continues the same trace, across processes once the
+     envelope crosses a socket. *)
+  let session ?(policy = Manual) left right =
+    let module Tr = Vstamp_obs.Trace_ctx in
+    let module J = Vstamp_obs.Jsonx in
+    if not (Tr.attached ()) then session_body policy left right
+    else
+      Tr.with_span "sync.session" (fun () ->
+          let header =
+            match Tr.current () with
+            | Some ctx -> Tr.to_header ctx
+            | None -> ""
+          in
+          let l, r, reports = session_body policy left right in
+          let conflicts_n = List.length (conflicts reports) in
+          Tr.annotate
+            [
+              ("files", J.Int (List.length reports));
+              ("conflicts", J.Int conflicts_n);
+            ];
+          Tr.with_remote_span ~header
+            ~attrs:[ ("files", J.Int (List.length reports)) ]
+            "sync.apply"
+            (fun () -> ());
+          (l, r, reports))
 
   (* Observational convergence: both stores hold every path with equal
      content.  (Stamp equivalence is deliberately not required: copies of

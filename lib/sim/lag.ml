@@ -58,6 +58,25 @@ let bytes_of_bits b = (b + 7) / 8
 
 let run ?registry ?on_round (cfg : config) (Tracker.Packed (module T)) =
   if cfg.replicas < 2 then invalid_arg "Lag.run: need at least 2 replicas";
+  let module Tr = Vstamp_obs.Trace_ctx in
+  let module J = Vstamp_obs.Jsonx in
+  Tr.with_span "lag.run"
+    ~attrs:
+      [
+        ("tracker", J.String T.name);
+        ("replicas", J.Int cfg.replicas);
+        ("rounds", J.Int cfg.rounds);
+      ]
+  @@ fun () ->
+  (* Each run starts its trackers from the seed, so stamp labels from
+     different runs share no causal context even though they are
+     formally comparable: scope the labels to this run's span id and
+     {!Trace_merge} will only order spans within the scope. *)
+  let sync_domain =
+    match Tr.current () with
+    | Some c -> Some c.Tr.span_id
+    | None -> None
+  in
   let n = cfg.replicas in
   let weather =
     Weather.make ~seed:cfg.seed ~epoch:cfg.epoch ~severity:cfg.severity ()
@@ -100,7 +119,7 @@ let run ?registry ?on_round (cfg : config) (Tracker.Packed (module T)) =
     hists.(i) <- H.add_event e hists.(i);
     Conv.Timer.note_write timer ~step:!step
   in
-  let sync i j =
+  let sync_body i j =
     incr step;
     incr syncs;
     let a = replicas.(i) and b = replicas.(j) in
@@ -126,7 +145,21 @@ let run ?registry ?on_round (cfg : config) (Tracker.Packed (module T)) =
     replicas.(j) <- b';
     let u = H.union hists.(i) hists.(j) in
     hists.(i) <- u;
-    hists.(j) <- u
+    hists.(j) <- u;
+    joined
+  in
+  (* Every sync round is a span carrying the joined state's stamp
+     label: after join-then-fork both replicas' histories are exactly
+     the joined one, so the label places the round in the causal
+     order by stamp [leq] alone — the merge needs no clocks. *)
+  let sync i j =
+    if not (Tr.attached ()) then ignore (sync_body i j)
+    else
+      Tr.with_span "lag.sync" ?domain:sync_domain
+        ~attrs:[ ("i", J.Int i); ("j", J.Int j) ]
+        (fun () ->
+          let joined = sync_body i j in
+          Tr.set_stamp (Format.asprintf "%a" T.pp joined))
   in
   let lag_sum = ref 0. in
   let rounds_seen = ref 0 in

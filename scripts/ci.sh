@@ -60,6 +60,9 @@ dune build @lag-smoke --force
 echo "== report smoke (flight recorder, alerts, post-mortem) =="
 dune build @report-smoke --force
 
+echo "== cluster smoke (3-process cluster, federation, causal merge) =="
+dune build @cluster-smoke --force
+
 echo "== CLI smoke: vstamp metrics =="
 dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 >/dev/null
 dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 --format prom >/dev/null

@@ -1,0 +1,84 @@
+#!/bin/sh
+# Multi-process cluster smoke: fork a 3-worker soak cluster, scrape the
+# parent's /cluster.json federation roll-up and the vstamp top cluster
+# panel while the workers run, then check the merged artifacts — the
+# Chrome trace with one lane per process, the causal-ordering report
+# (zero contradictions, cross-node stamp-ordered pairs present), and
+# the cross-node post-mortem.  Wired to the @cluster-smoke dune alias
+# (see the root dune file); not part of @runtest.
+set -eu
+
+VSTAMP="$1"
+tmpdir=$(mktemp -d)
+cluster_pid=""
+cleanup() {
+  [ -n "$cluster_pid" ] && kill "$cluster_pid" 2>/dev/null || true
+  rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+"$VSTAMP" soak --cluster 3 --cluster-dir "$tmpdir/cl" \
+  --port 0 --port-file "$tmpdir/port" --quiet \
+  --duration 5 --ops 64 --partition-weather 0.5 &
+cluster_pid=$!
+
+# the parent writes its port file only after every worker came up
+i=0
+while [ ! -s "$tmpdir/port" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && { echo "cluster never bound a port" >&2; exit 1; }
+  sleep 0.1
+done
+port=$(cat "$tmpdir/port")
+
+# /cluster.json: the federation roll-up with all three workers up
+"$VSTAMP" scrape --port "$port" /cluster.json > "$tmpdir/cluster.json"
+grep -q '"schema":"vstamp-cluster/1"' "$tmpdir/cluster.json"
+grep -q '"nodes_total":3' "$tmpdir/cluster.json"
+grep -q '"nodes_up":3' "$tmpdir/cluster.json"
+grep -q '"trace":"' "$tmpdir/cluster.json"
+grep -q '"id":"node-2"' "$tmpdir/cluster.json"
+
+# the cluster panel renders one row per worker
+"$VSTAMP" top --cluster --port "$port" --once --no-color > "$tmpdir/panel"
+grep -q 'vstamp cluster' "$tmpdir/panel"
+grep -q '3/3 nodes up' "$tmpdir/panel"
+grep -q 'node-1' "$tmpdir/panel"
+
+# the run must finish cleanly (workers 0, no contradictions)
+wait "$cluster_pid"
+cluster_pid=""
+
+# per-process span logs plus the parent's own
+for f in parent.spans.jsonl node-0.spans.jsonl node-1.spans.jsonl \
+  node-2.spans.jsonl; do
+  [ -s "$tmpdir/cl/$f" ] || { echo "missing span log $f" >&2; exit 1; }
+done
+
+# merged Chrome trace: one named lane per process
+grep -q '"traceEvents"' "$tmpdir/cl/trace.chrome.json"
+grep -q '"process_name"' "$tmpdir/cl/trace.chrome.json"
+for node in parent node-0 node-1 node-2; do
+  grep -q "\"$node\"" "$tmpdir/cl/trace.chrome.json"
+done
+
+# causal-ordering report: stamps and wall clocks never contradict, and
+# at least one ordered pair crosses a process boundary — the pairs no
+# wall clock could have ordered
+grep -q '"schema":"vstamp-causal-report/1"' "$tmpdir/cl/causal-report.json"
+grep -q '"contradiction_count":0' "$tmpdir/cl/causal-report.json"
+cross=$(sed -n 's/.*"cross_node_ordered_pairs":\([0-9][0-9]*\).*/\1/p' \
+  "$tmpdir/cl/causal-report.json")
+if [ -z "$cross" ] || [ "$cross" -lt 1 ]; then
+  echo "expected cross-node ordered pairs, got '${cross:-none}'" >&2
+  exit 1
+fi
+
+# the cross-node post-mortem renders from the span-log directory
+"$VSTAMP" report --cluster "$tmpdir/cl" > "$tmpdir/postmortem.md"
+grep -q '# vstamp cluster post-mortem' "$tmpdir/postmortem.md"
+grep -q 'Merged timeline (stamp order)' "$tmpdir/postmortem.md"
+grep -q 'cluster.launch' "$tmpdir/postmortem.md"
+grep -q 'node-1' "$tmpdir/postmortem.md"
+
+echo "cluster smoke ok"

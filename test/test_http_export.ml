@@ -428,6 +428,191 @@ let test_ephemeral_ports_distinct () =
             (Http_export.port a <> Http_export.port b);
           check_bool "nonzero" true (Http_export.port a > 0)))
 
+(* --- methods: HEAD and 405 --- *)
+
+let request_ok ?meth srv path =
+  match
+    Http_export.Client.request ?meth ~port:(Http_export.port srv) path
+  with
+  | Ok (status, headers, body) -> (status, headers, body)
+  | Error m ->
+      Alcotest.failf "%s %s failed: %s"
+        (Option.value ~default:"GET" meth)
+        path m
+
+let header name headers =
+  List.assoc_opt (String.lowercase_ascii name)
+    (List.map (fun (k, v) -> (String.lowercase_ascii k, v)) headers)
+
+let test_head_matches_get () =
+  with_server (fun registry srv ->
+      Metric.add (Registry.counter registry "soak_ops_total") 5;
+      List.iter
+        (fun path ->
+          let _, get_headers, get_body = request_ok srv path in
+          let status, head_headers, head_body =
+            request_ok ~meth:"HEAD" srv path
+          in
+          check_int (path ^ " HEAD status") 200 status;
+          check_string (path ^ " HEAD body empty") "" head_body;
+          check_bool (path ^ " content-length matches GET") true
+            (header "content-length" head_headers
+            = Some (string_of_int (String.length get_body)));
+          check_bool (path ^ " content-type matches GET") true
+            (header "content-type" head_headers
+            = header "content-type" get_headers))
+        [ "/"; "/metrics"; "/stats.json" ];
+      (* /healthz embeds a live uptime, so only shape is stable *)
+      let status, headers, body = request_ok ~meth:"HEAD" srv "/healthz" in
+      check_int "/healthz HEAD status" 200 status;
+      check_string "/healthz HEAD body empty" "" body;
+      check_bool "/healthz content-length positive" true
+        (match header "content-length" headers with
+        | Some n -> int_of_string_opt n <> None && int_of_string n > 0
+        | None -> false);
+      (* HEAD on a missing path is still a 404, still bodyless *)
+      let status, _, body = request_ok ~meth:"HEAD" srv "/nope" in
+      check_int "HEAD 404" 404 status;
+      check_string "HEAD 404 body empty" "" body)
+
+let test_unsupported_method_405 () =
+  with_server (fun _ srv ->
+      List.iter
+        (fun meth ->
+          let status, headers, _ = request_ok ~meth srv "/metrics" in
+          check_int (meth ^ " is 405") 405 status;
+          check_bool (meth ^ " lists allowed methods") true
+            (header "allow" headers = Some "GET, HEAD"))
+        [ "POST"; "PUT"; "DELETE" ])
+
+(* --- client receive timeout --- *)
+
+let test_client_timeout () =
+  (* a listener that accepts but never answers must not hang the
+     client: the configured receive deadline turns it into an error *)
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen sock 1;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      let started = Unix.gettimeofday () in
+      match Http_export.Client.get ~timeout_s:0.5 ~port "/healthz" with
+      | Ok (status, _) -> Alcotest.failf "silent server answered: %d" status
+      | Error _ ->
+          let elapsed = Unix.gettimeofday () -. started in
+          check_bool "gave up promptly" true (elapsed < 4.0))
+
+(* --- federation: /cluster.json over two live member servers --- *)
+
+let test_cluster_json_absent () =
+  with_server (fun _ srv ->
+      let status, body = get_ok srv "/cluster.json" in
+      check_int "404 without a cluster callback" 404 status;
+      check_bool "explains itself" true (contains body "no cluster"))
+
+let test_cluster_federation () =
+  (* two member servers with their own registries… *)
+  let mk id =
+    let registry = Registry.create () in
+    let srv =
+      Http_export.create ~registry
+        ~health:(fun () -> [ ("node", Jsonx.String id) ])
+        ~port:0 ()
+    in
+    (registry, srv)
+  in
+  let reg_a, srv_a = mk "node-a" in
+  let _reg_b, srv_b = mk "node-b" in
+  Metric.add (Registry.counter reg_a "soak_ops_total") 7;
+  let nodes =
+    [
+      { Cluster.id = "node-a"; host = "127.0.0.1";
+        port = Http_export.port srv_a };
+      { Cluster.id = "node-b"; host = "127.0.0.1";
+        port = Http_export.port srv_b };
+      (* …plus one that is down *)
+      { Cluster.id = "node-c"; host = "127.0.0.1"; port = 1 };
+    ]
+  in
+  (* …federated behind a third server's /cluster.json *)
+  let parent_reg = Registry.create () in
+  let parent =
+    Http_export.create ~registry:parent_reg
+      ~cluster:(fun () ->
+        Cluster.collect ~timeout_s:2.0
+          ~meta:[ ("trace", Jsonx.String "t-123") ]
+          nodes)
+      ~port:0 ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Http_export.stop parent;
+      Http_export.stop srv_a;
+      Http_export.stop srv_b)
+    (fun () ->
+      let status, body = get_ok parent "/cluster.json" in
+      check_int "status" 200 status;
+      let j =
+        match Jsonx.of_string (String.trim body) with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "cluster.json did not parse: %s" m
+      in
+      let int name =
+        Option.value ~default:(-1)
+          (Option.bind (Jsonx.member name j) Jsonx.to_int)
+      in
+      check_bool "schema" true
+        (Option.bind (Jsonx.member "schema" j) Jsonx.to_str
+        = Some Cluster.schema);
+      check_int "nodes_total" 3 (int "nodes_total");
+      check_int "nodes_up" 2 (int "nodes_up");
+      check_bool "meta passed through" true
+        (Option.bind (Jsonx.member "trace" j) Jsonx.to_str = Some "t-123");
+      match Jsonx.member "nodes" j with
+      | Some (Jsonx.List rows) ->
+          check_int "one row per node" 3 (List.length rows);
+          let row id =
+            match
+              List.find_opt
+                (fun r ->
+                  Option.bind (Jsonx.member "id" r) Jsonx.to_str = Some id)
+                rows
+            with
+            | Some r -> r
+            | None -> Alcotest.failf "node %s missing from roll-up" id
+          in
+          let up r =
+            Option.bind (Jsonx.member "up" r) Jsonx.to_bool = Some true
+          in
+          check_bool "node-a up" true (up (row "node-a"));
+          check_bool "node-b up" true (up (row "node-b"));
+          check_bool "node-c down" false (up (row "node-c"));
+          check_bool "member health federated" true
+            (Option.bind
+               (Option.bind (Jsonx.member "health" (row "node-a"))
+                  (Jsonx.member "node"))
+               Jsonx.to_str
+            = Some "node-a");
+          check_bool "member stats federated" true
+            (Option.bind
+               (Option.bind (Jsonx.member "stats" (row "node-a"))
+                  (Jsonx.member "soak_ops_total"))
+               Jsonx.to_int
+            = Some 7);
+          check_bool "down node records its error" true
+            (Option.is_some (Jsonx.member "error" (row "node-c")));
+          check_bool "index lists the endpoint" true
+            (let _, index = get_ok parent "/" in
+             contains index "/cluster.json")
+      | _ -> Alcotest.fail "cluster.json has no nodes list")
+
 let () =
   Alcotest.run "http_export"
     [
@@ -464,5 +649,20 @@ let () =
           Alcotest.test_case "graceful stop" `Quick test_graceful_stop;
           Alcotest.test_case "ephemeral ports" `Quick
             test_ephemeral_ports_distinct;
+        ] );
+      ( "methods",
+        [
+          Alcotest.test_case "HEAD matches GET" `Quick test_head_matches_get;
+          Alcotest.test_case "405 with Allow" `Quick
+            test_unsupported_method_405;
+        ] );
+      ( "client",
+        [ Alcotest.test_case "receive timeout" `Quick test_client_timeout ] );
+      ( "federation",
+        [
+          Alcotest.test_case "/cluster.json without callback" `Quick
+            test_cluster_json_absent;
+          Alcotest.test_case "two live members + one down" `Quick
+            test_cluster_federation;
         ] );
     ]

@@ -287,6 +287,32 @@ let test_stamped_kv_delta_ledger () =
   check_int "no counting when detached" rounds
     (counter_value r "kvs_sync_rounds_total")
 
+let test_stamped_kv_emits_spans () =
+  let module Tr = Vstamp_obs.Trace_ctx in
+  let spans = ref [] in
+  Tr.detach ();
+  Tr.set_id_seed 0xabc;
+  Tr.attach ~sink:(fun sp -> spans := sp :: !spans) ~node:"server-a" ();
+  Fun.protect ~finally:Tr.detach (fun () ->
+      let a = Stamped_kv.put Stamped_kv.empty ~key:"k" "v" in
+      let _, _ = Stamped_kv.sync a Stamped_kv.empty in
+      let names = List.rev_map (fun sp -> sp.Tr.sp_name) !spans in
+      check_bool "kvs.sync span" true (List.mem "kvs.sync" names);
+      check_bool "kvs.apply span" true (List.mem "kvs.apply" names);
+      let walk = List.find (fun sp -> sp.Tr.sp_name = "kvs.sync") !spans in
+      let apply = List.find (fun sp -> sp.Tr.sp_name = "kvs.apply") !spans in
+      check_bool "apply continues the walk's trace" true
+        (String.equal walk.Tr.sp_trace apply.Tr.sp_trace);
+      check_bool "apply is a child of the walk" true
+        (apply.Tr.sp_parent = Some walk.Tr.sp_id);
+      check_bool "key count annotated" true
+        (List.mem_assoc "keys" walk.Tr.sp_attrs));
+  (* detached: syncs still work, nothing recorded *)
+  let n = List.length !spans in
+  let a = Stamped_kv.put Stamped_kv.empty ~key:"x" "v" in
+  let _ = Stamped_kv.sync a Stamped_kv.empty in
+  check_int "no spans when detached" n (List.length !spans)
+
 let () =
   Alcotest.run "kvs"
     [
@@ -319,6 +345,7 @@ let () =
           Alcotest.test_case "obs counters" `Quick test_obs_counters;
           Alcotest.test_case "stamped-kv delta ledger" `Quick
             test_stamped_kv_delta_ledger;
+          Alcotest.test_case "trace spans" `Quick test_stamped_kv_emits_spans;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ prop_sound ]);
     ]

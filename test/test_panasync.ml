@@ -327,6 +327,36 @@ let test_sync_obs_delta_ledger () =
       check_bool "efficiency in (0, 1]" true (eff > 0. && eff <= 1.);
       check_int "ledger balances" (shipped ()) (minimal () + redundant ()))
 
+let test_sync_emits_spans () =
+  let module Tr = Vstamp_obs.Trace_ctx in
+  let spans = ref [] in
+  Tr.detach ();
+  Tr.set_id_seed 0xabc;
+  Tr.attach ~sink:(fun sp -> spans := sp :: !spans) ~node:"laptop" ();
+  Fun.protect ~finally:Tr.detach (fun () ->
+      let a = Store.add_new (Store.create ~name:"a") ~path:"doc" ~content:"v" in
+      let _, _, _ = Sync.session a (Store.create ~name:"b") in
+      let names = List.rev_map (fun sp -> sp.Tr.sp_name) !spans in
+      check_bool "sync.session span" true (List.mem "sync.session" names);
+      check_bool "sync.apply span" true (List.mem "sync.apply" names);
+      let session =
+        List.find (fun sp -> sp.Tr.sp_name = "sync.session") !spans
+      in
+      let apply =
+        List.find (fun sp -> sp.Tr.sp_name = "sync.apply") !spans
+      in
+      check_str "apply continues the session trace" session.Tr.sp_trace
+        apply.Tr.sp_trace;
+      check_bool "apply is a child of the session span" true
+        (apply.Tr.sp_parent = Some session.Tr.sp_id);
+      check_bool "file count annotated" true
+        (List.mem_assoc "files" session.Tr.sp_attrs));
+  (* detached: sessions still work, nothing recorded *)
+  let n = List.length !spans in
+  let a = Store.add_new (Store.create ~name:"a") ~path:"doc" ~content:"v" in
+  let _, _, _ = Sync.session a (Store.create ~name:"b") in
+  check_int "no spans when detached" n (List.length !spans)
+
 let () =
   Alcotest.run "panasync"
     [
@@ -352,6 +382,7 @@ let () =
         [
           Alcotest.test_case "obs counters" `Quick test_sync_obs_counters;
           Alcotest.test_case "delta ledger" `Quick test_sync_obs_delta_ledger;
+          Alcotest.test_case "trace spans" `Quick test_sync_emits_spans;
         ] );
       ( "sync",
         [

@@ -1,0 +1,280 @@
+(* Trace contexts and spans: header and JSONL round trips (including a
+   qcheck sweep over generated spans), the ambient tracer's nesting and
+   parent links, remote continuation, and the detached no-op path. *)
+
+open Vstamp_obs
+module Tr = Trace_ctx
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+(* every test runs with a clean tracer and deterministic ids *)
+let fresh ?registry ?sink ?node ?parent () =
+  Tr.detach ();
+  Tr.set_id_seed 0xfeed;
+  Tr.attach ?registry ?sink ?node ?parent ()
+
+(* --- headers --- *)
+
+let test_header_round_trip () =
+  Tr.set_id_seed 42;
+  let c = Tr.genesis ~node:"node-3" () in
+  let h = Tr.to_header c in
+  check_bool "prefix" true (String.length h > 14 && String.sub h 0 14 = "vstamp-trace/1");
+  (match Tr.of_header h with
+  | Ok c' ->
+      check_string "trace" c.Tr.trace_id c'.Tr.trace_id;
+      check_string "span" c.Tr.span_id c'.Tr.span_id;
+      check_string "node" c.Tr.node c'.Tr.node
+  | Error m -> Alcotest.failf "of_header: %s" m);
+  (match Tr.of_header "not-a-header" with
+  | Ok _ -> Alcotest.fail "junk header parsed"
+  | Error _ -> ());
+  match Tr.of_header "vstamp-trace/9;a;b;c" with
+  | Ok _ -> Alcotest.fail "wrong version parsed"
+  | Error _ -> ()
+
+let test_child_keeps_trace () =
+  Tr.set_id_seed 7;
+  let c = Tr.genesis ~node:"n" () in
+  let k = Tr.child c in
+  check_string "same trace" c.Tr.trace_id k.Tr.trace_id;
+  check_bool "fresh span id" true (c.Tr.span_id <> k.Tr.span_id)
+
+(* --- span (de)serialization --- *)
+
+let span ?(parent = None) ?(domain = None) ?(stamp = None) ?(attrs = [])
+    name =
+  {
+    Tr.sp_trace = "74726163652d6964";
+    sp_id = "7370616e2d6964";
+    sp_parent = parent;
+    sp_node = "node-1";
+    sp_name = name;
+    sp_start_ns = 1_000_000L;
+    sp_end_ns = 2_500_000L;
+    sp_domain = domain;
+    sp_stamp = stamp;
+    sp_attrs = attrs;
+  }
+
+let test_span_json_round_trip () =
+  let sp =
+    span "sync.session" ~parent:(Some "abc123") ~domain:(Some "cluster")
+      ~stamp:(Some "[1|0]")
+      ~attrs:[ ("files", Jsonx.Int 3); ("peer", Jsonx.String "node-2") ]
+  in
+  match Tr.span_of_string (Tr.span_to_string sp) with
+  | Ok sp' -> check_bool "round trip" true (Tr.span_equal sp sp')
+  | Error m -> Alcotest.failf "span_of_string: %s" m
+
+let test_spans_jsonl_round_trip () =
+  let sps =
+    [
+      span "a";
+      span "b" ~stamp:(Some "[e|1]") ~domain:(Some "d");
+      span "c" ~parent:(Some "p") ~attrs:[ ("k", Jsonx.Float 1.5) ];
+    ]
+  in
+  match Tr.spans_of_jsonl (Tr.spans_to_jsonl sps) with
+  | Ok sps' ->
+      check_int "count" (List.length sps) (List.length sps');
+      List.iter2
+        (fun a b -> check_bool "equal" true (Tr.span_equal a b))
+        sps sps'
+  | Error m -> Alcotest.failf "spans_of_jsonl: %s" m
+
+let test_jsonl_skips_blank_lines () =
+  let text = "\n" ^ Tr.span_to_string (span "x") ^ "\n\n" in
+  match Tr.spans_of_jsonl text with
+  | Ok [ sp ] -> check_string "name" "x" sp.Tr.sp_name
+  | Ok sps -> Alcotest.failf "expected 1 span, got %d" (List.length sps)
+  | Error m -> Alcotest.failf "spans_of_jsonl: %s" m
+
+(* qcheck: random spans survive the JSONL round trip *)
+let gen_ident =
+  QCheck2.Gen.(
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_range 1 12) (char_range 'a' 'z')))
+
+let gen_span =
+  QCheck2.Gen.(
+    let* name = gen_ident in
+    let* node = gen_ident in
+    let* parent = option gen_ident in
+    let* domain = option gen_ident in
+    let* stamp = option gen_ident in
+    let* start_ns = int_range 0 1_000_000 in
+    let* len_ns = int_range 0 1_000_000 in
+    let* attr_n = int_range 0 3 in
+    let* attr_keys = list_repeat attr_n gen_ident in
+    let* attr_vals = list_repeat attr_n (int_range (-100) 100) in
+    return
+      {
+        Tr.sp_trace = "deadbeef";
+        sp_id = name ^ "id";
+        sp_parent = parent;
+        sp_node = node;
+        sp_name = name;
+        sp_start_ns = Int64.of_int start_ns;
+        sp_end_ns = Int64.of_int (start_ns + len_ns);
+        sp_domain = domain;
+        sp_stamp = stamp;
+        sp_attrs =
+          List.map2 (fun k v -> (k, Jsonx.Int v)) attr_keys attr_vals;
+      })
+
+let qcheck_span_round_trip =
+  QCheck2.Test.make ~name:"span JSONL round trip" ~count:300
+    QCheck2.Gen.(list_size (int_bound 8) gen_span)
+    (fun sps ->
+      match Tr.spans_of_jsonl (Tr.spans_to_jsonl sps) with
+      | Ok sps' ->
+          List.length sps = List.length sps'
+          && List.for_all2 Tr.span_equal sps sps'
+      | Error _ -> false)
+
+(* --- the ambient tracer --- *)
+
+let test_detached_is_noop () =
+  Tr.detach ();
+  check_bool "not attached" false (Tr.attached ());
+  check_bool "no current ctx" true (Tr.current () = None);
+  (* with_span must just call the body *)
+  check_int "body result" 41 (Tr.with_span "x" (fun () -> 41));
+  check_int "remote body result" 43
+    (Tr.with_remote_span ~header:"vstamp-trace/1;t;s;n" "y" (fun () -> 43));
+  Tr.annotate [ ("k", Jsonx.Int 1) ];
+  Tr.set_stamp "[1|0]"
+
+let test_with_span_records_and_links () =
+  let spans = ref [] in
+  fresh ~sink:(fun sp -> spans := sp :: !spans) ~node:"n0" ();
+  let root = Option.get (Tr.root ()) in
+  Tr.with_span "outer"
+    ~attrs:[ ("i", Jsonx.Int 1) ]
+    (fun () ->
+      let outer_ctx = Option.get (Tr.current ()) in
+      check_string "outer trace" root.Tr.trace_id outer_ctx.Tr.trace_id;
+      Tr.with_span "inner" (fun () ->
+          Tr.annotate [ ("late", Jsonx.Bool true) ];
+          Tr.set_stamp ~domain:"d" "[1|0]"));
+  Tr.detach ();
+  match List.rev !spans with
+  | [ inner; outer ] ->
+      (* inner finishes first *)
+      check_string "inner name" "inner" inner.Tr.sp_name;
+      check_string "outer name" "outer" outer.Tr.sp_name;
+      check_string "same trace" outer.Tr.sp_trace inner.Tr.sp_trace;
+      check_string "inner parent is outer" outer.Tr.sp_id
+        (Option.get inner.Tr.sp_parent);
+      check_string "outer parent is root" root.Tr.span_id
+        (Option.get outer.Tr.sp_parent);
+      check_string "node" "n0" outer.Tr.sp_node;
+      check_bool "annotate landed" true
+        (List.mem_assoc "late" inner.Tr.sp_attrs);
+      check_string "stamp landed" "[1|0]" (Option.get inner.Tr.sp_stamp);
+      check_string "domain landed" "d" (Option.get inner.Tr.sp_domain);
+      check_bool "interval sane" true
+        (Int64.compare inner.Tr.sp_start_ns inner.Tr.sp_end_ns <= 0)
+  | sps -> Alcotest.failf "expected 2 spans, got %d" (List.length sps)
+
+let test_span_recorded_on_exception () =
+  let spans = ref [] in
+  fresh ~sink:(fun sp -> spans := sp :: !spans) ();
+  (try Tr.with_span "boom" (fun () -> failwith "expected") with
+  | Failure _ -> ());
+  Tr.detach ();
+  match !spans with
+  | [ sp ] ->
+      check_string "name" "boom" sp.Tr.sp_name;
+      check_bool "error attr" true
+        (match List.assoc_opt "error" sp.Tr.sp_attrs with
+        | Some (Jsonx.Bool true) -> true
+        | _ -> false)
+  | sps -> Alcotest.failf "expected 1 span, got %d" (List.length sps)
+
+let test_remote_span_continues_trace () =
+  Tr.set_id_seed 11;
+  let remote = Tr.genesis ~node:"sender" () in
+  let header = Tr.to_header remote in
+  let spans = ref [] in
+  fresh ~sink:(fun sp -> spans := sp :: !spans) ~node:"receiver" ();
+  Tr.with_remote_span ~header "apply" (fun () -> ());
+  Tr.detach ();
+  match !spans with
+  | [ sp ] ->
+      check_string "continues remote trace" remote.Tr.trace_id sp.Tr.sp_trace;
+      check_string "child of remote span" remote.Tr.span_id
+        (Option.get sp.Tr.sp_parent);
+      check_string "recorded on this node" "receiver" sp.Tr.sp_node;
+      check_bool "peer attr" true
+        (match List.assoc_opt "peer" sp.Tr.sp_attrs with
+        | Some (Jsonx.String "sender") -> true
+        | _ -> false)
+  | sps -> Alcotest.failf "expected 1 span, got %d" (List.length sps)
+
+let test_attach_parent_continues_trace () =
+  Tr.set_id_seed 13;
+  let launch = Tr.genesis ~node:"parent" () in
+  let spans = ref [] in
+  Tr.detach ();
+  Tr.attach ~sink:(fun sp -> spans := sp :: !spans) ~node:"worker"
+    ~parent:launch ();
+  Tr.with_span "iter" (fun () -> ());
+  Tr.detach ();
+  match !spans with
+  | [ sp ] ->
+      check_string "same trace as launch" launch.Tr.trace_id sp.Tr.sp_trace;
+      check_string "child of launch" launch.Tr.span_id
+        (Option.get sp.Tr.sp_parent)
+  | sps -> Alcotest.failf "expected 1 span, got %d" (List.length sps)
+
+let test_registry_counts_spans () =
+  let registry = Registry.create () in
+  fresh ~registry ();
+  Tr.with_span "a" (fun () -> Tr.with_span "b" (fun () -> ()));
+  Tr.detach ();
+  check_int "trace_spans_total" 2
+    (Metric.count (Registry.counter registry "trace_spans_total"))
+
+let () =
+  Alcotest.run "trace_ctx"
+    [
+      ( "headers",
+        [
+          Alcotest.test_case "round trip + rejects junk" `Quick
+            test_header_round_trip;
+          Alcotest.test_case "child keeps the trace" `Quick
+            test_child_keeps_trace;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "span JSON round trip" `Quick
+            test_span_json_round_trip;
+          Alcotest.test_case "spans JSONL round trip" `Quick
+            test_spans_jsonl_round_trip;
+          Alcotest.test_case "blank lines skipped" `Quick
+            test_jsonl_skips_blank_lines;
+          QCheck_alcotest.to_alcotest qcheck_span_round_trip;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "detached is a no-op" `Quick
+            test_detached_is_noop;
+          Alcotest.test_case "with_span records, nests, links" `Quick
+            test_with_span_records_and_links;
+          Alcotest.test_case "exception still records" `Quick
+            test_span_recorded_on_exception;
+          Alcotest.test_case "remote span continues the trace" `Quick
+            test_remote_span_continues_trace;
+          Alcotest.test_case "attach ~parent continues the trace" `Quick
+            test_attach_parent_continues_trace;
+          Alcotest.test_case "registry counter" `Quick
+            test_registry_counts_spans;
+        ] );
+    ]

@@ -1,0 +1,229 @@
+(* Stamp-ordered span merging: determinism of the linearization and its
+   Chrome export under input permutation, correctness of the stamp order
+   against a real version-stamp lineage, and contradiction detection. *)
+
+open Vstamp_core
+open Vstamp_obs
+module Tr = Trace_ctx
+module Tm = Trace_merge
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+(* the real happens-before oracle: parse text labels back into stamps *)
+let stamp_leq : Tm.leq =
+ fun a b ->
+  match
+    (Vstamp_codec.Text.stamp_of_string a, Vstamp_codec.Text.stamp_of_string b)
+  with
+  | Ok sa, Ok sb -> Some (Stamp.leq sa sb)
+  | _ -> None
+
+let span ?parent ?domain ?stamp ~node ~id ~start_ms ~end_ms name =
+  {
+    Tr.sp_trace = "trace-1";
+    sp_id = id;
+    sp_parent = parent;
+    sp_node = node;
+    sp_name = name;
+    sp_start_ns = Int64.of_int (start_ms * 1_000_000);
+    sp_end_ns = Int64.of_int (end_ms * 1_000_000);
+    sp_domain = domain;
+    sp_stamp = stamp;
+    sp_attrs = [];
+  }
+
+(* A three-replica lineage where two non-sibling replicas update and
+   join (the third keeps the frontier wide, so the Section 6 reduction
+   does not collapse the joined id back towards seed).  Stamp order must
+   place the fork-point span below both replica spans and both below the
+   join span, while the two replica spans stay concurrent. *)
+let lineage () =
+  let s label = Some (Stamp.to_string label) in
+  match Stamp.fork_many Stamp.seed 3 with
+  | [ a; _bystander; b ] ->
+      let a' = Stamp.update a in
+      let b' = Stamp.update b in
+      let joined = Stamp.update (Stamp.join a' b') in
+      (* wall clocks deliberately skewed: node-b's clock runs early *)
+      let root =
+        span "launch" ~node:"parent" ~id:"s0" ~start_ms:0 ~end_ms:1
+          ~domain:"d" ?stamp:(s Stamp.seed)
+      in
+      let wa =
+        span "work-a" ~node:"node-a" ~id:"sa" ~start_ms:10 ~end_ms:12
+          ~domain:"d" ?stamp:(s a')
+      in
+      let wb =
+        span "work-b" ~node:"node-b" ~id:"sb" ~start_ms:5 ~end_ms:7
+          ~domain:"d" ?stamp:(s b')
+      in
+      let jn =
+        span "join" ~node:"node-a" ~id:"sj" ~start_ms:20 ~end_ms:21
+          ~domain:"d" ?stamp:(s joined)
+      in
+      (root, wa, wb, jn)
+  | _ -> assert false
+
+let index id spans =
+  let rec go i = function
+    | [] -> Alcotest.failf "span %s missing from merge" id
+    | sp :: _ when sp.Tr.sp_id = id -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 spans
+
+let test_merge_respects_stamp_order () =
+  let root, wa, wb, jn = lineage () in
+  let merged = Tm.merge ~leq:stamp_leq [ jn; wa; root; wb ] in
+  check_int "all spans kept" 4 (List.length merged);
+  let pos id = index id merged in
+  check_bool "launch before work-a" true (pos "s0" < pos "sa");
+  check_bool "launch before work-b" true (pos "s0" < pos "sb");
+  check_bool "work-a before join" true (pos "sa" < pos "sj");
+  check_bool "work-b before join" true (pos "sb" < pos "sj")
+
+let test_merge_deterministic_under_permutation () =
+  let root, wa, wb, jn = lineage () in
+  let base = [ root; wa; wb; jn ] in
+  let permutations =
+    [
+      [ root; wa; wb; jn ];
+      [ jn; wb; wa; root ];
+      [ wa; jn; root; wb ];
+      [ wb; root; jn; wa ];
+    ]
+  in
+  let chrome sps = Jsonx.to_string (Tm.to_chrome (Tm.merge ~leq:stamp_leq sps)) in
+  let reference = chrome base in
+  List.iteri
+    (fun i p ->
+      check_string
+        (Printf.sprintf "permutation %d byte-identical" i)
+        reference (chrome p))
+    permutations;
+  (* and stable under repetition *)
+  check_string "re-merge byte-identical" reference (chrome base)
+
+(* a strictly ordered label pair: seed below an updated fork child *)
+let lo_hi () =
+  let child, _ = Stamp.fork Stamp.seed in
+  ( Some (Stamp.to_string Stamp.seed),
+    Some (Stamp.to_string (Stamp.update child)) )
+
+let test_wall_time_breaks_ties () =
+  (* equal stamps (same node, no communication) fall back to wall time *)
+  let st = Some (Stamp.to_string (Stamp.update Stamp.seed)) in
+  let a =
+    span "i0" ~node:"n" ~id:"x1" ~start_ms:30 ~end_ms:31 ~domain:"d" ?stamp:st
+  in
+  let b =
+    span "i1" ~node:"n" ~id:"x2" ~start_ms:10 ~end_ms:11 ~domain:"d" ?stamp:st
+  in
+  let merged = Tm.merge ~leq:stamp_leq [ a; b ] in
+  check_bool "earlier wall time first" true
+    (index "x2" merged < index "x1" merged)
+
+let test_domain_scopes_comparison () =
+  (* identical lineage labels in different domains must not be ordered *)
+  let lo, hi = lo_hi () in
+  let a =
+    span "a" ~node:"n1" ~id:"d1" ~start_ms:0 ~end_ms:1 ~domain:"left"
+      ?stamp:lo
+  in
+  let b =
+    span "b" ~node:"n2" ~id:"d2" ~start_ms:2 ~end_ms:3 ~domain:"right"
+      ?stamp:hi
+  in
+  let rp = Tm.validate ~leq:stamp_leq [ a; b ] in
+  check_int "no cross-domain pairs" 0 rp.Tm.rp_ordered_pairs
+
+let test_validate_counts () =
+  let root, wa, wb, jn = lineage () in
+  let rp = Tm.validate ~leq:stamp_leq [ root; wa; wb; jn ] in
+  check_int "spans" 4 rp.Tm.rp_spans;
+  check_int "stamped" 4 rp.Tm.rp_stamped;
+  check_int "nodes" 3 (List.length rp.Tm.rp_nodes);
+  (* root<wa, root<wb, root<jn, wa<jn, wb<jn — wa ∥ wb contributes none *)
+  check_int "ordered pairs" 5 rp.Tm.rp_ordered_pairs;
+  (* root(parent)<wa, root<wb, root<jn(node-a), wb(node-b)<jn(node-a) *)
+  check_int "cross-node pairs" 4 rp.Tm.rp_cross_node_ordered_pairs;
+  check_int "no contradictions" 0 (List.length rp.Tm.rp_contradictions)
+
+let test_contradiction_detected () =
+  (* stamps say a < b but b finished entirely before a began *)
+  let lo, hi = lo_hi () in
+  let a =
+    span "early" ~node:"n1" ~id:"c1" ~start_ms:100 ~end_ms:110 ~domain:"d"
+      ?stamp:lo
+  in
+  let b =
+    span "late" ~node:"n2" ~id:"c2" ~start_ms:0 ~end_ms:10 ~domain:"d"
+      ?stamp:hi
+  in
+  let rp = Tm.validate ~leq:stamp_leq [ a; b ] in
+  check_int "one contradiction" 1 (List.length rp.Tm.rp_contradictions);
+  let x, y = List.hd rp.Tm.rp_contradictions in
+  check_string "causally earlier" "c1" x.Tr.sp_id;
+  check_string "causally later" "c2" y.Tr.sp_id;
+  (* and the json report carries the count *)
+  let j = Tm.report_json rp in
+  (match Jsonx.member "schema" j with
+  | Some (Jsonx.String s) -> check_string "schema" Tm.report_schema s
+  | _ -> Alcotest.fail "report missing schema");
+  match Option.bind (Jsonx.member "contradiction_count" j) Jsonx.to_int with
+  | Some n -> check_int "contradiction_count" 1 n
+  | None -> Alcotest.fail "report missing contradiction_count"
+
+let test_chrome_shape () =
+  let root, wa, wb, jn = lineage () in
+  let j = Tm.to_chrome (Tm.merge ~leq:stamp_leq [ root; wa; wb; jn ]) in
+  match Jsonx.member "traceEvents" j with
+  | Some (Jsonx.List evs) ->
+      (* 4 complete events plus one metadata event per node lane *)
+      let xs =
+        List.filter
+          (fun e ->
+            match Option.bind (Jsonx.member "ph" e) Jsonx.to_str with
+            | Some "X" -> true
+            | _ -> false)
+          evs
+      in
+      check_int "complete events" 4 (List.length xs);
+      check_bool "seq argument present" true
+        (List.for_all
+           (fun e ->
+             match
+               Option.bind (Jsonx.member "args" e) (Jsonx.member "seq")
+             with
+             | Some _ -> true
+             | None -> false)
+           xs)
+  | _ -> Alcotest.fail "to_chrome: missing traceEvents"
+
+let () =
+  Alcotest.run "trace_merge"
+    [
+      ( "merge",
+        [
+          Alcotest.test_case "respects stamp order" `Quick
+            test_merge_respects_stamp_order;
+          Alcotest.test_case "deterministic under permutation" `Quick
+            test_merge_deterministic_under_permutation;
+          Alcotest.test_case "wall time breaks ties" `Quick
+            test_wall_time_breaks_ties;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "domains scope comparison" `Quick
+            test_domain_scopes_comparison;
+          Alcotest.test_case "pair accounting" `Quick test_validate_counts;
+          Alcotest.test_case "contradiction detected" `Quick
+            test_contradiction_detected;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "chrome shape" `Quick test_chrome_shape ] );
+    ]
