@@ -67,6 +67,9 @@ type bench_config = {
   e15_best_of : int;
   e16_spans : int;
   e16_best_of : int;
+  e17_replicas : int;
+  e17_rounds : int;
+  e17_rates : float list;
 }
 
 let bench_config ~quick =
@@ -90,6 +93,9 @@ let bench_config ~quick =
       e15_best_of = 1;
       e16_spans = 2000;
       e16_best_of = 1;
+      e17_replicas = 4;
+      e17_rounds = 10;
+      e17_rates = [ 0.5; 1.0; 2.0 ];
     }
   else
     {
@@ -111,6 +117,9 @@ let bench_config ~quick =
       e15_best_of = 3;
       e16_spans = 20000;
       e16_best_of = 3;
+      e17_replicas = 4;
+      e17_rounds = 24;
+      e17_rates = [ 0.5; 1.0; 2.0; 4.0 ];
     }
 
 let config_json c =
@@ -136,6 +145,10 @@ let config_json c =
       ("e15_best_of", Jsonx.Int c.e15_best_of);
       ("e16_spans", Jsonx.Int c.e16_spans);
       ("e16_best_of", Jsonx.Int c.e16_best_of);
+      ("e17_replicas", Jsonx.Int c.e17_replicas);
+      ("e17_rounds", Jsonx.Int c.e17_rounds);
+      ( "e17_rates",
+        Jsonx.List (List.map (fun r -> Jsonx.Float r) c.e17_rates) );
       ( "backends",
         Jsonx.List
           (List.map (fun k -> Jsonx.String k) (Vstamp_core.Backend.keys ())) );
@@ -1431,6 +1444,109 @@ let e16 ~cfg () =
       ("span_json_bytes", Jsonx.Int span_json_bytes);
     ]
 
+(* E17: identity-space reclamation under replica churn.  One Churn.run
+   per churn rate — high-rate autonomous fork, weather-gated retire —
+   comparing the stamp lane's id-digit footprint (and what join/reduce
+   reclaimed of the fork-added digits, against the oracle minimum for
+   the final population) with the lockstep dynamic-VV lane's
+   retired-entry baggage awaiting garbage collection.  The
+   partition-of-unity audit must stay clean on every observed round;
+   an unclean lane is a correctness bug, not a performance number. *)
+let e17 ~cfg () =
+  section "E17: id-space reclamation vs dynamic-VV baggage under churn";
+  let rows =
+    List.map
+      (fun rate ->
+        let ch_cfg =
+          {
+            Churn.replicas = cfg.e17_replicas;
+            min_replicas = 2;
+            max_replicas = 4 * cfg.e17_replicas;
+            rounds = cfg.e17_rounds;
+            p_update = 0.5;
+            syncs_per_round = 2;
+            churn_rate = rate;
+            gc_every = 1;
+            severity = 0.4;
+            seed = 7;
+            epoch = 4;
+            inject_corruption = None;
+          }
+        in
+        (rate, Churn.run ch_cfg))
+      cfg.e17_rates
+  in
+  table
+    ~header:
+      [
+        "rate";
+        "forks";
+        "retires";
+        "pop";
+        "id bits";
+        "oracle";
+        "reclaimed";
+        "effect.";
+        "entropy";
+        "dvv entries";
+        "retired";
+        "gc dropped";
+        "audit";
+      ]
+    (List.map
+       (fun (rate, (r : Churn.result)) ->
+         [
+           Printf.sprintf "%.1f" rate;
+           string_of_int r.Churn.forks;
+           string_of_int r.Churn.retires;
+           string_of_int r.Churn.final_replicas;
+           string_of_int r.Churn.stamp_id_bits;
+           string_of_int r.Churn.oracle_bits;
+           string_of_int r.Churn.reclaimed_bits;
+           Printf.sprintf "%.3f" r.Churn.reduce_effectiveness;
+           Printf.sprintf "%.2f" r.Churn.entropy;
+           string_of_int r.Churn.dvv_entries;
+           string_of_int r.Churn.dvv_retired_entries;
+           string_of_int r.Churn.dvv_gc_dropped;
+           (if r.Churn.audit_clean then "clean" else "VIOLATED");
+         ])
+       rows);
+  Vstamp_obs.Jsonx.List
+    (List.map
+       (fun (rate, (r : Churn.result)) ->
+         let open Vstamp_obs in
+         Jsonx.Obj
+           [
+             ("churn_rate", Jsonx.Float rate);
+             ("rounds", Jsonx.Int r.Churn.rounds);
+             ("forks", Jsonx.Int r.Churn.forks);
+             ("retires", Jsonx.Int r.Churn.retires);
+             ("blocked_retires", Jsonx.Int r.Churn.blocked_retires);
+             ("peak_replicas", Jsonx.Int r.Churn.peak_replicas);
+             ("final_replicas", Jsonx.Int r.Churn.final_replicas);
+             ("stamp_id_bits", Jsonx.Int r.Churn.stamp_id_bits);
+             ("stamp_id_width", Jsonx.Int r.Churn.stamp_id_width);
+             ("stamp_max_depth", Jsonx.Int r.Churn.stamp_max_depth);
+             ("stamp_size_bits", Jsonx.Int r.Churn.stamp_size_bits);
+             ("reclaimed_bits", Jsonx.Int r.Churn.reclaimed_bits);
+             ("fork_bits", Jsonx.Int r.Churn.fork_bits);
+             ("oracle_bits", Jsonx.Int r.Churn.oracle_bits);
+             ("entropy", Jsonx.Float r.Churn.entropy);
+             ("oracle_entropy", Jsonx.Float r.Churn.oracle_entropy);
+             ( "reduce_effectiveness",
+               Jsonx.Float r.Churn.reduce_effectiveness );
+             ("dvv_entries", Jsonx.Int r.Churn.dvv_entries);
+             ("dvv_retired_entries", Jsonx.Int r.Churn.dvv_retired_entries);
+             ( "dvv_peak_retired_entries",
+               Jsonx.Int r.Churn.dvv_peak_retired_entries );
+             ("dvv_size_bits", Jsonx.Int r.Churn.dvv_size_bits);
+             ("dvv_gc_dropped", Jsonx.Int r.Churn.dvv_gc_dropped);
+             ( "relation_mismatches",
+               Jsonx.Int r.Churn.relation_mismatches );
+             ("audit_clean", Jsonx.Bool r.Churn.audit_clean);
+           ])
+       rows)
+
 (* /3 keeps every /2 field and adds the config and wall_clock blocks
    (Bench_store's comparability key and run metadata), the E11 sampled
    columns, the E13 sampling_sweep, and {"timed_out": true} markers for
@@ -1442,11 +1558,14 @@ let e16 ~cfg () =
    field and adds the E15 recorder block (flight-recorder tick cost,
    cadence duty cycles, ring footprint).  /7 keeps every /6 field and
    adds the E16 trace block (span-record and remote-continuation
-   costs, context-propagation wire bytes). *)
-let bench_json_schema = "vstamp-bench-core/7"
+   costs, context-propagation wire bytes).  /8 keeps every /7 field and
+   adds the E17 idspace block (id-digit reclamation vs dynamic-VV
+   retired-entry baggage across churn rates, with the
+   partition-of-unity audit verdict). *)
+let bench_json_schema = "vstamp-bench-core/8"
 
 let write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
-    ~monitor_overhead ~sampling_sweep ~convergence ~recorder ~trace =
+    ~monitor_overhead ~sampling_sweep ~convergence ~recorder ~trace ~idspace =
   let open Vstamp_obs in
   let json =
     Jsonx.Obj
@@ -1470,6 +1589,7 @@ let write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
         ("convergence", convergence);
         ("recorder", recorder);
         ("trace", trace);
+        ("idspace", idspace);
       ]
   in
   let oc = open_out opts.out in
@@ -1509,7 +1629,8 @@ let () =
   let convergence = e14 ~cfg () in
   let recorder = e15 ~cfg () in
   let trace = e16 ~cfg () in
+  let idspace = e17 ~cfg () in
   let elapsed_s = Unix.gettimeofday () -. t_start in
   write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
-    ~monitor_overhead ~sampling_sweep ~convergence ~recorder ~trace;
+    ~monitor_overhead ~sampling_sweep ~convergence ~recorder ~trace ~idspace;
   Format.printf "@.done.@."

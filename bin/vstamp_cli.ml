@@ -1306,8 +1306,8 @@ let soak_checkpoint ~history ~registry ~srv ~sink ~t0 ~iteration ~final =
 
 let soak port addr duration iterations n_ops seed backend sample_every
     sample_prob checkpoint_every history events_out port_file quiet
-    partition_weather rules_file retention record_every tsdb_out node_id
-    span_out trace_parent stamp_seed =
+    partition_weather churn_rate rules_file retention record_every tsdb_out
+    node_id span_out trace_parent stamp_seed =
   let tracker =
     match backend with
     | None -> Tracker.stamps
@@ -1319,6 +1319,9 @@ let soak port addr duration iterations n_ops seed backend sample_every
   (match partition_weather with
   | Some s when not (s >= 0.0 && s <= 1.0) ->
       die "--partition-weather needs a severity in [0, 1]"
+  | _ -> ());
+  (match churn_rate with
+  | Some r when not (r >= 0.0) -> die "--churn needs a non-negative rate"
   | _ -> ());
   if record_every <= 0.0 then die "--record-every needs a positive cadence";
   let rules =
@@ -1506,7 +1509,7 @@ let soak port addr duration iterations n_ops seed backend sample_every
            iteration, publishing the vstamp_replica_lag /
            vstamp_divergence_* / vstamp_convergence_* gauges and the
            sim-level delta ledger into the live registry *)
-        match partition_weather with
+        (match partition_weather with
         | None -> ()
         | Some severity ->
             let cfg =
@@ -1517,7 +1520,24 @@ let soak port addr duration iterations n_ops seed backend sample_every
                 rounds = max 4 (n_ops / 32);
               }
             in
-            ignore (Lag.run ~registry cfg tracker : Lag.result)
+            ignore (Lag.run ~registry cfg tracker : Lag.result));
+        (* replica-churn phase: a fork/retire lifecycle scenario per
+           iteration, publishing the vstamp_idspace_* fragmentation and
+           genealogy gauges (and the sim_churn_* op counters) into the
+           live registry — the data behind /idspace.json and the `top`
+           identity-space panel *)
+        match churn_rate with
+        | None -> ()
+        | Some rate ->
+            let cfg =
+              {
+                Churn.default_config with
+                Churn.churn_rate = rate;
+                seed = seed + i;
+                rounds = max 4 (n_ops / 32);
+              }
+            in
+            ignore (Churn.run ~registry cfg : Churn.result)
       in
       (* One iteration is one span, labelled with this worker's stamp
          after a fresh [update] — so the cluster merge can place the
@@ -1905,6 +1925,18 @@ let soak_cmd =
              connectivity), charting replica lag, divergence and \
              sync-delta efficiency on /metrics and /lag.json")
   in
+  let churn =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "churn" ] ~docv:"RATE"
+          ~doc:
+            "Also run a replica-churn phase each iteration (RATE: \
+             expected forks and retire attempts per scenario round), \
+             charting identity-space fragmentation, id-bit reclamation \
+             and the partition-of-unity audit on /metrics and \
+             /idspace.json (single-process soak only)")
+  in
   let rules =
     Arg.(
       value
@@ -1999,8 +2031,8 @@ let soak_cmd =
   in
   let wrap port addr duration iterations n_ops seed backend sample_every
       sample_prob checkpoint_every history no_history events_out port_file
-      quiet partition_weather rules retention record_every tsdb_out node_id
-      span_out trace_parent stamp_seed cluster cluster_dir =
+      quiet partition_weather churn rules retention record_every tsdb_out
+      node_id span_out trace_parent stamp_seed cluster cluster_dir =
     if cluster > 0 then
       soak_cluster cluster port addr duration iterations n_ops seed backend
         quiet partition_weather rules record_every port_file cluster_dir
@@ -2008,7 +2040,7 @@ let soak_cmd =
       soak port addr duration iterations n_ops seed backend sample_every
         sample_prob checkpoint_every
         (if no_history then None else history)
-        events_out port_file quiet partition_weather rules retention
+        events_out port_file quiet partition_weather churn rules retention
         record_every tsdb_out node_id span_out trace_parent stamp_seed
   in
   Cmd.v
@@ -2026,19 +2058,32 @@ let soak_cmd =
       const wrap $ port $ addr $ duration $ iterations $ n_ops $ seed
       $ backend_arg $ sample_every $ sample_prob $ checkpoint_every $ history
       $ no_history $ events_out $ port_file $ quiet $ partition_weather
-      $ rules $ retention $ record_every $ tsdb_out $ node_id $ span_out
-      $ trace_parent $ stamp_seed $ cluster $ cluster_dir)
+      $ churn $ rules $ retention $ record_every $ tsdb_out $ node_id
+      $ span_out $ trace_parent $ stamp_seed $ cluster $ cluster_dir)
 
 (* --- top --- *)
 
-let fetch ?timeout_s ~host ~port path =
-  match HE.Client.get ?timeout_s ~host ~port path with
-  | Ok (200, body) -> Ok body
-  | Ok (status, _) -> Error (Printf.sprintf "GET %s: HTTP %d" path status)
-  | Error m -> Error (Printf.sprintf "GET %s: %s" path m)
+(* Transport errors (refused connection, timeout) are retried with
+   exponential backoff when [retries > 0] — a `top`/`scrape` racing a
+   soak process that is still binding its port waits it out instead of
+   dying on the first refusal.  HTTP-level errors are never retried:
+   the server answered, it just doesn't like the request. *)
+let fetch ?(retries = 0) ?timeout_s ~host ~port path =
+  let rec go attempt delay =
+    match HE.Client.get ?timeout_s ~host ~port path with
+    | Ok (200, body) -> Ok body
+    | Ok (status, _) -> Error (Printf.sprintf "GET %s: HTTP %d" path status)
+    | Error m ->
+        if attempt >= retries then Error (Printf.sprintf "GET %s: %s" path m)
+        else begin
+          Unix.sleepf delay;
+          go (attempt + 1) (Float.min 5.0 (delay *. 2.0))
+        end
+  in
+  go 0 0.2
 
-let fetch_json ?timeout_s ~host ~port path =
-  match fetch ?timeout_s ~host ~port path with
+let fetch_json ?retries ?timeout_s ~host ~port path =
+  match fetch ?retries ?timeout_s ~host ~port path with
   | Error _ as e -> e
   | Ok body -> (
       match Jx.of_string (String.trim body) with
@@ -2047,9 +2092,9 @@ let fetch_json ?timeout_s ~host ~port path =
 
 (* Cluster mode: one /cluster.json fetch per frame, rendered as the
    multi-node panel. *)
-let top_cluster ~host ~port ~timeout_s interval frames no_color =
+let top_cluster ~host ~port ~timeout_s ~retries interval frames no_color =
   let frame () =
-    match fetch_json ~timeout_s ~host ~port "/cluster.json" with
+    match fetch_json ~retries ~timeout_s ~host ~port "/cluster.json" with
     | Ok j -> Vstamp_obs.Dash.render_cluster ~color:(not no_color) j
     | Error m -> die "%s" m
   in
@@ -2070,8 +2115,11 @@ let top_cluster ~host ~port ~timeout_s interval frames no_color =
     loop 1
   end
 
-let top host port timeout_s interval frames events_n no_color spark_arg =
-  let fetch_json ~host ~port path = fetch_json ~timeout_s ~host ~port path in
+let top host port timeout_s retries interval frames events_n no_color
+    spark_arg =
+  let fetch_json ~host ~port path =
+    fetch_json ~retries ~timeout_s ~host ~port path
+  in
   let stats () =
     match fetch_json ~host ~port "/stats.json" with
     | Ok j -> j
@@ -2204,6 +2252,16 @@ let top_cmd =
           ~doc:"Socket timeout per fetch (a stalled endpoint errors out \
                 instead of freezing the panel)")
   in
+  let retry =
+    Arg.(
+      value & opt int 0
+      & info [ "retry" ] ~docv:"N"
+          ~doc:
+            "Retry a failed connection up to N times with exponential \
+             backoff (0.2s doubling, capped at 5s) — for scripts racing \
+             a soak process that is still binding its port.  HTTP errors \
+             are not retried")
+  in
   let cluster =
     Arg.(
       value & flag
@@ -2213,12 +2271,14 @@ let top_cmd =
              `soak --cluster` parent) instead of the single-process \
              dashboard")
   in
-  let wrap host port timeout interval frames once events_n no_color spark
-      cluster =
+  let wrap host port timeout retry interval frames once events_n no_color
+      spark cluster =
     let frames = if once then 1 else frames in
+    if retry < 0 then die "--retry needs a non-negative count";
     if cluster then
-      top_cluster ~host ~port ~timeout_s:timeout interval frames no_color
-    else top host port timeout interval frames events_n no_color spark
+      top_cluster ~host ~port ~timeout_s:timeout ~retries:retry interval
+        frames no_color
+    else top host port timeout retry interval frames events_n no_color spark
   in
   Cmd.v
     (Cmd.info "top"
@@ -2231,18 +2291,26 @@ let top_cmd =
           (no screen clearing) for CI and ssh pipes; --cluster renders \
           the multi-node panel of a `soak --cluster` parent")
     Term.(
-      const wrap $ host $ port $ timeout $ interval $ frames $ once
+      const wrap $ host $ port $ timeout $ retry $ interval $ frames $ once
       $ events_n $ no_color $ spark $ cluster)
 
 (* --- scrape --- *)
 
-let scrape host port timeout path =
-  match HE.Client.get ~host ~timeout_s:timeout ~port path with
-  | Ok (200, body) -> print_string body
-  | Ok (status, body) ->
-      Format.eprintf "error: GET %s: HTTP %d@.%s" path status body;
-      exit 1
-  | Error m -> die "GET %s: %s" path m
+let scrape host port timeout retries path =
+  let rec go attempt delay =
+    match HE.Client.get ~host ~timeout_s:timeout ~port path with
+    | Ok (200, body) -> print_string body
+    | Ok (status, body) ->
+        Format.eprintf "error: GET %s: HTTP %d@.%s" path status body;
+        exit 1
+    | Error m ->
+        if attempt >= retries then die "GET %s: %s" path m
+        else begin
+          Unix.sleepf delay;
+          go (attempt + 1) (Float.min 5.0 (delay *. 2.0))
+        end
+  in
+  go 0 0.2
 
 let scrape_cmd =
   let host =
@@ -2260,18 +2328,32 @@ let scrape_cmd =
       value & opt float 5.0
       & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Socket timeout")
   in
+  let retry =
+    Arg.(
+      value & opt int 0
+      & info [ "retry" ] ~docv:"N"
+          ~doc:
+            "Retry a failed connection up to N times with exponential \
+             backoff (0.2s doubling, capped at 5s).  HTTP errors are \
+             not retried")
+  in
   let path =
     Arg.(
       value & pos 0 string "/metrics"
       & info [] ~docv:"PATH" ~doc:"Endpoint path (default /metrics)")
+  in
+  let wrap host port timeout retry path =
+    if retry < 0 then die "--retry needs a non-negative count";
+    scrape host port timeout retry path
   in
   Cmd.v
     (Cmd.info "scrape"
        ~doc:
          "Fetch one telemetry endpoint (curl-free, for scripts and CI \
           smoke): prints the body of GET PATH, exits non-zero on any \
-          HTTP or transport error")
-    Term.(const scrape $ host $ port $ timeout $ path)
+          HTTP or transport error; --retry N waits out a server that \
+          is still coming up")
+    Term.(const wrap $ host $ port $ timeout $ retry $ path)
 
 (* --- lag --- *)
 
@@ -2501,6 +2583,321 @@ let lag_cmd =
       const wrap $ host $ port $ timeout $ tracker_arg $ backend_arg
       $ replicas $ rounds $ p_update $ syncs_per_round $ severity $ seed
       $ epoch $ json)
+
+(* --- churn: the identity-space observatory's scenario --- *)
+
+module Obs_id = Vstamp_obs.Idspace
+
+(* Sim mode: run the replica-churn scenario — high-rate fork/retire
+   under partition weather, a lockstep dynamic-VV lane — and render the
+   identity-space report: fragmentation and reclamation analytics, the
+   dynamic-VV baggage comparison, and the partition-of-unity audit
+   (witnesses and exit 3 when it fails). *)
+let churn_sim replicas min_replicas max_replicas rounds p_update
+    syncs_per_round churn_rate gc_every severity seed epoch
+    inject_corruption dot_out genealogy_out json =
+  if not (severity >= 0.0 && severity <= 1.0) then
+    die "--severity needs a value in [0, 1]";
+  if replicas < 1 then die "--replicas needs at least 1";
+  if min_replicas < 1 then die "--min-replicas needs at least 1";
+  if max_replicas < replicas then
+    die "--max-replicas needs a value >= --replicas";
+  if churn_rate < 0.0 then die "--churn-rate needs a non-negative rate";
+  if gc_every < 1 then die "--gc-every needs at least 1";
+  let cfg =
+    {
+      Churn.replicas;
+      min_replicas;
+      max_replicas;
+      rounds;
+      p_update;
+      syncs_per_round;
+      churn_rate;
+      gc_every;
+      severity;
+      seed;
+      epoch;
+      inject_corruption;
+    }
+  in
+  let r = Churn.run cfg in
+  let out_of file = if file = "-" then None else Some file in
+  (match dot_out with
+  | Some file -> write_data (out_of file) (Obs_id.to_dot r.Churn.genealogy)
+  | None -> ());
+  (match genealogy_out with
+  | Some file ->
+      write_data (out_of file)
+        (Jx.to_string (Obs_id.to_json r.Churn.genealogy) ^ "\n")
+  | None -> ());
+  let audit = r.Churn.audit in
+  if json then
+    print_endline
+      (Jx.to_string
+         (Jx.Obj
+            [
+              ("replicas", Jx.Int replicas);
+              ("max_replicas", Jx.Int max_replicas);
+              ("rounds", Jx.Int r.Churn.rounds);
+              ("churn_rate", Jx.Float churn_rate);
+              ("severity", Jx.Float severity);
+              ("updates", Jx.Int r.Churn.updates);
+              ("syncs", Jx.Int r.Churn.syncs);
+              ("blocked_syncs", Jx.Int r.Churn.blocked_syncs);
+              ("forks", Jx.Int r.Churn.forks);
+              ("retires", Jx.Int r.Churn.retires);
+              ("blocked_retires", Jx.Int r.Churn.blocked_retires);
+              ("peak_replicas", Jx.Int r.Churn.peak_replicas);
+              ("final_replicas", Jx.Int r.Churn.final_replicas);
+              ("stamp_id_bits", Jx.Int r.Churn.stamp_id_bits);
+              ("stamp_peak_id_bits", Jx.Int r.Churn.stamp_peak_id_bits);
+              ("stamp_id_width", Jx.Int r.Churn.stamp_id_width);
+              ("stamp_max_depth", Jx.Int r.Churn.stamp_max_depth);
+              ("stamp_size_bits", Jx.Int r.Churn.stamp_size_bits);
+              ("reclaimed_bits", Jx.Int r.Churn.reclaimed_bits);
+              ("fork_bits", Jx.Int r.Churn.fork_bits);
+              ("oracle_bits", Jx.Int r.Churn.oracle_bits);
+              ("entropy", Jx.Float r.Churn.entropy);
+              ("oracle_entropy", Jx.Float r.Churn.oracle_entropy);
+              ( "reduce_effectiveness",
+                Jx.Float r.Churn.reduce_effectiveness );
+              ("dvv_entries", Jx.Int r.Churn.dvv_entries);
+              ("dvv_retired_entries", Jx.Int r.Churn.dvv_retired_entries);
+              ( "dvv_peak_retired_entries",
+                Jx.Int r.Churn.dvv_peak_retired_entries );
+              ("dvv_size_bits", Jx.Int r.Churn.dvv_size_bits);
+              ("dvv_gc_dropped", Jx.Int r.Churn.dvv_gc_dropped);
+              ("relation_mismatches", Jx.Int r.Churn.relation_mismatches);
+              ("audit_clean", Jx.Bool r.Churn.audit_clean);
+              ( "audit",
+                Jx.Obj
+                  [
+                    ("audited", Jx.Int audit.Obs_id.audited);
+                    ("fragments", Jx.Int audit.Obs_id.audit_fragments);
+                    ( "violations",
+                      Jx.List
+                        (List.map Obs_id.violation_json
+                           audit.Obs_id.violations) );
+                  ] );
+            ]))
+  else begin
+    Format.printf
+      "churn: replicas=%d..%d rounds=%d rate=%.2f severity=%.2f seed=%d@."
+      replicas max_replicas r.Churn.rounds churn_rate severity seed;
+    Format.printf
+      "  %d updates, %d syncs (%d blocked by weather), %d forks, %d \
+       retires (%d blocked), population %d -> %d (peak %d)@."
+      r.Churn.updates r.Churn.syncs r.Churn.blocked_syncs r.Churn.forks
+      r.Churn.retires r.Churn.blocked_retires replicas
+      r.Churn.final_replicas r.Churn.peak_replicas;
+    Format.printf
+      "  identity space: %d fragments, %d id bits (oracle %d), entropy \
+       %.3f (oracle %.3f), max depth %d@."
+      r.Churn.stamp_id_width r.Churn.stamp_id_bits r.Churn.oracle_bits
+      r.Churn.entropy r.Churn.oracle_entropy r.Churn.stamp_max_depth;
+    Format.printf
+      "  reclamation: %d bits reclaimed of %d forked, reduce \
+       effectiveness %.3f@."
+      r.Churn.reclaimed_bits r.Churn.fork_bits r.Churn.reduce_effectiveness;
+    Format.printf
+      "  dynamic vv: %d entries (%d retired baggage, peak %d), %d size \
+       bits, gc dropped %d@."
+      r.Churn.dvv_entries r.Churn.dvv_retired_entries
+      r.Churn.dvv_peak_retired_entries r.Churn.dvv_size_bits
+      r.Churn.dvv_gc_dropped;
+    Format.printf "  relation mismatches: %d@." r.Churn.relation_mismatches;
+    if r.Churn.audit_clean then
+      Format.printf "  audit: clean (%d replicas, %d fragments audited)@."
+        audit.Obs_id.audited audit.Obs_id.audit_fragments
+    else begin
+      Format.printf "  audit: %d violation(s)@."
+        (List.length audit.Obs_id.violations);
+      List.iter
+        (fun v -> Format.printf "    %a@." Obs_id.pp_violation v)
+        audit.Obs_id.violations
+    end
+  end;
+  if not r.Churn.audit_clean then exit 3
+
+(* Live mode: render the /idspace.json view of a soaking process. *)
+let churn_live host port timeout_s json =
+  match fetch_json ~timeout_s ~host ~port "/idspace.json" with
+  | Error m -> die "%s" m
+  | Ok j ->
+      if json then print_endline (Jx.to_string j)
+      else begin
+        let obj name =
+          match Jx.member name j with Some (Jx.Obj kvs) -> kvs | _ -> []
+        in
+        let num name =
+          match Option.bind (Jx.member name j) Jx.to_float with
+          | Some f -> Printf.sprintf "%g" f
+          | None -> "-"
+        in
+        Format.printf "churn: live http://%s:%d/idspace.json@." host port;
+        let fields label kvs =
+          Format.printf "  %s:%s@." label
+            (if kvs = [] then " (none — has the soak run with --churn?)"
+             else
+               String.concat ""
+                 (List.map
+                    (fun (k, v) ->
+                      Printf.sprintf " %s=%s" k
+                        (match Jx.to_float v with
+                        | Some f -> Printf.sprintf "%g" f
+                        | None -> "-"))
+                    kvs))
+        in
+        fields "identity space" (obj "idspace");
+        fields "ops" (obj "ops");
+        Format.printf "  reclaimed bits: %s, fork bits: %s@."
+          (num "reclaimed_bits_total") (num "fork_bits_total")
+      end
+
+let churn_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Server address (live mode)")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:
+            "Render the /idspace.json view of a live soak on PORT \
+             instead of running the simulation")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 4
+      & info [ "replicas" ] ~docv:"N" ~doc:"Initial population (>= 1)")
+  in
+  let min_replicas =
+    Arg.(
+      value & opt int 2
+      & info [ "min-replicas" ] ~docv:"N"
+          ~doc:"Retires stop at this population floor")
+  in
+  let max_replicas =
+    Arg.(
+      value & opt int 16
+      & info [ "max-replicas" ] ~docv:"N"
+          ~doc:"Forks stop at this population ceiling")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 16 & info [ "rounds" ] ~docv:"N" ~doc:"Scenario rounds")
+  in
+  let p_update =
+    Arg.(
+      value & opt float 0.5
+      & info [ "p-update" ] ~docv:"P"
+          ~doc:"Per-replica write probability per round")
+  in
+  let syncs_per_round =
+    Arg.(
+      value & opt int 2
+      & info [ "syncs-per-round" ] ~docv:"N"
+          ~doc:"Sync attempts per round (the weather may block them)")
+  in
+  let churn_rate =
+    Arg.(
+      value & opt float 1.0
+      & info [ "churn-rate" ] ~docv:"RATE"
+          ~doc:
+            "Expected forks per round, and independently expected \
+             retire attempts per round.  Forks are autonomous (never \
+             weather-blocked — the paper's point); retires need \
+             connectivity")
+  in
+  let gc_every =
+    Arg.(
+      value & opt int 1
+      & info [ "gc-every" ] ~docv:"N"
+          ~doc:"Dynamic-VV gc sweep cadence, in rounds")
+  in
+  let severity =
+    Arg.(
+      value & opt float 0.4
+      & info [ "severity" ] ~docv:"S"
+          ~doc:"Partition-weather severity in [0, 1]")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Seed")
+  in
+  let epoch =
+    Arg.(
+      value & opt int 4
+      & info [ "epoch" ] ~docv:"N" ~doc:"Weather epoch length, in rounds")
+  in
+  let inject_corruption =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-corruption" ] ~docv:"ROUND"
+          ~doc:
+            "Fault injection: at ROUND, corrupt one live replica's \
+             fragment inventory so the partition-of-unity audit must \
+             produce an overlap witness (and the command exit 3) — \
+             proof the auditor is actually wired in")
+  in
+  let dot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Write the genealogy DAG as Graphviz DOT to FILE (- for \
+             stdout): live nodes bold, consumed nodes grey, retire \
+             edges dashed")
+  in
+  let genealogy_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "genealogy" ] ~docv:"FILE"
+          ~doc:
+            "Write the full genealogy export (vstamp-idspace/1 JSON: \
+             every incarnation with lineage and fragment, stats and the \
+             audit) to FILE (- for stdout)")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Socket timeout for the live fetch")
+  in
+  let wrap host port timeout replicas min_replicas max_replicas rounds
+      p_update syncs_per_round churn_rate gc_every severity seed epoch
+      inject_corruption dot_out genealogy_out json =
+    match port with
+    | Some p -> churn_live host p timeout json
+    | None ->
+        churn_sim replicas min_replicas max_replicas rounds p_update
+          syncs_per_round churn_rate gc_every severity seed epoch
+          inject_corruption dot_out genealogy_out json
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Identity-space observatory: run the replica-churn scenario \
+          (high-rate autonomous fork / weather-gated retire, a lockstep \
+          dynamic-VV lane) and render fragmentation analytics, id-digit \
+          reclamation vs the oracle minimum, the dynamic-VV retired- \
+          entry baggage comparison and the partition-of-unity audit \
+          (exit 3 on a violation); --dot/--genealogy export the lineage \
+          DAG; or, with --port, render the live /idspace.json view of a \
+          soaking process")
+    Term.(
+      const wrap $ host $ port $ timeout $ replicas $ min_replicas
+      $ max_replicas $ rounds $ p_update $ syncs_per_round $ churn_rate
+      $ gc_every $ severity $ seed $ epoch $ inject_corruption $ dot_out
+      $ genealogy_out $ json)
 
 (* --- report: markdown soak post-mortem --- *)
 
@@ -2991,6 +3388,7 @@ let main_cmd =
       top_cmd;
       scrape_cmd;
       lag_cmd;
+      churn_cmd;
       report_cmd;
       profile_cmd;
       gen_trace_cmd;

@@ -210,12 +210,38 @@ let trace_metrics run =
         obj
   | _ -> []
 
+let idspace_metrics run =
+  match Jsonx.member "idspace" run with
+  | Some (Jsonx.List rows) ->
+      (* schema /8: one row per churn rate of the E17 lane.  Everything
+         here is deterministic in the scenario seed: the stamp lane's
+         id-digit footprint against the dynamic-VV lane's retired-entry
+         baggage. *)
+      List.concat_map
+        (fun row ->
+          match
+            Option.bind (Jsonx.member "churn_rate" row) Jsonx.to_float
+          with
+          | Some rate ->
+              let base = Printf.sprintf "idspace/rate=%g" rate in
+              scalar_fields ~base ~direction:Lower_better
+                [
+                  "stamp_id_bits"; "stamp_id_width"; "dvv_retired_entries";
+                  "dvv_size_bits";
+                ]
+                row
+              @ scalar_fields ~base ~direction:Higher_better
+                  [ "reduce_effectiveness" ] row
+          | None -> [])
+        rows
+  | _ -> []
+
 let metrics run =
   List.sort
     (fun (a, _, _) (b, _, _) -> compare a b)
     (latency_metrics run @ size_metrics run @ reduction_metrics run
    @ monitor_metrics run @ convergence_metrics run @ recorder_metrics run
-   @ trace_metrics run)
+   @ trace_metrics run @ idspace_metrics run)
 
 let config_compatibility ~baseline ~current =
   match (config baseline, config current) with

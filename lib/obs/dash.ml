@@ -97,6 +97,25 @@ let divergence_rows ~max_rows snapshot =
     fields
   |> List.filteri (fun i _ -> i < max_rows)
 
+(* The identity-space families likewise: a churn soak is run to watch
+   fragmentation and reclamation, so they get their own panel. *)
+let idspace_name name =
+  let has_prefix p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  has_prefix "vstamp_idspace_" || has_prefix "sim_churn_"
+
+let idspace_rows ~max_rows snapshot =
+  let fields = match snapshot with Jsonx.Obj kvs -> kvs | _ -> [] in
+  List.filter_map
+    (fun (name, v) ->
+      if idspace_name name then
+        Option.map (fun f -> (name, f)) (Jsonx.to_float v)
+      else None)
+    fields
+  |> List.filteri (fun i _ -> i < max_rows)
+
 let histogram_rows ~max_rows snapshot =
   let fields = match snapshot with Jsonx.Obj kvs -> kvs | _ -> [] in
   List.filter_map
@@ -244,6 +263,16 @@ let render ?(color = true) ?(max_rows = 12) ?(width = 100) ?(events = [])
   | [] -> ()
   | rows ->
       raw_line (section color "divergence (replica lag, pairs, convergence)");
+      List.iter
+        (fun (name, v) ->
+          line
+            (Printf.sprintf "  %-*s %10s" name_w (truncate_line name_w name)
+               (human v)))
+        rows);
+  (match idspace_rows ~max_rows snapshot with
+  | [] -> ()
+  | rows ->
+      raw_line (section color "identity space (fragments, bits, churn)");
       List.iter
         (fun (name, v) ->
           line

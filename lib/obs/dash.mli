@@ -35,7 +35,10 @@ val render :
     flagged), the current gauges, a divergence panel (the
     {!Convergence} gauge families and the [*_delta_efficiency]
     sync-accounting gauges, shown only when the snapshot carries
-    them), a flight-recorder history panel ([sparks]: one {!sparkline}
+    them), an identity-space panel (the [vstamp_idspace_*] and
+    [sim_churn_*] fragmentation/reclamation gauges a churn run
+    publishes, shown only when the snapshot carries them), a
+    flight-recorder history panel ([sparks]: one {!sparkline}
     row per named series, fed from [/range.json] bucket averages),
     histogram summaries from [snapshot], and the tail of [events]
     (newest last).  [color] (default [true]) toggles the ANSI styling;

@@ -330,6 +330,8 @@ let handle_request t fd =
           | "/lag.json" ->
               respond_json ~head fd ~status:200
                 (Convergence.lag_json t.registry)
+          | "/idspace.json" ->
+              respond_json ~head fd ~status:200 (Idspace.view_json t.registry)
           | "/range.json" -> handle_range_json ~head t fd params
           | "/alerts.json" -> handle_alerts_json ~head t fd
           | "/cluster.json" -> handle_cluster_json ~head t fd
@@ -348,8 +350,8 @@ let handle_request t fd =
           | "/" ->
               respond ~head fd ~status:200 ~content_type:"text/plain"
                 "vstamp telemetry: /metrics /healthz /stats.json /lag.json \
-                 /range.json /alerts.json /cluster.json /events \
-                 /events.json\n"
+                 /idspace.json /range.json /alerts.json /cluster.json \
+                 /events /events.json\n"
           | _ ->
               respond ~head fd ~status:404 ~content_type:"text/plain"
                 "not found\n"))

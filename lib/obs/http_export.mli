@@ -17,6 +17,11 @@
       ({!Convergence.lag_json}): per-replica lag, divergence-pair
       counts, frontier width/entropy, convergence timing and the
       sync-delta accounting totals;
+    - [GET /idspace.json] — the identity-space view of the registry
+      ({!Idspace.view_json}): the [vstamp_idspace_*] families — live
+      replicas, fragment counts, id bits vs the oracle minimum,
+      fragmentation entropy, audit-violation count and the fork/join/
+      retire op totals — as published by the churn scenario;
     - [GET /range.json] — the flight-recorder query endpoint (requires
       a {!Tsdb.t} passed to {!create}): with [?metric=NAME] the rolled
       -up history of one series over [?from=]/[?to=] (unix seconds, or

@@ -79,9 +79,25 @@ let scope_groups arr =
     arr;
   scopes
 
+(* The label-pair memo is bounded with the same reset-on-full
+   discipline as [Name_packed]'s memo tables: a week-long cluster
+   merge with many distinct labels degrades to recomputation instead
+   of growing memory without limit. *)
+let default_memo_limit = 1 lsl 16
+
+let memo_limit_ref = ref default_memo_limit
+
+let set_memo_limit n =
+  if n < 1 then invalid_arg "Trace_merge.set_memo_limit: limit < 1";
+  memo_limit_ref := n
+
+let memo_resets_count = ref 0
+
+let memo_resets () = !memo_resets_count
+
 (* iterate [f a_index b_index] over every span pair whose labels are
    strictly ordered within a scope; each distinct label pair is
-   compared through [leq] exactly once *)
+   compared through [leq] once per memo generation *)
 let iter_ordered_pairs ~(leq : leq) scopes f =
   let strict_cache : (string * string, bool) Hashtbl.t =
     Hashtbl.create 64
@@ -95,6 +111,10 @@ let iter_ordered_pairs ~(leq : leq) scopes f =
           | Some true, Some false -> true
           | _ -> false
         in
+        if Hashtbl.length strict_cache >= !memo_limit_ref then begin
+          Hashtbl.reset strict_cache;
+          incr memo_resets_count
+        end;
         Hashtbl.add strict_cache (la, lb) v;
         v
   in

@@ -46,6 +46,23 @@ val validate : leq:leq -> Trace_ctx.span list -> report
 val report_schema : string
 (** ["vstamp-causal-report/1"]. *)
 
+(** {1 Memo bound}
+
+    {!merge} and {!validate} memoize the strict-order answer per
+    distinct label pair.  The memo is bounded: when it reaches the
+    limit it is reset (the [Name_packed] discipline), trading
+    recomputation for a hard memory ceiling on week-long merges. *)
+
+val default_memo_limit : int
+(** [65536] label pairs. *)
+
+val set_memo_limit : int -> unit
+(** Change the bound (process-wide); mainly for tests.
+    @raise Invalid_argument when the limit is below 1. *)
+
+val memo_resets : unit -> int
+(** Cumulative reset-on-full events since process start. *)
+
 val report_json : report -> Jsonx.t
 
 val to_chrome : Trace_ctx.span list -> Jsonx.t

@@ -1,0 +1,415 @@
+module Stamp = Vstamp_core.Stamp
+module Name = Vstamp_core.Name_tree
+module Bits = Vstamp_core.Bits
+module Dvv = Vstamp_vv.Dynamic_vv
+module Idspace = Vstamp_obs.Idspace
+
+type config = {
+  replicas : int;
+  min_replicas : int;
+  max_replicas : int;
+  rounds : int;
+  p_update : float;
+  syncs_per_round : int;
+  churn_rate : float;
+  gc_every : int;
+  severity : float;
+  seed : int;
+  epoch : int;
+  inject_corruption : int option;
+}
+
+let default_config =
+  {
+    replicas = 4;
+    min_replicas = 2;
+    max_replicas = 16;
+    rounds = 16;
+    p_update = 0.5;
+    syncs_per_round = 2;
+    churn_rate = 1.0;
+    gc_every = 1;
+    severity = 0.4;
+    seed = 42;
+    epoch = 4;
+    inject_corruption = None;
+  }
+
+type round_obs = {
+  round : int;
+  live : int;
+  id_bits : int;
+  fragments : int;
+  entropy : float;
+  dvv_retired_entries : int;
+  violations : int;
+}
+
+type result = {
+  rounds : int;
+  updates : int;
+  syncs : int;
+  blocked_syncs : int;
+  forks : int;
+  retires : int;
+  blocked_retires : int;
+  peak_replicas : int;
+  final_replicas : int;
+  stamp_id_bits : int;
+  stamp_peak_id_bits : int;
+  stamp_id_width : int;
+  stamp_peak_id_width : int;
+  stamp_max_depth : int;
+  stamp_size_bits : int;
+  reclaimed_bits : int;
+  fork_bits : int;
+  oracle_bits : int;
+  entropy : float;
+  oracle_entropy : float;
+  reduce_effectiveness : float;
+  dvv_entries : int;
+  dvv_retired_entries : int;
+  dvv_peak_retired_entries : int;
+  dvv_size_bits : int;
+  dvv_peak_size_bits : int;
+  dvv_gc_dropped : int;
+  relation_mismatches : int;
+  audit : Idspace.audit;
+  audit_clean : bool;
+  genealogy : Idspace.t;
+}
+
+(* One live replica: the stamp, its dynamic-VV mirror, and its node in
+   the genealogy inventory. *)
+type replica = {
+  rname : string;
+  stamp : Stamp.t;
+  dvv : Dvv.t;
+  node : Idspace.node_id;
+}
+
+let frags s = List.map Bits.to_string (Name.to_list (Stamp.id s))
+
+let validate cfg =
+  if cfg.replicas < 1 then invalid_arg "Churn.run: replicas < 1";
+  if cfg.min_replicas < 1 then invalid_arg "Churn.run: min_replicas < 1";
+  if cfg.max_replicas < cfg.replicas then
+    invalid_arg "Churn.run: max_replicas < replicas";
+  if cfg.rounds < 0 then invalid_arg "Churn.run: negative rounds";
+  if cfg.churn_rate < 0. then invalid_arg "Churn.run: negative churn_rate";
+  if cfg.gc_every < 1 then invalid_arg "Churn.run: gc_every < 1";
+  if cfg.syncs_per_round < 0 then
+    invalid_arg "Churn.run: negative syncs_per_round"
+
+let run ?registry ?on_round (cfg : config) =
+  validate cfg;
+  let module Tr = Vstamp_obs.Trace_ctx in
+  let module J = Vstamp_obs.Jsonx in
+  Tr.with_span "churn.run"
+    ~attrs:
+      [
+        ("replicas", J.Int cfg.replicas);
+        ("rounds", J.Int cfg.rounds);
+        ("churn_rate", J.Float cfg.churn_rate);
+      ]
+  @@ fun () ->
+  let inv = Idspace.create () in
+  let rng = ref (Rng.make cfg.seed) in
+  let draw f =
+    let v, rng' = f !rng in
+    rng := rng';
+    v
+  in
+  let next_name = ref 0 in
+  let fresh_name () =
+    let n = Printf.sprintf "r%d" !next_name in
+    incr next_name;
+    n
+  in
+  let next_dvv_id = ref 0 in
+  let fresh_dvv_id () =
+    let i = !next_dvv_id in
+    incr next_dvv_id;
+    i
+  in
+  (* seed one replica owning the whole space, then fork out to the
+     initial population (setup forks are not counted in the result) *)
+  let pop = ref [| |] in
+  let () =
+    let name0 = fresh_name () in
+    let s0 = Stamp.seed in
+    let r0 =
+      {
+        rname = name0;
+        stamp = s0;
+        dvv = Dvv.create ~id:(fresh_dvv_id ());
+        node = Idspace.seed ~label:name0 inv (frags s0);
+      }
+    in
+    pop := [| r0 |]
+  in
+  let do_fork k =
+    let r = (!pop).(k) in
+    let sa, sb = Stamp.fork r.stamp in
+    let da, db = Dvv.fork r.dvv ~new_id:(fresh_dvv_id ()) in
+    let bname = fresh_name () in
+    let na, nb =
+      Idspace.fork ~labels:(r.rname, bname) inv r.node ~left:(frags sa)
+        ~right:(frags sb)
+    in
+    let a = { rname = r.rname; stamp = sa; dvv = da; node = na } in
+    let b = { rname = bname; stamp = sb; dvv = db; node = nb } in
+    let n = Array.length !pop in
+    pop :=
+      Array.init (n + 1) (fun i ->
+          if i < n then if i = k then a else (!pop).(i) else b)
+  in
+  while Array.length !pop < cfg.replicas do
+    do_fork (Array.length !pop - 1)
+  done;
+  let weather =
+    Weather.make ~seed:cfg.seed ~epoch:cfg.epoch ~severity:cfg.severity ()
+  in
+  let updates = ref 0 in
+  let syncs = ref 0 in
+  let blocked_syncs = ref 0 in
+  let forks = ref 0 in
+  let retires = ref 0 in
+  let blocked_retires = ref 0 in
+  let gc_dropped = ref 0 in
+  let mismatches = ref 0 in
+  let peak_replicas = ref (Array.length !pop) in
+  let peak_id_bits = ref 0 in
+  let peak_id_width = ref 0 in
+  let peak_dvv_retired = ref 0 in
+  let peak_dvv_bits = ref 0 in
+  let first_bad_audit = ref None in
+  let update k =
+    incr updates;
+    let r = (!pop).(k) in
+    let r' = { r with stamp = Stamp.update r.stamp; dvv = Dvv.update r.dvv } in
+    (!pop).(k) <- r';
+    Idspace.refresh inv r'.node (frags r'.stamp)
+  in
+  let sync i j =
+    incr syncs;
+    let a = (!pop).(i) and b = (!pop).(j) in
+    let sa, sb = Stamp.sync a.stamp b.stamp in
+    let da, db = Dvv.sync a.dvv b.dvv in
+    (!pop).(i) <- { a with stamp = sa; dvv = da };
+    (!pop).(j) <- { b with stamp = sb; dvv = db };
+    Idspace.refresh inv a.node (frags sa);
+    Idspace.refresh inv b.node (frags sb)
+  in
+  (* retiree [i] hands its state to survivor [j]: a stamp join (with
+     the Section 6 reduction reclaiming id digits) mirrored by
+     dynamic-VV retire+absorb (the baggage-creating step) *)
+  let retire i j =
+    incr retires;
+    let ri = (!pop).(i) and rj = (!pop).(j) in
+    let joined = Stamp.join rj.stamp ri.stamp in
+    let dj = Dvv.absorb rj.dvv (Dvv.retire ri.dvv) in
+    let node =
+      Idspace.retire ~label:rj.rname inv ~survivor:rj.node ri.node
+        (frags joined)
+    in
+    let rj' = { rj with stamp = joined; dvv = dj; node } in
+    let n = Array.length !pop in
+    let out = Array.make (n - 1) rj' in
+    let w = ref 0 in
+    Array.iteri
+      (fun k r ->
+        if k <> i then begin
+          out.(!w) <- (if k = j then rj' else r);
+          incr w
+        end)
+      !pop;
+    pop := out
+  in
+  let churn_trials = int_of_float (ceil cfg.churn_rate) in
+  let churn_p =
+    if churn_trials = 0 then 0.
+    else cfg.churn_rate /. float_of_int churn_trials
+  in
+  let gc_sweep () =
+    let live = Array.to_list (Array.map (fun r -> r.dvv) !pop) in
+    Array.iteri
+      (fun k r ->
+        let before = Dvv.retired_entry_count r.dvv in
+        let d = Dvv.gc ~live r.dvv in
+        gc_dropped := !gc_dropped + before - Dvv.retired_entry_count d;
+        (!pop).(k) <- { r with dvv = d })
+      !pop
+  in
+  let observe round =
+    (match cfg.inject_corruption with
+    | Some r when r = round && Array.length !pop > 0 ->
+        (* an overlapping fragment: extend the victim's first fragment
+           by one digit and keep both — the audit must witness it *)
+        let victim = (!pop).(0) in
+        let f = frags victim.stamp in
+        let extra = (match f with s :: _ -> s | [] -> "") ^ "0" in
+        Idspace.refresh inv victim.node (f @ [ extra ])
+    | _ -> ());
+    let s = Idspace.stats inv in
+    let a = Idspace.audit inv in
+    if a.Idspace.violations <> [] && !first_bad_audit = None then
+      first_bad_audit := Some a;
+    let n = Array.length !pop in
+    peak_replicas := max !peak_replicas n;
+    peak_id_bits := max !peak_id_bits s.Idspace.id_bits;
+    peak_id_width := max !peak_id_width s.Idspace.fragments;
+    let dvv_retired =
+      Array.fold_left (fun acc r -> acc + Dvv.retired_entry_count r.dvv) 0 !pop
+    in
+    let dvv_bits =
+      Array.fold_left (fun acc r -> acc + Dvv.size_bits r.dvv) 0 !pop
+    in
+    peak_dvv_retired := max !peak_dvv_retired dvv_retired;
+    peak_dvv_bits := max !peak_dvv_bits dvv_bits;
+    (* both lanes are accurate causality trackers, so their orders
+       must coincide on every live pair *)
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let a = (!pop).(i) and b = (!pop).(j) in
+        if
+          Stamp.leq a.stamp b.stamp <> Dvv.leq a.dvv b.dvv
+          || Stamp.leq b.stamp a.stamp <> Dvv.leq b.dvv a.dvv
+        then incr mismatches
+      done
+    done;
+    (match registry with
+    | None -> ()
+    | Some reg ->
+        let module R = Vstamp_obs.Registry in
+        let module M = Vstamp_obs.Metric in
+        Idspace.publish ~registry:reg inv;
+        M.set (R.gauge reg "sim_churn_population") (float_of_int n);
+        M.set
+          (R.gauge reg "sim_churn_dvv_retired_entries")
+          (float_of_int dvv_retired);
+        M.set (R.gauge reg "sim_churn_dvv_size_bits") (float_of_int dvv_bits);
+        M.set
+          (R.gauge reg "sim_churn_stamp_size_bits")
+          (float_of_int
+             (Array.fold_left
+                (fun acc r -> acc + Stamp.size_bits r.stamp)
+                0 !pop)));
+    (match on_round with
+    | None -> ()
+    | Some f ->
+        f
+          {
+            round;
+            live = n;
+            id_bits = s.Idspace.id_bits;
+            fragments = s.Idspace.fragments;
+            entropy = s.Idspace.entropy;
+            dvv_retired_entries = dvv_retired;
+            violations = List.length a.Idspace.violations;
+          })
+  in
+  (* counters shared across runs on one registry: publish growth only *)
+  let pub = Array.make 7 0 in
+  let publish_counters () =
+    match registry with
+    | None -> ()
+    | Some reg ->
+        let module R = Vstamp_obs.Registry in
+        let module M = Vstamp_obs.Metric in
+        let delta i cur name =
+          let d = cur - pub.(i) in
+          if d > 0 then M.add (R.counter reg name) d;
+          pub.(i) <- cur
+        in
+        delta 0 !updates "sim_churn_updates_total";
+        delta 1 !syncs "sim_churn_syncs_total";
+        delta 2 !blocked_syncs "sim_churn_blocked_syncs_total";
+        delta 3 !forks "sim_churn_forks_total";
+        delta 4 !retires "sim_churn_retires_total";
+        delta 5 !blocked_retires "sim_churn_blocked_retires_total";
+        delta 6 !gc_dropped "sim_churn_gc_dropped_total"
+  in
+  for round = 0 to cfg.rounds - 1 do
+    let n () = Array.length !pop in
+    for i = 0 to n () - 1 do
+      if draw (fun r -> Rng.below r cfg.p_update) then update i
+    done;
+    (* autonomous forks: never weather-gated — the paper's point *)
+    for _ = 1 to churn_trials do
+      if n () < cfg.max_replicas && draw (fun r -> Rng.below r churn_p) then begin
+        incr forks;
+        do_fork (draw (fun r -> Rng.int r (n ())))
+      end
+    done;
+    (* retires need connectivity between retiree and survivor *)
+    for _ = 1 to churn_trials do
+      if n () > cfg.min_replicas && draw (fun r -> Rng.below r churn_p) then begin
+        let i = draw (fun r -> Rng.int r (n ())) in
+        let j = draw (fun r -> Rng.int r (n () - 1)) in
+        let j = if j >= i then j + 1 else j in
+        if Weather.allowed weather ~step:round ~n:(n ()) i j then retire i j
+        else incr blocked_retires
+      end
+    done;
+    for _ = 1 to cfg.syncs_per_round do
+      if n () >= 2 then begin
+        let i = draw (fun r -> Rng.int r (n ())) in
+        let j = draw (fun r -> Rng.int r (n () - 1)) in
+        let j = if j >= i then j + 1 else j in
+        if Weather.allowed weather ~step:round ~n:(n ()) i j then sync i j
+        else incr blocked_syncs
+      end
+    done;
+    if (round + 1) mod cfg.gc_every = 0 then gc_sweep ();
+    observe round;
+    publish_counters ()
+  done;
+  if cfg.rounds = 0 then observe 0;
+  publish_counters ();
+  let s = Idspace.stats inv in
+  let final_audit = Idspace.audit inv in
+  let audit, audit_clean =
+    match !first_bad_audit with
+    | Some a -> (a, false)
+    | None -> (final_audit, final_audit.Idspace.violations = [])
+  in
+  {
+    rounds = cfg.rounds;
+    updates = !updates;
+    syncs = !syncs;
+    blocked_syncs = !blocked_syncs;
+    forks = !forks;
+    retires = !retires;
+    blocked_retires = !blocked_retires;
+    peak_replicas = !peak_replicas;
+    final_replicas = Array.length !pop;
+    stamp_id_bits = s.Idspace.id_bits;
+    stamp_peak_id_bits = !peak_id_bits;
+    stamp_id_width = s.Idspace.fragments;
+    stamp_peak_id_width = !peak_id_width;
+    stamp_max_depth = s.Idspace.max_depth;
+    stamp_size_bits =
+      Array.fold_left (fun acc r -> acc + Stamp.size_bits r.stamp) 0 !pop;
+    reclaimed_bits = Idspace.reclaimed_bits inv;
+    fork_bits = Idspace.fork_bits inv;
+    oracle_bits = s.Idspace.oracle_bits;
+    entropy = s.Idspace.entropy;
+    oracle_entropy = s.Idspace.oracle_entropy;
+    reduce_effectiveness = s.Idspace.reduce_effectiveness;
+    dvv_entries =
+      Array.fold_left (fun acc r -> acc + Dvv.entry_count r.dvv) 0 !pop;
+    dvv_retired_entries =
+      Array.fold_left
+        (fun acc r -> acc + Dvv.retired_entry_count r.dvv)
+        0 !pop;
+    dvv_peak_retired_entries = !peak_dvv_retired;
+    dvv_size_bits =
+      Array.fold_left (fun acc r -> acc + Dvv.size_bits r.dvv) 0 !pop;
+    dvv_peak_size_bits = !peak_dvv_bits;
+    dvv_gc_dropped = !gc_dropped;
+    relation_mismatches = !mismatches;
+    audit;
+    audit_clean;
+    genealogy = inv;
+  }

@@ -58,6 +58,12 @@ let compact ~live r =
   in
   { r with retired }
 
+let gc ~live r = compact ~live r
+
+let retired_vector r = r.retired
+
+let retired_entry_count r = Version_vector.entry_count r.retired
+
 let relation a b = Version_vector.relation (effective a) (effective b)
 
 let leq a b = Version_vector.leq (effective a) (effective b)

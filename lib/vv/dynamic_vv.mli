@@ -46,6 +46,19 @@ val compact : live:t list -> t -> t
 (** Drop retired entries that every live replica already dominates —
     the garbage-collection step that keeps dynamic vectors small. *)
 
+val gc : live:t list -> t -> t
+(** Alias of {!compact}: the name the churn scenario and the property
+    tests use.  Soundness contract: gc never changes {!effective}
+    comparisons among the live population, and a retired entry is
+    dropped only when every live replica's vector dominates it. *)
+
+val retired_vector : t -> Version_vector.t
+(** The retirement baggage alone. *)
+
+val retired_entry_count : t -> int
+(** Width of the retirement baggage — the quantity E17 charts against
+    stamp id-bit reclamation. *)
+
 val relation : t -> t -> Vstamp_core.Relation.t
 
 val leq : t -> t -> bool

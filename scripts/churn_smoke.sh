@@ -1,0 +1,117 @@
+#!/bin/sh
+# Identity-space-observatory smoke: run the replica-churn scenario
+# offline (fragmentation analytics, the partition-of-unity audit, the
+# genealogy exports, determinism, the injected-corruption exit path),
+# then boot a soaking process with --churn on an ephemeral port and
+# check the live surfaces — /idspace.json, the vstamp_idspace_* gauges
+# on /metrics, vstamp churn in live mode, and the dashboard's
+# identity-space panel.  Wired to the @churn-smoke dune alias (see the
+# root dune file); not part of @runtest so the tier-1 suite stays fast.
+set -eu
+
+VSTAMP="$1"
+tmpdir=$(mktemp -d)
+soak_pid=""
+cleanup() {
+  [ -n "$soak_pid" ] && kill "$soak_pid" 2>/dev/null || true
+  rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+# --- offline: churn must fork, retire, and keep the tiling audit clean
+"$VSTAMP" churn --rounds 12 > "$tmpdir/churn.txt"
+grep -q 'identity space:' "$tmpdir/churn.txt"
+grep -q 'reclamation:' "$tmpdir/churn.txt"
+grep -q 'dynamic vv:' "$tmpdir/churn.txt"
+grep -q 'relation mismatches: 0' "$tmpdir/churn.txt"
+grep -q 'audit: clean' "$tmpdir/churn.txt"
+# churn actually churned: forks happened
+if grep -q ' 0 forks,' "$tmpdir/churn.txt"; then
+  echo "no forks under churn rate 1.0" >&2
+  exit 1
+fi
+
+# same scenario as JSON: both lanes and the audit block must be present
+"$VSTAMP" churn --rounds 12 --json > "$tmpdir/churn.json"
+grep -q '"stamp_id_bits":' "$tmpdir/churn.json"
+grep -q '"oracle_bits":' "$tmpdir/churn.json"
+grep -q '"reduce_effectiveness":' "$tmpdir/churn.json"
+grep -q '"dvv_retired_entries":' "$tmpdir/churn.json"
+grep -q '"relation_mismatches":0' "$tmpdir/churn.json"
+grep -q '"audit_clean":true' "$tmpdir/churn.json"
+
+# determinism: same seed, same report
+"$VSTAMP" churn --rounds 12 --json > "$tmpdir/churn2.json"
+cmp "$tmpdir/churn.json" "$tmpdir/churn2.json"
+
+# fault injection: a corrupted fragment inventory must produce an
+# overlap witness and exit 3 — proof the auditor is really wired in
+set +e
+"$VSTAMP" churn --rounds 12 --inject-corruption 6 > "$tmpdir/corrupt.txt" 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 3 ] || { echo "expected exit 3 on corruption, got $rc" >&2; exit 1; }
+grep -q 'audit: .* violation' "$tmpdir/corrupt.txt"
+grep -q 'overlap:' "$tmpdir/corrupt.txt"
+
+# genealogy exports: a DOT digraph with edges, and the JSON lineage
+"$VSTAMP" churn --rounds 8 --dot "$tmpdir/gen.dot" --genealogy "$tmpdir/gen.json" > /dev/null
+grep -q '^digraph idspace' "$tmpdir/gen.dot"
+grep -q ' -> ' "$tmpdir/gen.dot"
+grep -q '"schema":"vstamp-idspace/1"' "$tmpdir/gen.json"
+grep -q '"nodes":' "$tmpdir/gen.json"
+
+# --- live: soak under --churn exposes the identity-space surfaces
+"$VSTAMP" soak --port 0 --port-file "$tmpdir/port" --quiet \
+  --ops 200 --churn 1.0 --no-history &
+soak_pid=$!
+
+i=0
+while [ ! -s "$tmpdir/port" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 50 ] && { echo "soak never bound a port" >&2; exit 1; }
+  sleep 0.1
+done
+port=$(cat "$tmpdir/port")
+
+# --retry also covers the races this loop used to need
+scrape() { "$VSTAMP" scrape --retry 3 --port "$port" "$1"; }
+
+# give the first iteration a moment to publish the churn phase
+i=0
+until scrape /metrics 2>/dev/null | grep -q '^vstamp_idspace_live_replicas '; do
+  i=$((i + 1))
+  [ "$i" -gt 50 ] && { echo "idspace gauges never appeared" >&2; exit 1; }
+  sleep 0.1
+done
+
+scrape /metrics > "$tmpdir/metrics"
+grep -q '^# TYPE vstamp_idspace_live_replicas gauge' "$tmpdir/metrics"
+grep -q '^vstamp_idspace_id_bits ' "$tmpdir/metrics"
+grep -q '^vstamp_idspace_oracle_bits ' "$tmpdir/metrics"
+grep -q '^vstamp_idspace_audit_violations 0' "$tmpdir/metrics"
+grep -q '^vstamp_idspace_ops_total{op="fork"} ' "$tmpdir/metrics"
+grep -q '^sim_churn_population ' "$tmpdir/metrics"
+
+# /idspace.json: the structured identity-space view
+scrape /idspace.json > "$tmpdir/idjson"
+grep -q '"idspace":' "$tmpdir/idjson"
+grep -q '"live_replicas":' "$tmpdir/idjson"
+grep -q '"ops":' "$tmpdir/idjson"
+grep -q '"reclaimed_bits_total":' "$tmpdir/idjson"
+
+# vstamp churn in live mode renders the same data
+"$VSTAMP" churn --port "$port" > "$tmpdir/live.txt"
+grep -q 'identity space:' "$tmpdir/live.txt"
+grep -q 'live_replicas=' "$tmpdir/live.txt"
+
+# the dashboard picks the gauges up in its identity-space panel
+"$VSTAMP" top --port "$port" --retry 3 --once --interval 0.3 --no-color \
+  > "$tmpdir/frame"
+grep -q 'identity space (fragments, bits, churn)' "$tmpdir/frame"
+
+kill -TERM "$soak_pid"
+wait "$soak_pid" || true
+soak_pid=""
+
+echo "churn smoke ok"

@@ -60,6 +60,9 @@ dune build @lag-smoke --force
 echo "== report smoke (flight recorder, alerts, post-mortem) =="
 dune build @report-smoke --force
 
+echo "== churn smoke (replica churn, /idspace.json, identity-space panel) =="
+dune build @churn-smoke --force
+
 echo "== cluster smoke (3-process cluster, federation, causal merge) =="
 dune build @cluster-smoke --force
 

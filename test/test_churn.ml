@@ -1,0 +1,113 @@
+open Vstamp_sim
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg = Churn.default_config
+
+let test_deterministic () =
+  let a = Churn.run { cfg with rounds = 12; seed = 7 } in
+  let b = Churn.run { cfg with rounds = 12; seed = 7 } in
+  check_int "updates" a.Churn.updates b.Churn.updates;
+  check_int "forks" a.Churn.forks b.Churn.forks;
+  check_int "retires" a.Churn.retires b.Churn.retires;
+  check_int "id_bits" a.Churn.stamp_id_bits b.Churn.stamp_id_bits;
+  check_int "dvv baggage" a.Churn.dvv_retired_entries b.Churn.dvv_retired_entries;
+  check_int "reclaimed" a.Churn.reclaimed_bits b.Churn.reclaimed_bits;
+  Alcotest.(check (float 1e-12)) "entropy" a.Churn.entropy b.Churn.entropy
+
+let test_audit_clean_across_rates () =
+  List.iter
+    (fun rate ->
+      let r =
+        Churn.run { cfg with churn_rate = rate; rounds = 20; seed = 11 }
+      in
+      check_bool
+        (Printf.sprintf "audit clean at rate %.1f" rate)
+        true r.Churn.audit_clean;
+      check_int
+        (Printf.sprintf "no order disagreement at rate %.1f" rate)
+        0 r.Churn.relation_mismatches;
+      check_bool "population within bounds" true
+        (r.Churn.final_replicas >= cfg.Churn.min_replicas
+        && r.Churn.final_replicas <= cfg.Churn.max_replicas
+        && r.Churn.peak_replicas <= cfg.Churn.max_replicas))
+    [ 0.0; 0.5; 1.0; 3.0 ]
+
+let test_churn_actually_churns () =
+  let r = Churn.run { cfg with churn_rate = 2.0; rounds = 24; seed = 3 } in
+  check_bool "forks happened" true (r.Churn.forks > 0);
+  check_bool "retires happened" true (r.Churn.retires > 0);
+  check_bool "retires reclaim id digits" true (r.Churn.reclaimed_bits > 0);
+  check_bool "dvv baggage appeared at some point" true
+    (r.Churn.dvv_peak_retired_entries > 0 || r.Churn.dvv_gc_dropped > 0);
+  check_bool "oracle no larger than actual tiling" true
+    (r.Churn.oracle_bits <= r.Churn.stamp_id_bits);
+  check_bool "effectiveness in (0,1]" true
+    (r.Churn.reduce_effectiveness > 0. && r.Churn.reduce_effectiveness <= 1.)
+
+let test_corruption_injection () =
+  let r =
+    Churn.run { cfg with rounds = 10; inject_corruption = Some 4; seed = 5 }
+  in
+  check_bool "audit not clean" false r.Churn.audit_clean;
+  check_bool "witness recorded" true (r.Churn.audit.Vstamp_obs.Idspace.violations <> [])
+
+let test_on_round_and_registry () =
+  let reg = Vstamp_obs.Registry.create () in
+  let seen = ref 0 in
+  let r =
+    Churn.run ~registry:reg
+      ~on_round:(fun o ->
+        incr seen;
+        check_bool "live positive" true (o.Churn.live > 0))
+      { cfg with rounds = 8 }
+  in
+  check_int "one observation per round" 8 !seen;
+  ignore r;
+  (match Vstamp_obs.Registry.find reg "vstamp_idspace_live_replicas" with
+  | Some (Vstamp_obs.Registry.Gauge _) -> ()
+  | _ -> Alcotest.fail "vstamp_idspace_live_replicas not published");
+  (match Vstamp_obs.Registry.find reg "sim_churn_population" with
+  | Some (Vstamp_obs.Registry.Gauge _) -> ()
+  | _ -> Alcotest.fail "sim_churn_population not published");
+  match Vstamp_obs.Registry.find reg "sim_churn_forks_total" with
+  | Some (Vstamp_obs.Registry.Counter c) ->
+      check_int "fork counter matches result" r.Churn.forks
+        (Vstamp_obs.Metric.count c)
+  | _ -> Alcotest.fail "sim_churn_forks_total not published"
+
+let test_genealogy_export () =
+  let r = Churn.run { cfg with rounds = 10 } in
+  let dot = Vstamp_obs.Idspace.to_dot r.Churn.genealogy in
+  check_bool "dot starts with digraph" true
+    (String.length dot > 8 && String.sub dot 0 8 = "digraph ");
+  match Vstamp_obs.Jsonx.member "schema" (Vstamp_obs.Idspace.to_json r.Churn.genealogy) with
+  | Some (Vstamp_obs.Jsonx.String "vstamp-idspace/1") -> ()
+  | _ -> Alcotest.fail "genealogy json schema missing"
+
+let test_config_validation () =
+  Alcotest.check_raises "replicas < 1"
+    (Invalid_argument "Churn.run: replicas < 1") (fun () ->
+      ignore (Churn.run { cfg with replicas = 0 }));
+  Alcotest.check_raises "max < initial"
+    (Invalid_argument "Churn.run: max_replicas < replicas") (fun () ->
+      ignore (Churn.run { cfg with max_replicas = 1 }))
+
+let () =
+  Alcotest.run "churn"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "audit clean across rates" `Quick
+            test_audit_clean_across_rates;
+          Alcotest.test_case "churns" `Quick test_churn_actually_churns;
+          Alcotest.test_case "corruption injection" `Quick
+            test_corruption_injection;
+          Alcotest.test_case "on_round and registry" `Quick
+            test_on_round_and_registry;
+          Alcotest.test_case "genealogy export" `Quick test_genealogy_export;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+    ]

@@ -259,6 +259,29 @@ let test_render_divergence_panel () =
   check_bool "no empty divergence section" false
     (contains frame "divergence (replica lag, pairs, convergence)")
 
+let test_render_idspace_panel () =
+  let cur =
+    snapshot (fun r ->
+        Metric.set (Registry.gauge r "vstamp_idspace_live_replicas") 5.0;
+        Metric.set (Registry.gauge r "vstamp_idspace_id_bits") 12.0;
+        Metric.set (Registry.gauge r "sim_churn_population") 5.0;
+        Metric.set (Registry.gauge r "core_depth") 3.0)
+  in
+  let deltas = Registry.diff ~elapsed_s:1.0 ~prev:(Jsonx.Obj []) cur in
+  let frame = Dash.render ~color:false ~deltas ~snapshot:cur () in
+  check_bool "idspace section present" true
+    (contains frame "identity space (fragments, bits, churn)");
+  check_bool "idspace gauge in the panel" true
+    (contains frame "vstamp_idspace_live_replicas");
+  check_bool "churn gauge in the panel" true
+    (contains frame "sim_churn_population");
+  (* without any idspace family the panel disappears *)
+  let plain = snapshot (fun r -> Metric.set (Registry.gauge r "d") 1.0) in
+  let deltas = Registry.diff ~elapsed_s:1.0 ~prev:(Jsonx.Obj []) plain in
+  let frame = Dash.render ~color:false ~deltas ~snapshot:plain () in
+  check_bool "no empty idspace section" false
+    (contains frame "identity space (fragments, bits, churn)")
+
 (* --- sparklines + flight-recorder panels --- *)
 
 let test_sparkline () =
@@ -382,6 +405,7 @@ let () =
             test_render_truncates_width;
           Alcotest.test_case "divergence panel" `Quick
             test_render_divergence_panel;
+          Alcotest.test_case "idspace panel" `Quick test_render_idspace_panel;
           Alcotest.test_case "sparkline" `Quick test_sparkline;
           Alcotest.test_case "alerts panel" `Quick test_render_alerts_panel;
           Alcotest.test_case "history panel" `Quick test_render_history_panel;

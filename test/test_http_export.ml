@@ -128,6 +128,43 @@ let test_lag_json_endpoint () =
             (let _, index = get_ok srv "/" in
              contains index "/lag.json"))
 
+let test_idspace_json_endpoint () =
+  with_server (fun registry srv ->
+      (* empty registry: empty families, null counters *)
+      let status, body = get_ok srv "/idspace.json" in
+      check_int "status" 200 status;
+      (match Jsonx.of_string (String.trim body) with
+      | Error m -> Alcotest.failf "idspace.json did not parse: %s" m
+      | Ok j ->
+          check_bool "empty idspace object" true
+            (Jsonx.member "idspace" j = Some (Jsonx.Obj []));
+          check_bool "null reclaimed counter" true
+            (Jsonx.member "reclaimed_bits_total" j = Some Jsonx.Null));
+      (* publish an inventory and read the families back *)
+      let inv = Idspace.create () in
+      let r0 = Idspace.seed inv [ "" ] in
+      let _ = Idspace.fork inv r0 ~left:[ "0" ] ~right:[ "1" ] in
+      Idspace.publish ~registry inv;
+      let _, body2 = get_ok srv "/idspace.json" in
+      match Jsonx.of_string (String.trim body2) with
+      | Error m -> Alcotest.failf "idspace.json did not parse: %s" m
+      | Ok j ->
+          let num path name =
+            match
+              Option.bind
+                (Option.bind (Jsonx.member path j) (Jsonx.member name))
+                Jsonx.to_float
+            with
+            | Some f -> f
+            | None -> Alcotest.failf "missing %s.%s" path name
+          in
+          Alcotest.(check (float 0.)) "live replicas" 2. (num "idspace" "live_replicas");
+          Alcotest.(check (float 0.)) "id bits" 2. (num "idspace" "id_bits");
+          Alcotest.(check (float 0.)) "fork op counted" 1. (num "ops" "fork");
+          check_bool "index lists the endpoint" true
+            (let _, index = get_ok srv "/" in
+             contains index "/idspace.json"))
+
 let test_not_found_and_method () =
   with_server (fun _ srv ->
       let status, _ = get_ok srv "/nope" in
@@ -622,6 +659,7 @@ let () =
           Alcotest.test_case "/stats.json" `Quick test_stats_json_endpoint;
           Alcotest.test_case "/healthz" `Quick test_healthz_endpoint;
           Alcotest.test_case "/lag.json" `Quick test_lag_json_endpoint;
+          Alcotest.test_case "/idspace.json" `Quick test_idspace_json_endpoint;
           Alcotest.test_case "404 and index" `Quick test_not_found_and_method;
           Alcotest.test_case "/events.json ring" `Quick test_events_json_ring;
           Alcotest.test_case "/range.json without recorder" `Quick

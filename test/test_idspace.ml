@@ -1,0 +1,295 @@
+open Vstamp_obs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let close msg a b = Alcotest.(check (float 1e-9)) msg a b
+
+let violations inventory = (Idspace.audit_fragments inventory).Idspace.violations
+
+(* --- partition-of-unity audit --- *)
+
+let test_audit_whole_space () =
+  check_bool "sole replica owning epsilon tiles" true
+    (violations [ ("r0", [ "" ]) ] = []);
+  check_bool "two halves tile" true
+    (violations [ ("r0", [ "0" ]); ("r1", [ "1" ]) ] = []);
+  check_bool "uneven tiling" true
+    (violations [ ("a", [ "0" ]); ("b", [ "10" ]); ("c", [ "11" ]) ] = []);
+  check_bool "multi-fragment owner" true
+    (violations [ ("a", [ "0"; "11" ]); ("b", [ "10" ]) ] = [])
+
+let test_audit_overlap () =
+  (match violations [ ("a", [ "" ]); ("b", [ "0" ]) ] with
+  | [ Idspace.Overlap { a; a_frag; b; b_frag } ] ->
+      Alcotest.(check string) "owner a" "a" a;
+      Alcotest.(check string) "frag a" "" a_frag;
+      Alcotest.(check string) "owner b" "b" b;
+      Alcotest.(check string) "frag b" "0" b_frag
+  | vs ->
+      Alcotest.failf "expected one overlap, got %d violations"
+        (List.length vs));
+  (* duplicate fragment *)
+  match violations [ ("a", [ "01" ]); ("b", [ "01" ]); ("c", [ "1"; "00" ]) ] with
+  | [ Idspace.Overlap { a_frag; b_frag; _ } ] ->
+      Alcotest.(check string) "same position" a_frag b_frag
+  | vs -> Alcotest.failf "expected one overlap, got %d" (List.length vs)
+
+let test_audit_leak () =
+  (match violations [ ("a", [ "0" ]) ] with
+  | [ Idspace.Leak { path } ] -> Alcotest.(check string) "missing half" "1" path
+  | _ -> Alcotest.fail "expected one leak");
+  (match violations [ ("a", [ "00" ]); ("b", [ "1" ]) ] with
+  | [ Idspace.Leak { path } ] ->
+      Alcotest.(check string) "missing quarter" "01" path
+  | _ -> Alcotest.fail "expected one leak");
+  match violations [] with
+  | [ Idspace.Leak { path } ] ->
+      Alcotest.(check string) "empty inventory leaks everything" "" path
+  | _ -> Alcotest.fail "expected the whole space to leak"
+
+let test_audit_malformed () =
+  match violations [ ("a", [ "" ]); ("b", [ "0x1" ]) ] with
+  | [ Idspace.Malformed { owner; frag } ] ->
+      Alcotest.(check string) "owner" "b" owner;
+      Alcotest.(check string) "frag" "0x1" frag
+  | vs ->
+      Alcotest.failf "expected malformed (epsilon still tiles), got %d"
+        (List.length vs)
+
+let test_audit_deterministic () =
+  let inv = [ ("a", [ "0"; "10" ]); ("b", [ "10" ]); ("c", [ "111" ]) ] in
+  let a1 = Idspace.audit_fragments inv in
+  let a2 = Idspace.audit_fragments (List.rev inv) in
+  check_bool "witness order independent of input order" true
+    (a1.Idspace.violations = a2.Idspace.violations);
+  check_int "fragments counted" 4 a1.Idspace.audit_fragments;
+  check_int "owners counted" 3 a1.Idspace.audited
+
+(* --- analytics --- *)
+
+let test_oracle_bits () =
+  check_int "n=0" 0 (Idspace.oracle_bits 0);
+  check_int "n=1" 0 (Idspace.oracle_bits 1);
+  check_int "n=2" 2 (Idspace.oracle_bits 2);
+  check_int "n=3" 5 (Idspace.oracle_bits 3);
+  check_int "n=4" 8 (Idspace.oracle_bits 4);
+  check_int "n=5" 12 (Idspace.oracle_bits 5);
+  check_int "n=8" 24 (Idspace.oracle_bits 8);
+  (* oracle is a true minimum over the balanced tiling itself *)
+  close "entropy n=2" 1.0 (Idspace.oracle_entropy 2);
+  close "entropy n=3" 1.5 (Idspace.oracle_entropy 3);
+  close "entropy n=4" 2.0 (Idspace.oracle_entropy 4)
+
+let test_stats () =
+  let s =
+    Idspace.stats_of_fragments
+      [ ("a", [ "0" ]); ("b", [ "10"; "11" ]) ]
+  in
+  check_int "live" 2 s.Idspace.live;
+  check_int "fragments" 3 s.Idspace.fragments;
+  check_int "id_bits" 5 s.Idspace.id_bits;
+  check_int "oracle_bits" 2 s.Idspace.oracle_bits;
+  check_int "max_depth" 2 s.Idspace.max_depth;
+  check_int "max_width" 2 s.Idspace.max_width;
+  close "mean_width" 1.5 s.Idspace.mean_width;
+  close "entropy" 1.5 s.Idspace.entropy;
+  close "reduce_effectiveness" 0.4 s.Idspace.reduce_effectiveness;
+  check_bool "width_dist" true (s.Idspace.width_dist = [ (1, 1); (2, 1) ]);
+  check_bool "depth_dist" true (s.Idspace.depth_dist = [ (1, 1); (2, 2) ])
+
+(* --- genealogy inventory --- *)
+
+let test_genealogy_lifecycle () =
+  let t = Idspace.create () in
+  let r0 = Idspace.seed ~label:"r0" t [ "" ] in
+  check_int "one live" 1 (Idspace.live_count t);
+  check_bool "seed audit clean" true ((Idspace.audit t).Idspace.violations = []);
+  let a, b = Idspace.fork ~labels:("r0", "r1") t r0 ~left:[ "0" ] ~right:[ "1" ] in
+  check_int "two live" 2 (Idspace.live_count t);
+  check_int "three incarnations" 3 (Idspace.node_count t);
+  check_bool "fork audit clean" true ((Idspace.audit t).Idspace.violations = []);
+  check_bool "parent consumed" true
+    ((match Idspace.find t r0 with Some n -> n.Idspace.died | None -> None)
+    <> None);
+  let j = Idspace.retire ~label:"r0" t ~survivor:a b [ "" ] in
+  check_int "one live after retire" 1 (Idspace.live_count t);
+  check_int "retire reclaimed both digits" 2 (Idspace.reclaimed_bits t);
+  check_int "fork added two digits" 2 (Idspace.fork_bits t);
+  check_int "retires" 1 (Idspace.retires t);
+  check_int "forks" 1 (Idspace.forks t);
+  check_bool "join audit clean" true ((Idspace.audit t).Idspace.violations = []);
+  Idspace.refresh t j [ "0"; "1" ];
+  check_int "refresh tracked" 1 (Idspace.refreshes t);
+  Alcotest.check_raises "dead node refused"
+    (Invalid_argument "Idspace: node 1 is not live") (fun () ->
+      Idspace.refresh t a [ "" ])
+
+let test_corrupted_fragment_witness () =
+  (* regression: a corrupting refresh must produce a positional
+     overlap witness naming both owners *)
+  let t = Idspace.create () in
+  let r0 = Idspace.seed ~label:"left" t [ "" ] in
+  let a, _b = Idspace.fork ~labels:("left", "right") t r0 ~left:[ "0" ] ~right:[ "1" ] in
+  Idspace.refresh t a [ "0"; "10" ];
+  (match (Idspace.audit t).Idspace.violations with
+  | [ Idspace.Overlap { a = oa; a_frag; b = ob; b_frag } ] ->
+      Alcotest.(check string) "covering owner" "right" oa;
+      Alcotest.(check string) "covering frag" "1" a_frag;
+      Alcotest.(check string) "overlapping owner" "left" ob;
+      Alcotest.(check string) "overlapping frag" "10" b_frag
+  | vs -> Alcotest.failf "expected one overlap, got %d" (List.length vs));
+  (* and a lost fragment must leak *)
+  Idspace.refresh t a [];
+  check_bool "leak witnessed" true
+    (List.exists
+       (function Idspace.Leak { path } -> path = "0" | _ -> false)
+       (Idspace.audit t).Idspace.violations)
+
+let test_dot_and_json () =
+  let t = Idspace.create () in
+  let r0 = Idspace.seed ~label:"r0" t [ "" ] in
+  let _ = Idspace.fork t r0 ~left:[ "0" ] ~right:[ "1" ] in
+  let dot = Idspace.to_dot t in
+  check_bool "digraph" true
+    (String.length dot > 8 && String.sub dot 0 8 = "digraph ");
+  check_bool "has edges" true
+    (let rec has i =
+       i + 2 <= String.length dot
+       && (String.sub dot i 2 = "->" || has (i + 1))
+     in
+     has 0);
+  let j = Idspace.to_json t in
+  (match Jsonx.member "schema" j with
+  | Some (Jsonx.String s) -> Alcotest.(check string) "schema" "vstamp-idspace/1" s
+  | _ -> Alcotest.fail "schema missing");
+  (match Jsonx.member "nodes" j with
+  | Some (Jsonx.List ns) -> check_int "three nodes" 3 (List.length ns)
+  | _ -> Alcotest.fail "nodes missing");
+  match Jsonx.member "audit" j with
+  | Some a -> (
+      match Jsonx.member "ok" a with
+      | Some (Jsonx.Bool true) -> ()
+      | _ -> Alcotest.fail "audit not ok")
+  | None -> Alcotest.fail "audit missing"
+
+let test_publish_and_view () =
+  let reg = Registry.create () in
+  let t = Idspace.create () in
+  let r0 = Idspace.seed t [ "" ] in
+  let _ = Idspace.fork t r0 ~left:[ "0" ] ~right:[ "1" ] in
+  Idspace.publish ~registry:reg t;
+  (match Registry.find reg "vstamp_idspace_live_replicas" with
+  | Some (Registry.Gauge g) -> close "live gauge" 2.0 (Metric.value g)
+  | _ -> Alcotest.fail "live_replicas gauge missing");
+  (match Registry.find reg "vstamp_idspace_ops_total{op=\"fork\"}" with
+  | Some (Registry.Counter c) -> check_int "fork counter" 1 (Metric.count c)
+  | _ -> Alcotest.fail "fork counter missing");
+  (* publish is delta-safe: re-publishing without new ops adds nothing *)
+  Idspace.publish ~registry:reg t;
+  (match Registry.find reg "vstamp_idspace_ops_total{op=\"fork\"}" with
+  | Some (Registry.Counter c) -> check_int "no double count" 1 (Metric.count c)
+  | _ -> Alcotest.fail "fork counter missing");
+  let v = Idspace.view_json reg in
+  match Jsonx.member "idspace" v with
+  | Some idj -> (
+      match Jsonx.member "live_replicas" idj with
+      | Some f -> check_bool "view carries live" true (Jsonx.to_float f = Some 2.0)
+      | None -> Alcotest.fail "view missing live_replicas")
+  | None -> Alcotest.fail "view missing idspace object"
+
+(* --- satellite: qcheck tiling preservation over real stamps --- *)
+
+module Stamp = Vstamp_core.Stamp
+module Name = Vstamp_core.Name_tree
+module Bits = Vstamp_core.Bits
+
+let frags s = List.map Bits.to_string (Name.to_list (Stamp.id s))
+
+(* Interpret a random op script over a real stamp population mirrored
+   into an inventory; the live fragments must tile after every step. *)
+let prop_stamp_ops_keep_tiling =
+  QCheck2.Test.make
+    ~name:"fork/join/reduce/retire sequences keep an exact tiling" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 40) (pair (int_bound 3) (pair nat nat)))
+    (fun script ->
+      let t = Idspace.create () in
+      let pop = ref [| (Stamp.seed, Idspace.seed t (frags Stamp.seed)) |] in
+      let clean () = (Idspace.audit t).Idspace.violations = [] in
+      let ok = ref (clean ()) in
+      List.iter
+        (fun (op, (x, y)) ->
+          let n = Array.length !pop in
+          let i = x mod n in
+          (match op with
+          | 0 when n < 24 ->
+              (* fork *)
+              let s, node = (!pop).(i) in
+              let sa, sb = Stamp.fork s in
+              let na, nb =
+                Idspace.fork t node ~left:(frags sa) ~right:(frags sb)
+              in
+              (!pop).(i) <- (sa, na);
+              pop := Array.append !pop [| (sb, nb) |]
+          | 1 when n >= 2 ->
+              (* retire: i joins into j, reduction on *)
+              let j = y mod (n - 1) in
+              let j = if j >= i then j + 1 else j in
+              let si, ni = (!pop).(i) and sj, nj = (!pop).(j) in
+              let joined = Stamp.join sj si in
+              let node = Idspace.retire t ~survivor:nj ni (frags joined) in
+              let keep = ref [] in
+              Array.iteri
+                (fun k r ->
+                  if k <> i then
+                    keep := (if k = j then (joined, node) else r) :: !keep)
+                !pop;
+              pop := Array.of_list (List.rev !keep)
+          | 2 when n >= 2 ->
+              (* sync = join then fork: ids change in place *)
+              let j = y mod (n - 1) in
+              let j = if j >= i then j + 1 else j in
+              let si, ni = (!pop).(i) and sj, nj = (!pop).(j) in
+              let si', sj' = Stamp.sync si sj in
+              Idspace.refresh t ni (frags si');
+              Idspace.refresh t nj (frags sj');
+              (!pop).(i) <- (si', ni);
+              (!pop).(j) <- (sj', nj)
+          | _ ->
+              (* update: id unchanged, but refresh exercises the path *)
+              let s, node = (!pop).(i) in
+              let s' = Stamp.update s in
+              Idspace.refresh t node (frags s');
+              (!pop).(i) <- (s', node));
+          ok := !ok && clean ())
+        script;
+      !ok)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "idspace"
+    [
+      ( "audit",
+        [
+          Alcotest.test_case "tilings pass" `Quick test_audit_whole_space;
+          Alcotest.test_case "overlap witnessed" `Quick test_audit_overlap;
+          Alcotest.test_case "leak witnessed" `Quick test_audit_leak;
+          Alcotest.test_case "malformed witnessed" `Quick test_audit_malformed;
+          Alcotest.test_case "deterministic" `Quick test_audit_deterministic;
+        ] );
+      ( "analytics",
+        [
+          Alcotest.test_case "oracle bits/entropy" `Quick test_oracle_bits;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "genealogy",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_genealogy_lifecycle;
+          Alcotest.test_case "corrupted fragment witness" `Quick
+            test_corrupted_fragment_witness;
+          Alcotest.test_case "dot and json" `Quick test_dot_and_json;
+          Alcotest.test_case "publish and view" `Quick test_publish_and_view;
+        ] );
+      ("properties", qcheck [ prop_stamp_ops_keep_tiling ]);
+    ]

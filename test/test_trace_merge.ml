@@ -204,6 +204,45 @@ let test_chrome_shape () =
            xs)
   | _ -> Alcotest.fail "to_chrome: missing traceEvents"
 
+(* regression: the label-pair memo is bounded — force it over its
+   limit and check the merge survives a reset unchanged *)
+let test_memo_reset () =
+  let chain n =
+    let rec go acc s i =
+      if i >= n then List.rev acc
+      else
+        (* fork and abandon one half: the surviving replica's id
+           deepens every step (nothing rejoins, so the reduction
+           cannot reclaim it) and update copies it, giving a strictly
+           increasing chain of distinct labels *)
+        let a, _abandoned = Stamp.fork s in
+        let s = Stamp.update a in
+        let sp =
+          span
+            (Printf.sprintf "step-%d" i)
+            ~node:"n" ~id:(Printf.sprintf "s%d" i) ~start_ms:i
+            ~end_ms:(i + 1) ~domain:"d"
+            ~stamp:(Stamp.to_string s)
+        in
+        go (sp :: acc) s (i + 1)
+    in
+    go [] Stamp.seed 0
+  in
+  let spans = chain 14 in
+  let reference = List.map (fun s -> s.Tr.sp_id) (Tm.merge ~leq:stamp_leq spans) in
+  let before = Tm.memo_resets () in
+  Tm.set_memo_limit 8;
+  let bounded =
+    Fun.protect
+      ~finally:(fun () -> Tm.set_memo_limit Tm.default_memo_limit)
+      (fun () -> List.map (fun s -> s.Tr.sp_id) (Tm.merge ~leq:stamp_leq spans))
+  in
+  check_bool "memo reset fired" true (Tm.memo_resets () > before);
+  check_bool "merge unchanged by resets" true (bounded = reference);
+  Alcotest.check_raises "limit below 1 refused"
+    (Invalid_argument "Trace_merge.set_memo_limit: limit < 1") (fun () ->
+      Tm.set_memo_limit 0)
+
 let () =
   Alcotest.run "trace_merge"
     [
@@ -226,4 +265,6 @@ let () =
         ] );
       ( "export",
         [ Alcotest.test_case "chrome shape" `Quick test_chrome_shape ] );
+      ( "memo",
+        [ Alcotest.test_case "bounded with reset" `Quick test_memo_reset ] );
     ]

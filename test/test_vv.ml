@@ -312,6 +312,100 @@ let prop_plausible_preserves_order =
          the clocks are built from the same per-id event counts *)
       (not (Version_vector.leq va vb)) || Plausible_clock.leq ca cb)
 
+(* --- properties: Dynamic_vv.gc soundness --- *)
+
+(* Interpret a random op script into a live dynamic-VV population with
+   retirement baggage (update / fork / sync / retire-into-survivor). *)
+let dvv_population script =
+  let pop = ref [| Dynamic_vv.update (Dynamic_vv.create ~id:0) |] in
+  let next = ref 1 in
+  List.iter
+    (fun (op, (x, y)) ->
+      let n = Array.length !pop in
+      let i = x mod n in
+      match op with
+      | 0 when n < 10 ->
+          let a, b = Dynamic_vv.fork (!pop).(i) ~new_id:!next in
+          incr next;
+          (!pop).(i) <- a;
+          pop := Array.append !pop [| b |]
+      | 1 when n >= 2 ->
+          let j = y mod (n - 1) in
+          let j = if j >= i then j + 1 else j in
+          let dj = Dynamic_vv.absorb (!pop).(j) (Dynamic_vv.retire (!pop).(i)) in
+          let keep = ref [] in
+          Array.iteri
+            (fun k r ->
+              if k <> i then keep := (if k = j then dj else r) :: !keep)
+            !pop;
+          pop := Array.of_list (List.rev !keep)
+      | 2 when n >= 2 ->
+          let j = y mod (n - 1) in
+          let j = if j >= i then j + 1 else j in
+          let a, b = Dynamic_vv.sync (!pop).(i) (!pop).(j) in
+          (!pop).(i) <- a;
+          (!pop).(j) <- b
+      | _ -> (!pop).(i) <- Dynamic_vv.update (!pop).(i))
+    script;
+  Array.to_list !pop
+
+let dvv_script_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 40)
+      (pair (int_bound 3) (pair (int_bound 1000) (int_bound 1000))))
+
+let prop_gc_preserves_effective_order =
+  QCheck2.Test.make
+    ~name:"dvv gc never changes effective comparisons among the live"
+    ~count:300 dvv_script_gen
+    (fun script ->
+      let live = dvv_population script in
+      let collected = List.map (Dynamic_vv.gc ~live) live in
+      (* gc against a live set containing the replica itself keeps
+         [effective] literally unchanged ... *)
+      List.for_all2
+        (fun before after ->
+          Version_vector.equal (Dynamic_vv.effective before)
+            (Dynamic_vv.effective after))
+        live collected
+      (* ... so every pairwise relation survives the sweep *)
+      && List.for_all2
+           (fun a a' ->
+             List.for_all2
+               (fun b b' ->
+                 Relation.equal (Dynamic_vv.relation a b)
+                   (Dynamic_vv.relation a' b'))
+               live collected)
+           live collected)
+
+let prop_gc_drops_only_dominated =
+  QCheck2.Test.make
+    ~name:"dvv gc drops retired baggage exactly when every live vv dominates"
+    ~count:300 dvv_script_gen
+    (fun script ->
+      let live = dvv_population script in
+      let dominated (rid, c) =
+        List.for_all
+          (fun l -> Version_vector.get (Dynamic_vv.vector l) rid >= c)
+          live
+      in
+      List.for_all
+        (fun r ->
+          let before = Version_vector.to_list (Dynamic_vv.retired_vector r) in
+          let after =
+            Version_vector.to_list
+              (Dynamic_vv.retired_vector (Dynamic_vv.gc ~live r))
+          in
+          List.for_all
+            (fun entry ->
+              if List.mem entry after then
+                (* kept: some live replica is still missing it *)
+                not (dominated entry)
+              else (* dropped: everyone already dominates it *)
+                dominated entry)
+            before)
+        live)
+
 let () =
   Alcotest.run "vv"
     [
@@ -360,5 +454,10 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_merge_lattice; prop_plausible_preserves_order ] );
+          [
+            prop_merge_lattice;
+            prop_plausible_preserves_order;
+            prop_gc_preserves_effective_order;
+            prop_gc_drops_only_dominated;
+          ] );
     ]
