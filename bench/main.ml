@@ -70,6 +70,10 @@ type bench_config = {
   e17_replicas : int;
   e17_rounds : int;
   e17_rates : float list;
+  e18_nodes : int;
+  e18_keys : int;
+  e18_value_bytes : int;
+  e18_round_budget : int;
 }
 
 let bench_config ~quick =
@@ -96,6 +100,10 @@ let bench_config ~quick =
       e17_replicas = 4;
       e17_rounds = 10;
       e17_rates = [ 0.5; 1.0; 2.0 ];
+      e18_nodes = 3;
+      e18_keys = 8;
+      e18_value_bytes = 160;
+      e18_round_budget = 16;
     }
   else
     {
@@ -120,6 +128,10 @@ let bench_config ~quick =
       e17_replicas = 4;
       e17_rounds = 24;
       e17_rates = [ 0.5; 1.0; 2.0; 4.0 ];
+      e18_nodes = 3;
+      e18_keys = 24;
+      e18_value_bytes = 128;
+      e18_round_budget = 16;
     }
 
 let config_json c =
@@ -149,6 +161,10 @@ let config_json c =
       ("e17_rounds", Jsonx.Int c.e17_rounds);
       ( "e17_rates",
         Jsonx.List (List.map (fun r -> Jsonx.Float r) c.e17_rates) );
+      ("e18_nodes", Jsonx.Int c.e18_nodes);
+      ("e18_keys", Jsonx.Int c.e18_keys);
+      ("e18_value_bytes", Jsonx.Int c.e18_value_bytes);
+      ("e18_round_budget", Jsonx.Int c.e18_round_budget);
       ( "backends",
         Jsonx.List
           (List.map (fun k -> Jsonx.String k) (Vstamp_core.Backend.keys ())) );
@@ -1547,6 +1563,137 @@ let e17 ~cfg () =
            ])
        rows)
 
+(* E18: the networked anti-entropy plane measured end to end.  A
+   3-node loopback-TCP cluster (Vstamp_net.Node speaking the real
+   vstamp-sync/1 framed protocol) seeds disjoint keys per node and is
+   driven by deterministic [sync_now] rounds until every store digest
+   agrees.  Recorded: total bytes the sockets carried (frames,
+   handshakes, frontiers, payloads — everything) against the engine
+   ledger's minimal delta (the same minimal-frontier accounting the
+   E14 lane gates on), as [overhead_ratio]; plus rounds to
+   convergence.  The wall-clock convergence time is informational only
+   and excluded from the regression gate.  Budget: wire bytes must
+   stay within 2x of the minimal delta. *)
+let e18 ~cfg () =
+  section "E18: networked anti-entropy - wire bytes vs minimal delta";
+  let module N = Vstamp_net.Node.Make (Vstamp_core.Backend.Over_tree) in
+  let value node k =
+    let tag = Printf.sprintf "e18/n%d/k%03d:" node k in
+    let b = Buffer.create (cfg.e18_value_bytes + String.length tag) in
+    while Buffer.length b < cfg.e18_value_bytes do
+      Buffer.add_string b tag
+    done;
+    Buffer.sub b 0 cfg.e18_value_bytes
+  in
+  (* Cascade mesh: node i dials every node created before it, so the
+     cluster is a full mesh over ephemeral loopback ports. *)
+  let nodes =
+    let rec go i acc =
+      if i >= cfg.e18_nodes then List.rev acc
+      else
+        let registry = Vstamp_obs.Registry.create () in
+        let peers = List.map (fun (_, _, n) -> ("127.0.0.1", N.port n)) acc in
+        let node =
+          N.create ~registry ~interval_s:60.0 ~idle_timeout_s:10.0
+            ~node_id:(Printf.sprintf "bench-n%d" i)
+            ~backend:Vstamp_core.Backend.default_key ~port:0 ~peers ()
+        in
+        go (i + 1) ((i, registry, node) :: acc)
+    in
+    go 0 []
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (_, _, n) -> N.stop n) nodes)
+    (fun () ->
+      List.iter
+        (fun (i, _, n) ->
+          for k = 0 to cfg.e18_keys - 1 do
+            N.put n ~key:(Printf.sprintf "n%d-k%03d" i k) (value i k)
+          done)
+        nodes;
+      let converged () =
+        match List.map (fun (_, _, n) -> N.digest n) nodes with
+        | [] -> true
+        | d :: rest -> List.for_all (( = ) d) rest
+      in
+      let rounds = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      while (not (converged ())) && !rounds < cfg.e18_round_budget do
+        incr rounds;
+        List.iter (fun (_, _, n) -> ignore (N.sync_now n)) nodes
+      done;
+      let convergence_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+      let count r name =
+        Vstamp_obs.Metric.count (Vstamp_obs.Registry.counter r name)
+      in
+      let total name =
+        List.fold_left (fun acc (_, r, _) -> acc + count r name) 0 nodes
+      in
+      (* The responder threads count their bytes after their writes
+         return, so they can lag the initiator's view of a completed
+         session.  Wait for the totals to go quiescent and conserved
+         (cluster-wide tx = rx: every byte sent was received and both
+         ends counted it) so wire_bytes is the settled, deterministic
+         figure. *)
+      let totals () =
+        (total "net_tx_bytes_total", total "net_rx_bytes_total")
+      in
+      let rec settle prev n =
+        if n > 0 then begin
+          Thread.delay 0.02;
+          let cur = totals () in
+          if not (cur = prev && fst cur = snd cur) then settle cur (n - 1)
+        end
+      in
+      settle (totals ()) 100;
+      let wire_bytes = total "net_tx_bytes_total" in
+      let rx_bytes = total "net_rx_bytes_total" in
+      let shipped = total "net_sync_shipped_bytes_total" in
+      let minimal = total "net_sync_minimal_bytes_total" in
+      let redundant = total "net_sync_redundant_bytes_total" in
+      let proto_errors = total "net_protocol_errors_total" in
+      let sessions = total "net_sync_rounds_total" in
+      let overhead_ratio =
+        float_of_int wire_bytes /. float_of_int (max 1 minimal)
+      in
+      let within_budget = overhead_ratio <= 2.0 in
+      table
+        ~header:[ "node"; "keys"; "tx bytes"; "rx bytes"; "sessions" ]
+        (List.map
+           (fun (i, r, n) ->
+             [
+               Printf.sprintf "n%d" i;
+               string_of_int (List.length (N.keys n));
+               string_of_int (count r "net_tx_bytes_total");
+               string_of_int (count r "net_rx_bytes_total");
+               string_of_int (count r "net_sync_rounds_total");
+             ])
+           nodes);
+      Format.printf
+        "  converged=%b rounds=%d sessions=%d wire=%dB minimal=%dB \
+         overhead=%.2fx (budget <= 2.0x: %s)@."
+        (converged ()) !rounds sessions wire_bytes minimal overhead_ratio
+        (if within_budget then "ok" else "OVER BUDGET");
+      let open Vstamp_obs in
+      Jsonx.Obj
+        [
+          ("nodes", Jsonx.Int cfg.e18_nodes);
+          ("keys_per_node", Jsonx.Int cfg.e18_keys);
+          ("value_bytes", Jsonx.Int cfg.e18_value_bytes);
+          ("converged", Jsonx.Bool (converged ()));
+          ("rounds_to_convergence", Jsonx.Int !rounds);
+          ("sessions", Jsonx.Int sessions);
+          ("wire_bytes", Jsonx.Int wire_bytes);
+          ("rx_bytes", Jsonx.Int rx_bytes);
+          ("shipped_bytes", Jsonx.Int shipped);
+          ("minimal_bytes", Jsonx.Int minimal);
+          ("redundant_bytes", Jsonx.Int redundant);
+          ("protocol_errors", Jsonx.Int proto_errors);
+          ("overhead_ratio", Jsonx.Float overhead_ratio);
+          ("within_budget", Jsonx.Bool within_budget);
+          ("convergence_ns", Jsonx.Float convergence_ns);
+        ])
+
 (* /3 keeps every /2 field and adds the config and wall_clock blocks
    (Bench_store's comparability key and run metadata), the E11 sampled
    columns, the E13 sampling_sweep, and {"timed_out": true} markers for
@@ -1561,11 +1708,15 @@ let e17 ~cfg () =
    costs, context-propagation wire bytes).  /8 keeps every /7 field and
    adds the E17 idspace block (id-digit reclamation vs dynamic-VV
    retired-entry baggage across churn rates, with the
-   partition-of-unity audit verdict). *)
-let bench_json_schema = "vstamp-bench-core/8"
+   partition-of-unity audit verdict).  /9 keeps every /8 field and
+   adds the E18 net block (bytes on the wire for a real 3-node TCP
+   cluster against the engine ledger's minimal delta, with the
+   2x overhead budget verdict). *)
+let bench_json_schema = "vstamp-bench-core/9"
 
 let write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
-    ~monitor_overhead ~sampling_sweep ~convergence ~recorder ~trace ~idspace =
+    ~monitor_overhead ~sampling_sweep ~convergence ~recorder ~trace ~idspace
+    ~net =
   let open Vstamp_obs in
   let json =
     Jsonx.Obj
@@ -1590,6 +1741,7 @@ let write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
         ("recorder", recorder);
         ("trace", trace);
         ("idspace", idspace);
+        ("net", net);
       ]
   in
   let oc = open_out opts.out in
@@ -1630,7 +1782,9 @@ let () =
   let recorder = e15 ~cfg () in
   let trace = e16 ~cfg () in
   let idspace = e17 ~cfg () in
+  let net = e18 ~cfg () in
   let elapsed_s = Unix.gettimeofday () -. t_start in
   write_bench_json ~opts ~cfg ~elapsed_s ~sizes ~reduction ~latencies
-    ~monitor_overhead ~sampling_sweep ~convergence ~recorder ~trace ~idspace;
+    ~monitor_overhead ~sampling_sweep ~convergence ~recorder ~trace ~idspace
+    ~net;
   Format.printf "@.done.@."

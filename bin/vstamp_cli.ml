@@ -1304,10 +1304,20 @@ let soak_checkpoint ~history ~registry ~srv ~sink ~t0 ~iteration ~final =
   in
   Vstamp_obs.Bench_store.append ~file:history j
 
+let parse_hostport ~flag spec =
+  match String.rindex_opt spec ':' with
+  | Some i -> (
+      let host = String.sub spec 0 i
+      and port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when host <> "" -> (host, p)
+      | _ -> die "%s %s: expected HOST:PORT" flag spec)
+  | None -> die "%s %s: expected HOST:PORT" flag spec
+
 let soak port addr duration iterations n_ops seed backend sample_every
     sample_prob checkpoint_every history events_out port_file quiet
     partition_weather churn_rate rules_file retention record_every tsdb_out
-    node_id span_out trace_parent stamp_seed =
+    node_id span_out trace_parent stamp_seed net_port net_peers =
   let tracker =
     match backend with
     | None -> Tracker.stamps
@@ -1424,11 +1434,40 @@ let soak port addr duration iterations n_ops seed backend sample_every
           rs)
       rules
   in
+  (* --net: a real networked anti-entropy plane alongside the workload —
+     this process runs a Stamped_kv replica speaking vstamp-sync/1 on
+     TCP, writes one key per iteration and converges with its
+     --net-peer nodes; the peer lifecycle shows up on /peers.json and
+     the net_* metric families on /metrics *)
+  let net_node =
+    match net_port with
+    | None -> None
+    | Some sync_port ->
+        let bkey = Option.value ~default:Backend.default_key backend in
+        let peers = List.map (parse_hostport ~flag:"--net-peer") net_peers in
+        let module B = (val Backend.get bkey) in
+        let module N = Vstamp_net.Node.Make (B) in
+        let node =
+          try
+            N.create ~registry ~interval_s:0.5 ~addr ~node_id ~backend:bkey
+              ~port:sync_port ~peers ()
+          with Unix.Unix_error (e, _, _) ->
+            die "cannot bind %s:%d: %s" addr sync_port (Unix.error_message e)
+        in
+        N.start_dialers node;
+        Some
+          ( (fun i -> N.put node ~key:("soak-" ^ node_id) (string_of_int i)),
+            (fun () -> N.peers_json node),
+            (fun () -> N.stop node) )
+  in
   let srv =
     (* a deeper /events ring than the default 64: one workload iteration
        emits ~n_ops sim events, which would evict sparse-but-important
        lines (alert transitions) before anyone can scrape them *)
-    try HE.create ~registry ~health ~tsdb ?alerts ~recent:512 ~addr ~port ()
+    try
+      HE.create ~registry ~health ~tsdb ?alerts
+        ?peers:(Option.map (fun (_, pj, _) -> pj) net_node)
+        ~recent:512 ~addr ~port ()
     with Unix.Unix_error (e, _, _) ->
       die "cannot bind %s:%d: %s" addr port (Unix.error_message e)
   in
@@ -1554,6 +1593,9 @@ let soak port addr duration iterations n_ops seed backend sample_every
       incr iterations_done;
       Vstamp_obs.Metric.inc iter_counter;
       Vstamp_obs.Metric.set step_gauge (float_of_int !last_step);
+      (match net_node with
+      | Some (net_put, _, _) -> net_put i
+      | None -> ());
       Obs_sink.emit sink
         (Obs_event.v ~ts:(Obs_event.Step !last_step) "soak.iteration"
            [ ("iteration", Jx.Int i); ("workload", Jx.String wname) ]);
@@ -1573,6 +1615,7 @@ let soak port addr duration iterations n_ops seed backend sample_every
   recorder_stop := true;
   Thread.join recorder;
   record_tick ();
+  (match net_node with Some (_, _, stop_node) -> stop_node () | None -> ());
   HE.stop srv;
   (match history with
   | Some file ->
@@ -1619,8 +1662,11 @@ let soak port addr duration iterations n_ops seed backend sample_every
    ordered Chrome trace plus a causal-ordering validation report. *)
 
 let soak_cluster n port addr duration iterations n_ops seed backend quiet
-    partition_weather rules_file record_every port_file dir =
+    partition_weather rules_file record_every port_file dir net net_base_port
+    =
   if n < 2 then die "--cluster needs at least 2 workers";
+  if net && (net_base_port < 1 || net_base_port + n > 65536) then
+    die "--net-base-port %d leaves no room for %d workers" net_base_port n;
   (try Unix.mkdir dir 0o755
    with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let path p = Filename.concat dir p in
@@ -1661,6 +1707,19 @@ let soak_cluster n port addr duration iterations n_ops seed backend quiet
         | Some s -> [ "--partition-weather"; string_of_float s ])
       @ (match rules_file with None -> [] | Some f -> [ "--rules"; f ])
       @ (match backend with None -> [] | Some b -> [ "--backend"; b ])
+      @ (if not net then []
+         else
+           (* real-TCP anti-entropy: deterministic sync ports base+i,
+              full mesh — every worker peers with every other *)
+           [ "--net-port"; string_of_int (net_base_port + i) ]
+           @ List.concat
+               (List.init n (fun j ->
+                    if j = i then []
+                    else
+                      [
+                        "--net-peer";
+                        Printf.sprintf "%s:%d" addr (net_base_port + j);
+                      ])))
     in
     let pid =
       Unix.create_process Sys.executable_name (Array.of_list argv)
@@ -2029,19 +2088,58 @@ let soak_cmd =
             "Where --cluster keeps its artifacts (port files, span \
              logs, tsdb dumps, trace.chrome.json, causal-report.json)")
   in
+  let net_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "net-port" ] ~docv:"PORT"
+          ~doc:
+            "Also run a networked anti-entropy node: a stamped \
+             key-value replica speaking vstamp-sync/1 on PORT (0 for \
+             ephemeral) that writes one key per iteration and \
+             converges with the --net-peer nodes; peer lifecycle on \
+             /peers.json, net_* families on /metrics")
+  in
+  let net_peer =
+    Arg.(
+      value & opt_all string []
+      & info [ "net-peer" ] ~docv:"HOST:PORT"
+          ~doc:"A peer node's sync endpoint for --net-port; repeatable")
+  in
+  let net =
+    Arg.(
+      value & flag
+      & info [ "net" ]
+          ~doc:
+            "With --cluster: wire the workers into a real-TCP full \
+             mesh (deterministic sync ports from --net-base-port) so \
+             anti-entropy rounds cross process boundaries")
+  in
+  let net_base_port =
+    Arg.(
+      value & opt int 9600
+      & info [ "net-base-port" ] ~docv:"PORT"
+          ~doc:"First sync port for --cluster --net (worker i gets \
+                PORT+i)")
+  in
   let wrap port addr duration iterations n_ops seed backend sample_every
       sample_prob checkpoint_every history no_history events_out port_file
       quiet partition_weather churn rules retention record_every tsdb_out
-      node_id span_out trace_parent stamp_seed cluster cluster_dir =
+      node_id span_out trace_parent stamp_seed cluster cluster_dir net_port
+      net_peer net net_base_port =
     if cluster > 0 then
       soak_cluster cluster port addr duration iterations n_ops seed backend
-        quiet partition_weather rules record_every port_file cluster_dir
-    else
+        quiet partition_weather rules record_every port_file cluster_dir net
+        net_base_port
+    else begin
+      if net then die "--net needs --cluster (use --net-port standalone)";
       soak port addr duration iterations n_ops seed backend sample_every
         sample_prob checkpoint_every
         (if no_history then None else history)
         events_out port_file quiet partition_weather churn rules retention
         record_every tsdb_out node_id span_out trace_parent stamp_seed
+        net_port net_peer
+    end
   in
   Cmd.v
     (Cmd.info "soak"
@@ -2053,34 +2151,57 @@ let soak_cmd =
           /range.json for recorded history, /alerts.json for the alert \
           plane, /events for streaming) and appending periodic \
           checkpoints to the bench ledger.  --cluster N forks N workers \
-          and federates them behind /cluster.json")
+          and federates them behind /cluster.json; --cluster N --net \
+          additionally wires the workers into a real-TCP anti-entropy \
+          mesh")
     Term.(
       const wrap $ port $ addr $ duration $ iterations $ n_ops $ seed
       $ backend_arg $ sample_every $ sample_prob $ checkpoint_every $ history
       $ no_history $ events_out $ port_file $ quiet $ partition_weather
       $ churn $ rules $ retention $ record_every $ tsdb_out $ node_id
-      $ span_out $ trace_parent $ stamp_seed $ cluster $ cluster_dir)
+      $ span_out $ trace_parent $ stamp_seed $ cluster $ cluster_dir
+      $ net_port $ net_peer $ net $ net_base_port)
 
 (* --- top --- *)
 
 (* Transport errors (refused connection, timeout) are retried with
-   exponential backoff when [retries > 0] — a `top`/`scrape` racing a
+   exponential backoff when [retries > 0] — a live command racing a
    soak process that is still binding its port waits it out instead of
    dying on the first refusal.  HTTP-level errors are never retried:
-   the server answered, it just doesn't like the request. *)
-let fetch ?(retries = 0) ?timeout_s ~host ~port path =
+   the server answered, it just doesn't like the request.  This is the
+   one retry policy behind every `--retry` flag (`top`, `scrape`,
+   `lag`, `churn`, `report`). *)
+let retry_transport ?(retries = 0) f =
   let rec go attempt delay =
-    match HE.Client.get ?timeout_s ~host ~port path with
-    | Ok (200, body) -> Ok body
-    | Ok (status, _) -> Error (Printf.sprintf "GET %s: HTTP %d" path status)
-    | Error m ->
-        if attempt >= retries then Error (Printf.sprintf "GET %s: %s" path m)
+    match f () with
+    | Ok _ as ok -> ok
+    | Error _ as e ->
+        if attempt >= retries then e
         else begin
           Unix.sleepf delay;
           go (attempt + 1) (Float.min 5.0 (delay *. 2.0))
         end
   in
   go 0 0.2
+
+let retry_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retry" ] ~docv:"N"
+        ~doc:
+          "Retry a failed connection up to N times with exponential \
+           backoff (0.2s doubling, capped at 5s) — for scripts racing \
+           a soak process that is still binding its port.  HTTP errors \
+           are not retried")
+
+let fetch ?retries ?timeout_s ~host ~port path =
+  match
+    retry_transport ?retries (fun () ->
+        HE.Client.get ?timeout_s ~host ~port path)
+  with
+  | Ok (200, body) -> Ok body
+  | Ok (status, _) -> Error (Printf.sprintf "GET %s: HTTP %d" path status)
+  | Error m -> Error (Printf.sprintf "GET %s: %s" path m)
 
 let fetch_json ?retries ?timeout_s ~host ~port path =
   match fetch ?retries ?timeout_s ~host ~port path with
@@ -2252,16 +2373,7 @@ let top_cmd =
           ~doc:"Socket timeout per fetch (a stalled endpoint errors out \
                 instead of freezing the panel)")
   in
-  let retry =
-    Arg.(
-      value & opt int 0
-      & info [ "retry" ] ~docv:"N"
-          ~doc:
-            "Retry a failed connection up to N times with exponential \
-             backoff (0.2s doubling, capped at 5s) — for scripts racing \
-             a soak process that is still binding its port.  HTTP errors \
-             are not retried")
-  in
+  let retry = retry_arg in
   let cluster =
     Arg.(
       value & flag
@@ -2297,20 +2409,15 @@ let top_cmd =
 (* --- scrape --- *)
 
 let scrape host port timeout retries path =
-  let rec go attempt delay =
-    match HE.Client.get ~host ~timeout_s:timeout ~port path with
-    | Ok (200, body) -> print_string body
-    | Ok (status, body) ->
-        Format.eprintf "error: GET %s: HTTP %d@.%s" path status body;
-        exit 1
-    | Error m ->
-        if attempt >= retries then die "GET %s: %s" path m
-        else begin
-          Unix.sleepf delay;
-          go (attempt + 1) (Float.min 5.0 (delay *. 2.0))
-        end
-  in
-  go 0 0.2
+  match
+    retry_transport ~retries (fun () ->
+        HE.Client.get ~host ~timeout_s:timeout ~port path)
+  with
+  | Ok (200, body) -> print_string body
+  | Ok (status, body) ->
+      Format.eprintf "error: GET %s: HTTP %d@.%s" path status body;
+      exit 1
+  | Error m -> die "GET %s: %s" path m
 
 let scrape_cmd =
   let host =
@@ -2328,15 +2435,7 @@ let scrape_cmd =
       value & opt float 5.0
       & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Socket timeout")
   in
-  let retry =
-    Arg.(
-      value & opt int 0
-      & info [ "retry" ] ~docv:"N"
-          ~doc:
-            "Retry a failed connection up to N times with exponential \
-             backoff (0.2s doubling, capped at 5s).  HTTP errors are \
-             not retried")
-  in
+  let retry = retry_arg in
   let path =
     Arg.(
       value & pos 0 string "/metrics"
@@ -2452,8 +2551,8 @@ let lag_sim tracker backend replicas rounds p_update syncs_per_round severity
   end
 
 (* Live mode: render the /lag.json view of a soaking process. *)
-let lag_live host port timeout_s json =
-  match fetch_json ~timeout_s ~host ~port "/lag.json" with
+let lag_live host port timeout_s retries json =
+  match fetch_json ~retries ~timeout_s ~host ~port "/lag.json" with
   | Error m -> die "%s" m
   | Ok j ->
       if json then print_endline (Jx.to_string j)
@@ -2563,10 +2662,12 @@ let lag_cmd =
       & info [ "timeout" ] ~docv:"SECONDS"
           ~doc:"Socket timeout for the live fetch")
   in
-  let wrap host port timeout tracker backend replicas rounds p_update
+  let retry = retry_arg in
+  let wrap host port timeout retry tracker backend replicas rounds p_update
       syncs_per_round severity seed epoch json =
+    if retry < 0 then die "--retry needs a non-negative count";
     match port with
-    | Some p -> lag_live host p timeout json
+    | Some p -> lag_live host p timeout retry json
     | None ->
         lag_sim tracker backend replicas rounds p_update syncs_per_round
           severity seed epoch json
@@ -2580,7 +2681,7 @@ let lag_cmd =
           ledger — or, with --port, render the live /lag.json view of a \
           soaking process")
     Term.(
-      const wrap $ host $ port $ timeout $ tracker_arg $ backend_arg
+      const wrap $ host $ port $ timeout $ retry $ tracker_arg $ backend_arg
       $ replicas $ rounds $ p_update $ syncs_per_round $ severity $ seed
       $ epoch $ json)
 
@@ -2720,8 +2821,8 @@ let churn_sim replicas min_replicas max_replicas rounds p_update
   if not r.Churn.audit_clean then exit 3
 
 (* Live mode: render the /idspace.json view of a soaking process. *)
-let churn_live host port timeout_s json =
-  match fetch_json ~timeout_s ~host ~port "/idspace.json" with
+let churn_live host port timeout_s retries json =
+  match fetch_json ~retries ~timeout_s ~host ~port "/idspace.json" with
   | Error m -> die "%s" m
   | Ok j ->
       if json then print_endline (Jx.to_string j)
@@ -2872,11 +2973,13 @@ let churn_cmd =
       & info [ "timeout" ] ~docv:"SECONDS"
           ~doc:"Socket timeout for the live fetch")
   in
-  let wrap host port timeout replicas min_replicas max_replicas rounds
+  let retry = retry_arg in
+  let wrap host port timeout retry replicas min_replicas max_replicas rounds
       p_update syncs_per_round churn_rate gc_every severity seed epoch
       inject_corruption dot_out genealogy_out json =
+    if retry < 0 then die "--retry needs a non-negative count";
     match port with
-    | Some p -> churn_live host p timeout json
+    | Some p -> churn_live host p timeout retry json
     | None ->
         churn_sim replicas min_replicas max_replicas rounds p_update
           syncs_per_round churn_rate gc_every severity seed epoch
@@ -2894,7 +2997,7 @@ let churn_cmd =
           DAG; or, with --port, render the live /idspace.json view of a \
           soaking process")
     Term.(
-      const wrap $ host $ port $ timeout $ replicas $ min_replicas
+      const wrap $ host $ port $ timeout $ retry $ replicas $ min_replicas
       $ max_replicas $ rounds $ p_update $ syncs_per_round $ churn_rate
       $ gc_every $ severity $ seed $ epoch $ inject_corruption $ dot_out
       $ genealogy_out $ json)
@@ -2926,8 +3029,10 @@ let report_points_of_json j =
         pts
   | _ -> []
 
-let report_series_live ~host ~port ~timeout_s ~window_s ~step_s =
-  let fetch_json ~host ~port path = fetch_json ~timeout_s ~host ~port path in
+let report_series_live ~host ~port ~timeout_s ~retries ~window_s ~step_s =
+  let fetch_json ~host ~port path =
+    fetch_json ~retries ~timeout_s ~host ~port path
+  in
   let index =
     match fetch_json ~host ~port "/range.json" with
     | Ok j -> j
@@ -3262,7 +3367,8 @@ let report_cluster dir output =
   end;
   write_data output (Buffer.contents buf)
 
-let report host port timeout_s dump cluster output window step =
+let report host port timeout_s retries dump cluster output window step =
+  if retries < 0 then die "--retry needs a non-negative count";
   match cluster with
   | Some dir ->
       if port <> None || dump <> None then
@@ -3282,7 +3388,8 @@ let report host port timeout_s dump cluster output window step =
             let step_s =
               if step > 0.0 then step else Stdlib.max 0.001 (window_s /. 60.0)
             in
-            report_series_live ~host ~port ~timeout_s ~window_s ~step_s
+            report_series_live ~host ~port ~timeout_s ~retries ~window_s
+              ~step_s
         | None, Some file -> report_series_dump ~file ~window_s ~step_s:step
         | None, None ->
             die
@@ -3362,8 +3469,176 @@ let report_cmd =
           --cluster DIR, a cross-node post-mortem with the \
           stamp-ordered merged trace")
     Term.(
-      const report $ host $ port $ timeout $ dump $ cluster $ output
-      $ window $ step)
+      const report $ host $ port $ timeout $ retry_arg $ dump $ cluster
+      $ output $ window $ step)
+
+(* --- serve: a networked anti-entropy node --- *)
+
+(* One real replica on the network: a Stamped_kv store served over the
+   vstamp-sync/1 framed protocol (lib/net), converging with its peers
+   through periodic anti-entropy rounds, with the HTTP observability
+   plane (/metrics, /healthz, /stats.json, /peers.json) embedded. *)
+let serve sync_port http_port addr peers node_id backend_key interval
+    duration puts port_file quiet =
+  if interval <= 0.0 then die "--interval needs a positive cadence";
+  if duration < 0.0 then die "--duration needs a non-negative duration";
+  let backend_key = Option.value ~default:Backend.default_key backend_key in
+  (match Backend.find backend_key with
+  | Some _ -> ()
+  | None ->
+      die "unknown backend %S (valid: %s)" backend_key
+        (String.concat ", " (Backend.keys ())));
+  let peers = List.map (parse_hostport ~flag:"--peer") peers in
+  let puts =
+    List.map
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | Some i ->
+            ( String.sub spec 0 i,
+              String.sub spec (i + 1) (String.length spec - i - 1) )
+        | None -> die "--put %s: expected KEY=VALUE" spec)
+      puts
+  in
+  let node_id =
+    match node_id with
+    | Some id -> id
+    | None -> Printf.sprintf "%s-%d" (Unix.gethostname ()) (Unix.getpid ())
+  in
+  let registry = Obs_registry.create () in
+  let module B = (val Backend.get backend_key) in
+  let module N = Vstamp_net.Node.Make (B) in
+  let node =
+    try
+      N.create ~registry ~interval_s:interval ~addr ~node_id
+        ~backend:backend_key ~port:sync_port ~peers ()
+    with Unix.Unix_error (e, _, _) ->
+      die "cannot bind %s:%d: %s" addr sync_port (Unix.error_message e)
+  in
+  List.iter (fun (key, value) -> N.put node ~key value) puts;
+  let health () =
+    [
+      ("node_id", Jx.String node_id);
+      ("sync_port", Jx.Int (N.port node));
+      ("store_keys", Jx.Int (List.length (N.keys node)));
+    ]
+  in
+  let srv =
+    try
+      HE.create ~registry ~health
+        ~peers:(fun () -> N.peers_json node)
+        ~addr ~port:http_port ()
+    with Unix.Unix_error (e, _, _) ->
+      N.stop node;
+      die "cannot bind %s:%d: %s" addr http_port (Unix.error_message e)
+  in
+  (* two lines: the sync port, then the HTTP port — scripts race-free
+     against ephemeral (--port 0) binds *)
+  (match port_file with
+  | Some file ->
+      write_data (Some file)
+        (Printf.sprintf "%d\n%d\n" (N.port node) (HE.port srv))
+  | None -> ());
+  if not quiet then
+    Format.printf
+      "serve: node %s syncing on %s:%d (%d peer%s, every %gs), http on \
+       http://%s:%d (/metrics /healthz /stats.json /peers.json) — \
+       SIGINT/SIGTERM for graceful shutdown@."
+      node_id addr (N.port node) (List.length peers)
+      (if List.length peers = 1 then "" else "s")
+      interval addr (HE.port srv);
+  let stop = ref false in
+  let on_signal _ = stop := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  N.start_dialers node;
+  let t0 = Unix.gettimeofday () in
+  while
+    (not !stop) && (duration = 0.0 || Unix.gettimeofday () -. t0 < duration)
+  do
+    Thread.delay 0.1
+  done;
+  N.stop node;
+  HE.stop srv;
+  if not quiet then
+    Format.printf "serve: node %s stopped (%d keys)@." node_id
+      (List.length (N.keys node))
+
+let serve_cmd =
+  let sync_port =
+    Arg.(
+      value & opt int 9470
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port for the vstamp-sync/1 protocol (0 for ephemeral)")
+  in
+  let http_port =
+    Arg.(
+      value & opt int 9464
+      & info [ "http-port" ] ~docv:"PORT"
+          ~doc:"Port for the embedded HTTP plane (0 for ephemeral)")
+  in
+  let addr =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "addr" ] ~docv:"ADDR" ~doc:"Bind address for both planes")
+  in
+  let peers =
+    Arg.(
+      value & opt_all string []
+      & info [ "peer" ] ~docv:"HOST:PORT"
+          ~doc:
+            "A peer's sync endpoint; repeatable.  Each peer gets its own \
+             dial thread running an anti-entropy round every --interval, \
+             reconnecting with exponential backoff (0.2s doubling, capped \
+             at 5s) when the peer is down")
+  in
+  let node_id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "node-id" ] ~docv:"ID"
+          ~doc:"Node id for the handshake (default: hostname-pid)")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Anti-entropy round cadence per peer")
+  in
+  let duration =
+    Arg.(
+      value & opt float 0.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Stop after this long (0 = run until signalled)")
+  in
+  let puts =
+    Arg.(
+      value & opt_all string []
+      & info [ "put" ] ~docv:"KEY=VALUE"
+          ~doc:"Seed the store with a write before syncing; repeatable")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound ports (sync then HTTP, one per line) to \
+             FILE once listening — for scripts using ephemeral ports")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No startup banner")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a networked anti-entropy node: a stamped key-value replica \
+          speaking the framed vstamp-sync/1 protocol on TCP, converging \
+          with its --peer nodes through periodic engine sessions \
+          (frontier offer, delta request, reconcile), with /metrics, \
+          /healthz, /stats.json and /peers.json served per node")
+    Term.(
+      const serve $ sync_port $ http_port $ addr $ peers $ node_id
+      $ backend_arg $ interval $ duration $ puts $ port_file $ quiet)
 
 (* --- main --- *)
 
@@ -3385,6 +3660,7 @@ let main_cmd =
       metrics_cmd;
       bench_cmd;
       soak_cmd;
+      serve_cmd;
       top_cmd;
       scrape_cmd;
       lag_cmd;

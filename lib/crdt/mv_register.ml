@@ -8,6 +8,11 @@ module Make (S : Stamp.S) = struct
 
   let create value = { stamp = S.update S.seed; values = [ value ] }
 
+  let restore ~stamp values =
+    if not (S.well_formed stamp) then
+      invalid_arg "Mv_register.restore: ill-formed stamp"
+    else { stamp; values }
+
   let stamp r = r.stamp
 
   let read r = r.values

@@ -16,6 +16,11 @@ module Make (S : Vstamp_core.Stamp.S) : sig
   (** A fresh register seeded with an initial value (counts as the first
       write). *)
 
+  val restore : stamp:S.t -> 'a list -> 'a t
+  (** Rebuild a replica from transported parts (wire decoding, or a
+      payload-less phantom for anti-entropy frontier entries).
+      @raise Invalid_argument if the stamp is ill-formed. *)
+
   val stamp : 'a t -> S.t
 
   val read : 'a t -> 'a list

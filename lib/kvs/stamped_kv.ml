@@ -1,49 +1,25 @@
 open Vstamp_core
+module Engine = Vstamp_sync.Engine
+module Ledger = Vstamp_sync.Ledger
 
 (* Optional live instrumentation, off by default (mirrors Sync.Obs):
    when attached, every {!Make.sync} charges the anti-entropy walk to
    the delta ledger — bytes a full exchange ships (both replicas' stamp
    metadata per shared key, plus the candidate values that change
-   hands) against the minimal frontier-exchange delta.  Counters are
-   shared by every instantiation of {!Make}. *)
+   hands) against the minimal frontier-exchange delta.  The counters
+   are the shared {!Vstamp_sync.Ledger} family under the [kvs_sync_]
+   prefix, shared by every instantiation of {!Make}. *)
 module Obs = struct
   module R = Vstamp_obs.Registry
-  module M = Vstamp_obs.Metric
 
-  type counters = {
-    rounds : M.counter;  (* kvs_sync_rounds_total *)
-    shipped : M.counter;  (* kvs_sync_shipped_bytes_total *)
-    minimal : M.counter;  (* kvs_sync_minimal_bytes_total *)
-    redundant : M.counter;  (* kvs_sync_redundant_bytes_total *)
-    efficiency : M.gauge;  (* kvs_sync_delta_efficiency *)
-  }
-
-  let state : counters option ref = ref None
+  let state : Ledger.counters option ref = ref None
 
   let attach ?(registry = R.default) () =
-    state :=
-      Some
-        {
-          rounds = R.counter registry "kvs_sync_rounds_total";
-          shipped = R.counter registry "kvs_sync_shipped_bytes_total";
-          minimal = R.counter registry "kvs_sync_minimal_bytes_total";
-          redundant = R.counter registry "kvs_sync_redundant_bytes_total";
-          efficiency = R.gauge registry "kvs_sync_delta_efficiency";
-        }
+    state := Some (Ledger.counters ~registry ~prefix:"kvs_sync_" ())
 
   let detach () = state := None
 
   let attached () = Option.is_some !state
-
-  let[@inline] on f = match !state with Some c -> f c | None -> ()
-
-  let account c ~shipped ~minimal =
-    M.add c.shipped shipped;
-    M.add c.minimal minimal;
-    M.add c.redundant (shipped - minimal);
-    let s = M.count c.shipped in
-    M.set c.efficiency
-      (if s = 0 then 1. else float_of_int (M.count c.minimal) /. float_of_int s)
 end
 
 module Make (S : Stamp.S) = struct
@@ -84,86 +60,123 @@ module Make (S : Stamp.S) = struct
     | Some r -> R.is_conflicted r
     | None -> false
 
-  let meta_bytes r = (S.size_bits (R.stamp r) + 7) / 8
-
   let value_bytes r =
     List.fold_left (fun acc v -> acc + String.length v) 0 (R.read r)
 
-  (* One key's wire charge: a full anti-entropy walk ships both stamps
+  (* The engine store adapter: keys map to multi-value registers, the
+     register's stamp is the frontier metadata, and the digest
+     fingerprints the sorted candidate set (equal digests mean a reader
+     cannot tell the replicas apart). *)
+  module ES = struct
+    type nonrec t = t
+
+    type item = string R.t
+
+    type meta = S.t
+
+    let keys = keys
+
+    let find t key = Smap.find_opt key t
+
+    let set t key item = Smap.add key item t
+
+    let meta_of = R.stamp
+
+    let relation = S.relation
+
+    let meta_bytes m = (S.size_bits m + 7) / 8
+
+    let payload_bytes = value_bytes
+
+    let digest item =
+      Digest.string (String.concat "\x00" (List.sort compare (R.read item)))
+
+    let of_meta ~key:_ m = R.restore ~stamp:m []
+  end
+
+  module E = Engine.Make (ES)
+
+  (* One key's reconciliation: charge the walk on the {e pre}-sync
+     registers (what an exchange of the current replicas ships), then
+     let the register merge and re-fork.  A full walk ships both stamps
      and the candidate values that change hands; the frontier-exchange
      minimum skips equivalent keys entirely and ships only the dominant
      side for ordered ones. *)
-  let account_pair ra rb =
-    Obs.on (fun c ->
-        let ma = meta_bytes ra and mb = meta_bytes rb in
-        let shipped, minimal =
-          match R.relation ra rb with
-          | Relation.Equal -> (ma + mb, 0)
-          | Relation.Dominates ->
-              let v = value_bytes ra in
-              (ma + mb + v, ma + v)
-          | Relation.Dominated ->
-              let v = value_bytes rb in
-              (ma + mb + v, mb + v)
-          | Relation.Concurrent ->
-              let v = value_bytes ra + value_bytes rb in
-              (ma + mb + v, ma + mb + v)
-        in
-        Obs.account c ~shipped ~minimal)
+  let engine_config =
+    {
+      E.reconcile =
+        (fun ~key:_ ra rb ->
+          let ma = ES.meta_bytes (R.stamp ra)
+          and mb = ES.meta_bytes (R.stamp rb) in
+          let relation = R.relation ra rb in
+          let payload =
+            match relation with
+            | Relation.Equal -> 0
+            | Relation.Dominates -> value_bytes ra
+            | Relation.Dominated -> value_bytes rb
+            | Relation.Concurrent -> value_bytes ra + value_bytes rb
+          in
+          let ra', rb' = R.sync ra rb in
+          {
+            E.item_a = ra';
+            item_b = rb';
+            relation;
+            outcome = Engine.outcome_of_relation relation;
+            charge = { Engine.meta_a = ma; meta_b = mb; payload };
+          });
+      replicate = R.fork;
+    }
 
-  (* A key held by one side only: stamp and values must ship anyway. *)
-  let account_replicated r =
-    Obs.on (fun c ->
-        let b = meta_bytes r + value_bytes r in
-        Obs.account c ~shipped:b ~minimal:b)
+  let spans =
+    { E.span_session = "kvs.sync"; span_apply = "kvs.apply"; unit_key = "keys" }
 
-  let sync_body a b =
-    Obs.on (fun c -> Vstamp_obs.Metric.inc c.Obs.rounds);
-    let all_keys =
-      List.sort_uniq String.compare (keys a @ keys b)
-    in
-    List.fold_left
-      (fun (a, b) key ->
-        match (Smap.find_opt key a, Smap.find_opt key b) with
-        | None, None -> (a, b)
-        | Some r, None ->
-            account_replicated r;
-            let mine, theirs = R.fork r in
-            (Smap.add key mine a, Smap.add key theirs b)
-        | None, Some r ->
-            account_replicated r;
-            let theirs, mine = R.fork r in
-            (Smap.add key mine a, Smap.add key theirs b)
-        | Some ra, Some rb ->
-            account_pair ra rb;
-            let ra, rb = R.sync ra rb in
-            (Smap.add key ra a, Smap.add key rb b))
-      (a, b) all_keys
-
-  (* One anti-entropy walk is one span; the trace context rides the
-     exchange envelope and the apply side continues the trace from the
-     extracted header (see [Sync.session] for the same pattern). *)
   let sync a b =
-    let module Tr = Vstamp_obs.Trace_ctx in
-    let module J = Vstamp_obs.Jsonx in
-    if not (Tr.attached ()) then sync_body a b
-    else
-      Tr.with_span "kvs.sync" (fun () ->
-          let header =
-            match Tr.current () with
-            | Some ctx -> Tr.to_header ctx
-            | None -> ""
-          in
-          let keys_n =
-            List.length (List.sort_uniq String.compare (keys a @ keys b))
-          in
-          let a, b = sync_body a b in
-          Tr.annotate [ ("keys", J.Int keys_n) ];
-          Tr.with_remote_span ~header
-            ~attrs:[ ("keys", J.Int keys_n) ]
-            "kvs.apply"
-            (fun () -> ());
-          (a, b))
+    let a, b, _reports =
+      E.session ?ledger:!Obs.state ~spans engine_config a b
+    in
+    (a, b)
+
+  (* --- wire-level legs ---
+
+     The same session, split for a transport: each leg takes and
+     returns plain serializable data (stamps and strings), so the
+     framed protocol in [Vstamp_net] can ship them and still produce
+     byte-identical stores.  The legs deliberately do not touch the
+     attached [kvs_sync_*] ledger — a networked round accounts to its
+     own [tally]. *)
+
+  type frontier = (string * S.t * string) list
+
+  type delta = (string * S.t * string list) list
+
+  let to_frontier fs =
+    List.map (fun f -> (f.E.f_key, f.E.f_meta, f.E.f_digest)) fs
+
+  let of_frontier fs =
+    List.map (fun (k, m, d) -> { E.f_key = k; f_meta = m; f_digest = d }) fs
+
+  let to_delta es =
+    List.map (fun e -> (e.E.e_key, R.stamp e.E.e_item, R.read e.E.e_item)) es
+
+  let of_delta es =
+    List.map
+      (fun (k, stamp, vs) -> { E.e_key = k; e_item = R.restore ~stamp vs })
+      es
+
+  let offer t = to_frontier (E.offer t)
+
+  let wants t frontier = E.wants t (of_frontier frontier)
+
+  let fulfil t wanted = to_delta (E.fulfil t wanted)
+
+  let reconcile ?tally t frontier items =
+    let t, results, _reports =
+      E.reconcile ?tally engine_config t (of_frontier frontier)
+        (of_delta items)
+    in
+    (t, to_delta results)
+
+  let apply t results = E.apply t (of_delta results)
 
   let converged a b =
     List.for_all

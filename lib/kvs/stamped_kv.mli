@@ -49,7 +49,45 @@ module Make (S : Vstamp_core.Stamp.S) : sig
   val sync : t -> t -> t * t
   (** Pairwise anti-entropy over the union of the two replicas' keys;
     keys held by one side only are replicated to the other (both
-    continuing the same forked lineage). *)
+    continuing the same forked lineage).  Runs on the shared
+    {!Vstamp_sync.Engine} session (frontier offer → delta request →
+    reconcile), composed in-process. *)
+
+  (** {2 Wire-level session legs}
+
+      The same session split for a transport: each leg exchanges plain
+      serializable data, so a framed protocol ({!Vstamp_net}) can ship
+      the legs between processes and still produce stores
+      byte-identical to an in-process {!sync}.  The legs do {e not}
+      charge the attached [kvs_sync_*] ledger — a networked round
+      accounts to the [tally] it passes to {!reconcile}. *)
+
+  type frontier = (string * S.t * string) list
+  (** One entry per key: its stamp and a digest fingerprinting the
+      candidate value set. *)
+
+  type delta = (string * S.t * string list) list
+  (** Full entries on the move: key, stamp, candidate values. *)
+
+  val offer : t -> frontier
+  (** Leg 1 (initiator): the replica's full frontier, sorted by key. *)
+
+  val wants : t -> frontier -> string list
+  (** Leg 2 (responder): the keys whose full entries are needed — ones
+      this replica lacks, is dominated on, or holds concurrent/equal
+      with a different candidate set. *)
+
+  val fulfil : t -> string list -> delta
+  (** Leg 3 (initiator): the requested entries. *)
+
+  val reconcile :
+    ?tally:Vstamp_sync.Ledger.t -> t -> frontier -> delta -> t * delta
+  (** Leg 4 (responder): reconcile the received entries against the
+      offered frontier; returns the updated replica and the
+      initiator's halves to ship back. *)
+
+  val apply : t -> delta -> t
+  (** Final leg (initiator): adopt the responder's results. *)
 
   val converged : t -> t -> bool
   (** Same keys, same candidate value sets. *)

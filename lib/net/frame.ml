@@ -1,0 +1,96 @@
+(* Length-prefixed frames: 4-byte big-endian payload length, then the
+   payload.  The length cap bounds what a hostile or corrupted peer can
+   make us allocate; a frame announcing more is a protocol error, not
+   an out-of-memory.  Encode/decode are pure (the fuzz tests drive them
+   directly); read/write wrap a file descriptor with EINTR retries so a
+   stray signal never tears a frame in half. *)
+
+let header_len = 4
+
+let max_payload = 16 * 1024 * 1024
+
+type error =
+  | Truncated  (** Input ended inside a header or announced payload. *)
+  | Oversized of int  (** Announced length beyond {!max_payload}. *)
+  | Io of string  (** Socket-level failure (reset, timeout, ...). *)
+
+let pp_error ppf = function
+  | Truncated -> Format.pp_print_string ppf "truncated frame"
+  | Oversized n -> Format.fprintf ppf "oversized frame (%d bytes announced)" n
+  | Io m -> Format.fprintf ppf "io error: %s" m
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_payload then invalid_arg "Frame.encode: payload too large";
+  let b = Bytes.create (header_len + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string payload 0 b header_len n;
+  Bytes.unsafe_to_string b
+
+let header_length s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+(* Decode one frame from the head of [s]: the payload and the bytes
+   consumed. *)
+let decode s =
+  if String.length s < header_len then Error Truncated
+  else
+    let n = header_length s 0 in
+    if n > max_payload then Error (Oversized n)
+    else if String.length s < header_len + n then Error Truncated
+    else Ok (String.sub s header_len n, header_len + n)
+
+(* --- blocking fd IO --- *)
+
+let rec really_write fd b off len =
+  if len > 0 then
+    match Unix.write fd b off len with
+    | w -> really_write fd b (off + w) (len - w)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        really_write fd b off len
+
+type fill = Full | Eof_start | Eof_mid | Fail of string
+
+let really_read fd b len =
+  let rec go off got =
+    if off >= len then Full
+    else
+      match Unix.read fd b off (len - off) with
+      | 0 -> if got = 0 then Eof_start else Eof_mid
+      | r -> go (off + r) (got + r)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off got
+      | exception Unix.Unix_error (e, _, _) -> Fail (Unix.error_message e)
+  in
+  go 0 0
+
+(* [write fd payload] frames and sends; returns the wire bytes. *)
+let write fd payload =
+  let s = encode payload in
+  match really_write fd (Bytes.unsafe_of_string s) 0 (String.length s) with
+  | () -> Ok (String.length s)
+  | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+
+(* [read fd]: [Ok (Some (payload, wire_bytes))] for one frame,
+   [Ok None] on clean EOF at a frame boundary, [Error] on a torn or
+   oversized frame or a socket failure. *)
+let read fd =
+  let hdr = Bytes.create header_len in
+  match really_read fd hdr header_len with
+  | Eof_start -> Ok None
+  | Eof_mid -> Error Truncated
+  | Fail m -> Error (Io m)
+  | Full ->
+      let n = header_length (Bytes.unsafe_to_string hdr) 0 in
+      if n > max_payload then Error (Oversized n)
+      else
+        let payload = Bytes.create n in
+        (match really_read fd payload n with
+        | Full -> Ok (Some (Bytes.unsafe_to_string payload, header_len + n))
+        | Eof_start | Eof_mid -> Error Truncated
+        | Fail m -> Error (Io m))

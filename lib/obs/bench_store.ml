@@ -236,12 +236,27 @@ let idspace_metrics run =
         rows
   | _ -> []
 
+let net_metrics run =
+  match Jsonx.member "net" run with
+  | Some (Jsonx.Obj _ as obj) ->
+      (* schema /9: the E18 networked anti-entropy lane.  Byte counts
+         and round counts are deterministic in the seeded workload;
+         convergence_ns is wall-clock noise and deliberately not
+         extracted. *)
+      scalar_fields ~base:"net" ~direction:Lower_better
+        [
+          "wire_bytes"; "shipped_bytes"; "redundant_bytes"; "overhead_ratio";
+          "rounds_to_convergence"; "protocol_errors";
+        ]
+        obj
+  | _ -> []
+
 let metrics run =
   List.sort
     (fun (a, _, _) (b, _, _) -> compare a b)
     (latency_metrics run @ size_metrics run @ reduction_metrics run
    @ monitor_metrics run @ convergence_metrics run @ recorder_metrics run
-   @ trace_metrics run @ idspace_metrics run)
+   @ trace_metrics run @ idspace_metrics run @ net_metrics run)
 
 let config_compatibility ~baseline ~current =
   match (config baseline, config current) with

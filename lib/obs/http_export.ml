@@ -18,6 +18,7 @@ type t = {
   tsdb : Tsdb.t option;
   alerts : Alert.t option;
   cluster : (unit -> Jsonx.t) option;
+  peers : (unit -> Jsonx.t) option;
   listen_fd : Unix.file_descr;
   bound_addr : Unix.sockaddr;
   bound_port : int;
@@ -40,12 +41,17 @@ let locked t f =
 
 (* --- low-level socket IO --- *)
 
+(* A writer must survive two signals-in-disguise: EINTR (a signal
+   landed mid-write — retry from the same offset) and EPIPE (the peer
+   hung up — with SIGPIPE ignored it surfaces as an error the caller
+   treats as a normal hangup, never as a partial silent write). *)
 let write_all fd s =
   let n = String.length s in
   let rec go off =
     if off < n then
-      let w = Unix.write_substring fd s off (n - off) in
-      go (off + w)
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
 
@@ -75,6 +81,7 @@ let read_head fd =
           | n ->
               Buffer.add_subbytes buf chunk 0 n;
               go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
             ->
               Error "request timed out")
@@ -303,6 +310,21 @@ let handle_cluster_json ?head t fd =
           respond ?head fd ~status:500 ~content_type:"text/plain"
             "cluster roll-up failed\n")
 
+(* The peer-lifecycle endpoint: the callback snapshots the embedding
+   node's dialer states (connected / backoff / attempts), so it is
+   cheap and never blocks on the network. *)
+let handle_peers_json ?head t fd =
+  match t.peers with
+  | None ->
+      respond ?head fd ~status:404 ~content_type:"text/plain"
+        "no peers attached\n"
+  | Some snapshot -> (
+      match snapshot () with
+      | j -> respond_json ?head fd ~status:200 j
+      | exception _ ->
+          respond ?head fd ~status:500 ~content_type:"text/plain"
+            "peer snapshot failed\n")
+
 let handle_request t fd =
   match read_head fd with
   | Error _ -> respond fd ~status:400 ~content_type:"text/plain" "bad request\n"
@@ -335,6 +357,7 @@ let handle_request t fd =
           | "/range.json" -> handle_range_json ~head t fd params
           | "/alerts.json" -> handle_alerts_json ~head t fd
           | "/cluster.json" -> handle_cluster_json ~head t fd
+          | "/peers.json" -> handle_peers_json ~head t fd
           | "/events.json" -> handle_events_json ~head t fd params
           | "/events" ->
               if head then
@@ -351,7 +374,7 @@ let handle_request t fd =
               respond ~head fd ~status:200 ~content_type:"text/plain"
                 "vstamp telemetry: /metrics /healthz /stats.json /lag.json \
                  /idspace.json /range.json /alerts.json /cluster.json \
-                 /events /events.json\n"
+                 /peers.json /events /events.json\n"
           | _ ->
               respond ~head fd ~status:404 ~content_type:"text/plain"
                 "not found\n"))
@@ -411,7 +434,7 @@ let rec accept_loop t =
   | exception Unix.Unix_error _ -> ()
 
 let create ?(registry = Registry.default) ?(health = fun () -> []) ?tsdb
-    ?alerts ?cluster ?(recent = 64) ?(addr = "127.0.0.1") ~port () =
+    ?alerts ?cluster ?peers ?(recent = 64) ?(addr = "127.0.0.1") ~port () =
   (* a client hanging up mid-response must not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
@@ -435,6 +458,7 @@ let create ?(registry = Registry.default) ?(health = fun () -> []) ?tsdb
       tsdb;
       alerts;
       cluster;
+      peers;
       listen_fd = fd;
       bound_addr;
       bound_port;
@@ -500,6 +524,7 @@ module Client = struct
     | n ->
         Buffer.add_subbytes buf chunk 0 n;
         read_all fd buf chunk
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all fd buf chunk
 
   let find_sub s sub from =
     let n = String.length s and m = String.length sub in

@@ -38,7 +38,11 @@
       ([?n=N] limits to the newest N);
     - [GET /cluster.json] — the federation roll-up (requires a
       [cluster] callback passed to {!create}; 404 otherwise): the
-      multi-process soak parent serves {!Cluster.collect} here.
+      multi-process soak parent serves {!Cluster.collect} here;
+    - [GET /peers.json] — the peer-lifecycle snapshot of a networked
+      [vstamp serve] node (requires a [peers] callback passed to
+      {!create}; 404 otherwise): per-peer connection state, reconnect
+      attempts and sync-round counts.
 
     [HEAD] is answered for every endpoint with the headers the
     corresponding [GET] would send and no body; any other method gets
@@ -57,6 +61,7 @@ val create :
   ?tsdb:Tsdb.t ->
   ?alerts:Alert.t ->
   ?cluster:(unit -> Jsonx.t) ->
+  ?peers:(unit -> Jsonx.t) ->
   ?recent:int ->
   ?addr:string ->
   port:int ->
@@ -68,8 +73,8 @@ val create :
     extra [/healthz] fields; [tsdb]/[alerts] enable [/range.json] and
     [/alerts.json] (404 otherwise); [cluster] enables [/cluster.json]
     — it runs in the connection thread on every hit, so a fan-out
-    roll-up never blocks the embedding process; [recent] is the
-    event-ring capacity (default 64).
+    roll-up never blocks the embedding process; [peers] enables
+    [/peers.json]; [recent] is the event-ring capacity (default 64).
 
     @raise Unix.Unix_error when the address cannot be bound. *)
 

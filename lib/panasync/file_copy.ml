@@ -92,6 +92,26 @@ module Make (St : Stamp.S) = struct
 
   let size_bits c = St.size_bits c.stamp
 
+  (* The frontier view of a copy: everything a peer needs to order it
+     against its own copy (stamp and lineage tag) with no payload.  An
+     anti-entropy offer ships one [meta] per path; a copy the receiver
+     dominates is then reconstructed with [of_meta] — propagation only
+     ever reads the dominant side's content, so the phantom's empty
+     content is never observed. *)
+  type meta = { m_stamp : St.t; m_lineage : string }
+
+  let meta c = { m_stamp = c.stamp; m_lineage = c.lineage }
+
+  let meta_relation a b =
+    if String.equal a.m_lineage b.m_lineage then
+      St.relation a.m_stamp b.m_stamp
+    else Relation.Concurrent
+
+  let meta_bits m = St.size_bits m.m_stamp
+
+  let of_meta ~path m =
+    { path; content = ""; stamp = m.m_stamp; lineage = m.m_lineage }
+
   let pp ppf c =
     Format.fprintf ppf "%s%a %S" c.path St.pp c.stamp
       (if String.length c.content > 24 then String.sub c.content 0 24 ^ "..."

@@ -84,6 +84,23 @@ module Make (St : Vstamp_core.Stamp.S) : sig
   val size_bits : t -> int
   (** Tracking overhead of this copy. *)
 
+  type meta
+  (** The frontier view of a copy: its stamp and lineage tag, no
+      payload — what one anti-entropy offer entry carries per path. *)
+
+  val meta : t -> meta
+
+  val meta_relation : meta -> meta -> Vstamp_core.Relation.t
+  (** {!relation} on frontier views ([Concurrent] across lineages);
+      no path check — the caller pairs metas of one logical file. *)
+
+  val meta_bits : meta -> int
+
+  val of_meta : path:string -> meta -> t
+  (** A phantom copy: the frontier metadata with empty content.  Only
+      meaningful as the {e dominated} side of {!propagate}, which never
+      reads it. *)
+
   val pp : Format.formatter -> t -> unit
 end
 

@@ -1,27 +1,25 @@
 open Vstamp_core
+module Engine = Vstamp_sync.Engine
+module Ledger = Vstamp_sync.Ledger
 
 (* Optional live instrumentation, off by default (mirrors
    Kv_node.Obs): when attached, every session, reconciled file and
    propagated byte counts into a registry for the embedded telemetry
    server to expose.  The counters are shared by every instantiation of
-   {!Make}, whichever backend it runs over. *)
+   {!Make}, whichever backend it runs over.  The delta ledger (shipped /
+   minimal / redundant / efficiency) is the shared {!Vstamp_sync.Ledger}
+   family under the [sync_] prefix. *)
 module Obs = struct
   module R = Vstamp_obs.Registry
   module M = Vstamp_obs.Metric
 
   type counters = {
-    rounds : M.counter;  (* sync_rounds_total: one per session *)
+    ledger : Ledger.counters;
+        (* sync_rounds_total, sync_{shipped,minimal,redundant}_bytes_total,
+           sync_delta_efficiency *)
     bytes : M.counter;  (* sync_bytes_total: content bytes moved *)
     conflicts : M.counter;
     files : string -> M.counter;  (* sync_files_total{outcome=...} *)
-    (* delta accounting: what a full walk ships (stamp metadata for
-       every compared copy plus the moved content) vs the minimal
-       wire-encoded delta a frontier-exchange protocol would need
-       (metadata and content only where something changes) *)
-    shipped : M.counter;  (* sync_shipped_bytes_total *)
-    minimal : M.counter;  (* sync_minimal_bytes_total *)
-    redundant : M.counter;  (* sync_redundant_bytes_total *)
-    efficiency : M.gauge;  (* sync_delta_efficiency: minimal / shipped *)
   }
 
   let state : counters option ref = ref None
@@ -42,14 +40,10 @@ module Obs = struct
     state :=
       Some
         {
-          rounds = R.counter registry "sync_rounds_total";
+          ledger = Ledger.counters ~registry ~prefix:"sync_" ();
           bytes = R.counter registry "sync_bytes_total";
           conflicts = R.counter registry "sync_conflicts_total";
           files;
-          shipped = R.counter registry "sync_shipped_bytes_total";
-          minimal = R.counter registry "sync_minimal_bytes_total";
-          redundant = R.counter registry "sync_redundant_bytes_total";
-          efficiency = R.gauge registry "sync_delta_efficiency";
         }
 
   let detach () = state := None
@@ -57,14 +51,6 @@ module Obs = struct
   let attached () = Option.is_some !state
 
   let[@inline] on f = match !state with Some c -> f c | None -> ()
-
-  let account c ~shipped ~minimal =
-    M.add c.shipped shipped;
-    M.add c.minimal minimal;
-    M.add c.redundant (shipped - minimal);
-    let s = M.count c.shipped in
-    M.set c.efficiency
-      (if s = 0 then 1. else float_of_int (M.count c.minimal) /. float_of_int s)
 end
 
 type policy =
@@ -106,6 +92,24 @@ let outcome_slug = function
 
 let conflicts reports = List.filter (fun r -> r.outcome = Conflict) reports
 
+(* The session walks left-as-initiator, right-as-responder, so the
+   engine's a→b direction is left→right. *)
+let of_engine_outcome = function
+  | Engine.Created -> Created
+  | Engine.Unchanged -> Unchanged
+  | Engine.Propagated_ab -> Propagated_left_to_right
+  | Engine.Propagated_ba -> Propagated_right_to_left
+  | Engine.Resolved -> Resolved
+  | Engine.Conflict -> Conflict
+
+let to_engine_outcome = function
+  | Created -> Engine.Created
+  | Unchanged -> Engine.Unchanged
+  | Propagated_left_to_right -> Engine.Propagated_ab
+  | Propagated_right_to_left -> Engine.Propagated_ba
+  | Resolved -> Engine.Resolved
+  | Conflict -> Engine.Conflict
+
 module Make (F : sig
   type t
 
@@ -122,6 +126,16 @@ module Make (F : sig
   val propagate : from:t -> into:t -> t * t
 
   val replicate : t -> t * t
+
+  type meta
+
+  val meta : t -> meta
+
+  val meta_relation : meta -> meta -> Relation.t
+
+  val meta_bits : meta -> int
+
+  val of_meta : path:string -> meta -> t
 end) (St : sig
   type t
 
@@ -143,35 +157,6 @@ struct
     | Created | Unchanged | Conflict -> 0
 
   let meta_bytes c = (F.size_bits c + 7) / 8
-
-  (* Wire accounting for one reconciled pair.  Shipped: the session's
-     walk exchanges both copies' stamp metadata for every shared path,
-     plus the moved content.  Minimal: what a frontier-exchange
-     protocol needs — nothing for equivalent copies, the dominant
-     side's metadata plus its content for ordered ones, both metadatas
-     (plus any resolution payload) when concurrency must be surfaced. *)
-  let delta_bytes outcome l r =
-    let moved = moved_bytes outcome l r in
-    let shipped = meta_bytes l + meta_bytes r + moved in
-    let minimal =
-      match outcome with
-      | Unchanged -> 0
-      | Propagated_left_to_right -> meta_bytes l + moved
-      | Propagated_right_to_left -> meta_bytes r + moved
-      | Resolved | Conflict -> meta_bytes l + meta_bytes r + moved
-      | Created -> shipped
-    in
-    (shipped, minimal)
-
-  let observe_report outcome l r =
-    Obs.on (fun c ->
-        Vstamp_obs.Metric.inc (c.Obs.files (outcome_slug outcome));
-        (match moved_bytes outcome l r with
-        | 0 -> ()
-        | n -> Vstamp_obs.Metric.add c.Obs.bytes n);
-        let shipped, minimal = delta_bytes outcome l r in
-        Obs.account c ~shipped ~minimal;
-        if outcome = Conflict then Vstamp_obs.Metric.inc c.Obs.conflicts)
 
   let sync_file_raw policy left right =
     match F.relation left right with
@@ -253,77 +238,118 @@ struct
         | Merge f ->
             resolve (f ~left:(F.content left) ~right:(F.content right)))
 
+  (* Wire accounting for one reconciled pair, charged on the
+     post-reconciliation copies (what actually crossed, with the stamps
+     the session left behind).  The split is the engine's unified
+     formula: shipped = both metadatas + moved payload; minimal = what a
+     frontier-exchange protocol needs. *)
+  let charge_of outcome l r =
+    {
+      Engine.meta_a = meta_bytes l;
+      meta_b = meta_bytes r;
+      payload = moved_bytes outcome l r;
+    }
+
+  let observe_report outcome l r =
+    Obs.on (fun c ->
+        Vstamp_obs.Metric.inc (c.Obs.files (outcome_slug outcome));
+        (match moved_bytes outcome l r with
+        | 0 -> ()
+        | n -> Vstamp_obs.Metric.add c.Obs.bytes n);
+        let shipped, minimal =
+          Engine.delta (to_engine_outcome outcome) (charge_of outcome l r)
+        in
+        Ledger.account c.Obs.ledger ~shipped ~minimal;
+        if outcome = Conflict then Vstamp_obs.Metric.inc c.Obs.conflicts)
+
   let sync_file policy left right =
     let l, r, report = sync_file_raw policy left right in
     observe_report report.outcome l r;
     (l, r, report)
 
-  (* A replica made for the peer: its whole content crosses the wire,
-     and the frontier-exchange minimum is the same — creations carry no
-     redundancy. *)
-  let observe_created copy =
-    Obs.on (fun cs ->
-        Vstamp_obs.Metric.inc (cs.Obs.files "created");
-        Vstamp_obs.Metric.add cs.Obs.bytes (String.length (F.content copy));
-        let b = meta_bytes copy + String.length (F.content copy) in
-        Obs.account cs ~shipped:b ~minimal:b)
+  (* The engine store adapter: a panasync store keyed by path, with the
+     copies' frontier view (stamp + lineage, no payload) as metadata and
+     an MD5 content digest standing in for the old direct content
+     comparison of observationally-equal copies. *)
+  module ES = struct
+    type t = St.t
 
-  let session_body policy left right =
-    Obs.on (fun c -> Vstamp_obs.Metric.inc c.Obs.rounds);
-    let all_paths =
-      List.sort_uniq compare (St.paths left @ St.paths right)
-    in
-    List.fold_left
-      (fun (l, r, reports) path ->
-        match (St.find l path, St.find r path) with
-        | None, None -> (l, r, reports)
-        | Some c, None ->
-            let mine, theirs = F.replicate c in
-            observe_created c;
-            ( St.set l mine,
-              St.set r theirs,
-              { path; relation = None; outcome = Created } :: reports )
-        | None, Some c ->
-            let theirs, mine = F.replicate c in
-            observe_created c;
-            ( St.set l mine,
-              St.set r theirs,
-              { path; relation = None; outcome = Created } :: reports )
-        | Some cl, Some cr ->
-            let cl, cr, report = sync_file policy cl cr in
-            (St.set l cl, St.set r cr, report :: reports))
-      (left, right, []) all_paths
-    |> fun (l, r, reports) -> (l, r, List.rev reports)
+    type item = F.t
 
-  (* A session is one span; its trace context rides the session
-     envelope (the header an on-the-wire protocol would carry in its
-     first message), and the receiving side's work is a child span
-     extracted from that header — so the remote half of every sync
-     round continues the same trace, across processes once the
-     envelope crosses a socket. *)
-  let session ?(policy = Manual) left right =
-    let module Tr = Vstamp_obs.Trace_ctx in
-    let module J = Vstamp_obs.Jsonx in
-    if not (Tr.attached ()) then session_body policy left right
-    else
-      Tr.with_span "sync.session" (fun () ->
-          let header =
-            match Tr.current () with
-            | Some ctx -> Tr.to_header ctx
-            | None -> ""
+    type meta = F.meta
+
+    let keys = St.paths
+
+    let find = St.find
+
+    let set store _key item = St.set store item
+
+    let meta_of = F.meta
+
+    let relation = F.meta_relation
+
+    let meta_bytes m = (F.meta_bits m + 7) / 8
+
+    let payload_bytes item = String.length (F.content item)
+
+    let digest item = Digest.string (F.content item)
+
+    let of_meta ~key m = F.of_meta ~path:key m
+  end
+
+  module E = Engine.Make (ES)
+
+  (* The per-path reconciliation the engine drives: [item_a] is the
+     initiator's copy (a payload-less phantom when this side dominates
+     it — propagation never reads the dominated content), [item_b] this
+     side's. *)
+  let engine_config policy =
+    {
+      E.reconcile =
+        (fun ~key:_ item_a item_b ->
+          let l, r, report = sync_file_raw policy item_a item_b in
+          let relation =
+            match report.relation with Some rel -> rel | None -> assert false
           in
-          let l, r, reports = session_body policy left right in
-          let conflicts_n = List.length (conflicts reports) in
-          Tr.annotate
-            [
-              ("files", J.Int (List.length reports));
-              ("conflicts", J.Int conflicts_n);
-            ];
-          Tr.with_remote_span ~header
-            ~attrs:[ ("files", J.Int (List.length reports)) ]
-            "sync.apply"
-            (fun () -> ());
-          (l, r, reports))
+          {
+            E.item_a = l;
+            item_b = r;
+            relation;
+            outcome = to_engine_outcome report.outcome;
+            charge = charge_of report.outcome l r;
+          });
+      replicate = F.replicate;
+    }
+
+  let spans =
+    { E.span_session = "sync.session"; span_apply = "sync.apply"; unit_key = "files" }
+
+  let session ?(policy = Manual) left right =
+    let config = engine_config policy in
+    let ledger = Option.map (fun c -> c.Obs.ledger) !Obs.state in
+    let on_report (er : E.report) =
+      Obs.on (fun c ->
+          let outcome = of_engine_outcome er.E.outcome in
+          Vstamp_obs.Metric.inc (c.Obs.files (outcome_slug outcome));
+          (match er.E.payload with
+          | 0 -> ()
+          | n -> Vstamp_obs.Metric.add c.Obs.bytes n);
+          if outcome = Conflict then Vstamp_obs.Metric.inc c.Obs.conflicts)
+    in
+    let left, right, ereports =
+      E.session ?ledger ~on_report ~spans config left right
+    in
+    let reports =
+      List.map
+        (fun (er : E.report) ->
+          {
+            path = er.E.key;
+            relation = er.E.relation;
+            outcome = of_engine_outcome er.E.outcome;
+          })
+        ereports
+    in
+    (left, right, reports)
 
   (* Observational convergence: both stores hold every path with equal
      content.  (Stamp equivalence is deliberately not required: copies of

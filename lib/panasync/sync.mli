@@ -14,6 +14,14 @@
     case there is observationally nothing to reconcile and the session
     reports them unchanged.
 
+    Sessions run on the shared transport-agnostic anti-entropy engine
+    ({!Vstamp_sync.Engine}): the initiator offers its frontier (stamp
+    metadata plus a content digest per path), the responder requests
+    only what it cannot prove redundant, and reconciliation happens
+    responder-side with replica branches shipped back.  In-process the
+    legs compose directly, so the result is indistinguishable from the
+    historical full walk.
+
     Generic in the file-copy and store implementations (and hence the
     stamp backend) via {!Make}; the top level is the default (tree)
     instantiation. *)
@@ -64,6 +72,20 @@ module Make (F : sig
   val propagate : from:t -> into:t -> t * t
 
   val replicate : t -> t * t
+
+  type meta
+  (** The frontier view of one copy (stamp metadata, no payload) — what
+      an anti-entropy offer ships per path (see {!Vstamp_sync.Engine}). *)
+
+  val meta : t -> meta
+
+  val meta_relation : meta -> meta -> Vstamp_core.Relation.t
+
+  val meta_bits : meta -> int
+
+  val of_meta : path:string -> meta -> t
+  (** A payload-less phantom used as the dominated side of {!propagate};
+      its content is never read. *)
 end) (St : sig
   type t
 

@@ -1,5 +1,7 @@
 module H = Vstamp_core.Causal_history
 module Conv = Vstamp_obs.Convergence
+module Engine = Vstamp_sync.Engine
+module Ledger = Vstamp_sync.Ledger
 
 type config = {
   replicas : int;
@@ -100,8 +102,7 @@ let run ?registry ?on_round (cfg : config) (Tracker.Packed (module T)) =
   let updates = ref 0 in
   let syncs = ref 0 in
   let blocked = ref 0 in
-  let shipped = ref 0 in
-  let minimal = ref 0 in
+  let tally = Ledger.create () in
   let rng = ref (Rng.make cfg.seed) in
   let draw f =
     let v, rng' = f !rng in
@@ -125,18 +126,26 @@ let run ?registry ?on_round (cfg : config) (Tracker.Packed (module T)) =
     let a = replicas.(i) and b = replicas.(j) in
     (* delta ledger: a full-state exchange ships both sides; a
        frontier-exchange protocol ships only what the other side
-       misses *)
-    let ba = T.size_bits a and bb = T.size_bits b in
-    let leq_ab = T.leq a b and leq_ba = T.leq b a in
-    shipped := !shipped + bytes_of_bits ba + bytes_of_bits bb;
-    (minimal :=
-       !minimal
-       +
-       match Conv.classify ~leq_ab ~leq_ba with
-       | Conv.Equal -> 0
-       | Conv.Dominates -> bytes_of_bits ba
-       | Conv.Dominated -> bytes_of_bits bb
-       | Conv.Concurrent -> bytes_of_bits ba + bytes_of_bits bb);
+       misses.  The split is the engine's unified formula with a
+       stamp-only charge (the simulation moves no payload). *)
+    let relation =
+      match Conv.classify ~leq_ab:(T.leq a b) ~leq_ba:(T.leq b a) with
+      | Conv.Equal -> Vstamp_core.Relation.Equal
+      | Conv.Dominates -> Vstamp_core.Relation.Dominates
+      | Conv.Dominated -> Vstamp_core.Relation.Dominated
+      | Conv.Concurrent -> Vstamp_core.Relation.Concurrent
+    in
+    let charge =
+      {
+        Engine.meta_a = bytes_of_bits (T.size_bits a);
+        meta_b = bytes_of_bits (T.size_bits b);
+        payload = 0;
+      }
+    in
+    let shipped, minimal =
+      Engine.delta (Engine.outcome_of_relation relation) charge
+    in
+    Ledger.add tally ~shipped ~minimal;
     (* paper-style synchronization of two live replicas: join then fork *)
     let st, joined = T.join !state a b in
     let st, (a', b') = T.fork st joined in
@@ -169,28 +178,15 @@ let run ?registry ?on_round (cfg : config) (Tracker.Packed (module T)) =
   (* counters accumulate across runs sharing a registry (the soak
      driver re-runs the scenario every iteration), so publish only the
      growth since the last publication of this run *)
-  let pub_shipped = ref 0 and pub_minimal = ref 0 in
+  let publisher =
+    Option.map
+      (fun reg -> Ledger.publisher ~registry:reg ~prefix:"sim_sync_" ())
+      registry
+  in
   let publish_delta () =
-    match registry with
+    match publisher with
     | None -> ()
-    | Some reg ->
-        let module R = Vstamp_obs.Registry in
-        let module M = Vstamp_obs.Metric in
-        M.add
-          (R.counter reg "sim_sync_shipped_bytes_total")
-          (!shipped - !pub_shipped);
-        M.add
-          (R.counter reg "sim_sync_minimal_bytes_total")
-          (!minimal - !pub_minimal);
-        M.add
-          (R.counter reg "sim_sync_redundant_bytes_total")
-          (!shipped - !minimal - (!pub_shipped - !pub_minimal));
-        pub_shipped := !shipped;
-        pub_minimal := !minimal;
-        M.set
-          (R.gauge reg "sim_sync_delta_efficiency")
-          (if !shipped = 0 then 1.
-           else float_of_int !minimal /. float_of_int !shipped)
+    | Some p -> Ledger.publish p tally
   in
   let observe ~round ~phase =
     let m = Conv.matrix ~leq:T.leq replicas in
@@ -281,10 +277,8 @@ let run ?registry ?on_round (cfg : config) (Tracker.Packed (module T)) =
     peak_entropy = !peak_entropy;
     divergence = !last_active;
     final;
-    shipped_bytes = !shipped;
-    minimal_bytes = !minimal;
-    redundant_bytes = !shipped - !minimal;
-    delta_efficiency =
-      (if !shipped = 0 then 1.
-       else float_of_int !minimal /. float_of_int !shipped);
+    shipped_bytes = tally.Ledger.shipped;
+    minimal_bytes = tally.Ledger.minimal;
+    redundant_bytes = Ledger.redundant tally;
+    delta_efficiency = Ledger.efficiency tally;
   }

@@ -1,0 +1,306 @@
+open Vstamp_core
+
+type outcome =
+  | Created
+  | Unchanged
+  | Propagated_ab
+  | Propagated_ba
+  | Resolved
+  | Conflict
+
+let outcome_of_relation = function
+  | Relation.Equal -> Unchanged
+  | Relation.Dominates -> Propagated_ab
+  | Relation.Dominated -> Propagated_ba
+  | Relation.Concurrent -> Conflict
+
+type charge = { meta_a : int; meta_b : int; payload : int }
+
+let delta outcome { meta_a; meta_b; payload } =
+  let shipped = meta_a + meta_b + payload in
+  let minimal =
+    match outcome with
+    | Unchanged -> 0
+    | Propagated_ab -> meta_a + payload
+    | Propagated_ba -> meta_b + payload
+    | Resolved | Conflict -> shipped
+    | Created -> shipped
+  in
+  (shipped, minimal)
+
+module type STORE = sig
+  type t
+
+  type item
+
+  type meta
+
+  val keys : t -> string list
+
+  val find : t -> string -> item option
+
+  val set : t -> string -> item -> t
+
+  val meta_of : item -> meta
+
+  val relation : meta -> meta -> Relation.t
+
+  val meta_bytes : meta -> int
+
+  val payload_bytes : item -> int
+
+  val digest : item -> string
+
+  val of_meta : key:string -> meta -> item
+end
+
+module Make (S : STORE) = struct
+  module Smap = Map.Make (String)
+
+  type verdict = {
+    item_a : S.item;
+    item_b : S.item;
+    relation : Relation.t;
+    outcome : outcome;
+    charge : charge;
+  }
+
+  type config = {
+    reconcile : key:string -> S.item -> S.item -> verdict;
+    replicate : S.item -> S.item * S.item;
+  }
+
+  type report = {
+    key : string;
+    relation : Relation.t option;
+    outcome : outcome;
+    payload : int;
+    shipped : int;
+    minimal : int;
+  }
+
+  type frontier_entry = { f_key : string; f_meta : S.meta; f_digest : string }
+
+  type entry = { e_key : string; e_item : S.item }
+
+  let offer store =
+    List.filter_map
+      (fun key ->
+        Option.map
+          (fun item ->
+            { f_key = key; f_meta = S.meta_of item; f_digest = S.digest item })
+          (S.find store key))
+      (S.keys store)
+
+  let wants store frontier =
+    List.filter_map
+      (fun f ->
+        match S.find store f.f_key with
+        | None -> Some f.f_key
+        | Some item -> (
+            match S.relation f.f_meta (S.meta_of item) with
+            | Relation.Dominates -> Some f.f_key
+            | Relation.Dominated -> None
+            | Relation.Equal | Relation.Concurrent ->
+                if String.equal f.f_digest (S.digest item) then None
+                else Some f.f_key))
+      frontier
+
+  let fulfil store wanted =
+    List.filter_map
+      (fun key ->
+        Option.map (fun item -> { e_key = key; e_item = item })
+          (S.find store key))
+      wanted
+
+  let charge_for ledger tally on_report report =
+    (match ledger with
+    | Some c -> Ledger.account c ~shipped:report.shipped ~minimal:report.minimal
+    | None -> ());
+    (match tally with
+    | Some t -> Ledger.add t ~shipped:report.shipped ~minimal:report.minimal
+    | None -> ());
+    match on_report with Some f -> f report | None -> ()
+
+  let reconcile ?ledger ?tally ?on_report config store frontier items =
+    let offered =
+      List.fold_left (fun m f -> Smap.add f.f_key f m) Smap.empty frontier
+    in
+    let received =
+      List.fold_left (fun m e -> Smap.add e.e_key e.e_item m) Smap.empty items
+    in
+    let all_keys =
+      List.sort_uniq String.compare
+        (List.map (fun f -> f.f_key) frontier @ S.keys store)
+    in
+    let emit report = charge_for ledger tally on_report report in
+    let store, results_rev, reports_rev =
+      List.fold_left
+        (fun (store, results, reports) key ->
+          match (Smap.find_opt key offered, S.find store key) with
+          | None, None -> (store, results, reports)
+          | None, Some item ->
+              (* responder-only entry: replicate it for the initiator *)
+              let mine, theirs = config.replicate item in
+              let charge =
+                {
+                  meta_a = S.meta_bytes (S.meta_of item);
+                  meta_b = 0;
+                  payload = S.payload_bytes item;
+                }
+              in
+              let shipped, minimal = delta Created charge in
+              let report =
+                {
+                  key;
+                  relation = None;
+                  outcome = Created;
+                  payload = charge.payload;
+                  shipped;
+                  minimal;
+                }
+              in
+              emit report;
+              ( S.set store key mine,
+                { e_key = key; e_item = theirs } :: results,
+                report :: reports )
+          | Some f, None -> (
+              match Smap.find_opt key received with
+              | None ->
+                  (* requested but not delivered: skip, no charge *)
+                  (store, results, reports)
+              | Some item ->
+                  (* initiator-only entry: fork it, keep the peer branch *)
+                  let mine, theirs = config.replicate item in
+                  let charge =
+                    {
+                      meta_a = S.meta_bytes f.f_meta;
+                      meta_b = 0;
+                      payload = S.payload_bytes item;
+                    }
+                  in
+                  let shipped, minimal = delta Created charge in
+                  let report =
+                    {
+                      key;
+                      relation = None;
+                      outcome = Created;
+                      payload = charge.payload;
+                      shipped;
+                      minimal;
+                    }
+                  in
+                  emit report;
+                  ( S.set store key theirs,
+                    { e_key = key; e_item = mine } :: results,
+                    report :: reports ))
+          | Some f, Some mine_item -> (
+              let reconcile_with item_a =
+                let v = config.reconcile ~key item_a mine_item in
+                let shipped, minimal = delta v.outcome v.charge in
+                let report =
+                  {
+                    key;
+                    relation = Some v.relation;
+                    outcome = v.outcome;
+                    payload = v.charge.payload;
+                    shipped;
+                    minimal;
+                  }
+                in
+                emit report;
+                ( S.set store key v.item_b,
+                  { e_key = key; e_item = v.item_a } :: results,
+                  report :: reports )
+              in
+              match Smap.find_opt key received with
+              | Some item_a -> reconcile_with item_a
+              | None -> (
+                  match S.relation f.f_meta (S.meta_of mine_item) with
+                  | Relation.Dominated ->
+                      (* we dominate: rebuild the initiator's side from
+                         the frontier alone — propagation never reads
+                         the dominated payload *)
+                      reconcile_with (S.of_meta ~key f.f_meta)
+                  | rel ->
+                      (* observationally equal (matching digest): the
+                         exchange is elided, only metadata compared *)
+                      let charge =
+                        {
+                          meta_a = S.meta_bytes f.f_meta;
+                          meta_b = S.meta_bytes (S.meta_of mine_item);
+                          payload = 0;
+                        }
+                      in
+                      let shipped, minimal = delta Unchanged charge in
+                      let report =
+                        {
+                          key;
+                          relation = Some rel;
+                          outcome = Unchanged;
+                          payload = 0;
+                          shipped;
+                          minimal;
+                        }
+                      in
+                      emit report;
+                      (store, results, report :: reports))))
+        (store, [], []) all_keys
+    in
+    (store, List.rev results_rev, List.rev reports_rev)
+
+  let apply store results =
+    List.fold_left (fun s e -> S.set s e.e_key e.e_item) store results
+
+  type spans = {
+    span_session : string;
+    span_apply : string;
+    unit_key : string;
+  }
+
+  let session_body ?ledger ?tally ?on_report config a b =
+    (match ledger with Some c -> Ledger.round c | None -> ());
+    let frontier = offer a in
+    let wanted = wants b frontier in
+    let items = fulfil a wanted in
+    let b, results, reports =
+      reconcile ?ledger ?tally ?on_report config b frontier items
+    in
+    let a = apply a results in
+    (a, b, reports)
+
+  (* A session is one span; its trace context rides the session
+     envelope (the header the on-the-wire protocol carries in its first
+     frame), and the receiving side's work is a child span extracted
+     from that header — so the remote half of every sync round
+     continues the same trace, across processes once the envelope
+     crosses a socket. *)
+  let session ?ledger ?tally ?on_report ?spans config a b =
+    let module Tr = Vstamp_obs.Trace_ctx in
+    let module J = Vstamp_obs.Jsonx in
+    match spans with
+    | Some sp when Tr.attached () ->
+        Tr.with_span sp.span_session (fun () ->
+            let header =
+              match Tr.current () with
+              | Some ctx -> Tr.to_header ctx
+              | None -> ""
+            in
+            let a, b, reports =
+              session_body ?ledger ?tally ?on_report config a b
+            in
+            let conflicts_n =
+              List.length (List.filter (fun r -> r.outcome = Conflict) reports)
+            in
+            Tr.annotate
+              [
+                (sp.unit_key, J.Int (List.length reports));
+                ("conflicts", J.Int conflicts_n);
+              ];
+            Tr.with_remote_span ~header
+              ~attrs:[ (sp.unit_key, J.Int (List.length reports)) ]
+              sp.span_apply
+              (fun () -> ());
+            (a, b, reports))
+    | _ -> session_body ?ledger ?tally ?on_report config a b
+end

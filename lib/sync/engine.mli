@@ -1,0 +1,187 @@
+(** The transport-agnostic anti-entropy engine.
+
+    Every pairwise sync in the tree is the same session, whatever the
+    store: compare the two sides' stamp frontiers, request the entries
+    one side is missing or dominated on, reconcile them under the
+    store's own rules, and return the initiator its halves.  {!Make}
+    factors that walk — together with the {!Ledger} byte accounting and
+    the trace spans — out of panasync's file sessions, the stamped KV
+    store and the network layer, which differ only in their item type
+    and reconciliation closures.
+
+    The session is pure and phrased as four legs so a transport can
+    interleave them with frames (the [vstamp-sync/1] protocol in
+    [Vstamp_net]), while {!Make.session} composes them in-process:
+
+    {v
+      initiator A                          responder B
+      ----------------                     ----------------
+      offer a            -- frontier -->   wants b frontier
+      fulfil a wanted    <-- request --
+                         --  items   -->   reconcile b frontier items
+      apply a results    <-- results --
+    v}
+
+    All reconciliation happens at the responder, in sorted key order,
+    with the same closures an in-process session uses — so a networked
+    session and a local one produce byte-identical stores.  Entries the
+    responder dominates are reconstructed from the offered frontier
+    metadata alone (a phantom item with an empty payload: propagation
+    only ever reads the dominant side's payload), so the dominated
+    side's payload never crosses the wire. *)
+
+open Vstamp_core
+
+(** What reconciling one entry did.  [Propagated_ab] fast-forwarded the
+    responder from the initiator's copy, [Propagated_ba] the reverse;
+    [Resolved] settled surfaced concurrency, [Conflict] left it
+    standing. *)
+type outcome =
+  | Created
+  | Unchanged
+  | Propagated_ab
+  | Propagated_ba
+  | Resolved
+  | Conflict
+
+val outcome_of_relation : Relation.t -> outcome
+(** The outcome a plain fast-forwarding sync yields per relation:
+    [Equal → Unchanged], [Dominates → Propagated_ab],
+    [Dominated → Propagated_ba], [Concurrent → Conflict]. *)
+
+type charge = { meta_a : int; meta_b : int; payload : int }
+(** One entry's byte accounting inputs: each side's causality-metadata
+    size and the payload bytes that changed hands. *)
+
+val delta : outcome -> charge -> int * int
+(** [(shipped, minimal)]: a full exchange ships both metadatas plus the
+    payload; the frontier-exchange minimum is nothing for [Unchanged],
+    the dominant side's metadata plus payload for propagation,
+    everything when concurrency is surfaced, and the whole entry for
+    [Created] (creations carry no redundancy). *)
+
+(** What {!Make} needs from a store: a sorted key space of items, each
+    carrying comparable causality metadata ([meta]) and a payload
+    fingerprint ([digest]), plus the phantom constructor ([of_meta])
+    that rebuilds a payload-less item from offered frontier metadata. *)
+module type STORE = sig
+  type t
+
+  type item
+
+  type meta
+
+  val keys : t -> string list
+  (** Sorted, unique. *)
+
+  val find : t -> string -> item option
+
+  val set : t -> string -> item -> t
+
+  val meta_of : item -> meta
+
+  val relation : meta -> meta -> Relation.t
+
+  val meta_bytes : meta -> int
+
+  val payload_bytes : item -> int
+
+  val digest : item -> string
+  (** Payload fingerprint: equal digests mean observationally equal
+      payloads (used to elide equal-but-renamed exchanges). *)
+
+  val of_meta : key:string -> meta -> item
+  (** A phantom item: the frontier metadata with an empty payload.
+      Only ever passed as the {e dominated} side of [reconcile]. *)
+end
+
+module Make (S : STORE) : sig
+  type verdict = {
+    item_a : S.item;
+    item_b : S.item;
+    relation : Relation.t;
+    outcome : outcome;
+    charge : charge;
+  }
+  (** A reconciliation closure's result: both updated items, the
+      relation it observed, what it did, and the byte charge (the
+      caller decides whether metadata is measured before or after the
+      reconciliation — the stores disagree and both are defensible). *)
+
+  type config = {
+    reconcile : key:string -> S.item -> S.item -> verdict;
+        (** Reconcile two copies of one entry (initiator's first). *)
+    replicate : S.item -> S.item * S.item;
+        (** Fork an entry for a peer that lacks it; the owner keeps the
+            first branch, the peer receives the second. *)
+  }
+
+  type report = {
+    key : string;
+    relation : Relation.t option;  (** [None] for one-sided entries. *)
+    outcome : outcome;
+    payload : int;  (** Payload bytes that crossed. *)
+    shipped : int;
+    minimal : int;
+  }
+
+  (** {1 The four legs} *)
+
+  type frontier_entry = { f_key : string; f_meta : S.meta; f_digest : string }
+
+  type entry = { e_key : string; e_item : S.item }
+
+  val offer : S.t -> frontier_entry list
+  (** Leg 1 (initiator): the full frontier, sorted by key. *)
+
+  val wants : S.t -> frontier_entry list -> string list
+  (** Leg 2 (responder): the keys whose full items the responder needs
+      — ones it lacks, is dominated on, or holds concurrent/equal with
+      a different payload.  Entries the responder dominates, and
+      observationally equal ones, are deliberately not requested. *)
+
+  val fulfil : S.t -> string list -> entry list
+  (** Leg 3 (initiator): the requested items, in request order. *)
+
+  val reconcile :
+    ?ledger:Ledger.counters ->
+    ?tally:Ledger.t ->
+    ?on_report:(report -> unit) ->
+    config ->
+    S.t ->
+    frontier_entry list ->
+    entry list ->
+    S.t * entry list * report list
+  (** Leg 4 (responder): walk the sorted union of the offered frontier
+      and the local keys, reconciling received items, reconstructing
+      phantom dominated entries, replicating one-sided ones, and
+      skipping observationally equal ones.  Returns the updated store,
+      the initiator's halves (leg 5's payload), and one report per key
+      in sorted order.  Every report is charged to [ledger]/[tally]. *)
+
+  val apply : S.t -> entry list -> S.t
+  (** Final leg (initiator): adopt the responder's results. *)
+
+  (** {1 In-process composition} *)
+
+  type spans = {
+    span_session : string;  (** e.g. ["sync.session"]. *)
+    span_apply : string;  (** e.g. ["sync.apply"]. *)
+    unit_key : string;  (** The count attribute: ["files"], ["keys"]. *)
+  }
+
+  val session :
+    ?ledger:Ledger.counters ->
+    ?tally:Ledger.t ->
+    ?on_report:(report -> unit) ->
+    ?spans:spans ->
+    config ->
+    S.t ->
+    S.t ->
+    S.t * S.t * report list
+  (** One whole anti-entropy session between two local stores: the four
+      legs composed back to back.  Bumps the ledger's round counter,
+      and — when [spans] is given and tracing is attached — wraps the
+      walk in a session span whose context rides to a child apply span,
+      the same shape a networked session stretches over a socket. *)
+end

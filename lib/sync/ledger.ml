@@ -1,0 +1,75 @@
+module R = Vstamp_obs.Registry
+module M = Vstamp_obs.Metric
+
+type t = {
+  mutable shipped : int;
+  mutable minimal : int;
+  mutable entries : int;
+}
+
+let create () = { shipped = 0; minimal = 0; entries = 0 }
+
+let add t ~shipped ~minimal =
+  t.shipped <- t.shipped + shipped;
+  t.minimal <- t.minimal + minimal;
+  t.entries <- t.entries + 1
+
+let redundant t = t.shipped - t.minimal
+
+let efficiency t =
+  if t.shipped = 0 then 1.
+  else float_of_int t.minimal /. float_of_int t.shipped
+
+type counters = {
+  rounds : M.counter;
+  shipped : M.counter;
+  minimal : M.counter;
+  redundant : M.counter;
+  eff : M.gauge;
+}
+
+let counters ?(registry = R.default) ~prefix () =
+  {
+    rounds = R.counter registry (prefix ^ "rounds_total");
+    shipped = R.counter registry (prefix ^ "shipped_bytes_total");
+    minimal = R.counter registry (prefix ^ "minimal_bytes_total");
+    redundant = R.counter registry (prefix ^ "redundant_bytes_total");
+    eff = R.gauge registry (prefix ^ "delta_efficiency");
+  }
+
+let round c = M.inc c.rounds
+
+let account c ~shipped ~minimal =
+  M.add c.shipped shipped;
+  M.add c.minimal minimal;
+  M.add c.redundant (shipped - minimal);
+  let s = M.count c.shipped in
+  M.set c.eff
+    (if s = 0 then 1. else float_of_int (M.count c.minimal) /. float_of_int s)
+
+type publisher = {
+  p_shipped : M.counter;
+  p_minimal : M.counter;
+  p_redundant : M.counter;
+  p_eff : M.gauge;
+  mutable pub_shipped : int;
+  mutable pub_minimal : int;
+}
+
+let publisher ~registry ~prefix () =
+  {
+    p_shipped = R.counter registry (prefix ^ "shipped_bytes_total");
+    p_minimal = R.counter registry (prefix ^ "minimal_bytes_total");
+    p_redundant = R.counter registry (prefix ^ "redundant_bytes_total");
+    p_eff = R.gauge registry (prefix ^ "delta_efficiency");
+    pub_shipped = 0;
+    pub_minimal = 0;
+  }
+
+let publish p (t : t) =
+  M.add p.p_shipped (t.shipped - p.pub_shipped);
+  M.add p.p_minimal (t.minimal - p.pub_minimal);
+  M.add p.p_redundant (redundant t - (p.pub_shipped - p.pub_minimal));
+  p.pub_shipped <- t.shipped;
+  p.pub_minimal <- t.minimal;
+  M.set p.p_eff (efficiency t)

@@ -1,0 +1,70 @@
+(** The shipped / minimal / redundant byte ledger of anti-entropy.
+
+    Every sync surface in the tree accounts the same two quantities per
+    reconciled entry: what its exchange actually ships (both sides'
+    stamp metadata for every compared entry, plus the payload that
+    changes hands) and the minimal delta a frontier-exchange protocol
+    needs (nothing for equivalent entries, the dominant side only for
+    ordered ones, everything when concurrency must be surfaced).  This
+    module is the single implementation behind the [sync_*],
+    [kvs_sync_*], [sim_sync_*] and [net_sync_*] metric families; the
+    formula mapping an {!Engine.outcome} to the pair lives in
+    {!Engine.delta}. *)
+
+(** {1 Run-local tallies}
+
+    A plain accumulator for scenario code that keeps its own totals
+    (the lag simulation's per-run ledger) and publishes growth
+    separately. *)
+
+type t = {
+  mutable shipped : int;
+  mutable minimal : int;
+  mutable entries : int;
+}
+
+val create : unit -> t
+
+val add : t -> shipped:int -> minimal:int -> unit
+
+val redundant : t -> int
+
+val efficiency : t -> float
+(** [minimal / shipped]; [1.0] when nothing has shipped. *)
+
+(** {1 Registry-bound counter families}
+
+    [counters ~prefix] binds the five canonical metrics
+    [<prefix>rounds_total], [<prefix>shipped_bytes_total],
+    [<prefix>minimal_bytes_total], [<prefix>redundant_bytes_total] and
+    the [<prefix>delta_efficiency] gauge into a registry — the shape
+    shared by ["sync_"], ["kvs_sync_"] and ["net_sync_"]. *)
+
+type counters
+
+val counters :
+  ?registry:Vstamp_obs.Registry.t -> prefix:string -> unit -> counters
+
+val round : counters -> unit
+(** Bump [<prefix>rounds_total]. *)
+
+val account : counters -> shipped:int -> minimal:int -> unit
+(** Add one entry's charge and refresh the efficiency gauge. *)
+
+(** {1 Growth publication}
+
+    Counters accumulate across runs sharing a registry (the soak driver
+    re-runs a scenario every iteration), so a run that keeps its own
+    {!t} publishes only the growth since its last publication.  The
+    family is the prefix's [shipped/minimal/redundant_bytes_total]
+    counters plus the [delta_efficiency] gauge — no rounds counter
+    (the scenario owns its round accounting). *)
+
+type publisher
+
+val publisher :
+  registry:Vstamp_obs.Registry.t -> prefix:string -> unit -> publisher
+
+val publish : publisher -> t -> unit
+(** Push the growth of [t] since the last [publish] into the counters
+    and set the gauge to [t]'s running efficiency. *)

@@ -66,6 +66,9 @@ dune build @churn-smoke --force
 echo "== cluster smoke (3-process cluster, federation, causal merge) =="
 dune build @cluster-smoke --force
 
+echo "== net smoke (3-node TCP mesh, convergence, reconnect backoff) =="
+dune build @net-smoke --force
+
 echo "== CLI smoke: vstamp metrics =="
 dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 >/dev/null
 dune exec bin/vstamp_cli.exe -- metrics -t stamps -w churn -n 100 --format prom >/dev/null
